@@ -1,0 +1,180 @@
+//! Semiring homomorphisms and valuations (paper §2.1).
+//!
+//! Commutation with homomorphisms is the paper's central desideratum: a
+//! homomorphism `h : K → K'` extends to annotated relations (`h_Rel`) and to
+//! tensor values (`h^M`), and query evaluation commutes with these
+//! extensions. Because `ℕ[X]` is free, a *valuation* `X → K` of the tokens
+//! extends uniquely to a homomorphism `ℕ[X] → K`; storing provenance
+//! polynomials therefore suffices to later specialize query results to any
+//! application semiring (deletion propagation, security, trust, …).
+
+use crate::poly::{NatPoly, Var};
+use crate::semiring::CommutativeSemiring;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A semiring homomorphism `A → B`.
+///
+/// Laws (checked by [`crate::laws::check_hom`]): `h(0)=0`, `h(1)=1`,
+/// `h(a+b)=h(a)+h(b)`, `h(a·b)=h(a)·h(b)`.
+pub trait SemiringHom<A: CommutativeSemiring, B: CommutativeSemiring> {
+    /// Applies the homomorphism.
+    fn apply(&self, a: &A) -> B;
+}
+
+/// Wraps a closure as a [`SemiringHom`]. The caller asserts the closure is a
+/// homomorphism; the law checkers can verify on samples.
+pub struct FnHom<F>(pub F);
+
+impl<A, B, F> SemiringHom<A, B> for FnHom<F>
+where
+    A: CommutativeSemiring,
+    B: CommutativeSemiring,
+    F: Fn(&A) -> B,
+{
+    fn apply(&self, a: &A) -> B {
+        self.0(a)
+    }
+}
+
+/// A valuation `ν : X → K` of provenance tokens, freely extended to the
+/// homomorphism `ℕ[X] → K` (the defining property of `ℕ[X]`).
+///
+/// Unmapped tokens go to a configurable default (itself `1_K` by default,
+/// i.e. "present and unrestricted"), so deletion propagation is simply
+/// `Valuation::deleting([...])`.
+#[derive(Clone)]
+pub struct Valuation<K> {
+    map: BTreeMap<Var, K>,
+    default: K,
+}
+
+impl<K: CommutativeSemiring> Valuation<K> {
+    /// The valuation sending every token to `1_K`.
+    pub fn ones() -> Self {
+        Valuation {
+            map: BTreeMap::new(),
+            default: K::one(),
+        }
+    }
+
+    /// A valuation with the given default for unmapped tokens.
+    pub fn with_default(default: K) -> Self {
+        Valuation {
+            map: BTreeMap::new(),
+            default,
+        }
+    }
+
+    /// Binds one token.
+    pub fn set(mut self, var: impl Into<Var>, k: K) -> Self {
+        self.map.insert(var.into(), k);
+        self
+    }
+
+    /// Binds many tokens.
+    pub fn set_all(mut self, bindings: impl IntoIterator<Item = (Var, K)>) -> Self {
+        self.map.extend(bindings);
+        self
+    }
+
+    /// The deletion-propagation valuation: listed tokens go to `0_K`, all
+    /// others to `1_K` (paper §1).
+    pub fn deleting<I, V>(deleted: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Var>,
+    {
+        Valuation::ones().set_all(deleted.into_iter().map(|v| (v.into(), K::zero())))
+    }
+
+    /// Looks a token up.
+    pub fn get(&self, var: &Var) -> K {
+        self.map.get(var).cloned().unwrap_or_else(|| self.default.clone())
+    }
+
+    /// The free extension: evaluates a provenance polynomial in `K`.
+    pub fn eval(&self, p: &NatPoly) -> K {
+        p.eval(&mut |v| self.get(v), &mut |c| K::from_nat(c.0))
+    }
+}
+
+impl<K: CommutativeSemiring> SemiringHom<NatPoly, K> for Valuation<K> {
+    fn apply(&self, a: &NatPoly) -> K {
+        self.eval(a)
+    }
+}
+
+impl<K: CommutativeSemiring> fmt::Debug for Valuation<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Valuation{{")?;
+        for (v, k) in &self.map {
+            write!(f, " {v}↦{k}")?;
+        }
+        write!(f, " _↦{} }}", self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{Bool, Nat, Security};
+
+    #[test]
+    fn valuation_free_extension() {
+        // p = x·y + 2·z at x=2, y=3, z=5 in ℕ: 6 + 10 = 16.
+        let p = NatPoly::token("x")
+            .times(&NatPoly::token("y"))
+            .plus(&NatPoly::from_nat(2).times(&NatPoly::token("z")));
+        let v = Valuation::ones()
+            .set("x", Nat(2))
+            .set("y", Nat(3))
+            .set("z", Nat(5));
+        assert_eq!(v.eval(&p), Nat(16));
+    }
+
+    #[test]
+    fn deletion_propagation_on_figure_1() {
+        // Figure 1(b): dept d1 has annotation p1 + p2 + p3. Deleting the
+        // tuple with EmpId 3 (token p3) leaves p1 + p2; deleting all of them
+        // deletes the tuple (annotation 0).
+        let ann = NatPoly::token("p1")
+            .plus(&NatPoly::token("p2"))
+            .plus(&NatPoly::token("p3"));
+        let del: Valuation<NatPoly> = Valuation::with_default(NatPoly::zero())
+            .set("p1", NatPoly::token("p1"))
+            .set("p2", NatPoly::token("p2"))
+            .set("p3", NatPoly::zero());
+        assert_eq!(
+            del.eval(&ann),
+            NatPoly::token("p1").plus(&NatPoly::token("p2"))
+        );
+
+        let del_all: Valuation<Bool> = Valuation::deleting(["p1", "p2", "p3"]);
+        assert!(del_all.eval(&ann).is_zero());
+    }
+
+    #[test]
+    fn valuation_into_security() {
+        // Assign clearances to tokens; alternative use takes the laxer one.
+        let ann = NatPoly::token("a").plus(&NatPoly::token("b"));
+        let v = Valuation::ones()
+            .set("a", Security::Secret)
+            .set("b", Security::Confidential);
+        assert_eq!(v.eval(&ann), Security::Confidential);
+    }
+
+    #[test]
+    fn unmapped_tokens_use_default() {
+        let v: Valuation<Nat> = Valuation::with_default(Nat(7));
+        assert_eq!(v.eval(&NatPoly::token("q")), Nat(7));
+    }
+
+    #[test]
+    fn coefficients_map_through_from_nat() {
+        // 3·x in B must become x (3·⊤ = ⊤), not disappear.
+        let p = NatPoly::from_nat(3).times(&NatPoly::token("x"));
+        let v: Valuation<Bool> = Valuation::ones();
+        assert_eq!(v.eval(&p), Bool(true));
+    }
+}

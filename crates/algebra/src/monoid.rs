@@ -1,0 +1,269 @@
+//! Commutative monoids for aggregation (paper §2.2).
+//!
+//! Aggregations are defined by commutative monoids `(M, +_M, 0_M)`:
+//! `SUM = (ℚ, +, 0)`, `MIN = (ℚ±∞, min, +∞)`, `MAX = (ℚ±∞, max, −∞)`,
+//! `PROD = (ℚ, ×, 1)`, and `B̂ = ({⊥,⊤}, ∨, ⊥)` which encodes difference
+//! (paper §5). `COUNT` is summation of `1`s and `AVG` derives from `SUM` and
+//! `COUNT` (paper footnote 6).
+//!
+//! Monoids are *instance-based* (a value of a type implementing
+//! [`CommutativeMonoid`] is a monoid dictionary): the engine chooses the
+//! aggregation operation at query-run time, and instances permit monoids
+//! whose behaviour depends on runtime data (e.g. user-defined lattices).
+
+use crate::domain::Const;
+use crate::num::Num;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A commutative monoid `(M, plus, zero)` over the element type `Elem`.
+///
+/// Laws (checked by property tests):
+/// * `plus(a, b) == plus(b, a)` (commutativity)
+/// * `plus(a, plus(b, c)) == plus(plus(a, b), c)` (associativity)
+/// * `plus(a, zero()) == a` (identity)
+pub trait CommutativeMonoid {
+    /// The carrier of the monoid.
+    type Elem: Clone + Eq + Ord + Hash + fmt::Debug;
+
+    /// The identity element `0_M`.
+    fn zero(&self) -> Self::Elem;
+
+    /// The monoid operation `+_M`.
+    fn plus(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+
+    /// True iff `x +_M x = x` for all `x`. Idempotent monoids are exactly the
+    /// `B`-semimodules (paper §2.2) and are compatible with every
+    /// `+`-positive semiring (Theorem 3.12).
+    fn is_idempotent(&self) -> bool;
+
+    /// `n`-fold sum `n·x = x +_M … +_M x` (`0·x = 0_M`), the canonical
+    /// `ℕ`-semimodule structure every commutative monoid carries.
+    fn nfold(&self, n: u64, x: &Self::Elem) -> Self::Elem {
+        if n == 0 {
+            return self.zero();
+        }
+        if self.is_idempotent() {
+            return x.clone();
+        }
+        // Exponentiation-by-squaring in additive notation.
+        let mut acc: Option<Self::Elem> = None;
+        let mut base = x.clone();
+        let mut n = n;
+        loop {
+            if n & 1 == 1 {
+                acc = Some(match acc {
+                    None => base.clone(),
+                    Some(a) => self.plus(&a, &base),
+                });
+            }
+            n >>= 1;
+            if n == 0 {
+                break;
+            }
+            base = self.plus(&base, &base);
+        }
+        acc.expect("n > 0")
+    }
+}
+
+/// Runtime tag selecting one of the built-in aggregation monoids over the
+/// database domain [`Const`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MonoidKind {
+    /// `SUM = (ℚ, +, 0)`.
+    Sum,
+    /// `MIN = (ℚ±∞, min, +∞)`.
+    Min,
+    /// `MAX = (ℚ±∞, max, −∞)`.
+    Max,
+    /// `PROD = (ℚ, ×, 1)`.
+    Prod,
+    /// `B̂ = ({⊥,⊤}, ∨, ⊥)`, the difference-encoding monoid of §5.
+    Or,
+}
+
+impl MonoidKind {
+    /// All built-in monoid kinds.
+    pub const ALL: [MonoidKind; 5] = [
+        MonoidKind::Sum,
+        MonoidKind::Min,
+        MonoidKind::Max,
+        MonoidKind::Prod,
+        MonoidKind::Or,
+    ];
+
+    /// The SQL-ish surface name of the aggregation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MonoidKind::Sum => "SUM",
+            MonoidKind::Min => "MIN",
+            MonoidKind::Max => "MAX",
+            MonoidKind::Prod => "PROD",
+            MonoidKind::Or => "OR",
+        }
+    }
+}
+
+impl fmt::Display for MonoidKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl CommutativeMonoid for MonoidKind {
+    type Elem = Const;
+
+    fn zero(&self) -> Const {
+        match self {
+            MonoidKind::Sum => Const::Num(Num::ZERO),
+            MonoidKind::Min => Const::Num(Num::PosInf),
+            MonoidKind::Max => Const::Num(Num::NegInf),
+            MonoidKind::Prod => Const::Num(Num::ONE),
+            MonoidKind::Or => Const::Bool(false),
+        }
+    }
+
+    /// Combines two domain values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on elements outside the monoid's carrier (e.g. a string fed to
+    /// `SUM`). The query planner type-checks aggregations before evaluation,
+    /// so this is an internal invariant, not a user-facing error path.
+    fn plus(&self, a: &Const, b: &Const) -> Const {
+        match self {
+            MonoidKind::Or => {
+                let (x, y) = (expect_bool(a, *self), expect_bool(b, *self));
+                Const::Bool(x || y)
+            }
+            _ => {
+                let (x, y) = (expect_num(a, *self), expect_num(b, *self));
+                Const::Num(match self {
+                    MonoidKind::Sum => x + y,
+                    MonoidKind::Min => x.min(y),
+                    MonoidKind::Max => x.max(y),
+                    MonoidKind::Prod => x * y,
+                    MonoidKind::Or => unreachable!(),
+                })
+            }
+        }
+    }
+
+    fn is_idempotent(&self) -> bool {
+        matches!(self, MonoidKind::Min | MonoidKind::Max | MonoidKind::Or)
+    }
+}
+
+fn expect_num(c: &Const, kind: MonoidKind) -> Num {
+    c.as_num()
+        .unwrap_or_else(|| panic!("{kind} aggregation over non-numeric value {c}"))
+}
+
+fn expect_bool(c: &Const, kind: MonoidKind) -> bool {
+    c.as_bool()
+        .unwrap_or_else(|| panic!("{kind} aggregation over non-boolean value {c}"))
+}
+
+/// The free commutative monoid over `u8` generators (finite multisets).
+///
+/// No equations hold beyond the monoid laws, which makes this the
+/// distinguishing test instance: any identification the tensor-product
+/// normal form performs over `Multiset` elements must already follow from
+/// the congruence of paper §2.3.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MultisetMonoid;
+
+impl CommutativeMonoid for MultisetMonoid {
+    type Elem = BTreeMap<u8, u64>;
+
+    fn zero(&self) -> Self::Elem {
+        BTreeMap::new()
+    }
+
+    fn plus(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        let mut out = a.clone();
+        for (k, v) in b {
+            *out.entry(*k).or_insert(0) += v;
+        }
+        out
+    }
+
+    fn is_idempotent(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: i64) -> Const {
+        Const::int(v)
+    }
+
+    #[test]
+    fn sum_monoid() {
+        let m = MonoidKind::Sum;
+        assert_eq!(m.plus(&n(20), &n(10)), n(30));
+        assert_eq!(m.plus(&n(20), &m.zero()), n(20));
+        assert!(!m.is_idempotent());
+    }
+
+    #[test]
+    fn min_max_identities_are_infinities() {
+        assert_eq!(MonoidKind::Min.plus(&n(7), &MonoidKind::Min.zero()), n(7));
+        assert_eq!(MonoidKind::Max.plus(&n(-7), &MonoidKind::Max.zero()), n(-7));
+        assert!(MonoidKind::Min.is_idempotent());
+    }
+
+    #[test]
+    fn prod_monoid() {
+        let m = MonoidKind::Prod;
+        assert_eq!(m.plus(&n(6), &n(7)), n(42));
+        assert_eq!(m.plus(&n(6), &m.zero()), n(6));
+    }
+
+    #[test]
+    fn or_monoid_is_bhat() {
+        let m = MonoidKind::Or;
+        let (t, f) = (Const::Bool(true), Const::Bool(false));
+        assert_eq!(m.plus(&f, &f), f);
+        assert_eq!(m.plus(&t, &f), t);
+        assert_eq!(m.zero(), f);
+        assert!(m.is_idempotent());
+    }
+
+    #[test]
+    fn nfold_matches_iterated_plus() {
+        let m = MonoidKind::Sum;
+        assert_eq!(m.nfold(0, &n(5)), n(0));
+        assert_eq!(m.nfold(1, &n(5)), n(5));
+        assert_eq!(m.nfold(7, &n(5)), n(35));
+        // Idempotent monoids collapse n-fold sums.
+        assert_eq!(MonoidKind::Max.nfold(9, &n(5)), n(5));
+    }
+
+    #[test]
+    fn nfold_prod_is_exponentiation() {
+        assert_eq!(MonoidKind::Prod.nfold(10, &n(2)), n(1024));
+    }
+
+    #[test]
+    fn multiset_monoid_is_free() {
+        let m = MultisetMonoid;
+        let a = BTreeMap::from([(1u8, 2u64)]);
+        let b = BTreeMap::from([(1u8, 1u64), (2, 1)]);
+        let ab = m.plus(&a, &b);
+        assert_eq!(ab, BTreeMap::from([(1, 3), (2, 1)]));
+        assert_eq!(m.plus(&a, &m.zero()), a);
+        assert_ne!(m.plus(&a, &a), a, "free monoid is not idempotent");
+    }
+
+    #[test]
+    #[should_panic(expected = "SUM aggregation over non-numeric")]
+    fn type_confusion_panics() {
+        MonoidKind::Sum.plus(&Const::str("x"), &n(1));
+    }
+}

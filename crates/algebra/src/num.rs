@@ -1,0 +1,417 @@
+//! Exact numeric domain for aggregation.
+//!
+//! The paper aggregates over the reals (e.g. `SUM = (ℝ, +, 0)`,
+//! `MIN = (ℝ∞, min, ∞)`). Floating point is unusable here: tensor values and
+//! equality tokens require lawful `Eq`/`Ord`/`Hash` on monoid elements. We
+//! therefore use **exact rationals extended with `±∞`** — dense, totally
+//! ordered, exact, and sufficient for every example in the paper (all of
+//! which are integers). The infinities exist only to serve as the identity
+//! elements of `MIN` (`+∞`) and `MAX` (`−∞`).
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A rational number `num/den` in lowest terms with `den > 0`.
+///
+/// Arithmetic is performed in `i128` and panics on overflow of the reduced
+/// `i64`/`u64` representation; aggregate provenance workloads stay far from
+/// these bounds, and a loud failure is preferable to silent wraparound in a
+/// database kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i64,
+    den: u64,
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Builds `n/1`.
+    pub fn int(n: i64) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Builds `num/den` in lowest terms. Panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if (num < 0) != (den < 0) { -1 } else { 1 };
+        let n = (num as i128).unsigned_abs();
+        let d = (den as i128).unsigned_abs();
+        Self::reduce(sign * n as i128, d)
+    }
+
+    fn reduce(num: i128, den: u128) -> Self {
+        debug_assert!(den != 0);
+        if num == 0 {
+            return Rational::ZERO;
+        }
+        let g = gcd(num.unsigned_abs(), den);
+        let num = num / g as i128;
+        let den = den / g;
+        Rational {
+            num: i64::try_from(num).expect("rational numerator overflow"),
+            den: u64::try_from(den).expect("rational denominator overflow"),
+        }
+    }
+
+    /// The numerator of the reduced form.
+    pub fn numer(&self) -> i64 {
+        self.num
+    }
+
+    /// The (positive) denominator of the reduced form.
+    pub fn denom(&self) -> u64 {
+        self.den
+    }
+
+    /// True iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Lossy conversion for reporting only.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Cross-multiply in i128: no overflow for i64/u64 operands.
+        let lhs = self.num as i128 * other.den as i128;
+        let rhs = other.num as i128 * self.den as i128;
+        lhs.cmp(&rhs)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        let num = self.num as i128 * rhs.den as i128 + rhs.num as i128 * self.den as i128;
+        Rational::reduce(num, self.den as u128 * rhs.den as u128)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: self.num.checked_neg().expect("rational negation overflow"),
+            den: self.den,
+        }
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::reduce(
+            self.num as i128 * rhs.num as i128,
+            self.den as u128 * rhs.den as u128,
+        )
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(rhs.num != 0, "rational division by zero");
+        let sign = if rhs.num < 0 { -1 } else { 1 };
+        Rational::reduce(
+            sign * self.num as i128 * rhs.den as i128,
+            self.den as u128 * (rhs.num as i128).unsigned_abs(),
+        )
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An element of the aggregation domain: a rational extended with `±∞`.
+///
+/// The derived ordering `NegInf < Rat(_) < PosInf` is the numeric one.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Num {
+    /// `−∞`, the identity of `MAX`.
+    NegInf,
+    /// A finite rational.
+    Rat(Rational),
+    /// `+∞`, the identity of `MIN`.
+    PosInf,
+}
+
+impl Num {
+    /// The number zero.
+    pub const ZERO: Num = Num::Rat(Rational::ZERO);
+    /// The number one.
+    pub const ONE: Num = Num::Rat(Rational::ONE);
+
+    /// Builds an integer.
+    pub fn int(n: i64) -> Self {
+        Num::Rat(Rational::int(n))
+    }
+
+    /// Builds a ratio `num/den`. Panics if `den == 0`.
+    pub fn ratio(num: i64, den: i64) -> Self {
+        Num::Rat(Rational::new(num, den))
+    }
+
+    /// Returns the finite rational, if any.
+    pub fn as_rational(&self) -> Option<Rational> {
+        match self {
+            Num::Rat(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an integer if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Num::Rat(r) if r.is_integer() => Some(r.numer()),
+            _ => None,
+        }
+    }
+
+    /// True iff the value is finite.
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Num::Rat(_))
+    }
+
+    /// Lossy conversion for reporting only.
+    pub fn to_f64(&self) -> f64 {
+        match self {
+            Num::NegInf => f64::NEG_INFINITY,
+            Num::Rat(r) => r.to_f64(),
+            Num::PosInf => f64::INFINITY,
+        }
+    }
+
+    /// Checked addition: `None` for the undefined `+∞ + −∞`.
+    pub fn checked_add(&self, rhs: &Num) -> Option<Num> {
+        match (self, rhs) {
+            (Num::Rat(a), Num::Rat(b)) => Some(Num::Rat(*a + *b)),
+            (Num::PosInf, Num::NegInf) | (Num::NegInf, Num::PosInf) => None,
+            (Num::PosInf, _) | (_, Num::PosInf) => Some(Num::PosInf),
+            (Num::NegInf, _) | (_, Num::NegInf) => Some(Num::NegInf),
+        }
+    }
+
+    /// Checked multiplication: `None` for the undefined `±∞ · 0`.
+    pub fn checked_mul(&self, rhs: &Num) -> Option<Num> {
+        match (self, rhs) {
+            (Num::Rat(a), Num::Rat(b)) => Some(Num::Rat(*a * *b)),
+            (inf, fin) | (fin, inf) if !inf.is_finite() => {
+                let sign = match fin {
+                    Num::Rat(r) => r.numer().signum(),
+                    Num::PosInf => 1,
+                    Num::NegInf => -1,
+                };
+                let pos = matches!(inf, Num::PosInf);
+                match sign {
+                    0 => None,
+                    1 => Some(if pos { Num::PosInf } else { Num::NegInf }),
+                    _ => Some(if pos { Num::NegInf } else { Num::PosInf }),
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Exact division; `None` for division by zero or non-finite operands.
+    pub fn checked_div(&self, rhs: &Num) -> Option<Num> {
+        match (self, rhs) {
+            (Num::Rat(a), Num::Rat(b)) if b.numer() != 0 => Some(Num::Rat(*a / *b)),
+            _ => None,
+        }
+    }
+
+    /// Parses a decimal literal such as `"42"`, `"-3.25"` or `"1/3"`.
+    pub fn parse(s: &str) -> Option<Num> {
+        let s = s.trim();
+        if let Some((n, d)) = s.split_once('/') {
+            let n: i64 = n.trim().parse().ok()?;
+            let d: i64 = d.trim().parse().ok()?;
+            if d == 0 {
+                return None;
+            }
+            return Some(Num::ratio(n, d));
+        }
+        if let Some((int, frac)) = s.split_once('.') {
+            let negative = int.trim_start().starts_with('-');
+            let int: i64 = if int == "-" { 0 } else { int.parse().ok()? };
+            if frac.is_empty() || !frac.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            let scale = 10i64.checked_pow(frac.len() as u32)?;
+            let frac_val: i64 = frac.parse().ok()?;
+            let signed_frac = if negative { -frac_val } else { frac_val };
+            return Some(Num::Rat(Rational::int(int) + Rational::new(signed_frac, scale)));
+        }
+        let n: i64 = s.parse().ok()?;
+        Some(Num::int(n))
+    }
+}
+
+impl Add for Num {
+    type Output = Num;
+    fn add(self, rhs: Num) -> Num {
+        self.checked_add(&rhs).expect("undefined sum +∞ + −∞")
+    }
+}
+
+impl Sub for Num {
+    type Output = Num;
+    fn sub(self, rhs: Num) -> Num {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Num {
+    type Output = Num;
+    fn neg(self) -> Num {
+        match self {
+            Num::NegInf => Num::PosInf,
+            Num::Rat(r) => Num::Rat(-r),
+            Num::PosInf => Num::NegInf,
+        }
+    }
+}
+
+impl Mul for Num {
+    type Output = Num;
+    fn mul(self, rhs: Num) -> Num {
+        self.checked_mul(&rhs).expect("undefined product ±∞ · 0")
+    }
+}
+
+impl From<i64> for Num {
+    fn from(n: i64) -> Num {
+        Num::int(n)
+    }
+}
+
+impl fmt::Display for Num {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Num::NegInf => write!(f, "-inf"),
+            Num::Rat(r) => write!(f, "{r}"),
+            Num::PosInf => write!(f, "inf"),
+        }
+    }
+}
+
+impl fmt::Debug for Num {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rational_reduction() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, 4), Rational::new(1, -2));
+        assert_eq!(Rational::new(0, 7), Rational::ZERO);
+        assert_eq!(Rational::new(6, -3), Rational::int(-2));
+    }
+
+    #[test]
+    fn rational_arithmetic() {
+        let half = Rational::new(1, 2);
+        let third = Rational::new(1, 3);
+        assert_eq!(half + third, Rational::new(5, 6));
+        assert_eq!(half - third, Rational::new(1, 6));
+        assert_eq!(half * third, Rational::new(1, 6));
+        assert_eq!(half / third, Rational::new(3, 2));
+        assert_eq!(-half, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn rational_ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::int(-1) < Rational::ZERO);
+        assert!(Rational::new(7, 2) > Rational::int(3));
+    }
+
+    #[test]
+    fn num_ordering_with_infinities() {
+        assert!(Num::NegInf < Num::int(i64::MIN));
+        assert!(Num::int(i64::MAX) < Num::PosInf);
+        assert!(Num::NegInf < Num::PosInf);
+    }
+
+    #[test]
+    fn num_arithmetic() {
+        assert_eq!(Num::int(2) + Num::int(3), Num::int(5));
+        assert_eq!(Num::int(2) * Num::ratio(1, 2), Num::ONE);
+        assert_eq!(Num::PosInf + Num::int(5), Num::PosInf);
+        assert_eq!(Num::NegInf * Num::int(-2), Num::PosInf);
+        assert_eq!(Num::int(7).checked_div(&Num::int(2)), Some(Num::ratio(7, 2)));
+        assert_eq!(Num::int(7).checked_div(&Num::ZERO), None);
+    }
+
+    #[test]
+    fn undefined_operations_are_none() {
+        assert_eq!(Num::PosInf.checked_add(&Num::NegInf), None);
+        assert_eq!(Num::PosInf.checked_mul(&Num::ZERO), None);
+    }
+
+    #[test]
+    fn parse_literals() {
+        assert_eq!(Num::parse("42"), Some(Num::int(42)));
+        assert_eq!(Num::parse("-3"), Some(Num::int(-3)));
+        assert_eq!(Num::parse("2.5"), Some(Num::ratio(5, 2)));
+        assert_eq!(Num::parse("-0.25"), Some(Num::ratio(-1, 4)));
+        assert_eq!(Num::parse("1/3"), Some(Num::ratio(1, 3)));
+        assert_eq!(Num::parse("1/0"), None);
+        assert_eq!(Num::parse("abc"), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Num::int(3).to_string(), "3");
+        assert_eq!(Num::ratio(1, 2).to_string(), "1/2");
+        assert_eq!(Num::PosInf.to_string(), "inf");
+    }
+}

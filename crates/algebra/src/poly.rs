@@ -1,0 +1,543 @@
+//! Polynomial semirings, in particular the provenance polynomials `ℕ[X]`.
+//!
+//! `ℕ[X]` is the commutative semiring *freely generated* by the provenance
+//! tokens `X` (paper §2.1): any valuation `X → K` extends uniquely to a
+//! semiring homomorphism `ℕ[X] → K`, so every semiring-annotation semantics
+//! factors through the provenance-polynomial semantics. This module
+//! implements polynomials generically over the indeterminate type `A` and
+//! the coefficient semiring `C`:
+//!
+//! * [`NatPoly`] `= Poly<Var, Nat>` is `ℕ[X]`;
+//! * [`BoolPoly`] `= Poly<Var, Bool>` is `B[X]` of the provenance hierarchy;
+//! * the extended semiring `K^M` of paper §4 is `Poly<Atom<K>, K>` — a
+//!   polynomial whose indeterminates are symbolic equality tokens and
+//!   δ-applications (see `aggprov-core`).
+
+use crate::semiring::{Bool, CommutativeSemiring, Nat};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A provenance token ("indeterminate"), e.g. a tuple identifier.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Creates a token with the given name.
+    pub fn new(name: &str) -> Self {
+        Var(Arc::from(name))
+    }
+
+    /// The token's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Var {
+        Var::new(s)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A monomial: a finite product of indeterminates with positive integer
+/// exponents, kept sorted. The empty monomial is `1`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Monomial<A: Ord>(Vec<(A, u32)>);
+
+impl<A: Ord + Clone> Monomial<A> {
+    /// The unit monomial `1`.
+    pub fn unit() -> Self {
+        Monomial(Vec::new())
+    }
+
+    /// The monomial consisting of one indeterminate.
+    pub fn var(a: A) -> Self {
+        Monomial(vec![(a, 1)])
+    }
+
+    /// Builds a monomial from (indeterminate, exponent) pairs; zero
+    /// exponents are dropped and repeats combined.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (A, u32)>) -> Self {
+        let mut map: BTreeMap<A, u32> = BTreeMap::new();
+        for (a, e) in pairs {
+            if e > 0 {
+                *map.entry(a).or_insert(0) += e;
+            }
+        }
+        Monomial(map.into_iter().collect())
+    }
+
+    /// True iff this is the unit monomial.
+    pub fn is_unit(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The product of two monomials (exponents add).
+    pub fn times(&self, other: &Self) -> Self {
+        let mut out: Vec<(A, u32)> = Vec::with_capacity(self.0.len() + other.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].0.cmp(&other.0[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.0[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let e = self.0[i]
+                        .1
+                        .checked_add(other.0[j].1)
+                        .expect("monomial exponent overflow");
+                    out.push((self.0[i].0.clone(), e));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        Monomial(out)
+    }
+
+    /// The total degree (sum of exponents).
+    pub fn degree(&self) -> u64 {
+        self.0.iter().map(|(_, e)| *e as u64).sum()
+    }
+
+    /// The number of distinct indeterminates.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff the monomial has no indeterminates (is the unit).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over (indeterminate, exponent) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&A, u32)> {
+        self.0.iter().map(|(a, e)| (a, *e))
+    }
+
+    /// Drops all exponents to 1 (Trio's / Why's absorption of exponents).
+    pub fn squarefree(&self) -> Self {
+        Monomial(self.0.iter().map(|(a, _)| (a.clone(), 1)).collect())
+    }
+
+    /// Maps the indeterminates, renormalizing (images may collide).
+    pub fn map_vars<B: Ord + Clone>(&self, f: &mut impl FnMut(&A) -> B) -> Monomial<B> {
+        Monomial::from_pairs(self.0.iter().map(|(a, e)| (f(a), *e)))
+    }
+}
+
+impl<A: Ord + fmt::Display> fmt::Display for Monomial<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "1");
+        }
+        for (i, (a, e)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "*")?;
+            }
+            if *e == 1 {
+                write!(f, "{a}")?;
+            } else {
+                write!(f, "{a}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A polynomial over indeterminates `A` with coefficients in the commutative
+/// semiring `C`. The representation is canonical: monomials are unique keys
+/// and zero coefficients are absent, so derived equality decides semiring
+/// equality (for `C` with canonical representations).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Poly<A: Ord, C> {
+    terms: BTreeMap<Monomial<A>, C>,
+}
+
+/// The provenance polynomial semiring `ℕ[X]` (paper §2.1).
+pub type NatPoly = Poly<Var, Nat>;
+
+/// The semiring `B[X]` of the provenance hierarchy: sets of monomials.
+pub type BoolPoly = Poly<Var, Bool>;
+
+impl<A, C> Poly<A, C>
+where
+    A: Ord + Clone + Hash + fmt::Debug,
+    C: CommutativeSemiring,
+{
+    /// The constant polynomial `c`.
+    pub fn constant(c: C) -> Self {
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(Monomial::unit(), c);
+        }
+        Poly { terms }
+    }
+
+    /// The polynomial consisting of a single indeterminate.
+    pub fn var(a: A) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(Monomial::var(a), C::one());
+        Poly { terms }
+    }
+
+    /// Builds a polynomial from (monomial, coefficient) terms; repeated
+    /// monomials are summed and zero coefficients dropped.
+    pub fn from_terms(terms: impl IntoIterator<Item = (Monomial<A>, C)>) -> Self {
+        let mut out: BTreeMap<Monomial<A>, C> = BTreeMap::new();
+        for (m, c) in terms {
+            match out.entry(m) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(c);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let sum = e.get().plus(&c);
+                    *e.get_mut() = sum;
+                }
+            }
+        }
+        out.retain(|_, c| !c.is_zero());
+        Poly { terms: out }
+    }
+
+    /// The number of terms (monomials with non-zero coefficient).
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// A representation-size measure: one node per term plus one per
+    /// indeterminate occurrence. Used by the overhead experiments.
+    pub fn size(&self) -> usize {
+        self.terms.keys().map(|m| 1 + m.len()).sum()
+    }
+
+    /// The maximal total degree of any term; `0` for the zero polynomial.
+    pub fn degree(&self) -> u64 {
+        self.terms.keys().map(|m| m.degree()).max().unwrap_or(0)
+    }
+
+    /// Iterates over (monomial, coefficient) terms.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial<A>, &C)> {
+        self.terms.iter()
+    }
+
+    /// If this is a constant polynomial, returns its value (the zero
+    /// polynomial is the constant `0`).
+    pub fn as_constant(&self) -> Option<C> {
+        match self.terms.len() {
+            0 => Some(C::zero()),
+            1 => {
+                let (m, c) = self.terms.iter().next().expect("len 1");
+                m.is_unit().then(|| c.clone())
+            }
+            _ => None,
+        }
+    }
+
+    /// The set of indeterminates occurring in the polynomial.
+    pub fn vars(&self) -> impl Iterator<Item = &A> {
+        self.terms.keys().flat_map(|m| m.iter().map(|(a, _)| a))
+    }
+
+    /// Evaluates the polynomial in the semiring `K`, mapping indeterminates
+    /// with `var` and coefficients with `coeff`. When `coeff` is a semiring
+    /// homomorphism this is the free extension of the valuation (for
+    /// `ℕ[X]`, the unique homomorphism determined by `var`).
+    pub fn eval<K: CommutativeSemiring>(
+        &self,
+        var: &mut impl FnMut(&A) -> K,
+        coeff: &mut impl FnMut(&C) -> K,
+    ) -> K {
+        let mut acc = K::zero();
+        for (m, c) in &self.terms {
+            let mut term = coeff(c);
+            if term.is_zero() {
+                continue;
+            }
+            for (a, e) in m.iter() {
+                let base = var(a);
+                term = term.times(&pow(&base, e));
+            }
+            acc = acc.plus(&term);
+        }
+        acc
+    }
+
+    /// Maps coefficients through `f` (a homomorphism `C → C2`),
+    /// renormalizing.
+    pub fn map_coeffs<C2: CommutativeSemiring>(&self, f: &mut impl FnMut(&C) -> C2) -> Poly<A, C2> {
+        Poly::from_terms(self.terms.iter().map(|(m, c)| (m.clone(), f(c))))
+    }
+
+    /// Maps indeterminates through `f`, renormalizing (images may collide).
+    pub fn map_vars<B: Ord + Clone + Hash + fmt::Debug>(
+        &self,
+        f: &mut impl FnMut(&A) -> B,
+    ) -> Poly<B, C> {
+        Poly::from_terms(self.terms.iter().map(|(m, c)| (m.map_vars(f), c.clone())))
+    }
+}
+
+/// `base^exp` by repeated squaring in an arbitrary semiring.
+pub fn pow<K: CommutativeSemiring>(base: &K, exp: u32) -> K {
+    let mut acc = K::one();
+    let mut base = base.clone();
+    let mut e = exp;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = acc.times(&base);
+        }
+        e >>= 1;
+        if e > 0 {
+            base = base.times(&base);
+        }
+    }
+    acc
+}
+
+impl NatPoly {
+    /// Convenience: the polynomial for a single named token.
+    pub fn token(name: &str) -> NatPoly {
+        NatPoly::var(Var::new(name))
+    }
+}
+
+impl<A, C> CommutativeSemiring for Poly<A, C>
+where
+    A: Ord + Clone + Hash + fmt::Debug + fmt::Display,
+    C: CommutativeSemiring,
+{
+    fn zero() -> Self {
+        Poly {
+            terms: BTreeMap::new(),
+        }
+    }
+
+    fn one() -> Self {
+        Poly::constant(C::one())
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        let mut out = self.terms.clone();
+        for (m, c) in &other.terms {
+            match out.entry(m.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(c.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let sum = e.get().plus(c);
+                    if sum.is_zero() {
+                        e.remove();
+                    } else {
+                        *e.get_mut() = sum;
+                    }
+                }
+            }
+        }
+        Poly { terms: out }
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        let mut out: BTreeMap<Monomial<A>, C> = BTreeMap::new();
+        for (m1, c1) in &self.terms {
+            for (m2, c2) in &other.terms {
+                let m = m1.times(m2);
+                let c = c1.times(c2);
+                if c.is_zero() {
+                    continue;
+                }
+                match out.entry(m) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(c);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        let sum = e.get().plus(&c);
+                        if sum.is_zero() {
+                            e.remove();
+                        } else {
+                            *e.get_mut() = sum;
+                        }
+                    }
+                }
+            }
+        }
+        Poly { terms: out }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    const PLUS_IDEMPOTENT: bool = C::PLUS_IDEMPOTENT;
+    const POSITIVE: bool = C::POSITIVE;
+    const HAS_HOM_TO_NAT: bool = C::HAS_HOM_TO_NAT;
+
+    fn as_nat(&self) -> Option<u64> {
+        self.as_constant().and_then(|c| c.as_nat())
+    }
+
+    fn from_nat(n: u64) -> Self {
+        Poly::constant(C::from_nat(n))
+    }
+
+    fn idem_normal(&self) -> Self {
+        // The quotient acts coefficient-wise (k ~ k+k propagates to each
+        // monomial's coefficient through additivity of the congruence).
+        self.map_coeffs(&mut |c| c.idem_normal())
+    }
+}
+
+impl<A, C> fmt::Display for Poly<A, C>
+where
+    A: Ord + Clone + Hash + fmt::Debug + fmt::Display,
+    C: CommutativeSemiring,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (m, c)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if m.is_unit() {
+                write!(f, "{c}")?;
+            } else if c.is_one() {
+                write!(f, "{m}")?;
+            } else {
+                write!(f, "{c}*{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> NatPoly {
+        NatPoly::token("x")
+    }
+    fn y() -> NatPoly {
+        NatPoly::token("y")
+    }
+
+    #[test]
+    fn construction_and_display() {
+        let p = x().plus(&y()).times(&x());
+        assert_eq!(p.to_string(), "x*y + x^2");
+        assert_eq!(p.num_terms(), 2);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn zero_and_one_behave() {
+        let p = x();
+        assert_eq!(p.plus(&NatPoly::zero()), p);
+        assert_eq!(p.times(&NatPoly::one()), p);
+        assert!(p.times(&NatPoly::zero()).is_zero());
+    }
+
+    #[test]
+    fn coefficients_accumulate() {
+        let p = x().plus(&x()).plus(&x());
+        assert_eq!(p.to_string(), "3*x");
+        assert_eq!(p.as_nat(), None);
+        assert_eq!(NatPoly::from_nat(5).as_nat(), Some(5));
+        assert_eq!(NatPoly::zero().as_nat(), Some(0));
+    }
+
+    #[test]
+    fn distributivity_example() {
+        // (x + y)·(x + y) = x² + 2xy + y²
+        let p = x().plus(&y());
+        let sq = p.times(&p);
+        assert_eq!(sq.to_string(), "2*x*y + x^2 + y^2");
+    }
+
+    #[test]
+    fn eval_is_free_extension() {
+        // p = 2x²y + 3, evaluated at x=2, y=3 in ℕ: 2·4·3 + 3 = 27.
+        let p = NatPoly::from_terms([
+            (
+                Monomial::from_pairs([(Var::new("x"), 2), (Var::new("y"), 1)]),
+                Nat(2),
+            ),
+            (Monomial::unit(), Nat(3)),
+        ]);
+        let v = p.eval(
+            &mut |v: &Var| if v.name() == "x" { Nat(2) } else { Nat(3) },
+            &mut |c: &Nat| *c,
+        );
+        assert_eq!(v, Nat(27));
+    }
+
+    #[test]
+    fn eval_to_bool_is_support() {
+        // Deletion propagation: x + y with x ↦ ⊥, y ↦ ⊤ gives ⊤.
+        let p = x().plus(&y());
+        let v = p.eval(
+            &mut |v: &Var| Bool(v.name() == "y"),
+            &mut |c: &Nat| Bool(c.0 != 0),
+        );
+        assert_eq!(v, Bool(true));
+    }
+
+    #[test]
+    fn map_vars_can_merge_tokens() {
+        let p = x().plus(&y()); // x + y
+        let q = p.map_vars(&mut |_| Var::new("z"));
+        assert_eq!(q.to_string(), "2*z");
+    }
+
+    #[test]
+    fn squarefree_monomials() {
+        let m = Monomial::from_pairs([(Var::new("x"), 3), (Var::new("y"), 1)]);
+        assert_eq!(m.squarefree().to_string(), "x*y");
+    }
+
+    #[test]
+    fn pow_by_squaring() {
+        assert_eq!(pow(&Nat(3), 0), Nat(1));
+        assert_eq!(pow(&Nat(3), 5), Nat(243));
+        let p = pow(&x().plus(&NatPoly::one()), 2);
+        assert_eq!(p.to_string(), "1 + 2*x + x^2");
+    }
+
+    #[test]
+    fn bool_poly_is_set_of_monomials() {
+        let p = BoolPoly::var(Var::new("x"));
+        let q = p.plus(&p);
+        assert_eq!(q, p, "B[X] has idempotent +");
+        const { assert!(BoolPoly::PLUS_IDEMPOTENT) };
+    }
+
+    #[test]
+    fn size_measure() {
+        let p = x().times(&y()).plus(&NatPoly::from_nat(2));
+        // terms: {x*y: 1, 1: 2} → (1+2) + (1+0) = 4
+        assert_eq!(p.size(), 4);
+    }
+}

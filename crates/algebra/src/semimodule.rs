@@ -1,0 +1,169 @@
+//! `K`-semimodules and `SetAgg` (paper §2.2).
+//!
+//! A `K`-semimodule is a commutative monoid of "vectors" with a scalar
+//! multiplication by elements of the semiring `K`, satisfying the six laws
+//! of Definition 2.1 (checked executably by
+//! [`crate::laws::check_semimodule`]). Aggregating a `K`-set of semimodule
+//! elements is the semimodule homomorphism `SetAgg` — the semantic core of
+//! annotated aggregation.
+
+use crate::monoid::CommutativeMonoid;
+use crate::semiring::CommutativeSemiring;
+use std::fmt;
+
+/// A `K`-semimodule `(W, add, zero, scale)` (Definition 2.1), instance-based
+/// like [`CommutativeMonoid`].
+pub trait Semimodule<K: CommutativeSemiring> {
+    /// The vector carrier.
+    type Vector: Clone + Eq + fmt::Debug;
+
+    /// The additive identity `0_W`.
+    fn zero(&self) -> Self::Vector;
+
+    /// Vector addition `+_W`.
+    fn add(&self, a: &Self::Vector, b: &Self::Vector) -> Self::Vector;
+
+    /// Scalar multiplication `∗_W : K × W → W`.
+    fn scale(&self, k: &K, v: &Self::Vector) -> Self::Vector;
+}
+
+/// `SetAgg_W(S)` for a `K`-set `S = {w_i ↦ k_i}`: the semimodule element
+/// `k_1 ∗ w_1 +_W … +_W k_n ∗ w_n`, with `SetAgg(∅) = 0_W` (paper §2.2).
+pub fn set_agg<'a, K, W>(
+    module: &W,
+    annotated: impl IntoIterator<Item = (&'a K, &'a W::Vector)>,
+) -> W::Vector
+where
+    K: CommutativeSemiring + 'a,
+    W: Semimodule<K>,
+    W::Vector: 'a,
+{
+    let mut acc = module.zero();
+    for (k, w) in annotated {
+        acc = module.add(&acc, &module.scale(k, w));
+    }
+    acc
+}
+
+/// Every commutative monoid is an `ℕ`-semimodule via `n ∗ x = n·x`
+/// (paper §2.2). This wrapper exposes that canonical structure.
+#[derive(Clone, Copy, Debug)]
+pub struct NatSemimodule<M>(pub M);
+
+impl<M: CommutativeMonoid> Semimodule<crate::semiring::Nat> for NatSemimodule<M> {
+    type Vector = M::Elem;
+
+    fn zero(&self) -> M::Elem {
+        self.0.zero()
+    }
+
+    fn add(&self, a: &M::Elem, b: &M::Elem) -> M::Elem {
+        self.0.plus(a, b)
+    }
+
+    fn scale(&self, k: &crate::semiring::Nat, v: &M::Elem) -> M::Elem {
+        self.0.nfold(k.0, v)
+    }
+}
+
+/// An idempotent commutative monoid is a `B`-semimodule (`⊤ ∗ x = x`,
+/// `⊥ ∗ x = 0`); paper §2.2. Construction panics on non-idempotent monoids,
+/// for which the `B`-semimodule laws fail.
+#[derive(Clone, Copy, Debug)]
+pub struct BoolSemimodule<M>(M);
+
+impl<M: CommutativeMonoid> BoolSemimodule<M> {
+    /// Wraps an idempotent monoid; panics otherwise (law (3) of
+    /// Definition 2.1 forces `x + x = x`).
+    pub fn new(monoid: M) -> Self {
+        assert!(
+            monoid.is_idempotent(),
+            "a commutative monoid is a B-semimodule iff it is idempotent"
+        );
+        BoolSemimodule(monoid)
+    }
+}
+
+impl<M: CommutativeMonoid> Semimodule<crate::semiring::Bool> for BoolSemimodule<M> {
+    type Vector = M::Elem;
+
+    fn zero(&self) -> M::Elem {
+        self.0.zero()
+    }
+
+    fn add(&self, a: &M::Elem, b: &M::Elem) -> M::Elem {
+        self.0.plus(a, b)
+    }
+
+    fn scale(&self, k: &crate::semiring::Bool, v: &M::Elem) -> M::Elem {
+        if k.0 {
+            v.clone()
+        } else {
+            self.0.zero()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Const;
+    use crate::laws::check_semimodule;
+    use crate::monoid::MonoidKind;
+    use crate::semiring::{Bool, Nat};
+
+    #[test]
+    fn monoids_are_nat_semimodules() {
+        let w = NatSemimodule(MonoidKind::Sum);
+        for k1 in [Nat(0), Nat(1), Nat(3)] {
+            for k2 in [Nat(0), Nat(2)] {
+                check_semimodule(&w, &k1, &k2, &Const::int(5), &Const::int(-2)).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn idempotent_monoids_are_bool_semimodules() {
+        let w = BoolSemimodule::new(MonoidKind::Max);
+        for k1 in [Bool(false), Bool(true)] {
+            for k2 in [Bool(false), Bool(true)] {
+                check_semimodule(&w, &k1, &k2, &Const::int(5), &Const::int(-2)).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "idempotent")]
+    fn sum_is_not_a_bool_semimodule() {
+        BoolSemimodule::new(MonoidKind::Sum);
+    }
+
+    #[test]
+    fn set_agg_on_bags_is_weighted_sum() {
+        // Bag {20↦2, 10↦3}: SUM-aggregation is 2·20 + 3·10 = 70.
+        let w = NatSemimodule(MonoidKind::Sum);
+        let items = [(Nat(2), Const::int(20)), (Nat(3), Const::int(10))];
+        let out = set_agg(&w, items.iter().map(|(k, v)| (k, v)));
+        assert_eq!(out, Const::int(70));
+    }
+
+    #[test]
+    fn set_agg_on_sets_is_plain_fold() {
+        // Set {20, 10, 30} under MAX: 30. Annotation ⊥ removes an element.
+        let w = BoolSemimodule::new(MonoidKind::Max);
+        let items = [
+            (Bool(true), Const::int(20)),
+            (Bool(false), Const::int(99)),
+            (Bool(true), Const::int(30)),
+        ];
+        let out = set_agg(&w, items.iter().map(|(k, v)| (k, v)));
+        assert_eq!(out, Const::int(30));
+    }
+
+    #[test]
+    fn set_agg_empty_is_zero() {
+        let w = NatSemimodule(MonoidKind::Sum);
+        let out = set_agg(&w, std::iter::empty::<(&Nat, &Const)>());
+        assert_eq!(out, Const::int(0));
+    }
+}

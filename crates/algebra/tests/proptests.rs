@@ -1,0 +1,299 @@
+//! Property-based law suites for the algebra crate.
+//!
+//! Randomized counterparts of the exhaustive unit tests: semiring, monoid,
+//! semimodule, δ and homomorphism laws over randomly generated elements of
+//! every structure, plus the tensor-specific congruence properties.
+
+use aggprov_algebra::domain::Const;
+use aggprov_algebra::hierarchy::{
+    to_bool_poly, to_lineage, to_posbool, to_trio, to_why, PosBool,
+};
+use aggprov_algebra::hom::{FnHom, Valuation};
+use aggprov_algebra::laws::{
+    check_delta, check_hom, check_monoid, check_nat_embedding, check_semimodule, check_semiring,
+};
+use aggprov_algebra::monoid::{CommutativeMonoid, MonoidKind};
+use aggprov_algebra::num::{Num, Rational};
+use aggprov_algebra::poly::{Monomial, NatPoly, Poly, Var};
+use aggprov_algebra::semiring::{
+    Bool, CommutativeSemiring, IntZ, Nat, Security, Tropical, Viterbi,
+};
+use aggprov_algebra::sn::Sn;
+use aggprov_algebra::tensor::{Tensor, TensorModule};
+use proptest::prelude::*;
+
+const VARS: [&str; 4] = ["x", "y", "z", "w"];
+
+fn arb_var() -> impl Strategy<Value = Var> {
+    prop::sample::select(VARS.to_vec()).prop_map(Var::new)
+}
+
+fn arb_monomial() -> impl Strategy<Value = Monomial<Var>> {
+    prop::collection::vec((arb_var(), 1u32..3), 0..3).prop_map(Monomial::from_pairs)
+}
+
+fn arb_natpoly() -> impl Strategy<Value = NatPoly> {
+    prop::collection::vec((arb_monomial(), 0u64..4), 0..4)
+        .prop_map(|ts| Poly::from_terms(ts.into_iter().map(|(m, c)| (m, Nat(c)))))
+}
+
+fn arb_security() -> impl Strategy<Value = Security> {
+    prop::sample::select(Security::ALL.to_vec())
+}
+
+fn arb_sn() -> impl Strategy<Value = Sn> {
+    (0u64..4, 0u64..4, 0u64..4, 0u64..4).prop_map(|(p, c, s, t)| Sn {
+        public: p,
+        confidential: c,
+        secret: s,
+        top_secret: t,
+    })
+}
+
+fn arb_tropical() -> impl Strategy<Value = Tropical> {
+    prop_oneof![Just(Tropical::Inf), (0u64..50).prop_map(Tropical::Fin)]
+}
+
+fn arb_viterbi() -> impl Strategy<Value = Viterbi> {
+    (0i64..=4, 1i64..=4).prop_map(|(n, d)| {
+        if n > d {
+            Viterbi::ratio(d, n)
+        } else {
+            Viterbi::ratio(n, d)
+        }
+    })
+}
+
+fn arb_rational() -> impl Strategy<Value = Rational> {
+    (-50i64..50, 1i64..10).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+fn arb_num() -> impl Strategy<Value = Num> {
+    arb_rational().prop_map(Num::Rat)
+}
+
+fn arb_sum_tensor() -> impl Strategy<Value = Tensor<NatPoly, Const>> {
+    prop::collection::vec((arb_natpoly(), -30i64..30), 0..4).prop_map(|ts| {
+        Tensor::from_terms(
+            &MonoidKind::Sum,
+            ts.into_iter().map(|(k, v)| (k, Const::int(v))),
+        )
+    })
+}
+
+proptest! {
+    // ---------------------------------------------------------------- laws
+
+    #[test]
+    fn natpoly_semiring_laws(a in arb_natpoly(), b in arb_natpoly(), c in arb_natpoly()) {
+        check_semiring(&a, &b, &c).unwrap();
+        check_nat_embedding(&a, 7).unwrap();
+    }
+
+    #[test]
+    fn sn_semiring_laws(a in arb_sn(), b in arb_sn(), c in arb_sn()) {
+        check_semiring(&a, &b, &c).unwrap();
+        check_nat_embedding(&a, 7).unwrap();
+        check_delta(&a, 3).unwrap();
+    }
+
+    #[test]
+    fn hierarchy_semiring_laws(a in arb_natpoly(), b in arb_natpoly(), c in arb_natpoly()) {
+        check_semiring(&to_trio(&a), &to_trio(&b), &to_trio(&c)).unwrap();
+        check_semiring(&to_why(&a), &to_why(&b), &to_why(&c)).unwrap();
+        check_semiring(&to_posbool(&a), &to_posbool(&b), &to_posbool(&c)).unwrap();
+        check_semiring(&to_lineage(&a), &to_lineage(&b), &to_lineage(&c)).unwrap();
+        check_semiring(&to_bool_poly(&a), &to_bool_poly(&b), &to_bool_poly(&c)).unwrap();
+    }
+
+    #[test]
+    fn scalar_semiring_laws(
+        a in arb_tropical(), b in arb_tropical(), c in arb_tropical(),
+        va in arb_viterbi(), vb in arb_viterbi(), vc in arb_viterbi(),
+        sa in arb_security(), sb in arb_security(), sc in arb_security(),
+        za in -20i64..20, zb in -20i64..20, zc in -20i64..20,
+    ) {
+        check_semiring(&a, &b, &c).unwrap();
+        check_semiring(&va, &vb, &vc).unwrap();
+        check_semiring(&sa, &sb, &sc).unwrap();
+        check_semiring(&IntZ(za), &IntZ(zb), &IntZ(zc)).unwrap();
+    }
+
+    #[test]
+    fn numeric_monoid_laws(a in arb_num(), b in arb_num(), c in arb_num()) {
+        for kind in [MonoidKind::Sum, MonoidKind::Min, MonoidKind::Max, MonoidKind::Prod] {
+            check_monoid(&kind, &Const::Num(a), &Const::Num(b), &Const::Num(c)).unwrap();
+        }
+    }
+
+    // ------------------------------------------------------ homomorphisms
+
+    #[test]
+    fn valuations_are_homomorphisms(
+        a in arb_natpoly(),
+        b in arb_natpoly(),
+        vx in 0u64..4, vy in 0u64..4, vz in 0u64..4, vw in 0u64..4,
+    ) {
+        let val = Valuation::ones()
+            .set("x", Nat(vx)).set("y", Nat(vy)).set("z", Nat(vz)).set("w", Nat(vw));
+        check_hom(&val, &a, &b).unwrap();
+
+        // The same valuation read in B (support).
+        let bval = Valuation::ones()
+            .set("x", Bool(vx > 0)).set("y", Bool(vy > 0))
+            .set("z", Bool(vz > 0)).set("w", Bool(vw > 0));
+        check_hom(&bval, &a, &b).unwrap();
+    }
+
+    #[test]
+    fn factorization_through_nat_poly(
+        a in arb_natpoly(),
+        vx in 0u64..4, vy in 0u64..4, vz in 0u64..4, vw in 0u64..4,
+    ) {
+        // Evaluating in ℕ then dropping to B equals evaluating in B:
+        // the factorization property of the free semiring.
+        let nat_val = Valuation::ones()
+            .set("x", Nat(vx)).set("y", Nat(vy)).set("z", Nat(vz)).set("w", Nat(vw));
+        let bool_val = Valuation::ones()
+            .set("x", Bool(vx > 0)).set("y", Bool(vy > 0))
+            .set("z", Bool(vz > 0)).set("w", Bool(vw > 0));
+        let via_nat = Bool(nat_val.eval(&a).0 > 0);
+        prop_assert_eq!(via_nat, bool_val.eval(&a));
+    }
+
+    #[test]
+    fn hierarchy_maps_are_homs(a in arb_natpoly(), b in arb_natpoly()) {
+        check_hom(&FnHom(to_bool_poly), &a, &b).unwrap();
+        check_hom(&FnHom(to_trio), &a, &b).unwrap();
+        check_hom(&FnHom(to_why), &a, &b).unwrap();
+        check_hom(&FnHom(to_posbool), &a, &b).unwrap();
+        check_hom(&FnHom(to_lineage), &a, &b).unwrap();
+    }
+
+    #[test]
+    fn sn_total_count_is_hom(a in arb_sn(), b in arb_sn()) {
+        check_hom(&FnHom(|x: &Sn| Nat(x.total_count())), &a, &b).unwrap();
+    }
+
+    #[test]
+    fn hierarchy_commutes_with_posbool_via_why(a in arb_natpoly()) {
+        // ℕ[X] → Why(X) → PosBool(X) equals ℕ[X] → PosBool(X).
+        let via_why = {
+            let w = to_why(&a);
+            w.witnesses().iter().fold(PosBool::zero(), |acc, ws| {
+                let conj = ws.iter().fold(PosBool::one(), |c, v| {
+                    c.times(&PosBool::token(v.name()))
+                });
+                acc.plus(&conj)
+            })
+        };
+        prop_assert_eq!(via_why, to_posbool(&a));
+    }
+
+    // ------------------------------------------------------------- tensors
+
+    #[test]
+    fn tensor_semimodule_laws(
+        v1 in arb_sum_tensor(), v2 in arb_sum_tensor(),
+        k1 in arb_natpoly(), k2 in arb_natpoly(),
+    ) {
+        let module = TensorModule(MonoidKind::Sum);
+        check_semimodule(&module, &k1, &k2, &v1, &v2).unwrap();
+    }
+
+    #[test]
+    fn lifted_hom_is_linear(
+        v1 in arb_sum_tensor(), v2 in arb_sum_tensor(), k in arb_natpoly(),
+        vx in 0u64..3, vy in 0u64..3, vz in 0u64..3, vw in 0u64..3,
+    ) {
+        // h^M(a + b) = h^M(a) + h^M(b) and h^M(k ∗ a) = h(k) ∗ h^M(a):
+        // the lifted map is a homomorphism of K-semimodules (Prop. B.2).
+        let m = MonoidKind::Sum;
+        let val = Valuation::ones()
+            .set("x", Nat(vx)).set("y", Nat(vy)).set("z", Nat(vz)).set("w", Nat(vw));
+        let mut h = |p: &NatPoly| val.eval(p);
+        let lhs = v1.add(&v2, &m).map_coeffs(&m, &mut h);
+        let rhs = v1.map_coeffs(&m, &mut h).add(&v2.map_coeffs(&m, &mut h), &m);
+        prop_assert_eq!(lhs, rhs);
+
+        let lhs = v1.scale(&k, &m).map_coeffs(&m, &mut h);
+        let rhs = v1.map_coeffs(&m, &mut h).scale(&val.eval(&k), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn resolution_commutes_with_merge_by_coeff(v in arb_sum_tensor(),
+        vx in 0u64..3, vy in 0u64..3, vz in 0u64..3, vw in 0u64..3,
+    ) {
+        // merge_by_coeff is congruence-sound: resolving before and after
+        // merging gives the same ℕ⊗SUM read-off.
+        let m = MonoidKind::Sum;
+        let val = Valuation::ones()
+            .set("x", Nat(vx)).set("y", Nat(vy)).set("z", Nat(vz)).set("w", Nat(vw));
+        let ground = v.map_coeffs(&m, &mut |p| val.eval(p));
+        let a = ground.try_resolve(&m);
+        let b = ground.merge_by_coeff(&m).try_resolve(&m);
+        prop_assert!(a.is_some(), "ground ℕ tensors always resolve");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resolution_is_set_agg(entries in prop::collection::vec((0u64..5, -20i64..20), 0..5)) {
+        // For ground ℕ coefficients, try_resolve equals the plain weighted
+        // sum — the set/bag compatibility of §3.4 at the tensor level.
+        let m = MonoidKind::Sum;
+        let t = Tensor::<Nat, Const>::from_terms(
+            &m,
+            entries.iter().map(|(k, v)| (Nat(*k), Const::int(*v))),
+        );
+        let expected: i64 = entries.iter().map(|(k, v)| *k as i64 * *v).sum();
+        prop_assert_eq!(t.try_resolve(&m), Some(Const::int(expected)));
+    }
+
+    #[test]
+    fn idempotent_resolution_is_plain_fold(entries in prop::collection::vec((any::<bool>(), -20i64..20), 0..5)) {
+        // B ⊗ MAX: resolution is max over present elements.
+        let m = MonoidKind::Max;
+        let t = Tensor::<Bool, Const>::from_terms(
+            &m,
+            entries.iter().map(|(k, v)| (Bool(*k), Const::int(*v))),
+        );
+        let expected = entries
+            .iter()
+            .filter(|(k, _)| *k)
+            .map(|(_, v)| Const::int(*v))
+            .fold(MonoidKind::Max.zero(), |a, b| MonoidKind::Max.plus(&a, &b));
+        prop_assert_eq!(t.try_resolve(&m), Some(expected));
+    }
+
+    // ------------------------------------------------------------- numbers
+
+    #[test]
+    fn rational_field_laws(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a + Rational::ZERO, a);
+        prop_assert_eq!(a * Rational::ONE, a);
+        prop_assert_eq!(a - a, Rational::ZERO);
+        if b != Rational::ZERO {
+            prop_assert_eq!((a / b) * b, a);
+        }
+    }
+
+    #[test]
+    fn rational_order_respects_addition(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+        if a < b {
+            prop_assert!(a + c < b + c);
+        }
+    }
+
+    #[test]
+    fn num_parse_roundtrip(n in -1000i64..1000, d in 1i64..60) {
+        let x = Num::ratio(n, d);
+        let parsed = Num::parse(&x.to_string()).unwrap();
+        prop_assert_eq!(parsed, x);
+    }
+}

@@ -1,0 +1,72 @@
+//! Experiment E7: deletion propagation — specializing stored provenance
+//! versus re-evaluating the query from scratch, over growing workloads.
+//!
+//! The paper's commutation theorem predicts the provenance route wins and
+//! the gap widens with query cost; see `tables` (T7) for the size side.
+
+use aggprov_algebra::hom::Valuation;
+use aggprov_algebra::poly::NatPoly;
+use aggprov_algebra::semiring::Nat;
+use aggprov_core::eval::{collapse, map_hom_mk};
+use aggprov_workloads::org::{org_database, OrgParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const QUERY: &str = "SELECT dept, SUM(sal) AS mass FROM emp GROUP BY dept";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deletion_propagation");
+    group.sample_size(10);
+    for (depts, per_dept) in [(5usize, 20usize), (10, 40), (20, 80)] {
+        let n = depts * per_dept;
+        let (db, workload) = org_database(OrgParams {
+            departments: depts,
+            employees_per_dept: per_dept,
+            ..Default::default()
+        });
+        let symbolic = db.query(QUERY).expect("symbolic result");
+        let fired: Vec<aggprov_algebra::poly::Var> = workload
+            .emp_tokens
+            .iter()
+            .step_by(7)
+            .map(|t| aggprov_algebra::poly::Var::new(t))
+            .collect();
+        let val: Valuation<Nat> = Valuation::deleting(fired.iter().cloned());
+
+        group.bench_with_input(
+            BenchmarkId::new("specialize_provenance", n),
+            &symbolic,
+            |b, symbolic| {
+                b.iter(|| {
+                    collapse(&map_hom_mk(symbolic, &|p: &NatPoly| val.eval(p)))
+                        .expect("resolved")
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("re_evaluate", n), &db, |b, db| {
+            b.iter(|| {
+                // Rebuild without fired employees and evaluate afresh.
+                let mut db2 = aggprov_engine::ProvDb::new();
+                let mut rel = aggprov_krel::relation::Relation::empty(
+                    workload.emp.schema().clone(),
+                );
+                for (t, k) in workload.emp.iter() {
+                    let keep = k
+                        .try_collapse()
+                        .map(|p| val.eval(&p) != Nat(0))
+                        .unwrap_or(true);
+                    if keep {
+                        rel.insert(t.values().to_vec(), k.clone()).expect("insert");
+                    }
+                }
+                db2.register("emp", rel);
+                let out = db2.query(QUERY).expect("re-evaluated");
+                let _ = db;
+                out
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

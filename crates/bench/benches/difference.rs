@@ -1,0 +1,70 @@
+//! Experiment E6 runtime: the direct hybrid difference versus the paper's
+//! full aggregation encoding, and the concrete baselines (bag monus,
+//! ℤ-difference).
+
+use aggprov_algebra::domain::Const;
+use aggprov_algebra::poly::NatPoly;
+use aggprov_algebra::semiring::{IntZ, Nat};
+use aggprov_core::difference::{difference, difference_encoded};
+use aggprov_core::km::Km;
+use aggprov_core::ops::MKRel;
+use aggprov_core::{Prov, Value};
+use aggprov_krel::monus::{monus_difference, z_difference};
+use aggprov_krel::relation::Relation;
+use aggprov_krel::schema::Schema;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn prov_rel(prefix: &str, n: usize, offset: i64) -> MKRel<Prov> {
+    let mut rel = Relation::empty(Schema::new(["x"]).expect("schema"));
+    for i in 0..n {
+        rel.insert(
+            vec![Value::int(i as i64 + offset)],
+            Km::embed(NatPoly::token(&format!("{prefix}{i}"))),
+        )
+        .expect("insert");
+    }
+    rel
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("difference");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let r = prov_rel("r", n, 0);
+        let s = prov_rel("s", n, (n / 2) as i64);
+        group.bench_with_input(BenchmarkId::new("hybrid_direct", n), &n, |b, _| {
+            b.iter(|| difference(&r, &s).expect("difference"));
+        });
+        group.bench_with_input(BenchmarkId::new("paper_encoding", n), &n, |b, _| {
+            b.iter(|| difference_encoded(&r, &s).expect("encoded"));
+        });
+
+        let nat = |_prefix: &str, offset: i64| -> Relation<Nat, Const> {
+            Relation::from_rows(
+                Schema::new(["x"]).expect("schema"),
+                (0..n).map(|i| ([Const::int(i as i64 + offset)], Nat(1 + (i as u64 % 3)))),
+            )
+            .expect("rows")
+        };
+        let (rn, sn) = (nat("r", 0), nat("s", (n / 2) as i64));
+        group.bench_with_input(BenchmarkId::new("bag_monus", n), &n, |b, _| {
+            b.iter(|| monus_difference(&rn, &sn).expect("monus"));
+        });
+
+        let z = |offset: i64| -> Relation<IntZ, Const> {
+            Relation::from_rows(
+                Schema::new(["x"]).expect("schema"),
+                (0..n).map(|i| ([Const::int(i as i64 + offset)], IntZ(1))),
+            )
+            .expect("rows")
+        };
+        let (rz, sz) = (z(0), z((n / 2) as i64));
+        group.bench_with_input(BenchmarkId::new("z_difference", n), &n, |b, _| {
+            b.iter(|| z_difference(&rz, &sz).expect("z"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! End-to-end SQL engine benchmarks: the same queries over bag annotations
+//! (`ℕ`, everything resolves eagerly) and full provenance (`ℕ[X]^M`,
+//! symbolic), plus the tensor `merge_by_coeff` ablation.
+
+use aggprov_algebra::domain::Const;
+use aggprov_algebra::monoid::MonoidKind;
+use aggprov_algebra::semiring::{Nat, Security};
+use aggprov_algebra::tensor::Tensor;
+use aggprov_core::eval::map_mk;
+use aggprov_engine::Database;
+use aggprov_workloads::org::{org_database, OrgParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const QUERIES: [(&str, &str); 4] = [
+    ("projection", "SELECT dept FROM emp"),
+    ("group_sum", "SELECT dept, SUM(sal) AS mass FROM emp GROUP BY dept"),
+    (
+        "join_group",
+        "SELECT d.region, MAX(e.sal) AS top FROM emp e JOIN dept d ON e.dept = d.dept \
+         GROUP BY d.region",
+    ),
+    (
+        "having",
+        "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept HAVING n = 40",
+    ),
+];
+
+fn bench(c: &mut Criterion) {
+    let (prov_db, workload) = org_database(OrgParams {
+        departments: 10,
+        employees_per_dept: 40,
+        ..Default::default()
+    });
+    let mut bag_db: Database<Nat> = Database::new();
+    bag_db.register("emp", map_mk(&workload.emp, &|_| Nat(1)));
+    bag_db.register("dept", map_mk(&workload.dept, &|_| Nat(1)));
+
+    let mut group = c.benchmark_group("sql_engine");
+    group.sample_size(10);
+    for (name, sql) in QUERIES {
+        group.bench_with_input(BenchmarkId::new("bag", name), sql, |b, sql| {
+            b.iter(|| bag_db.query(sql).expect("bag query"));
+        });
+        group.bench_with_input(BenchmarkId::new("provenance", name), sql, |b, sql| {
+            b.iter(|| prov_db.query(sql).expect("provenance query"));
+        });
+    }
+    group.finish();
+
+    // Ablation: merge_by_coeff on a security tensor with few distinct
+    // coefficients and many elements.
+    let mut group = c.benchmark_group("tensor_merge_by_coeff");
+    let mut rng = StdRng::seed_from_u64(9);
+    for n in [100usize, 1000] {
+        let levels = [
+            Security::Public,
+            Security::Confidential,
+            Security::Secret,
+            Security::TopSecret,
+        ];
+        let tensor = Tensor::<Security, Const>::from_terms(
+            &MonoidKind::Max,
+            (0..n).map(|i| {
+                (
+                    levels[rng.random_range(0..levels.len())],
+                    Const::int(i as i64),
+                )
+            }),
+        );
+        group.bench_with_input(BenchmarkId::new("merge", n), &tensor, |b, tensor| {
+            b.iter(|| tensor.merge_by_coeff(&MonoidKind::Max));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiment E2 (Figure 2): the naive tuple-level representation of a SUM
+//! aggregate (one row per surviving subset, `p̂` complements) versus the
+//! paper's tensor representation.
+//!
+//! The naive table is `Θ(2ⁿ)`; the tensor is `Θ(n)`. Criterion measures
+//! construction time; the companion `tables` binary reports representation
+//! sizes.
+
+use aggprov_algebra::domain::Const;
+use aggprov_algebra::monoid::MonoidKind;
+use aggprov_algebra::poly::NatPoly;
+use aggprov_algebra::tensor::Tensor;
+use aggprov_bench::fig2_input;
+use aggprov_core::naive::naive_table;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_sum_representation");
+    group.sample_size(10);
+    for n in [4usize, 8, 12, 16] {
+        let input = fig2_input(n);
+        group.bench_with_input(BenchmarkId::new("naive_2^n", n), &input, |b, input| {
+            b.iter(|| naive_table(MonoidKind::Sum, input));
+        });
+        group.bench_with_input(BenchmarkId::new("tensor_linear", n), &input, |b, input| {
+            b.iter(|| {
+                Tensor::<NatPoly, Const>::from_terms(
+                    &MonoidKind::Sum,
+                    input
+                        .iter()
+                        .map(|(v, num)| (NatPoly::var(v.clone()), Const::Num(*num))),
+                )
+            });
+        });
+    }
+    group.finish();
+
+    // Deletion propagation on both representations (n fixed).
+    let mut group = c.benchmark_group("fig2_deletion");
+    group.sample_size(10);
+    let n = 14;
+    let input = fig2_input(n);
+    let rows = naive_table(MonoidKind::Sum, &input);
+    let tensor = Tensor::<NatPoly, Const>::from_terms(
+        &MonoidKind::Sum,
+        input
+            .iter()
+            .map(|(v, num)| (NatPoly::var(v.clone()), Const::Num(*num))),
+    );
+    group.bench_function("naive_propagate", |b| {
+        b.iter(|| {
+            aggprov_core::naive::naive_propagate(&rows, &|v| !v.name().ends_with('3'))
+        });
+    });
+    group.bench_function("tensor_specialize", |b| {
+        b.iter(|| {
+            tensor
+                .map_coeffs(&MonoidKind::Sum, &mut |p| {
+                    aggprov_algebra::hom::Valuation::<aggprov_algebra::semiring::Nat>::ones()
+                        .eval(p)
+                })
+                .try_resolve(&MonoidKind::Sum)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,288 @@
+//! The annotation interface required by aggregate-aware relational
+//! operators.
+//!
+//! The §4.3 semantics multiplies tuple annotations by equality tokens
+//! between (possibly symbolic) aggregate values. An [`AggAnnotation`] is a
+//! δ-semiring that can produce such tokens:
+//!
+//! * [`Km<K>`](crate::km::Km) produces genuine symbolic tokens — the
+//!   paper's `K^M`;
+//! * concrete semirings where `ι` is injective for the relevant monoid
+//!   (`ℕ` with everything; `B`, `S`, tropical, Viterbi with idempotent
+//!   monoids; `SN` with everything) resolve the comparison on the spot —
+//!   axiom (*) collapses `K^M` to `K` (Proposition 4.4), so the same
+//!   operator code runs set/bag/security queries directly;
+//! * asking an incompatible pair (e.g. `B` with `SUM`) is an error — the
+//!   formal content of Propositions 3.2/4.2.
+
+use crate::km::CmpPred;
+use crate::value::Value;
+use aggprov_algebra::domain::Const;
+use aggprov_algebra::monoid::MonoidKind;
+use aggprov_algebra::semiring::{DeltaSemiring, Security, Tropical, Viterbi};
+use aggprov_algebra::sn::Sn;
+use aggprov_algebra::tensor::Tensor;
+use aggprov_krel::error::{RelError, Result};
+
+/// A δ-semiring that can compare tensor values, either symbolically or by
+/// resolution.
+pub trait AggAnnotation: DeltaSemiring {
+    /// The annotation factor for the comparison `[lhs = rhs]` under `kind`.
+    fn eq_token(
+        kind: MonoidKind,
+        lhs: &Tensor<Self, Const>,
+        rhs: &Tensor<Self, Const>,
+    ) -> Result<Self>;
+
+    /// The comparison between aggregates of *different* monoid kinds (an
+    /// engineering generalization beyond the paper's single-`M` setting).
+    /// The default resolves both sides or reports the comparison as
+    /// inexpressible; `Km` represents it symbolically.
+    fn eq_token_mixed(
+        lk: MonoidKind,
+        lhs: &Tensor<Self, Const>,
+        rk: MonoidKind,
+        rhs: &Tensor<Self, Const>,
+    ) -> Result<Self> {
+        match (lhs.try_resolve(&lk), rhs.try_resolve(&rk)) {
+            (Some(a), Some(b)) => Ok(if a == b { Self::one() } else { Self::zero() }),
+            _ => Err(RelError::Unsupported(
+                "comparison between symbolic aggregates of different monoid kinds".into(),
+            )),
+        }
+    }
+
+    /// The token for an order/inequality comparison `[lhs ⋈ rhs]` (the
+    /// paper's comparison-predicate extension). The default resolves both
+    /// sides or reports the comparison as inexpressible; `Km` represents it
+    /// symbolically.
+    fn cmp_token(
+        pred: CmpPred,
+        lk: MonoidKind,
+        lhs: &Tensor<Self, Const>,
+        rk: MonoidKind,
+        rhs: &Tensor<Self, Const>,
+    ) -> Result<Self> {
+        match (lhs.try_resolve(&lk), rhs.try_resolve(&rk)) {
+            (Some(a), Some(b)) => Ok(if pred.decide(&a, &b) {
+                Self::one()
+            } else {
+                Self::zero()
+            }),
+            _ => Err(RelError::Unsupported(format!(
+                "order comparison {pred} over a symbolic aggregate; only `=` \
+                 and Km-annotated comparisons are supported here"
+            ))),
+        }
+    }
+
+    /// The token for `[a ⋈ b]` on attribute values, for `pred` one of the
+    /// canonical predicates (`>`/`≥` callers swap the operands). Constants
+    /// decide directly; order comparisons across value types are type
+    /// errors, while `≠` across types is simply true.
+    fn value_cmp(pred: CmpPred, a: &Value<Self>, b: &Value<Self>) -> Result<Self> {
+        match (a, b) {
+            (Value::Const(x), Value::Const(y)) => {
+                let same_type = std::mem::discriminant(x) == std::mem::discriminant(y);
+                if !same_type && pred != CmpPred::Ne {
+                    return Err(RelError::TypeError(format!(
+                        "cannot order {} against {}",
+                        x.type_name(),
+                        y.type_name()
+                    )));
+                }
+                Ok(if pred.decide(x, y) {
+                    Self::one()
+                } else {
+                    Self::zero()
+                })
+            }
+            (Value::Agg(k1, t1), Value::Agg(k2, t2)) => {
+                Self::cmp_token(pred, *k1, t1, *k2, t2)
+            }
+            (Value::Const(c), Value::Agg(k, t)) => {
+                if Value::<Self>::carrier_check(*k, c).is_err() {
+                    return if pred == CmpPred::Ne {
+                        Ok(Self::one())
+                    } else {
+                        Err(RelError::TypeError(format!(
+                            "cannot order a {} value against a {k} aggregate",
+                            c.type_name()
+                        )))
+                    };
+                }
+                Self::cmp_token(pred, *k, &Tensor::iota(k, c.clone()), *k, t)
+            }
+            (Value::Agg(k, t), Value::Const(c)) => {
+                if Value::<Self>::carrier_check(*k, c).is_err() {
+                    return if pred == CmpPred::Ne {
+                        Ok(Self::one())
+                    } else {
+                        Err(RelError::TypeError(format!(
+                            "cannot order a {k} aggregate against a {} value",
+                            c.type_name()
+                        )))
+                    };
+                }
+                Self::cmp_token(pred, *k, t, *k, &Tensor::iota(k, c.clone()))
+            }
+        }
+    }
+
+    /// The annotation factor for comparing two attribute values
+    /// (`[t'(u) = t(u)]` in §4.3): constants compare directly, aggregates
+    /// via [`AggAnnotation::eq_token`], and constants meet aggregates
+    /// through `ι`. Values outside the monoid's carrier (or of different
+    /// monoid kinds that both resolve to distinct constants) can never be
+    /// equal and yield `0`.
+    fn value_eq(a: &Value<Self>, b: &Value<Self>) -> Result<Self> {
+        match (a, b) {
+            (Value::Const(x), Value::Const(y)) => {
+                Ok(if x == y { Self::one() } else { Self::zero() })
+            }
+            (Value::Agg(k1, t1), Value::Agg(k2, t2)) => {
+                if k1 == k2 {
+                    Self::eq_token(*k1, t1, t2)
+                } else {
+                    Self::eq_token_mixed(*k1, t1, *k2, t2)
+                }
+            }
+            (Value::Const(c), Value::Agg(k, t)) | (Value::Agg(k, t), Value::Const(c)) => {
+                if Value::<Self>::carrier_check(*k, c).is_err() {
+                    // A value outside the carrier never equals an aggregate.
+                    return Ok(Self::zero());
+                }
+                Self::eq_token(*k, &Tensor::iota(k, c.clone()), t)
+            }
+        }
+    }
+}
+
+impl<K: aggprov_algebra::semiring::CommutativeSemiring> AggAnnotation for crate::km::Km<K> {
+    fn eq_token(
+        kind: MonoidKind,
+        lhs: &Tensor<Self, Const>,
+        rhs: &Tensor<Self, Const>,
+    ) -> Result<Self> {
+        Ok(crate::km::Km::eq_token(kind, lhs, rhs))
+    }
+
+    fn eq_token_mixed(
+        lk: MonoidKind,
+        lhs: &Tensor<Self, Const>,
+        rk: MonoidKind,
+        rhs: &Tensor<Self, Const>,
+    ) -> Result<Self> {
+        Ok(crate::km::Km::eq_token_mixed(lk, lhs, rk, rhs))
+    }
+
+    fn cmp_token(
+        pred: CmpPred,
+        lk: MonoidKind,
+        lhs: &Tensor<Self, Const>,
+        rk: MonoidKind,
+        rhs: &Tensor<Self, Const>,
+    ) -> Result<Self> {
+        Ok(crate::km::Km::cmp_token(pred, lk, lhs, rk, rhs))
+    }
+}
+
+/// Implements [`AggAnnotation`] for concrete semirings by resolution: both
+/// sides must read back through `ι⁻¹`, otherwise the comparison is
+/// inexpressible in `K` and the caller should move to `Km<K>`.
+macro_rules! concrete_agg_annotation {
+    ($($t:ty),*) => {$(
+        impl AggAnnotation for $t {
+            fn eq_token(
+                kind: MonoidKind,
+                lhs: &Tensor<Self, Const>,
+                rhs: &Tensor<Self, Const>,
+            ) -> Result<Self> {
+                use aggprov_algebra::semiring::CommutativeSemiring;
+                if lhs == rhs {
+                    return Ok(Self::one());
+                }
+                match (lhs.try_resolve(&kind), rhs.try_resolve(&kind)) {
+                    (Some(a), Some(b)) => {
+                        Ok(if a == b { Self::one() } else { Self::zero() })
+                    }
+                    _ => Err(RelError::Unsupported(format!(
+                        "{} cannot express a symbolic {kind} comparison; \
+                         annotate with Km<{}> instead",
+                        stringify!($t),
+                        stringify!($t),
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+concrete_agg_annotation!(
+    aggprov_algebra::semiring::Nat,
+    aggprov_algebra::semiring::Bool,
+    aggprov_algebra::semiring::IntZ,
+    Security,
+    Tropical,
+    Viterbi,
+    Sn
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggprov_algebra::semiring::{Bool, CommutativeSemiring, Nat};
+
+    #[test]
+    fn nat_resolves_everything_ground() {
+        let m = MonoidKind::Sum;
+        let a = Tensor::<Nat, Const>::simple(&m, Nat(2), Const::int(10));
+        let b = Tensor::<Nat, Const>::simple(&m, Nat(1), Const::int(20));
+        assert!(Nat::eq_token(m, &a, &b).unwrap().is_one());
+        let c = Tensor::<Nat, Const>::simple(&m, Nat(1), Const::int(10));
+        assert!(Nat::eq_token(m, &a, &c).unwrap().is_zero());
+    }
+
+    #[test]
+    fn bool_with_sum_is_an_error() {
+        let m = MonoidKind::Sum;
+        let a = Tensor::<Bool, Const>::simple(&m, Bool(true), Const::int(10));
+        let b = Tensor::<Bool, Const>::simple(&m, Bool(true), Const::int(20));
+        assert!(Bool::eq_token(m, &a, &b).is_err());
+        // …except for syntactically equal sides, which are equal under any
+        // semantics.
+        assert!(Bool::eq_token(m, &a, &a).unwrap().is_one());
+    }
+
+    #[test]
+    fn bool_with_max_is_fine() {
+        let m = MonoidKind::Max;
+        let a = Tensor::<Bool, Const>::simple(&m, Bool(true), Const::int(10));
+        let b = Tensor::<Bool, Const>::simple(&m, Bool(true), Const::int(20));
+        assert!(Bool::eq_token(m, &a, &b).unwrap().is_zero());
+    }
+
+    #[test]
+    fn value_eq_const_vs_agg() {
+        let m = MonoidKind::Sum;
+        let v1: Value<Nat> = Value::int(20);
+        let v2 = Value::Agg(m, Tensor::<Nat, Const>::simple(&m, Nat(2), Const::int(10)));
+        assert!(Nat::value_eq(&v1, &v2).unwrap().is_one());
+        let v3: Value<Nat> = Value::str("x");
+        assert!(Nat::value_eq(&v3, &v2).unwrap().is_zero());
+    }
+
+    #[test]
+    fn mixed_kinds_resolve_or_error() {
+        // SUM-tensor resolving to 20 vs MAX-tensor resolving to 20: equal.
+        let sum = Value::Agg(
+            MonoidKind::Sum,
+            Tensor::<Nat, Const>::simple(&MonoidKind::Sum, Nat(2), Const::int(10)),
+        );
+        let max = Value::Agg(
+            MonoidKind::Max,
+            Tensor::<Nat, Const>::simple(&MonoidKind::Max, Nat(3), Const::int(20)),
+        );
+        assert!(Nat::value_eq(&sum, &max).unwrap().is_one());
+    }
+}

@@ -1,0 +1,220 @@
+//! Homomorphism application and read-off for `(M, K)`-relations.
+//!
+//! `h_Rel` (paper §3.2/§4.2) maps both the tuple annotations and the tensor
+//! coefficients inside values. Colliding tuples keep one copy — see the
+//! module documentation of [`crate::ops`] for why the §4.3 semantics makes
+//! this the right merge.
+//!
+//! The read-off functions convert fully-ground annotated relations into the
+//! plain bags/sets a database user expects, closing the loop for the
+//! set/bag-compatibility experiments.
+
+use crate::annotation::AggAnnotation;
+use crate::km::Km;
+use crate::ops::MKRel;
+use crate::value::Value;
+use aggprov_algebra::hom::Valuation;
+use aggprov_algebra::semiring::{Bool, CommutativeSemiring, Nat};
+use aggprov_krel::error::{RelError, Result};
+use aggprov_krel::reference::BagRel;
+use aggprov_krel::relation::Relation;
+use std::collections::BTreeMap;
+
+/// Applies an annotation map to annotations *and* value coefficients
+/// (`h_Rel`). Colliding tuples keep the first annotation (they are equal by
+/// the §4.3 construction).
+pub fn map_mk<A: AggAnnotation, B: AggAnnotation>(
+    rel: &MKRel<A>,
+    h: &impl Fn(&A) -> B,
+) -> MKRel<B> {
+    let mut map: BTreeMap<aggprov_krel::relation::Tuple<Value<B>>, B> = BTreeMap::new();
+    for (t, k) in rel.iter() {
+        let values: Vec<Value<B>> = t
+            .values()
+            .iter()
+            .map(|v| v.map_hom(&mut |a| h(a)))
+            .collect();
+        let ann = h(k);
+        if ann.is_zero() {
+            continue;
+        }
+        map.entry(aggprov_krel::relation::Tuple::new(values))
+            .or_insert(ann);
+    }
+    let mut out = Relation::empty(rel.schema().clone());
+    for (t, k) in map {
+        out.insert(t.values().to_vec(), k).expect("arity preserved");
+    }
+    out
+}
+
+/// Applies a base-semiring homomorphism under `Km` (the lifting
+/// `h^M : K^M → K'^M`), resolving newly-decidable tokens.
+pub fn map_hom_mk<K1, K2>(rel: &MKRel<Km<K1>>, h: &impl Fn(&K1) -> K2) -> MKRel<Km<K2>>
+where
+    K1: CommutativeSemiring,
+    K2: CommutativeSemiring,
+{
+    map_mk(rel, &|km: &Km<K1>| km.map_hom(h))
+}
+
+/// Specializes a provenance-annotated relation under a token valuation —
+/// the workhorse for deletion propagation, security views, etc.
+pub fn specialize<K2: CommutativeSemiring>(
+    rel: &MKRel<Km<aggprov_algebra::poly::NatPoly>>,
+    val: &Valuation<K2>,
+) -> MKRel<Km<K2>> {
+    map_hom_mk(rel, &|p| val.eval(p))
+}
+
+/// Collapses a `Km`-annotated relation whose tokens have all resolved into
+/// its base-semiring annotated form. Fails if symbolic atoms survive.
+pub fn collapse<K: CommutativeSemiring>(rel: &MKRel<Km<K>>) -> Result<MKRel<K>> {
+    let mut out = Relation::empty(rel.schema().clone());
+    for (t, k) in rel.iter() {
+        let base = k.try_collapse().ok_or_else(|| {
+            RelError::Unsupported(format!("annotation `{k}` still contains symbolic atoms"))
+        })?;
+        let values: Vec<Value<K>> = t
+            .values()
+            .iter()
+            .map(|v| -> Result<Value<K>> {
+                match v {
+                    Value::Const(c) => Ok(Value::Const(c.clone())),
+                    Value::Agg(kind, tensor) => {
+                        let mut err = None;
+                        let mapped = tensor.map_coeffs(kind, &mut |km: &Km<K>| {
+                            km.try_collapse().unwrap_or_else(|| {
+                                err = Some(km.clone());
+                                K::zero()
+                            })
+                        });
+                        if let Some(bad) = err {
+                            return Err(RelError::Unsupported(format!(
+                                "value coefficient `{bad}` still contains symbolic atoms"
+                            )));
+                        }
+                        Ok(Value::agg_normalized(*kind, mapped))
+                    }
+                }
+            })
+            .collect::<Result<_>>()?;
+        out.insert(values, base)?;
+    }
+    Ok(out)
+}
+
+/// Reads a fully-ground `ℕ`-annotated relation as a plain bag: every tuple
+/// repeated by its multiplicity. Fails on unresolved aggregate values
+/// (which cannot occur for relations produced by the operators, since
+/// ground tensors normalize to constants).
+pub fn read_off_bag(rel: &MKRel<Nat>) -> Result<BagRel> {
+    let attrs: Vec<String> = rel
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for (t, k) in rel.iter() {
+        let row: Vec<aggprov_algebra::domain::Const> = t
+            .values()
+            .iter()
+            .map(|v| {
+                v.as_const().cloned().ok_or_else(|| {
+                    RelError::Unsupported(format!("unresolved aggregate value `{v}`"))
+                })
+            })
+            .collect::<Result<_>>()?;
+        for _ in 0..k.0 {
+            rows.push(row.clone());
+        }
+    }
+    let attr_refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
+    Ok(BagRel::new(&attr_refs, rows))
+}
+
+/// Reads a fully-ground `B`-annotated relation as a plain set.
+pub fn read_off_set(rel: &MKRel<Bool>) -> Result<BagRel> {
+    let attrs: Vec<String> = rel
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for (t, k) in rel.iter() {
+        debug_assert!(k.0, "support contains only non-zero annotations");
+        let row: Vec<aggprov_algebra::domain::Const> = t
+            .values()
+            .iter()
+            .map(|v| {
+                v.as_const().cloned().ok_or_else(|| {
+                    RelError::Unsupported(format!("unresolved aggregate value `{v}`"))
+                })
+            })
+            .collect::<Result<_>>()?;
+        rows.push(row);
+    }
+    let attr_refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
+    Ok(BagRel::new(&attr_refs, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{group_by, AggSpec};
+    use aggprov_algebra::monoid::MonoidKind;
+    use aggprov_algebra::poly::NatPoly;
+    use aggprov_krel::schema::Schema;
+
+    type P = Km<NatPoly>;
+
+    fn tok(name: &str) -> P {
+        Km::embed(NatPoly::token(name))
+    }
+
+    fn grouped() -> MKRel<P> {
+        let rel: MKRel<P> = Relation::from_rows(
+            Schema::new(["dept", "sal"]).unwrap(),
+            [
+                (vec![Value::str("d1"), Value::int(20)], tok("r1")),
+                (vec![Value::str("d1"), Value::int(10)], tok("r2")),
+                (vec![Value::str("d2"), Value::int(10)], tok("r3")),
+            ],
+        )
+        .unwrap();
+        group_by(&rel, &["dept"], &[AggSpec::new(MonoidKind::Sum, "sal")]).unwrap()
+    }
+
+    #[test]
+    fn specialize_resolves_groups() {
+        // Example 3.8 continued: r1 ↦ 2, r2 ↦ 1, r3 ↦ 0 gives d1 with
+        // 2·20 + 1·10 = 50 and deletes d2's group.
+        let out = specialize(
+            &grouped(),
+            &Valuation::<Nat>::ones().set("r1", Nat(2)).set("r2", Nat(1)).set("r3", Nat(0)),
+        );
+        let plain = collapse(&out).unwrap();
+        assert_eq!(plain.len(), 1);
+        let (t, k) = plain.iter().next().unwrap();
+        assert_eq!(t.get(1), &Value::int(50));
+        assert_eq!(k, &Nat(1), "δ(2 + 1) = 1");
+    }
+
+    #[test]
+    fn read_off_bag_expands_multiplicities() {
+        let rel: MKRel<Nat> = Relation::from_rows(
+            Schema::new(["a"]).unwrap(),
+            [(vec![Value::int(7)], Nat(3))],
+        )
+        .unwrap();
+        let bag = read_off_bag(&rel).unwrap();
+        assert_eq!(bag.rows.len(), 3);
+    }
+
+    #[test]
+    fn collapse_rejects_symbolic_leftovers() {
+        assert!(collapse(&grouped()).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! # aggprov-core
+//!
+//! The core of *Provenance for Aggregate Queries* (Amsterdamer, Deutch &
+//! Tannen, PODS 2011):
+//!
+//! * [`value`] — values of `(M, K)`-relations: constants and tensor-valued
+//!   aggregates (§3.2);
+//! * [`km`] — the extended semiring `K^M` with symbolic equality tokens and
+//!   free δ-structure (§4.2, Definition 3.6);
+//! * [`annotation`] — the [`annotation::AggAnnotation`] interface: `Km<K>`
+//!   compares symbolically, concrete compatible semirings resolve on the
+//!   spot (Proposition 4.4);
+//! * [`ops`] — the relational operators of §3.2/§3.3/§4.3: union,
+//!   projection, selection, value joins, `AGG`, `GROUP BY`;
+//! * [`eval`] — `h_Rel`, token valuations, collapse and plain read-off;
+//! * [`difference`] — difference via `B̂`-aggregation and its hybrid direct
+//!   form, plus the §5.2 law matrix;
+//! * [`naive`] — the exponential tuple-level baseline of §1/Figure 2.
+//!
+//! The canonical provenance instantiation is [`Prov`] = `Km<ℕ[X]>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annotation;
+pub mod difference;
+pub mod eval;
+pub mod km;
+pub mod naive;
+pub mod ops;
+pub mod value;
+
+/// The standard aggregate-provenance annotation: the extended semiring over
+/// provenance polynomials, `ℕ[X]^M`.
+pub type Prov = km::Km<aggprov_algebra::poly::NatPoly>;
+
+pub use annotation::AggAnnotation;
+pub use km::{Atom, Km};
+pub use ops::{AggSpec, MKRel};
+pub use value::Value;

@@ -1,0 +1,171 @@
+//! The naive tuple-level aggregation baselines of paper §1 / Figure 2.
+//!
+//! Before introducing value-level provenance, the paper examines keeping
+//! annotations at the tuple level and adding an operation `p̂` with
+//! `p̂ = 1` when `p = 0` (`p̂ = 1 − p` in `ℤ[X]`, `p̂ = ¬p` in `BoolExp(X)` —
+//! the c-tables route). Supporting deletion propagation through a SUM
+//! aggregate then requires one output tuple per *subset* of the input —
+//! `2ⁿ` tuples, each annotated `Π_{i∈S} pᵢ · Π_{i∉S} p̂ᵢ` (Figure 2(a)).
+//! This module implements that construction as the exponential baseline the
+//! overhead experiments (E2/Fig. 2) compare against.
+
+use aggprov_algebra::boolexpr::BoolExp;
+use aggprov_algebra::monoid::{CommutativeMonoid, MonoidKind};
+use aggprov_algebra::num::Num;
+use aggprov_algebra::domain::Const;
+use aggprov_algebra::poly::Var;
+use std::collections::BTreeMap;
+
+/// One row of the naive table: a possible aggregate result with the boolean
+/// condition under which it is *the* result.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NaiveRow {
+    /// The aggregate value for this subset of surviving tuples.
+    pub value: Const,
+    /// The annotation `Π_{i∈S} pᵢ · Π_{i∉S} ¬pᵢ` (summed over subsets with
+    /// equal values).
+    pub condition: BoolExp,
+}
+
+/// The naive aggregation table: every subset of the annotated input tuples
+/// contributes a row (rows with equal aggregate values merge by ∨).
+///
+/// Size is `Θ(2ⁿ)` in general for `SUM` — the lower bound the paper cites
+/// from Lechtenbörger et al. — versus the linear tensor representation.
+pub fn naive_table(kind: MonoidKind, tuples: &[(Var, Num)]) -> Vec<NaiveRow> {
+    assert!(
+        tuples.len() <= 24,
+        "naive table is exponential; refusing more than 24 tuples"
+    );
+    let mut by_value: BTreeMap<Const, BoolExp> = BTreeMap::new();
+    for mask in 0u64..(1 << tuples.len()) {
+        let mut value = kind.zero();
+        let mut cond = BoolExp::one_();
+        for (i, (var, num)) in tuples.iter().enumerate() {
+            let var_exp = BoolExp::Var(var.clone());
+            if mask & (1 << i) != 0 {
+                value = kind.plus(&value, &Const::Num(*num));
+                cond = cond.and(&var_exp);
+            } else {
+                cond = cond.and(&var_exp.not());
+            }
+        }
+        by_value
+            .entry(value)
+            .and_modify(|c| *c = c.or(&cond))
+            .or_insert(cond);
+    }
+    by_value
+        .into_iter()
+        .map(|(value, condition)| NaiveRow { value, condition })
+        .collect()
+}
+
+/// Total representation size of a naive table (rows plus expression nodes)
+/// for the overhead comparison.
+pub fn naive_size(rows: &[NaiveRow]) -> usize {
+    rows.iter().map(|r| 1 + r.condition.size()).sum()
+}
+
+/// Deletion propagation on the naive table: assign truth values to the
+/// tokens and return the unique surviving aggregate value.
+pub fn naive_propagate(rows: &[NaiveRow], alive: &impl Fn(&Var) -> bool) -> Option<Const> {
+    let mut result = None;
+    for row in rows {
+        if row.condition.eval(&mut |v| alive(v)) {
+            debug_assert!(result.is_none(), "conditions are mutually exclusive");
+            result = Some(row.value.clone());
+        }
+    }
+    result
+}
+
+// A tiny helper since BoolExp::one() comes from the semiring trait.
+trait BoolExpExt {
+    fn one_() -> BoolExp;
+}
+impl BoolExpExt for BoolExp {
+    fn one_() -> BoolExp {
+        BoolExp::Const(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggprov_algebra::semiring::CommutativeSemiring;
+
+    fn fig2_input() -> Vec<(Var, Num)> {
+        // Figure 2: salaries 20, 10, 15 with tokens p1, p2, p3.
+        vec![
+            (Var::new("p1"), Num::int(20)),
+            (Var::new("p2"), Num::int(10)),
+            (Var::new("p3"), Num::int(15)),
+        ]
+    }
+
+    #[test]
+    fn figure_2a_rows() {
+        let rows = naive_table(MonoidKind::Sum, &fig2_input());
+        // All 2³ subset sums are distinct here: 0,10,15,20,25,30,35,45.
+        let values: Vec<String> = rows.iter().map(|r| r.value.to_string()).collect();
+        assert_eq!(values, vec!["0", "10", "15", "20", "25", "30", "35", "45"]);
+        // The 45-row carries p1 ∧ p2 ∧ p3.
+        let row45 = rows.iter().find(|r| r.value == Const::int(45)).unwrap();
+        assert!(row45
+            .condition
+            .equivalent(&BoolExp::var("p1").and(&BoolExp::var("p2")).and(&BoolExp::var("p3"))));
+    }
+
+    #[test]
+    fn figure_2b_deletion() {
+        // Deleting the tuple with token p3 must yield 30 = 20 + 10.
+        let rows = naive_table(MonoidKind::Sum, &fig2_input());
+        let v = naive_propagate(&rows, &|var| var.name() != "p3").unwrap();
+        assert_eq!(v, Const::int(30));
+        // All alive: 45. None alive: 0.
+        assert_eq!(naive_propagate(&rows, &|_| true).unwrap(), Const::int(45));
+        assert_eq!(naive_propagate(&rows, &|_| false).unwrap(), Const::int(0));
+    }
+
+    #[test]
+    fn size_grows_exponentially() {
+        let base = fig2_input();
+        let mut sizes = Vec::new();
+        for n in 1..=8u32 {
+            let mut input = Vec::new();
+            for i in 0..n {
+                // Powers of two keep all subset sums distinct.
+                input.push((Var::new(&format!("p{i}")), Num::int(1 << i)));
+            }
+            sizes.push(naive_size(&naive_table(MonoidKind::Sum, &input)));
+        }
+        for w in sizes.windows(2) {
+            assert!(w[1] > w[0] * 15 / 10, "super-exponential growth: {sizes:?}");
+        }
+        let _ = base;
+    }
+
+    #[test]
+    fn min_aggregation_collapses_rows() {
+        // For MIN many subsets share a value: row count stays ≤ n + 1.
+        let rows = naive_table(MonoidKind::Min, &fig2_input());
+        assert_eq!(rows.len(), 4); // min ∈ {∞, 10, 15, 20}
+    }
+
+    #[test]
+    fn conditions_partition_the_assignment_space() {
+        // The disjunction of all conditions is a tautology and rows are
+        // pairwise exclusive — checked semantically.
+        let rows = naive_table(MonoidKind::Sum, &fig2_input());
+        let total = rows
+            .iter()
+            .fold(BoolExp::zero(), |acc, r| acc.or(&r.condition));
+        assert!(total.equivalent(&BoolExp::Const(true)));
+        for (i, a) in rows.iter().enumerate() {
+            for b in rows.iter().skip(i + 1) {
+                assert!(a.condition.and(&b.condition).equivalent(&BoolExp::Const(false)));
+            }
+        }
+    }
+}

@@ -1,0 +1,785 @@
+//! Relational operators over `(M, K)`-relations (paper §3.2, §3.3, §4.3).
+//!
+//! An `(M, K)`-relation is a [`Relation`] whose values are [`Value`]s — the
+//! type alias [`MKRel`]. The operators here implement the paper's extended
+//! semantics: wherever the existence of an output tuple depends on comparing
+//! (possibly symbolic) aggregate values, the tuple's annotation is
+//! multiplied by equality tokens obtained from [`AggAnnotation`].
+//!
+//! When every relevant value is an ordinary constant, each token resolves to
+//! `0`/`1` on the spot and the operators coincide with the classical
+//! `K`-relational algebra of §2.1 — so a single implementation covers both
+//! the "simple" queries of §3 and the nested ones of §4 (a fast path avoids
+//! the quadratic token construction when no symbolic values are present).
+//!
+//! ## Output construction and duplicate groups
+//!
+//! The §4.3 rules define each output tuple's annotation as a sum over *all*
+//! support tuples weighted by equality tokens. Two structurally distinct
+//! output tuples may become equal after a homomorphism; both then carry the
+//! same (fully cross-weighted) annotation, so on collision we keep one copy
+//! — the paper's "duplicates are ignored" (appendix, commutation proof).
+//! This is different from the additive merge of `K`-relations, which is why
+//! output maps are built with [`insert_distinct`].
+
+use crate::annotation::AggAnnotation;
+use crate::value::Value;
+use aggprov_algebra::domain::Const;
+use aggprov_algebra::monoid::MonoidKind;
+use aggprov_algebra::tensor::Tensor;
+use aggprov_krel::error::{RelError, Result};
+use aggprov_krel::relation::{Relation, Tuple};
+use aggprov_krel::schema::Schema;
+use std::collections::BTreeMap;
+
+/// An `(M, K)`-relation: tuples of [`Value`]s annotated with `A`.
+pub type MKRel<A> = Relation<A, Value<A>>;
+
+/// One aggregation request: `kind(attr) AS out`.
+#[derive(Clone, Copy, Debug)]
+pub struct AggSpec<'a> {
+    /// The aggregation monoid.
+    pub kind: MonoidKind,
+    /// The aggregated attribute.
+    pub attr: &'a str,
+    /// The output attribute name.
+    pub out: &'a str,
+}
+
+impl<'a> AggSpec<'a> {
+    /// An aggregation whose output column keeps the input attribute name.
+    pub fn new(kind: MonoidKind, attr: &'a str) -> Self {
+        AggSpec { kind, attr, out: attr }
+    }
+}
+
+/// True iff any tuple contains a symbolic aggregate value.
+pub fn has_symbolic<A: AggAnnotation>(rel: &MKRel<A>) -> bool {
+    rel.iter().any(|(t, _)| t.values().iter().any(Value::is_agg))
+}
+
+/// Lifts a plain constant relation into an `(M, K)`-relation.
+pub fn lift<A: AggAnnotation>(rel: &Relation<A, Const>) -> MKRel<A> {
+    rel.map_values(&mut |c| Value::Const(c.clone()))
+}
+
+/// Inserts with the §4.3 collision rule: annotations of colliding tuples
+/// are equal by construction, so the first copy is kept.
+fn insert_distinct<A: AggAnnotation>(
+    map: &mut BTreeMap<Tuple<Value<A>>, A>,
+    t: Tuple<Value<A>>,
+    ann: A,
+) {
+    if ann.is_zero() {
+        return;
+    }
+    map.entry(t).or_insert(ann);
+}
+
+fn from_map<A: AggAnnotation>(schema: Schema, map: BTreeMap<Tuple<Value<A>>, A>) -> MKRel<A> {
+    let mut out = Relation::empty(schema);
+    for (t, k) in map {
+        out.insert(t.values().to_vec(), k).expect("arity preserved");
+    }
+    out
+}
+
+/// The extended annotation lookup, i.e. the §4.3 reading of `R(t)` on
+/// relations whose values may be symbolic:
+/// `Σ_{t' ∈ supp(R)} R(t') · Π_u [t'(u) = t(u)]`. Coincides with the
+/// structural lookup when no symbolic values are present.
+pub fn annotation_at<A: AggAnnotation>(rel: &MKRel<A>, t: &Tuple<Value<A>>) -> Result<A> {
+    if !has_symbolic(rel) {
+        return Ok(rel.annotation(t));
+    }
+    let positions: Vec<usize> = (0..rel.schema().arity()).collect();
+    let mut parts = Vec::new();
+    for (t2, k2) in rel.iter() {
+        let tok = tuple_eq_token(t2, t, &positions)?;
+        let part = k2.times(&tok);
+        if !part.is_zero() {
+            parts.push(part);
+        }
+    }
+    Ok(sum_many(parts))
+}
+
+/// Sums many annotations by pairwise tree reduction: summing n tokens of
+/// size 1 costs O(n log n) rather than the O(n²) of a left fold (each
+/// `plus` clones its left operand).
+fn sum_many<A: AggAnnotation>(mut items: Vec<A>) -> A {
+    if items.is_empty() {
+        return A::zero();
+    }
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+        let mut iter = items.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(a.plus(&b)),
+                None => next.push(a),
+            }
+        }
+        items = next;
+    }
+    items.pop().expect("non-empty")
+}
+
+/// Pushes `k ∗ tv`'s simple tensors onto an accumulator without
+/// re-normalizing (the caller builds the tensor once at the end — turning
+/// per-tuple O(current-size) merges into a single O(n log n) build).
+fn accumulate_scaled<A: AggAnnotation>(
+    acc: &mut Vec<(A, Const)>,
+    tv: &Tensor<A, Const>,
+    k: &A,
+) {
+    for (ki, e) in tv.terms() {
+        let prod = k.times(ki);
+        if !prod.is_zero() {
+            acc.push((prod, e.clone()));
+        }
+    }
+}
+
+/// The product of per-attribute equality tokens `Π_u [t'(u) = t(u)]`.
+fn tuple_eq_token<A: AggAnnotation>(
+    a: &Tuple<Value<A>>,
+    b: &Tuple<Value<A>>,
+    positions: &[usize],
+) -> Result<A> {
+    let mut acc = A::one();
+    for &i in positions {
+        let tok = A::value_eq(a.get(i), b.get(i))?;
+        if tok.is_zero() {
+            return Ok(A::zero());
+        }
+        acc = acc.times(&tok);
+    }
+    Ok(acc)
+}
+
+// ---------------------------------------------------------------------------
+// Union and projection (§4.3 items 2–3)
+// ---------------------------------------------------------------------------
+
+/// Union. With symbolic values, every output tuple sums contributions from
+/// *all* input tuples weighted by equality tokens.
+pub fn union<A: AggAnnotation>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> {
+    if r1.schema() != r2.schema() {
+        return Err(RelError::SchemaMismatch {
+            left: r1.schema().to_string(),
+            right: r2.schema().to_string(),
+            op: "union",
+        });
+    }
+    if !has_symbolic(r1) && !has_symbolic(r2) {
+        return r1.union(r2);
+    }
+    let all_positions: Vec<usize> = (0..r1.schema().arity()).collect();
+    let mut out = BTreeMap::new();
+    for (t, _) in r1.iter().chain(r2.iter()) {
+        if out.contains_key(t) {
+            continue;
+        }
+        let mut parts = Vec::new();
+        for (t2, k2) in r1.iter().chain(r2.iter()) {
+            let tok = tuple_eq_token(t2, t, &all_positions)?;
+            let part = k2.times(&tok);
+            if !part.is_zero() {
+                parts.push(part);
+            }
+        }
+        insert_distinct(&mut out, t.clone(), sum_many(parts));
+    }
+    Ok(from_map(r1.schema().clone(), out))
+}
+
+/// Projection `Π_{U'}`. With symbolic values, annotations sum over all
+/// tuples weighted by tokens on the projected attributes.
+pub fn project<A: AggAnnotation>(rel: &MKRel<A>, attrs: &[&str]) -> Result<MKRel<A>> {
+    if !has_symbolic(rel) {
+        return rel.project(attrs);
+    }
+    let positions = rel.schema().indices_of(attrs)?;
+    let schema = rel.schema().project(attrs)?;
+    let all: Vec<usize> = (0..positions.len()).collect();
+    let mut out = BTreeMap::new();
+    for (t, _) in rel.iter() {
+        let proj = t.project(&positions);
+        if out.contains_key(&proj) {
+            continue;
+        }
+        let mut parts = Vec::new();
+        for (t2, k2) in rel.iter() {
+            let tok = tuple_eq_token(&t2.project(&positions), &proj, &all)?;
+            let part = k2.times(&tok);
+            if !part.is_zero() {
+                parts.push(part);
+            }
+        }
+        insert_distinct(&mut out, proj, sum_many(parts));
+    }
+    Ok(from_map(schema, out))
+}
+
+// ---------------------------------------------------------------------------
+// Selection and join (§4.3 items 4–5)
+// ---------------------------------------------------------------------------
+
+/// Selection `σ_{u = v}` against a constant or aggregate value:
+/// `(σ R)(t) = R(t) · [t(u) = v]`.
+pub fn select_eq<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    attr: &str,
+    value: &Value<A>,
+) -> Result<MKRel<A>> {
+    let idx = rel.schema().index_of(attr)?;
+    let mut out = BTreeMap::new();
+    for (t, k) in rel.iter() {
+        let tok = A::value_eq(t.get(idx), value)?;
+        insert_distinct(&mut out, t.clone(), k.times(&tok));
+    }
+    Ok(from_map(rel.schema().clone(), out))
+}
+
+/// Selection `σ_{u1 = u2}` comparing two attributes of the same relation.
+pub fn select_attrs_eq<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    attr1: &str,
+    attr2: &str,
+) -> Result<MKRel<A>> {
+    let i = rel.schema().index_of(attr1)?;
+    let j = rel.schema().index_of(attr2)?;
+    let mut out = BTreeMap::new();
+    for (t, k) in rel.iter() {
+        let tok = A::value_eq(t.get(i), t.get(j))?;
+        insert_distinct(&mut out, t.clone(), k.times(&tok));
+    }
+    Ok(from_map(rel.schema().clone(), out))
+}
+
+/// Generic tokened selection: multiplies each tuple's annotation by a
+/// caller-computed token (which may be symbolic). This is the §4.3
+/// selection rule with an arbitrary condition factory — `select_eq`,
+/// `select_cmp` and the engine's WHERE/HAVING all reduce to it.
+pub fn select_with_token<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    token: impl Fn(&Schema, &Tuple<Value<A>>) -> Result<A>,
+) -> Result<MKRel<A>> {
+    let mut out = BTreeMap::new();
+    for (t, k) in rel.iter() {
+        let tok = token(rel.schema(), t)?;
+        insert_distinct(&mut out, t.clone(), k.times(&tok));
+    }
+    Ok(from_map(rel.schema().clone(), out))
+}
+
+/// Selection `σ_{u ⋈ v}` with an order/inequality predicate against a
+/// value (the paper's comparison-predicate extension).
+pub fn select_cmp<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    attr: &str,
+    pred: crate::km::CmpPred,
+    value: &Value<A>,
+) -> Result<MKRel<A>> {
+    let idx = rel.schema().index_of(attr)?;
+    select_with_token(rel, |_, t| A::value_cmp(pred, t.get(idx), value))
+}
+
+/// Selection `σ_{u1 ⋈ u2}` comparing two attributes with an
+/// order/inequality predicate.
+pub fn select_attrs_cmp<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    attr1: &str,
+    pred: crate::km::CmpPred,
+    attr2: &str,
+) -> Result<MKRel<A>> {
+    let i = rel.schema().index_of(attr1)?;
+    let j = rel.schema().index_of(attr2)?;
+    select_with_token(rel, |_, t| A::value_cmp(pred, t.get(i), t.get(j)))
+}
+
+/// Selection by an arbitrary predicate on constant attributes (classical
+/// `σ_P`). Fails if the predicate needs to inspect a symbolic aggregate.
+pub fn select_where<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    pred: impl Fn(&Schema, &Tuple<Value<A>>) -> Result<bool>,
+) -> Result<MKRel<A>> {
+    let mut out = BTreeMap::new();
+    for (t, k) in rel.iter() {
+        if pred(rel.schema(), t)? {
+            insert_distinct(&mut out, t.clone(), k.clone());
+        }
+    }
+    Ok(from_map(rel.schema().clone(), out))
+}
+
+/// Value-based join on attribute pairs (schemas must be disjoint):
+/// `R₁(t|U₁) · R₂(t|U₂) · Π [t(u₁ᵢ) = t(u₂ᵢ)]`.
+pub fn join_on<A: AggAnnotation>(
+    r1: &MKRel<A>,
+    r2: &MKRel<A>,
+    on: &[(&str, &str)],
+) -> Result<MKRel<A>> {
+    if !r1
+        .schema()
+        .shared_with(r2.schema())
+        .is_empty()
+    {
+        return Err(RelError::SchemaMismatch {
+            left: r1.schema().to_string(),
+            right: r2.schema().to_string(),
+            op: "join_on (schemas must be disjoint; rename first)",
+        });
+    }
+    let left: Vec<usize> = on
+        .iter()
+        .map(|(a, _)| r1.schema().index_of(a))
+        .collect::<Result<_>>()?;
+    let right: Vec<usize> = on
+        .iter()
+        .map(|(_, b)| r2.schema().index_of(b))
+        .collect::<Result<_>>()?;
+    let schema = r1.schema().concat(r2.schema())?;
+
+    // Fast path: when every compared column is constant-valued on both
+    // sides, the tokens are 0/1 and an indexed equi-join is equivalent.
+    let all_const = !on.is_empty()
+        && r1
+            .iter()
+            .all(|(t, _)| left.iter().all(|i| !t.get(*i).is_agg()))
+        && r2
+            .iter()
+            .all(|(t, _)| right.iter().all(|j| !t.get(*j).is_agg()));
+    let mut out = BTreeMap::new();
+    if all_const {
+        type Bucket<'a, A> = Vec<(&'a Tuple<Value<A>>, &'a A)>;
+        let mut index: BTreeMap<Vec<&Value<A>>, Bucket<'_, A>> = BTreeMap::new();
+        for (t2, k2) in r2.iter() {
+            let key: Vec<&Value<A>> = right.iter().map(|j| t2.get(*j)).collect();
+            index.entry(key).or_default().push((t2, k2));
+        }
+        for (t1, k1) in r1.iter() {
+            let key: Vec<&Value<A>> = left.iter().map(|i| t1.get(*i)).collect();
+            if let Some(matches) = index.get(&key) {
+                for (t2, k2) in matches {
+                    insert_distinct(&mut out, t1.concat(t2.values()), k1.times(k2));
+                }
+            }
+        }
+    } else {
+        for (t1, k1) in r1.iter() {
+            for (t2, k2) in r2.iter() {
+                let mut ann = k1.times(k2);
+                for (i, j) in left.iter().zip(&right) {
+                    if ann.is_zero() {
+                        break;
+                    }
+                    let tok = A::value_eq(t1.get(*i), t2.get(*j))?;
+                    ann = ann.times(&tok);
+                }
+                insert_distinct(&mut out, t1.concat(t2.values()), ann);
+            }
+        }
+    }
+    Ok(from_map(schema, out))
+}
+
+/// Cartesian product (join with no comparisons).
+pub fn product<A: AggAnnotation>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> {
+    join_on(r1, r2, &[])
+}
+
+/// Natural join on the shared attributes. Requires the shared columns to be
+/// constant-valued (use [`join_on`] with renaming for symbolic joins); the
+/// classical indexed join then applies.
+pub fn natural_join<A: AggAnnotation>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> {
+    let shared = r1.schema().shared_with(r2.schema());
+    for rel in [r1, r2] {
+        for a in &shared {
+            let i = rel.schema().index_of(a.name())?;
+            if rel.iter().any(|(t, _)| t.get(i).is_agg()) {
+                return Err(RelError::Unsupported(format!(
+                    "natural join on symbolic aggregate column `{a}`; \
+                     rename and use join_on"
+                )));
+            }
+        }
+    }
+    r1.natural_join(r2)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation (§3.2 / §4.3 item 6)
+// ---------------------------------------------------------------------------
+
+/// Whole-relation aggregation `AGG_M(R)`: one output tuple, annotated `1`,
+/// whose value is `Σ_{t' ∈ supp(R)} R(t') ∗ t'(u)` in `K ⊗ M`.
+pub fn agg<A: AggAnnotation>(rel: &MKRel<A>, spec: AggSpec<'_>) -> Result<MKRel<A>> {
+    agg_all(rel, &[spec])
+}
+
+/// Whole-relation aggregation of several attributes at once: one output
+/// tuple, annotated `1`, one tensor value per spec. Like SQL aggregates
+/// without `GROUP BY`, the output row exists even for empty input (with
+/// value `ι(0_M)`, §3.2).
+pub fn agg_all<A: AggAnnotation>(rel: &MKRel<A>, specs: &[AggSpec<'_>]) -> Result<MKRel<A>> {
+    let sidx: Vec<usize> = specs
+        .iter()
+        .map(|s| rel.schema().index_of(s.attr))
+        .collect::<Result<_>>()?;
+    let mut terms: Vec<Vec<(A, Const)>> = vec![Vec::new(); specs.len()];
+    for (t, k) in rel.iter() {
+        for (si, spec) in specs.iter().enumerate() {
+            let tv = t.get(sidx[si]).to_tensor(spec.kind)?;
+            accumulate_scaled(&mut terms[si], &tv, k);
+        }
+    }
+    let tensors: Vec<Tensor<A, Const>> = specs
+        .iter()
+        .zip(terms)
+        .map(|(spec, ts)| Tensor::from_terms(&spec.kind, ts))
+        .collect();
+    let schema = Schema::new(specs.iter().map(|s| s.out))?;
+    let mut out = Relation::empty(schema);
+    let row: Vec<Value<A>> = specs
+        .iter()
+        .zip(tensors)
+        .map(|(spec, t)| Value::agg_normalized(spec.kind, t))
+        .collect();
+    out.insert(row, A::one())?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Group-by (§3.3 Definition 3.7 / §4.3 item 7)
+// ---------------------------------------------------------------------------
+
+/// `GB_{U', specs}(R)`: groups by `group_attrs` and aggregates each spec's
+/// attribute. Output schema: `group_attrs ++ [spec.attr, …]`. The group
+/// tuple's annotation is `δ(Σ_{t' ∈ group} coeff(t'))` where with symbolic
+/// group values `coeff(t') = R(t') · Π_{u ∈ U'} [t'(u) = g(u)]`.
+pub fn group_by<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    group_attrs: &[&str],
+    specs: &[AggSpec<'_>],
+) -> Result<MKRel<A>> {
+    let gidx = rel.schema().indices_of(group_attrs)?;
+    let sidx: Vec<usize> = specs
+        .iter()
+        .map(|s| rel.schema().index_of(s.attr))
+        .collect::<Result<_>>()?;
+    for (i, s) in specs.iter().enumerate() {
+        if group_attrs.contains(&s.attr) || gidx.contains(&sidx[i]) {
+            return Err(RelError::Unsupported(format!(
+                "attribute `{}` cannot be both grouped and aggregated",
+                s.attr
+            )));
+        }
+    }
+    let mut schema_attrs: Vec<&str> = group_attrs.to_vec();
+    for s in specs {
+        schema_attrs.push(s.out);
+    }
+    let schema = {
+        let mut names: Vec<String> = Vec::new();
+        for a in &schema_attrs {
+            names.push((*a).to_string());
+        }
+        Schema::new(names.iter().map(|s| s.as_str()))?
+    };
+
+    let symbolic_keys = rel.iter().any(|(t, _)| gidx.iter().any(|i| t.get(*i).is_agg()));
+
+    let mut out = BTreeMap::new();
+    if !symbolic_keys {
+        // Fast path: structural grouping.
+        type Members<'a, A> = Vec<(&'a Tuple<Value<A>>, &'a A)>;
+        let mut groups: BTreeMap<Tuple<Value<A>>, Members<'_, A>> = BTreeMap::new();
+        for (t, k) in rel.iter() {
+            groups.entry(t.project(&gidx)).or_default().push((t, k));
+        }
+        for (g, members) in groups {
+            let mut anns: Vec<A> = Vec::with_capacity(members.len());
+            let mut terms: Vec<Vec<(A, Const)>> = vec![Vec::new(); specs.len()];
+            for (t, k) in members {
+                anns.push(k.clone());
+                for (si, spec) in specs.iter().enumerate() {
+                    let tv = t.get(sidx[si]).to_tensor(spec.kind)?;
+                    accumulate_scaled(&mut terms[si], &tv, k);
+                }
+            }
+            let total = sum_many(anns);
+            let mut row: Vec<Value<A>> = g.values().to_vec();
+            for (spec, ts) in specs.iter().zip(terms) {
+                row.push(Value::agg_normalized(
+                    spec.kind,
+                    Tensor::from_terms(&spec.kind, ts),
+                ));
+            }
+            insert_distinct(&mut out, Tuple::new(row), total.delta());
+        }
+    } else {
+        // General path: every distinct group key generates a candidate
+        // group; membership is weighted by equality tokens.
+        let all: Vec<usize> = (0..gidx.len()).collect();
+        let mut seen: Vec<Tuple<Value<A>>> = Vec::new();
+        for (t, _) in rel.iter() {
+            let g = t.project(&gidx);
+            if seen.contains(&g) {
+                continue;
+            }
+            seen.push(g.clone());
+            let mut anns: Vec<A> = Vec::new();
+            let mut terms: Vec<Vec<(A, Const)>> = vec![Vec::new(); specs.len()];
+            for (t2, k2) in rel.iter() {
+                let tok = tuple_eq_token(&t2.project(&gidx), &g, &all)?;
+                let coeff = k2.times(&tok);
+                if coeff.is_zero() {
+                    continue;
+                }
+                for (si, spec) in specs.iter().enumerate() {
+                    let tv = t2.get(sidx[si]).to_tensor(spec.kind)?;
+                    accumulate_scaled(&mut terms[si], &tv, &coeff);
+                }
+                anns.push(coeff);
+            }
+            let total = sum_many(anns);
+            let mut row: Vec<Value<A>> = g.values().to_vec();
+            for (spec, ts) in specs.iter().zip(terms) {
+                row.push(Value::agg_normalized(
+                    spec.kind,
+                    Tensor::from_terms(&spec.kind, ts),
+                ));
+            }
+            insert_distinct(&mut out, Tuple::new(row), total.delta());
+        }
+    }
+    Ok(from_map(schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::km::Km;
+    use aggprov_algebra::poly::NatPoly;
+    use aggprov_algebra::semiring::{CommutativeSemiring, Nat};
+
+    type P = Km<NatPoly>;
+
+    fn tok(name: &str) -> P {
+        Km::embed(NatPoly::token(name))
+    }
+
+    fn sch(names: &[&str]) -> Schema {
+        Schema::new(names.iter().copied()).unwrap()
+    }
+
+    /// Example 3.8's relation: (dept, sal) with tokens r1, r2, r3.
+    fn example_3_8() -> MKRel<P> {
+        Relation::from_rows(
+            sch(&["dept", "sal"]),
+            [
+                (vec![Value::str("d1"), Value::int(20)], tok("r1")),
+                (vec![Value::str("d1"), Value::int(10)], tok("r2")),
+                (vec![Value::str("d2"), Value::int(10)], tok("r3")),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_3_4_agg() {
+        // Single-attribute relation {20↦r1, 10↦r2, 30↦r3}; AGG_SUM gives one
+        // tuple annotated 1 with value r1⊗20 + r2⊗10 + r3⊗30.
+        let rel: MKRel<P> = Relation::from_rows(
+            sch(&["sal"]),
+            [
+                (vec![Value::int(20)], tok("r1")),
+                (vec![Value::int(10)], tok("r2")),
+                (vec![Value::int(30)], tok("r3")),
+            ],
+        )
+        .unwrap();
+        let out = agg(&rel, AggSpec::new(MonoidKind::Sum, "sal")).unwrap();
+        assert_eq!(out.len(), 1);
+        let (t, k) = out.iter().next().unwrap();
+        assert!(k.is_one());
+        assert_eq!(
+            t.get(0).to_string(),
+            "SUM⟨(r2)⊗10 + (r1)⊗20 + (r3)⊗30⟩"
+        );
+    }
+
+    #[test]
+    fn empty_agg_yields_zero_of_monoid() {
+        let rel: MKRel<P> = Relation::empty(sch(&["sal"]));
+        let out = agg(&rel, AggSpec::new(MonoidKind::Sum, "sal")).unwrap();
+        assert_eq!(out.len(), 1, "AGG of empty relation is not empty (§3.2)");
+        let (t, k) = out.iter().next().unwrap();
+        assert!(k.is_one());
+        assert_eq!(t.get(0), &Value::int(0));
+    }
+
+    #[test]
+    fn example_3_8_group_by() {
+        // GB dept, SUM(sal): d1 ↦ r1⊗20+r2⊗10 @ δ(r1+r2); d2 ↦ r3⊗10 @ δ(r3).
+        let out = group_by(
+            &example_3_8(),
+            &["dept"],
+            &[AggSpec::new(MonoidKind::Sum, "sal")],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let rows: Vec<String> = out
+            .iter()
+            .map(|(t, k)| format!("{} {} @ {}", t.get(0), t.get(1), k))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                "'d1' SUM⟨(r2)⊗10 + (r1)⊗20⟩ @ δ(r1 + r2)",
+                "'d2' SUM⟨(r3)⊗10⟩ @ δ(r3)",
+            ]
+        );
+    }
+
+    #[test]
+    fn group_by_over_bags_matches_plain_sql() {
+        // With K = ℕ everything resolves: group sums are constants and the
+        // group annotation is multiplicity 1.
+        let rel: MKRel<Nat> = Relation::from_rows(
+            sch(&["dept", "sal"]),
+            [
+                (vec![Value::str("d1"), Value::int(20)], Nat(2)),
+                (vec![Value::str("d1"), Value::int(10)], Nat(1)),
+                (vec![Value::str("d2"), Value::int(5)], Nat(3)),
+            ],
+        )
+        .unwrap();
+        let out = group_by(
+            &rel,
+            &["dept"],
+            &[AggSpec::new(MonoidKind::Sum, "sal")],
+        )
+        .unwrap();
+        let rows: Vec<(String, String, Nat)> = out
+            .iter()
+            .map(|(t, k)| (t.get(0).to_string(), t.get(1).to_string(), *k))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("'d1'".into(), "50".into(), Nat(1)),
+                ("'d2'".into(), "15".into(), Nat(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn selection_on_aggregate_multiplies_token() {
+        // Example 4.3: select groups whose summed salary equals 20.
+        let grouped = group_by(
+            &example_3_8(),
+            &["dept"],
+            &[AggSpec::new(MonoidKind::Sum, "sal")],
+        )
+        .unwrap();
+        let selected = select_eq(&grouped, "sal", &Value::int(20)).unwrap();
+        assert_eq!(selected.len(), 2, "both tuples kept with symbolic tokens");
+        let anns: Vec<String> = selected.iter().map(|(_, k)| k.to_string()).collect();
+        assert!(
+            anns[0].contains("δ(r1 + r2)") && anns[0].contains("=SUM="),
+            "δ·token product: {}",
+            anns[0]
+        );
+        assert!(
+            anns[1].contains("δ(r3)") && anns[1].contains("=SUM="),
+            "δ·token product: {}",
+            anns[1]
+        );
+    }
+
+    #[test]
+    fn union_requires_matching_schemas() {
+        let r1: MKRel<P> = Relation::empty(sch(&["a"]));
+        let r2: MKRel<P> = Relation::empty(sch(&["b"]));
+        assert!(union(&r1, &r2).is_err());
+    }
+
+    #[test]
+    fn symbolic_union_cross_counts() {
+        // Two one-attribute tuples holding symbolic aggregates that may or
+        // may not be equal: each output annotation includes the other
+        // tuple's contribution weighted by a token.
+        let t1 = Value::Agg(
+            MonoidKind::Sum,
+            Tensor::from_terms(&MonoidKind::Sum, [(tok("x"), Const::int(10))]),
+        );
+        let t2 = Value::Agg(
+            MonoidKind::Sum,
+            Tensor::from_terms(&MonoidKind::Sum, [(tok("y"), Const::int(10))]),
+        );
+        let r1: MKRel<P> =
+            Relation::from_rows(sch(&["v"]), [(vec![t1], tok("a"))]).unwrap();
+        let r2: MKRel<P> =
+            Relation::from_rows(sch(&["v"]), [(vec![t2], tok("b"))]).unwrap();
+        let u = union(&r1, &r2).unwrap();
+        assert_eq!(u.len(), 2);
+        for (_, k) in u.iter() {
+            let s = k.to_string();
+            assert!(s.contains('['), "annotation has a token: {s}");
+        }
+        // Valuating x = y = 1 makes the tensors equal: both annotations
+        // become a + b, and the tuples merge structurally.
+        let v = crate::eval::map_hom_mk(&u, &|p: &NatPoly| {
+            aggprov_algebra::hom::Valuation::<Nat>::ones().eval(p)
+        });
+        assert_eq!(v.len(), 1);
+        let (_, k) = v.iter().next().unwrap();
+        assert_eq!(k.try_collapse(), Some(Nat(2)));
+    }
+
+    #[test]
+    fn join_on_aggregate_values() {
+        // Join two aggregated relations on their (symbolic) sums.
+        let g = group_by(
+            &example_3_8(),
+            &["dept"],
+            &[AggSpec::new(MonoidKind::Sum, "sal")],
+        )
+        .unwrap();
+        let g2 = {
+            let r = g.rename("dept", "dept2").unwrap();
+            r.rename("sal", "sal2").unwrap()
+        };
+        let j = join_on(&g, &g2, &[("sal", "sal2")]).unwrap();
+        // 2×2 candidate pairs, all kept symbolically (d1⋈d1 and d2⋈d2 have
+        // syntactically equal sides → token 1).
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn natural_join_fast_path_on_constants() {
+        let dept: MKRel<P> = Relation::from_rows(
+            sch(&["dept", "head"]),
+            [(vec![Value::str("d1"), Value::str("alice")], P::one())],
+        )
+        .unwrap();
+        let j = natural_join(&example_3_8(), &dept).unwrap();
+        assert_eq!(j.len(), 2);
+        for (_, k) in j.iter() {
+            assert!(k.try_collapse().is_some(), "no tokens on constant join");
+        }
+    }
+
+    #[test]
+    fn group_and_agg_attr_must_differ() {
+        assert!(group_by(
+            &example_3_8(),
+            &["sal"],
+            &[AggSpec::new(MonoidKind::Sum, "sal")],
+        )
+        .is_err());
+    }
+}

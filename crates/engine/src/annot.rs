@@ -1,0 +1,134 @@
+//! Parsing of `PROVENANCE …` annotations for the supported semirings.
+
+use aggprov_algebra::num::Num;
+use aggprov_algebra::poly::NatPoly;
+use aggprov_algebra::semiring::{Bool, CommutativeSemiring, IntZ, Nat, Security, Tropical, Viterbi};
+use aggprov_algebra::sn::Sn;
+use aggprov_core::km::Km;
+
+/// Parses the text after `PROVENANCE` in an `INSERT` into an annotation.
+///
+/// What counts as valid text depends on the semiring: a token name for
+/// provenance polynomials, a multiplicity for `ℕ`, a clearance level for the
+/// security semirings, a cost for the tropical semiring, a confidence for
+/// Viterbi. `None` means the text is not meaningful for this semiring.
+pub trait ParseAnnotation: Sized {
+    /// Parses an annotation literal.
+    fn parse_annotation(text: &str) -> Option<Self>;
+}
+
+impl ParseAnnotation for Nat {
+    fn parse_annotation(text: &str) -> Option<Self> {
+        text.parse().ok().map(Nat)
+    }
+}
+
+impl ParseAnnotation for IntZ {
+    fn parse_annotation(text: &str) -> Option<Self> {
+        text.parse().ok().map(IntZ)
+    }
+}
+
+impl ParseAnnotation for Bool {
+    fn parse_annotation(text: &str) -> Option<Self> {
+        if text.eq_ignore_ascii_case("true") {
+            Some(Bool(true))
+        } else if text.eq_ignore_ascii_case("false") {
+            Some(Bool(false))
+        } else {
+            text.parse::<u64>().ok().map(|n| Bool(n != 0))
+        }
+    }
+}
+
+fn parse_level(text: &str) -> Option<Security> {
+    match text.to_ascii_uppercase().as_str() {
+        "PUBLIC" | "1S" => Some(Security::Public),
+        "CONFIDENTIAL" | "C" => Some(Security::Confidential),
+        "SECRET" | "S" => Some(Security::Secret),
+        "TOPSECRET" | "TOP_SECRET" | "T" => Some(Security::TopSecret),
+        "NEVER" | "0S" => Some(Security::Never),
+        _ => None,
+    }
+}
+
+impl ParseAnnotation for Security {
+    fn parse_annotation(text: &str) -> Option<Self> {
+        parse_level(text)
+    }
+}
+
+impl ParseAnnotation for Sn {
+    fn parse_annotation(text: &str) -> Option<Self> {
+        if let Some(level) = parse_level(text) {
+            return Some(Sn::level(level));
+        }
+        text.parse::<u64>().ok().map(Sn::from_nat)
+    }
+}
+
+impl ParseAnnotation for Tropical {
+    fn parse_annotation(text: &str) -> Option<Self> {
+        if text.eq_ignore_ascii_case("inf") {
+            return Some(Tropical::Inf);
+        }
+        text.parse().ok().map(Tropical::Fin)
+    }
+}
+
+impl ParseAnnotation for Viterbi {
+    fn parse_annotation(text: &str) -> Option<Self> {
+        let n = Num::parse(text)?;
+        (Num::ZERO <= n && n <= Num::ONE).then(|| Viterbi::new(n))
+    }
+}
+
+impl ParseAnnotation for NatPoly {
+    fn parse_annotation(text: &str) -> Option<Self> {
+        if let Ok(n) = text.parse::<u64>() {
+            return Some(NatPoly::from_nat(n));
+        }
+        let valid = !text.is_empty()
+            && text
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_');
+        valid.then(|| NatPoly::token(text))
+    }
+}
+
+impl<K: CommutativeSemiring + ParseAnnotation> ParseAnnotation for Km<K> {
+    fn parse_annotation(text: &str) -> Option<Self> {
+        K::parse_annotation(text).map(Km::embed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_per_semiring() {
+        assert_eq!(Nat::parse_annotation("3"), Some(Nat(3)));
+        assert_eq!(Nat::parse_annotation("p1"), None);
+        assert_eq!(Bool::parse_annotation("true"), Some(Bool(true)));
+        assert_eq!(
+            Security::parse_annotation("secret"),
+            Some(Security::Secret)
+        );
+        assert_eq!(Tropical::parse_annotation("inf"), Some(Tropical::Inf));
+        assert_eq!(
+            Viterbi::parse_annotation("0.5"),
+            Some(Viterbi::ratio(1, 2))
+        );
+        assert_eq!(Viterbi::parse_annotation("2"), None);
+        assert_eq!(
+            NatPoly::parse_annotation("p1"),
+            Some(NatPoly::token("p1"))
+        );
+        assert_eq!(
+            Km::<NatPoly>::parse_annotation("p1"),
+            Some(Km::embed(NatPoly::token("p1")))
+        );
+        assert_eq!(Sn::parse_annotation("T"), Some(Sn::level(Security::TopSecret)));
+    }
+}

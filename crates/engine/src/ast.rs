@@ -1,0 +1,259 @@
+//! Abstract syntax for the SQL-ish query language.
+//!
+//! The surface language covers exactly the query classes the paper treats:
+//! SPJU (`SELECT`/`WHERE`/`JOIN`/`UNION`), simple aggregation
+//! (`SELECT AGG(x) …`, `GROUP BY`), nested aggregation (`HAVING`, joins and
+//! filters over aggregate results) and difference (`EXCEPT`).
+
+use aggprov_algebra::num::Num;
+
+/// A top-level statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `CREATE TABLE name (col TYPE, …)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column names and types.
+        columns: Vec<(String, ColType)>,
+    },
+    /// `DROP TABLE name`
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// `INSERT INTO name VALUES (lit, …) [PROVENANCE ann]`
+    Insert {
+        /// Table name.
+        table: String,
+        /// Row literals.
+        values: Vec<Lit>,
+        /// Optional annotation text (token name, multiplicity, clearance…).
+        provenance: Option<String>,
+    },
+    /// A query.
+    Query(Query),
+}
+
+/// Column types.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ColType {
+    /// Strings.
+    Text,
+    /// Exact numbers.
+    Num,
+    /// Booleans.
+    Bool,
+}
+
+/// A query: a select body possibly combined with set operations.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Query {
+    /// A plain `SELECT`.
+    Select(Box<SelectStmt>),
+    /// `left UNION right` or `left EXCEPT right`.
+    SetOp {
+        /// The operation.
+        op: SetOp,
+        /// Left operand.
+        left: Box<Query>,
+        /// Right operand.
+        right: Box<Query>,
+    },
+}
+
+/// Set operations between queries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SetOp {
+    /// Annotated union (`+_K`).
+    Union,
+    /// The paper's hybrid difference (§5).
+    Except,
+}
+
+/// A `SELECT` statement.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SelectStmt {
+    /// Selected items.
+    pub items: Vec<SelectItem>,
+    /// `FROM` table references (cross-joined).
+    pub from: Vec<TableRef>,
+    /// `JOIN … ON …` clauses, applied left to right.
+    pub joins: Vec<Join>,
+    /// `WHERE` conjuncts.
+    pub where_: Vec<Condition>,
+    /// `GROUP BY` columns.
+    pub group_by: Vec<ColRef>,
+    /// `HAVING` conjuncts (over output columns).
+    pub having: Vec<Condition>,
+}
+
+/// One item of the `SELECT` list.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// A column, with optional `AS` alias.
+    Col(ColRef, Option<String>),
+    /// An aggregate `FUNC(arg)`, with optional `AS` alias.
+    Agg(AggFunc, AggArg, Option<String>),
+}
+
+/// Aggregation functions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggFunc {
+    /// Summation (monoid `SUM`).
+    Sum,
+    /// Minimum (monoid `MIN`).
+    Min,
+    /// Maximum (monoid `MAX`).
+    Max,
+    /// Product (monoid `PROD`).
+    Prod,
+    /// Count (summation of `1`s, paper footnote 6).
+    Count,
+    /// Average (`SUM`/`COUNT`, resolvable results only).
+    Avg,
+    /// Boolean or (monoid `B̂`).
+    BoolOr,
+}
+
+impl AggFunc {
+    /// The SQL name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Prod => "PROD",
+            AggFunc::Count => "COUNT",
+            AggFunc::Avg => "AVG",
+            AggFunc::BoolOr => "BOOL_OR",
+        }
+    }
+}
+
+/// The argument of an aggregate.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AggArg {
+    /// `COUNT(*)`
+    Star,
+    /// An ordinary column.
+    Col(ColRef),
+}
+
+/// A possibly-qualified column reference.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ColRef {
+    /// Optional table / alias qualifier.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColRef {
+    /// An unqualified reference.
+    pub fn bare(column: &str) -> Self {
+        ColRef {
+            table: None,
+            column: column.to_string(),
+        }
+    }
+
+    /// The display name (`t.c` or `c`).
+    pub fn display(&self) -> String {
+        match &self.table {
+            Some(t) => format!("{t}.{}", self.column),
+            None => self.column.clone(),
+        }
+    }
+}
+
+/// A table reference with optional alias.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TableRef {
+    /// The source: a named table or a parenthesized subquery.
+    pub source: TableSource,
+    /// The alias (defaults to the table name; required for subqueries).
+    pub alias: Option<String>,
+}
+
+/// The source of a table reference.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TableSource {
+    /// A named base table.
+    Named(String),
+    /// A derived table `(SELECT …)` — this is how nested aggregation
+    /// (paper §4, Example 4.5) is written in SQL.
+    Subquery(Box<Query>),
+}
+
+impl TableRef {
+    /// The effective alias.
+    pub fn effective_alias(&self) -> &str {
+        if let Some(a) = &self.alias {
+            return a;
+        }
+        match &self.source {
+            TableSource::Named(n) => n,
+            TableSource::Subquery(_) => "__subquery",
+        }
+    }
+}
+
+/// One `JOIN table ON l = r [AND …]` clause.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Join {
+    /// The joined table.
+    pub table: TableRef,
+    /// Equality pairs from the `ON` clause.
+    pub on: Vec<(ColRef, ColRef)>,
+}
+
+/// A comparison condition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Condition {
+    /// Left operand.
+    pub left: Operand,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub right: Operand,
+}
+
+/// A condition operand.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Operand {
+    /// A column.
+    Col(ColRef),
+    /// A literal.
+    Lit(Lit),
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// `=` — works on symbolic aggregates (equality tokens).
+    Eq,
+    /// `<>` — boolean complement of `=` on resolvable values only.
+    Ne,
+    /// `<` (resolvable values only).
+    Lt,
+    /// `<=` (resolvable values only).
+    Le,
+    /// `>` (resolvable values only).
+    Gt,
+    /// `>=` (resolvable values only).
+    Ge,
+}
+
+/// A literal value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Lit {
+    /// A number.
+    Num(Num),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}

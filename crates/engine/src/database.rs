@@ -1,0 +1,150 @@
+//! The annotated database: catalog, DDL/DML execution, and queries.
+
+use crate::annot::ParseAnnotation;
+use crate::ast::{ColType, Lit, Stmt};
+use crate::exec::run_query;
+use crate::parser::parse_script;
+use aggprov_algebra::domain::Const;
+use aggprov_core::annotation::AggAnnotation;
+use aggprov_core::ops::MKRel;
+use aggprov_core::Value;
+use aggprov_krel::error::{RelError, Result};
+use aggprov_krel::relation::Relation;
+use aggprov_krel::schema::Schema;
+use std::collections::BTreeMap;
+
+/// A database of `(M, K)`-relations annotated with `A`.
+///
+/// The annotation semiring is chosen at the type level:
+/// [`ProvDb`](crate::ProvDb) tracks full aggregate provenance, while
+/// `Database<Nat>` runs plain bag semantics, `Database<Security>` security
+/// clearances, and so on — the factorization property in action.
+#[derive(Clone, Default, Debug)]
+pub struct Database<A: AggAnnotation + ParseAnnotation> {
+    tables: BTreeMap<String, TableEntry<A>>,
+}
+
+#[derive(Clone, Debug)]
+struct TableEntry<A: AggAnnotation> {
+    types: Option<Vec<ColType>>,
+    rel: MKRel<A>,
+}
+
+impl<A: AggAnnotation + ParseAnnotation> Database<A> {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database {
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// Looks a table up.
+    pub fn table(&self, name: &str) -> Result<&MKRel<A>> {
+        self.tables
+            .get(name)
+            .map(|t| &t.rel)
+            .ok_or_else(|| RelError::UnknownAttr(format!("table `{name}`")))
+    }
+
+    /// Registers (or replaces) a table built programmatically.
+    pub fn register(&mut self, name: &str, rel: MKRel<A>) {
+        self.tables
+            .insert(name.to_string(), TableEntry { types: None, rel });
+    }
+
+    /// The table names.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    /// Executes a script of `;`-separated statements. Returns the result of
+    /// the last query in the script, if any.
+    pub fn exec(&mut self, script: &str) -> Result<Option<MKRel<A>>> {
+        let stmts = parse_script(script)?;
+        let mut last = None;
+        for stmt in stmts {
+            match stmt {
+                Stmt::CreateTable { name, columns } => {
+                    if self.tables.contains_key(&name) {
+                        return Err(RelError::DuplicateAttr(format!("table `{name}`")));
+                    }
+                    let schema = Schema::new(columns.iter().map(|(n, _)| n.as_str()))?;
+                    self.tables.insert(
+                        name,
+                        TableEntry {
+                            types: Some(columns.into_iter().map(|(_, t)| t).collect()),
+                            rel: Relation::empty(schema),
+                        },
+                    );
+                }
+                Stmt::DropTable { name } => {
+                    self.tables
+                        .remove(&name)
+                        .ok_or_else(|| RelError::UnknownAttr(format!("table `{name}`")))?;
+                }
+                Stmt::Insert {
+                    table,
+                    values,
+                    provenance,
+                } => self.insert_row(&table, &values, provenance.as_deref())?,
+                Stmt::Query(q) => {
+                    last = Some(run_query(self, &q)?);
+                }
+            }
+        }
+        Ok(last)
+    }
+
+    /// Runs a single query (read-only).
+    pub fn query(&self, sql: &str) -> Result<MKRel<A>> {
+        let q = crate::parser::parse_query(sql)?;
+        run_query(self, &q)
+    }
+
+    fn insert_row(&mut self, table: &str, values: &[Lit], provenance: Option<&str>) -> Result<()> {
+        let ann = match provenance {
+            None => A::one(),
+            Some(text) => A::parse_annotation(text).ok_or_else(|| {
+                RelError::Unsupported(format!(
+                    "`{text}` is not a valid annotation for this semiring"
+                ))
+            })?,
+        };
+        let entry = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| RelError::UnknownAttr(format!("table `{table}`")))?;
+        if let Some(types) = &entry.types {
+            if types.len() != values.len() {
+                return Err(RelError::ArityMismatch {
+                    expected: types.len(),
+                    got: values.len(),
+                });
+            }
+            for (lit, ty) in values.iter().zip(types) {
+                let ok = matches!(
+                    (lit, ty),
+                    (Lit::Num(_), ColType::Num)
+                        | (Lit::Str(_), ColType::Text)
+                        | (Lit::Bool(_), ColType::Bool)
+                );
+                if !ok {
+                    return Err(RelError::TypeError(format!(
+                        "literal {lit:?} does not match declared column type {ty:?}"
+                    )));
+                }
+            }
+        }
+        let row: Vec<Value<A>> = values
+            .iter()
+            .map(|l| {
+                Value::Const(match l {
+                    Lit::Num(n) => Const::Num(*n),
+                    Lit::Str(s) => Const::str(s),
+                    Lit::Bool(b) => Const::Bool(*b),
+                })
+            })
+            .collect();
+        entry.rel.insert(row, ann)
+    }
+}

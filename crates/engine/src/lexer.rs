@@ -1,0 +1,264 @@
+//! A hand-written lexer for the SQL-ish language.
+
+use aggprov_algebra::num::Num;
+use aggprov_krel::error::RelError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    /// An identifier or keyword (kept verbatim; keyword matching is
+    /// case-insensitive at the parser level).
+    Ident(String),
+    /// A numeric literal.
+    Number(Num),
+    /// A single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+fn err(msg: String) -> RelError {
+    RelError::Unsupported(format!("syntax error: {msg}"))
+}
+
+/// Tokenizes an input string. `--` starts a line comment.
+pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(err("unterminated string literal".into()));
+                }
+                out.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
+                {
+                    // A dot is part of the number only if followed by a digit
+                    // (so `r.a` lexes as ident-dot-ident).
+                    if bytes[j] == b'.'
+                        && !bytes
+                            .get(j + 1)
+                            .is_some_and(|b| (*b as char).is_ascii_digit())
+                    {
+                        break;
+                    }
+                    j += 1;
+                }
+                let text = &input[start..j];
+                let n = Num::parse(text)
+                    .ok_or_else(|| err(format!("invalid number `{text}`")))?;
+                out.push(Token::Number(n));
+                i = j;
+            }
+            '-' => {
+                // Negative literal.
+                let start = i;
+                let mut j = i + 1;
+                if !bytes
+                    .get(j)
+                    .is_some_and(|b| (*b as char).is_ascii_digit())
+                {
+                    return Err(err("stray `-`".into()));
+                }
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
+                {
+                    if bytes[j] == b'.'
+                        && !bytes
+                            .get(j + 1)
+                            .is_some_and(|b| (*b as char).is_ascii_digit())
+                    {
+                        break;
+                    }
+                    j += 1;
+                }
+                let text = &input[start..j];
+                let n = Num::parse(text)
+                    .ok_or_else(|| err(format!("invalid number `{text}`")))?;
+                out.push(Token::Number(n));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                out.push(Token::Ident(input[start..j].to_string()));
+                i = j;
+            }
+            other => return Err(err(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("SELECT dept, SUM(sal) FROM r WHERE x = 'd1';").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert_eq!(toks[2], Token::Comma);
+        assert!(toks.contains(&Token::Str("d1".into())));
+        assert_eq!(*toks.last().unwrap(), Token::Semi);
+    }
+
+    #[test]
+    fn numbers_and_qualified_names() {
+        let toks = lex("r.a 12 3.5 -4").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("r".into()),
+                Token::Dot,
+                Token::Ident("a".into()),
+                Token::Number(Num::int(12)),
+                Token::Number(Num::ratio(7, 2)),
+                Token::Number(Num::int(-4)),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("a <= b <> c >= d < e > f != g").unwrap();
+        let ops: Vec<&Token> = toks
+            .iter()
+            .filter(|t| !matches!(t, Token::Ident(_)))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![&Token::Le, &Token::Ne, &Token::Ge, &Token::Lt, &Token::Gt, &Token::Ne]
+        );
+    }
+
+    #[test]
+    fn comments_and_errors() {
+        assert_eq!(lex("-- hi\nx").unwrap(), vec![Token::Ident("x".into())]);
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("@").is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! Errors raised by relational operations.
+
+use std::fmt;
+
+/// An error from a relational-algebra operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RelError {
+    /// Two relations were combined whose schemas disagree.
+    SchemaMismatch {
+        /// Rendering of the left schema.
+        left: String,
+        /// Rendering of the right schema.
+        right: String,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// An attribute name was not found in the schema.
+    UnknownAttr(String),
+    /// A schema was built with a duplicate attribute name.
+    DuplicateAttr(String),
+    /// A tuple's arity disagrees with its schema.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Tuple arity.
+        got: usize,
+    },
+    /// A value had the wrong type for an operation (e.g. `SUM` over text).
+    TypeError(String),
+    /// The annotation semiring cannot express an operation (e.g. comparing
+    /// symbolic aggregates without the `K^M` extension, paper §4.1).
+    Unsupported(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::SchemaMismatch { left, right, op } => {
+                write!(f, "{op}: schema mismatch between ({left}) and ({right})")
+            }
+            RelError::UnknownAttr(a) => write!(f, "unknown attribute `{a}`"),
+            RelError::DuplicateAttr(a) => write!(f, "duplicate attribute `{a}`"),
+            RelError::ArityMismatch { expected, got } => {
+                write!(f, "tuple arity {got} does not match schema arity {expected}")
+            }
+            RelError::TypeError(msg) => write!(f, "type error: {msg}"),
+            RelError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, RelError>;

@@ -1,0 +1,143 @@
+//! `K`-sets (paper §2.1–2.2).
+//!
+//! A `K`-set is a finite-support function `S : D → K` — a single-attribute
+//! `K`-relation. `SetAgg` over a `K`-set of semimodule elements is the
+//! primitive from which the paper's aggregation semantics is built.
+
+use aggprov_algebra::semimodule::{set_agg, Semimodule};
+use aggprov_algebra::semiring::CommutativeSemiring;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A `K`-set: finitely many elements annotated with non-zero semiring
+/// values.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct KSet<K, V: Ord> {
+    items: BTreeMap<V, K>,
+}
+
+impl<K, V> KSet<K, V>
+where
+    K: CommutativeSemiring,
+    V: Clone + Ord + Hash + fmt::Debug,
+{
+    /// The empty `K`-set.
+    pub fn new() -> Self {
+        KSet {
+            items: BTreeMap::new(),
+        }
+    }
+
+    /// Builds from `(value, annotation)` pairs, summing repeats.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (V, K)>) -> Self {
+        let mut out = KSet::new();
+        for (v, k) in pairs {
+            out.insert(v, k);
+        }
+        out
+    }
+
+    /// Adds `k` to the annotation of `v`.
+    pub fn insert(&mut self, v: V, k: K) {
+        if k.is_zero() {
+            return;
+        }
+        match self.items.entry(v) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(k);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let sum = e.get().plus(&k);
+                if sum.is_zero() {
+                    e.remove();
+                } else {
+                    *e.get_mut() = sum;
+                }
+            }
+        }
+    }
+
+    /// `S(v)`: the annotation (`0_K` outside the support).
+    pub fn annotation(&self, v: &V) -> K {
+        self.items.get(v).cloned().unwrap_or_else(K::zero)
+    }
+
+    /// Union: `(S₁ ∪ S₂)(v) = S₁(v) + S₂(v)`.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (v, k) in &other.items {
+            out.insert(v.clone(), k.clone());
+        }
+        out
+    }
+
+    /// The support size.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True iff the support is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over the support.
+    pub fn iter(&self) -> impl Iterator<Item = (&V, &K)> {
+        self.items.iter()
+    }
+
+    /// `SetAgg_W`: aggregates the set's elements in a `K`-semimodule whose
+    /// vectors are the element type (paper §2.2).
+    pub fn aggregate<W>(&self, module: &W) -> V
+    where
+        W: Semimodule<K, Vector = V>,
+    {
+        set_agg(module, self.items.iter().map(|(v, k)| (k, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggprov_algebra::domain::Const;
+    use aggprov_algebra::monoid::MonoidKind;
+    use aggprov_algebra::semimodule::{BoolSemimodule, NatSemimodule};
+    use aggprov_algebra::semiring::{Bool, Nat};
+
+    #[test]
+    fn bag_sum_aggregation() {
+        // ℕ-set {20↦2, 10↦3}: SUM = 70 (paper §1: p1×20 + p2×10 + …).
+        let s = KSet::from_pairs([(Const::int(20), Nat(2)), (Const::int(10), Nat(3))]);
+        assert_eq!(s.aggregate(&NatSemimodule(MonoidKind::Sum)), Const::int(70));
+    }
+
+    #[test]
+    fn set_min_aggregation() {
+        let s = KSet::from_pairs([
+            (Const::int(20), Bool(true)),
+            (Const::int(10), Bool(true)),
+            (Const::int(5), Bool(false)),
+        ]);
+        assert_eq!(
+            s.aggregate(&BoolSemimodule::new(MonoidKind::Min)),
+            Const::int(10)
+        );
+    }
+
+    #[test]
+    fn empty_aggregate_is_monoid_zero() {
+        let s: KSet<Nat, Const> = KSet::new();
+        assert_eq!(s.aggregate(&NatSemimodule(MonoidKind::Sum)), Const::int(0));
+    }
+
+    #[test]
+    fn union_and_annotations() {
+        let a = KSet::from_pairs([(Const::int(1), Nat(1))]);
+        let b = KSet::from_pairs([(Const::int(1), Nat(2)), (Const::int(2), Nat(1))]);
+        let u = a.union(&b);
+        assert_eq!(u.annotation(&Const::int(1)), Nat(3));
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.annotation(&Const::int(9)), Nat(0));
+    }
+}

@@ -1,0 +1,28 @@
+//! # aggprov-krel
+//!
+//! `K`-relations and the positive relational algebra (SPJU) over commutative
+//! semirings, following Green, Karvounarakis & Tannen (PODS 2007) — the
+//! substrate on which *Provenance for Aggregate Queries* builds:
+//!
+//! * [`schema`], [`relation`] — named-perspective schemas, tuples, and
+//!   `K`-relations with union / projection / selection / join / product /
+//!   rename and homomorphism application (`h_Rel`);
+//! * [`kset`] — `K`-sets and `SetAgg`;
+//! * [`monus`] — baseline difference semantics (set/bag monus,
+//!   ℤ-difference) used by the paper's §5.2 comparisons;
+//! * [`reference`] — an independent, annotation-free bag/set evaluator used
+//!   as the differential-testing oracle for set/bag compatibility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod kset;
+pub mod monus;
+pub mod reference;
+pub mod relation;
+pub mod schema;
+
+pub use error::{RelError, Result};
+pub use relation::{Relation, Tuple};
+pub use schema::{Attr, Schema};

@@ -1,0 +1,253 @@
+//! A deliberately naive, annotation-free bag/set evaluator.
+//!
+//! This is the ground-truth oracle for the set/bag compatibility
+//! desideratum (paper §3.1): results of the annotated semantics specialized
+//! to `K = ℕ` (bags) or `K = B` (sets) must coincide with what a plain
+//! evaluator computes. The implementation here shares **no code** with the
+//! annotated engine — rows are literal multisets and aggregation folds the
+//! monoid directly — so agreement between the two is meaningful evidence.
+
+use aggprov_algebra::domain::Const;
+use aggprov_algebra::monoid::{CommutativeMonoid, MonoidKind};
+use std::collections::BTreeMap;
+
+/// A plain bag (multiset) of rows with named attributes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BagRel {
+    /// Attribute names.
+    pub attrs: Vec<String>,
+    /// Rows, with multiplicity given by repetition.
+    pub rows: Vec<Vec<Const>>,
+}
+
+impl BagRel {
+    /// Builds a bag relation.
+    pub fn new(attrs: &[&str], rows: Vec<Vec<Const>>) -> Self {
+        BagRel {
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+            rows,
+        }
+    }
+
+    fn idx(&self, attr: &str) -> usize {
+        self.attrs
+            .iter()
+            .position(|a| a == attr)
+            .unwrap_or_else(|| panic!("reference: unknown attribute {attr}"))
+    }
+
+    /// Bag union (concatenation).
+    pub fn union(&self, other: &BagRel) -> BagRel {
+        assert_eq!(self.attrs, other.attrs, "reference: union schema mismatch");
+        let mut rows = self.rows.clone();
+        rows.extend(other.rows.iter().cloned());
+        BagRel {
+            attrs: self.attrs.clone(),
+            rows,
+        }
+    }
+
+    /// Bag projection (duplicates preserved).
+    pub fn project(&self, attrs: &[&str]) -> BagRel {
+        let idx: Vec<usize> = attrs.iter().map(|a| self.idx(a)).collect();
+        BagRel {
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+            rows: self
+                .rows
+                .iter()
+                .map(|r| idx.iter().map(|i| r[*i].clone()).collect())
+                .collect(),
+        }
+    }
+
+    /// Selection.
+    pub fn select(&self, pred: impl Fn(&[Const]) -> bool) -> BagRel {
+        BagRel {
+            attrs: self.attrs.clone(),
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+
+    /// Selection on attribute equality with a constant.
+    pub fn select_eq(&self, attr: &str, value: &Const) -> BagRel {
+        let i = self.idx(attr);
+        self.select(|r| &r[i] == value)
+    }
+
+    /// Natural join by nested loops.
+    pub fn natural_join(&self, other: &BagRel) -> BagRel {
+        let shared: Vec<&String> = self.attrs.iter().filter(|a| other.attrs.contains(a)).collect();
+        let left_idx: Vec<usize> = shared.iter().map(|a| self.idx(a)).collect();
+        let right_idx: Vec<usize> = shared.iter().map(|a| other.idx(a)).collect();
+        let extra_idx: Vec<usize> = (0..other.attrs.len())
+            .filter(|i| !shared.iter().any(|a| *a == &other.attrs[*i]))
+            .collect();
+
+        let mut attrs = self.attrs.clone();
+        attrs.extend(extra_idx.iter().map(|i| other.attrs[*i].clone()));
+
+        let mut rows = Vec::new();
+        for l in &self.rows {
+            for r in &other.rows {
+                if left_idx
+                    .iter()
+                    .zip(&right_idx)
+                    .all(|(li, ri)| l[*li] == r[*ri])
+                {
+                    let mut row = l.clone();
+                    row.extend(extra_idx.iter().map(|i| r[*i].clone()));
+                    rows.push(row);
+                }
+            }
+        }
+        BagRel { attrs, rows }
+    }
+
+    /// Duplicate elimination (set semantics).
+    pub fn distinct(&self) -> BagRel {
+        let mut seen: Vec<Vec<Const>> = Vec::new();
+        for r in &self.rows {
+            if !seen.contains(r) {
+                seen.push(r.clone());
+            }
+        }
+        BagRel {
+            attrs: self.attrs.clone(),
+            rows: seen,
+        }
+    }
+
+    /// Bag difference (multiset subtraction).
+    pub fn bag_difference(&self, other: &BagRel) -> BagRel {
+        assert_eq!(self.attrs, other.attrs);
+        let mut budget: BTreeMap<Vec<Const>, usize> = BTreeMap::new();
+        for r in &other.rows {
+            *budget.entry(r.clone()).or_insert(0) += 1;
+        }
+        let mut rows = Vec::new();
+        for r in &self.rows {
+            match budget.get_mut(r) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => rows.push(r.clone()),
+            }
+        }
+        BagRel {
+            attrs: self.attrs.clone(),
+            rows,
+        }
+    }
+
+    /// Set difference on the distinct rows.
+    pub fn set_difference(&self, other: &BagRel) -> BagRel {
+        assert_eq!(self.attrs, other.attrs);
+        let d = self.distinct();
+        BagRel {
+            attrs: self.attrs.clone(),
+            rows: d
+                .rows
+                .into_iter()
+                .filter(|r| !other.rows.contains(r))
+                .collect(),
+        }
+    }
+
+    /// Full-relation aggregation of one attribute (no grouping).
+    pub fn aggregate(&self, kind: MonoidKind, attr: &str) -> Const {
+        let i = self.idx(attr);
+        self.rows
+            .iter()
+            .map(|r| r[i].clone())
+            .fold(kind.zero(), |a, b| kind.plus(&a, &b))
+    }
+
+    /// `GROUP BY group_attrs` with a single aggregation `kind(agg_attr)`;
+    /// output schema is `group_attrs ++ [agg_attr]`.
+    pub fn group_aggregate(&self, group_attrs: &[&str], kind: MonoidKind, agg_attr: &str) -> BagRel {
+        let gidx: Vec<usize> = group_attrs.iter().map(|a| self.idx(a)).collect();
+        let ai = self.idx(agg_attr);
+        let mut groups: BTreeMap<Vec<Const>, Const> = BTreeMap::new();
+        for r in &self.rows {
+            let key: Vec<Const> = gidx.iter().map(|i| r[*i].clone()).collect();
+            let acc = groups.entry(key).or_insert_with(|| kind.zero());
+            *acc = kind.plus(acc, &r[ai]);
+        }
+        let mut attrs: Vec<String> = group_attrs.iter().map(|s| s.to_string()).collect();
+        attrs.push(agg_attr.to_string());
+        BagRel {
+            attrs,
+            rows: groups
+                .into_iter()
+                .map(|(mut key, agg)| {
+                    key.push(agg);
+                    key
+                })
+                .collect(),
+        }
+    }
+
+    /// Rows sorted, for order-insensitive comparison.
+    pub fn sorted_rows(&self) -> Vec<Vec<Const>> {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emp() -> BagRel {
+        BagRel::new(
+            &["dept", "sal"],
+            vec![
+                vec![Const::str("d1"), Const::int(20)],
+                vec![Const::str("d1"), Const::int(10)],
+                vec![Const::str("d2"), Const::int(10)],
+            ],
+        )
+    }
+
+    #[test]
+    fn group_sum() {
+        let g = emp().group_aggregate(&["dept"], MonoidKind::Sum, "sal");
+        assert_eq!(
+            g.sorted_rows(),
+            vec![
+                vec![Const::str("d1"), Const::int(30)],
+                vec![Const::str("d2"), Const::int(10)],
+            ]
+        );
+    }
+
+    #[test]
+    fn join_and_project() {
+        let dept = BagRel::new(
+            &["dept", "head"],
+            vec![vec![Const::str("d1"), Const::str("alice")]],
+        );
+        let j = emp().natural_join(&dept);
+        assert_eq!(j.rows.len(), 2);
+        let p = j.project(&["head"]);
+        assert_eq!(p.rows.len(), 2, "bag projection keeps duplicates");
+        assert_eq!(p.distinct().rows.len(), 1);
+    }
+
+    #[test]
+    fn differences() {
+        let a = BagRel::new(&["x"], vec![vec![Const::int(1)], vec![Const::int(1)], vec![Const::int(2)]]);
+        let b = BagRel::new(&["x"], vec![vec![Const::int(1)]]);
+        assert_eq!(a.bag_difference(&b).rows.len(), 2);
+        assert_eq!(a.set_difference(&b).rows, vec![vec![Const::int(2)]]);
+    }
+
+    #[test]
+    fn aggregate_whole_relation() {
+        assert_eq!(emp().aggregate(MonoidKind::Sum, "sal"), Const::int(40));
+        assert_eq!(emp().aggregate(MonoidKind::Max, "sal"), Const::int(20));
+        assert_eq!(
+            BagRel::new(&["x"], vec![]).aggregate(MonoidKind::Min, "x"),
+            Const::Num(aggprov_algebra::num::Num::PosInf)
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Relation schemas (named perspective, paper §2.1).
+//!
+//! The paper uses the named perspective of the relational model: a tuple is
+//! a function from a finite attribute set `U` to the domain. We keep
+//! attributes ordered for deterministic storage and rendering, but all
+//! operations address attributes by name.
+
+use crate::error::{RelError, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// An attribute name.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Attr(Arc<str>);
+
+impl Attr {
+    /// Creates an attribute name.
+    pub fn new(name: &str) -> Self {
+        Attr(Arc::from(name))
+    }
+
+    /// The name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Attr {
+    fn from(s: &str) -> Attr {
+        Attr::new(s)
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An ordered list of distinct attribute names.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Schema {
+    attrs: Arc<[Attr]>,
+}
+
+impl Schema {
+    /// Builds a schema; fails on duplicate names.
+    pub fn new<I, A>(attrs: I) -> Result<Schema>
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attr>,
+    {
+        let attrs: Vec<Attr> = attrs.into_iter().map(Into::into).collect();
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(RelError::DuplicateAttr(a.name().to_string()));
+            }
+        }
+        Ok(Schema {
+            attrs: attrs.into(),
+        })
+    }
+
+    /// The attributes, in order.
+    pub fn attrs(&self) -> &[Attr] {
+        &self.attrs
+    }
+
+    /// The number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The position of an attribute.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.attrs
+            .iter()
+            .position(|a| a.name() == name)
+            .ok_or_else(|| RelError::UnknownAttr(name.to_string()))
+    }
+
+    /// True iff the schema contains the attribute.
+    pub fn contains(&self, name: &str) -> bool {
+        self.attrs.iter().any(|a| a.name() == name)
+    }
+
+    /// The positions of several attributes, in the given order.
+    pub fn indices_of(&self, names: &[&str]) -> Result<Vec<usize>> {
+        names.iter().map(|n| self.index_of(n)).collect()
+    }
+
+    /// The sub-schema for the given attributes (projection `Π_{U'}`).
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let idx = self.indices_of(names)?;
+        Schema::new(idx.iter().map(|i| self.attrs[*i].clone()))
+    }
+
+    /// The attributes shared with another schema (join attributes).
+    pub fn shared_with(&self, other: &Schema) -> Vec<Attr> {
+        self.attrs
+            .iter()
+            .filter(|a| other.contains(a.name()))
+            .cloned()
+            .collect()
+    }
+
+    /// The schema of a natural join: this schema followed by the other's
+    /// non-shared attributes.
+    pub fn join_with(&self, other: &Schema) -> Result<Schema> {
+        let mut attrs: Vec<Attr> = self.attrs.to_vec();
+        for a in other.attrs.iter() {
+            if !self.contains(a.name()) {
+                attrs.push(a.clone());
+            }
+        }
+        Schema::new(attrs)
+    }
+
+    /// Renames one attribute.
+    pub fn rename(&self, from: &str, to: &str) -> Result<Schema> {
+        let idx = self.index_of(from)?;
+        let mut attrs = self.attrs.to_vec();
+        attrs[idx] = Attr::new(to);
+        Schema::new(attrs)
+    }
+
+    /// Appends attributes (for cartesian product); fails on collisions.
+    pub fn concat(&self, other: &Schema) -> Result<Schema> {
+        Schema::new(self.attrs.iter().chain(other.attrs.iter()).cloned())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rejects_duplicates() {
+        assert!(Schema::new(["a", "b"]).is_ok());
+        assert_eq!(
+            Schema::new(["a", "a"]),
+            Err(RelError::DuplicateAttr("a".into()))
+        );
+    }
+
+    #[test]
+    fn lookup() {
+        let s = Schema::new(["dept", "sal"]).unwrap();
+        assert_eq!(s.index_of("sal").unwrap(), 1);
+        assert!(s.index_of("nope").is_err());
+        assert!(s.contains("dept"));
+        assert_eq!(s.arity(), 2);
+    }
+
+    #[test]
+    fn project_and_rename() {
+        let s = Schema::new(["emp", "dept", "sal"]).unwrap();
+        let p = s.project(&["sal", "dept"]).unwrap();
+        assert_eq!(p.to_string(), "sal, dept");
+        let r = s.rename("sal", "salary").unwrap();
+        assert_eq!(r.to_string(), "emp, dept, salary");
+        assert!(s.rename("nope", "x").is_err());
+    }
+
+    #[test]
+    fn join_schema() {
+        let a = Schema::new(["x", "y"]).unwrap();
+        let b = Schema::new(["y", "z"]).unwrap();
+        assert_eq!(a.join_with(&b).unwrap().to_string(), "x, y, z");
+        assert_eq!(
+            a.shared_with(&b),
+            vec![Attr::new("y")]
+        );
+        assert!(a.concat(&b).is_err(), "product needs disjoint attrs");
+    }
+}

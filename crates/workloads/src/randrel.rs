@@ -1,0 +1,114 @@
+//! Random annotated relations and valuations for property tests.
+
+use crate::plans::BASE_SCHEMA;
+use aggprov_algebra::hom::Valuation;
+use aggprov_algebra::poly::NatPoly;
+use aggprov_algebra::semiring::{Bool, Nat};
+use aggprov_core::km::Km;
+use aggprov_core::ops::MKRel;
+use aggprov_core::{Prov, Value};
+use aggprov_krel::reference::BagRel;
+use aggprov_krel::relation::Relation;
+use aggprov_krel::schema::Schema;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generates `n_tables` random token-annotated tables with the plan schema
+/// `(g, v, w)` and small value domains, returning the token names.
+pub fn random_prov_tables(
+    rng: &mut StdRng,
+    n_tables: usize,
+    rows_per_table: usize,
+) -> (Vec<MKRel<Prov>>, Vec<String>) {
+    let mut tables = Vec::new();
+    let mut tokens = Vec::new();
+    for t in 0..n_tables {
+        let mut rel = Relation::empty(Schema::new(BASE_SCHEMA).expect("schema"));
+        for r in 0..rows_per_table {
+            let token = format!("t{t}_{r}");
+            rel.insert(
+                vec![
+                    Value::int(rng.random_range(0..3)),
+                    Value::int(rng.random_range(-3..4)),
+                    Value::int(rng.random_range(-3..4)),
+                ],
+                Km::embed(NatPoly::token(&token)),
+            )
+            .expect("insert");
+            tokens.push(token);
+        }
+        tables.push(rel);
+    }
+    (tables, tokens)
+}
+
+/// A random valuation of the tokens into small multiplicities.
+pub fn random_nat_valuation(rng: &mut StdRng, tokens: &[String]) -> Valuation<Nat> {
+    Valuation::ones().set_all(
+        tokens
+            .iter()
+            .map(|t| (aggprov_algebra::poly::Var::new(t), Nat(rng.random_range(0..3)))),
+    )
+}
+
+/// A random valuation of the tokens into booleans (set semantics).
+pub fn random_bool_valuation(rng: &mut StdRng, tokens: &[String]) -> Valuation<Bool> {
+    Valuation::ones().set_all(
+        tokens
+            .iter()
+            .map(|t| (aggprov_algebra::poly::Var::new(t), Bool(rng.random_bool(0.7)))),
+    )
+}
+
+/// Materializes a token-annotated base table as a plain bag under a
+/// valuation: each tuple appears with its valuated multiplicity. Values
+/// must be constants (base tables only).
+pub fn to_bag(rel: &MKRel<Prov>, val: &Valuation<Nat>) -> BagRel {
+    let attrs: Vec<String> = rel
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for (t, k) in rel.iter() {
+        let base = k.try_collapse().expect("base tables carry plain tokens");
+        let mult = val.eval(&base).0;
+        let row: Vec<aggprov_algebra::domain::Const> = t
+            .values()
+            .iter()
+            .map(|v| v.as_const().expect("base tables hold constants").clone())
+            .collect();
+        for _ in 0..mult {
+            rows.push(row.clone());
+        }
+    }
+    let attr_refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
+    BagRel::new(&attr_refs, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tables_and_valuations_are_seeded() {
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        let (a, ta) = random_prov_tables(&mut r1, 2, 5);
+        let (b, tb) = random_prov_tables(&mut r2, 2, 5);
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn to_bag_expands_multiplicities() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (tables, tokens) = random_prov_tables(&mut rng, 1, 4);
+        let val = Valuation::<Nat>::ones()
+            .set_all(tokens.iter().map(|t| (aggprov_algebra::poly::Var::new(t), Nat(2))));
+        let bag = to_bag(&tables[0], &val);
+        assert_eq!(bag.rows.len(), 8);
+    }
+}

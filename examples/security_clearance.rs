@@ -1,0 +1,87 @@
+//! Security-annotated aggregation (paper Examples 3.5 and 3.16).
+//!
+//! Tuples carry clearance levels from the security semiring `S`
+//! (`1s < C < S < T < 0s`). Idempotent aggregates (MIN/MAX) work directly
+//! over `S`; SUM needs the security-bag semiring `SN` (§3.4), which is
+//! compatible with every monoid. One symbolic result serves every
+//! credential level.
+//!
+//! Run with: `cargo run --example security_clearance`
+
+use aggprov::core::eval::{collapse, map_hom_mk};
+use aggprov::core::Km;
+use aggprov::engine::Database;
+use aggprov_algebra::semiring::{Nat, Security};
+use aggprov_algebra::sn::Sn;
+
+fn main() {
+    // ---- MAX over the security semiring (Example 3.5) -------------------
+    let mut db: Database<Km<Security>> = Database::new();
+    db.exec(
+        "CREATE TABLE salaries (name TEXT, sal NUM);
+         INSERT INTO salaries VALUES ('alice', 20) PROVENANCE S;
+         INSERT INTO salaries VALUES ('bob', 10) PROVENANCE PUBLIC;
+         INSERT INTO salaries VALUES ('carol', 30) PROVENANCE S;",
+    )
+    .expect("load");
+
+    let top = db.query("SELECT MAX(sal) AS top FROM salaries").expect("query");
+    println!("== MAX(sal), symbolic over S (Example 3.5) ==");
+    println!("{top}");
+
+    for cred in [
+        Security::Public,
+        Security::Confidential,
+        Security::Secret,
+        Security::TopSecret,
+    ] {
+        let view = map_hom_mk(&top, &|s: &Security| {
+            if s.visible_to(cred) {
+                Security::Public
+            } else {
+                Security::Never
+            }
+        });
+        let shown = view
+            .iter()
+            .next()
+            .map(|(t, _)| t.get(0).to_string())
+            .unwrap_or_else(|| "(empty)".into());
+        println!("credentials {cred:>2}: MAX = {shown}");
+    }
+
+    // ---- SUM over the security-bag semiring SN (Example 3.16) -----------
+    println!();
+    println!("== SUM needs SN: the security-bag semiring (§3.4) ==");
+    let mut db: Database<Km<Sn>> = Database::new();
+    db.exec(
+        "CREATE TABLE payroll (sal NUM);
+         INSERT INTO payroll VALUES (30) PROVENANCE T;
+         INSERT INTO payroll VALUES (30) PROVENANCE S;
+         INSERT INTO payroll VALUES (10) PROVENANCE S;",
+    )
+    .expect("load");
+    let total = db.query("SELECT SUM(sal) AS total FROM payroll").expect("query");
+    println!("{total}");
+
+    for cred in [
+        Security::Confidential,
+        Security::Secret,
+        Security::TopSecret,
+    ] {
+        // Each principal sees the multiplicity of the tuples they may read.
+        let view = collapse(&map_hom_mk(&total, &|x: &Sn| {
+            Nat(x.multiplicity_for(cred))
+        }))
+        .expect("SN resolves through its ℕ homomorphism");
+        let shown = view.iter().next().expect("row").0.get(0).to_string();
+        println!("credentials {cred:>2}: SUM = {shown}");
+    }
+
+    println!();
+    println!(
+        "note: plain S would conflate the two 30-salaries (1s⊗40 = 1s⊗70 in \
+         S⊗SUM, §3.4); SN keeps counts per level, which is exactly why it \
+         exists."
+    );
+}

@@ -1,0 +1,58 @@
+//! An interactive SQL shell over a provenance-annotated database.
+//!
+//! ```text
+//! cargo run --example sql_repl
+//! sql> CREATE TABLE r (dept TEXT, sal NUM);
+//! sql> INSERT INTO r VALUES ('d1', 20) PROVENANCE p1;
+//! sql> SELECT dept, SUM(sal) AS mass FROM r GROUP BY dept;
+//! ```
+//!
+//! Statements end with `;`. `\q` quits, `\tables` lists tables.
+
+use aggprov::engine::ProvDb;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut db = ProvDb::new();
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+
+    println!("aggprov SQL shell — provenance-annotated aggregation (PODS'11)");
+    println!("statements end with `;`; \\q quits, \\tables lists tables");
+    print!("sql> ");
+    io::stdout().flush().ok();
+
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if trimmed == "\\q" {
+            break;
+        }
+        if trimmed == "\\tables" {
+            for name in db.table_names() {
+                println!("{name}");
+            }
+            print!("sql> ");
+            io::stdout().flush().ok();
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if !trimmed.ends_with(';') {
+            print!("  -> ");
+            io::stdout().flush().ok();
+            continue;
+        }
+        match db.exec(&buffer) {
+            Ok(Some(result)) => println!("{result}"),
+            Ok(None) => println!("ok"),
+            Err(e) => println!("error: {e}"),
+        }
+        buffer.clear();
+        print!("sql> ");
+        io::stdout().flush().ok();
+    }
+}

@@ -1,0 +1,67 @@
+//! One stored provenance result, many application readings.
+//!
+//! The factorization property (paper §1/§2.1): any semiring-annotation
+//! semantics factors through the provenance polynomials. This example
+//! evaluates an aggregate query once over `ℕ[X]^M` and then reads the same
+//! result under three different application semirings:
+//!
+//! * **Viterbi** (`[0,1], max, ×`): how confident are we in each group sum,
+//!   given per-source confidence?
+//! * **Tropical** (`ℕ∪{∞}, min, +`): what does it cost to obtain it, given
+//!   per-source access costs?
+//! * **Why-provenance**: which sources does it depend on at all?
+//!
+//! Run with: `cargo run --example trust_and_cost`
+
+use aggprov::core::eval::map_hom_mk;
+use aggprov::engine::ProvDb;
+use aggprov_algebra::hierarchy::to_lineage;
+use aggprov_algebra::hom::Valuation;
+use aggprov_algebra::poly::NatPoly;
+use aggprov_algebra::semiring::{Tropical, Viterbi};
+
+fn main() {
+    let mut db = ProvDb::new();
+    db.exec(
+        "CREATE TABLE readings (sensor TEXT, region TEXT, temp NUM);
+         INSERT INTO readings VALUES ('s1', 'north', 20) PROVENANCE src1;
+         INSERT INTO readings VALUES ('s2', 'north', 22) PROVENANCE src2;
+         INSERT INTO readings VALUES ('s3', 'south', 31) PROVENANCE src3;
+         INSERT INTO readings VALUES ('s4', 'south', 29) PROVENANCE src1;",
+    )
+    .expect("load sensor data");
+
+    let result = db
+        .query("SELECT region, MAX(temp) AS peak FROM readings GROUP BY region")
+        .expect("query");
+    println!("== symbolic result (evaluated once) ==");
+    println!("{result}");
+
+    // Reading 1: confidence. src1 is flaky (0.5), the rest are good.
+    let confidence = Valuation::<Viterbi>::ones()
+        .set("src1", Viterbi::ratio(1, 2))
+        .set("src2", Viterbi::ratio(9, 10))
+        .set("src3", Viterbi::ratio(9, 10));
+    let view = map_hom_mk(&result, &|p: &NatPoly| confidence.eval(p));
+    println!("== Viterbi reading: confidence of each group ==");
+    println!("{view}");
+
+    // Reading 2: cost. Fetching from src2 is expensive.
+    let cost = Valuation::<Tropical>::ones()
+        .set("src1", Tropical::Fin(1))
+        .set("src2", Tropical::Fin(10))
+        .set("src3", Tropical::Fin(2));
+    let view = map_hom_mk(&result, &|p: &NatPoly| cost.eval(p));
+    println!("== tropical reading: cost to obtain each group ==");
+    println!("{view}");
+
+    // Reading 3: lineage — which sources each group depends on. Valuating
+    // each token to its own lineage singleton pushes the whole annotation
+    // (δ included — identity on this idempotent semiring) down the
+    // hierarchy.
+    let view = map_hom_mk(&result, &|p: &NatPoly| {
+        to_lineage(p)
+    });
+    println!("== lineage reading: which sources matter per group ==");
+    println!("{view}");
+}

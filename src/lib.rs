@@ -1,0 +1,73 @@
+//! # aggprov — Provenance for Aggregate Queries
+//!
+//! A Rust implementation of the framework of **Amsterdamer, Deutch & Tannen,
+//! "Provenance for Aggregate Queries" (PODS 2011)**: semiring-annotated
+//! relations extended with aggregation, where aggregate *values* are elements
+//! of a tensor product `K ⊗ M` of the annotation semiring `K` and the
+//! aggregation monoid `M`, nested aggregation is handled by the extended
+//! semiring `K^M` with symbolic equality tokens, and relational difference is
+//! obtained by encoding it with aggregation over the monoid `B̂`.
+//!
+//! This crate is a façade that re-exports the workspace crates:
+//!
+//! * [`algebra`] — monoids, semirings, provenance polynomials `ℕ[X]`,
+//!   homomorphisms, semimodules and the tensor product `K ⊗ M`.
+//! * [`krel`] — `K`-relations and the positive relational algebra (SPJU) of
+//!   Green, Karvounarakis & Tannen (PODS 2007), plus baseline difference
+//!   semantics and an unannotated reference evaluator.
+//! * [`core`] — the paper's contribution: aggregation and group-by on
+//!   annotated relations (§3), the extended semiring `K^M` and nested
+//!   aggregation (§4), difference via aggregation (§5), and the naive
+//!   exponential baselines of §1.
+//! * [`engine`] — a small SQL front-end (parser, planner, executor) over
+//!   annotated databases.
+//! * [`workloads`] — synthetic data and query generators for the experiments.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use aggprov::prelude::*;
+//!
+//! // Build the relation of Figure 1(a), annotated with provenance tokens.
+//! let mut db = Database::<Prov>::new();
+//! db.exec(
+//!     "CREATE TABLE r (emp TEXT, dept TEXT, sal NUM);
+//!      INSERT INTO r VALUES ('e1', 'd1', 20) PROVENANCE p1;
+//!      INSERT INTO r VALUES ('e2', 'd1', 10) PROVENANCE p2;
+//!      INSERT INTO r VALUES ('e3', 'd2', 15) PROVENANCE p3;",
+//! )
+//! .unwrap();
+//!
+//! // Sum salaries per department: the aggregate values are tensors.
+//! let out = db
+//!     .query("SELECT dept, SUM(sal) AS total FROM r GROUP BY dept")
+//!     .unwrap();
+//! assert_eq!(out.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use aggprov_algebra as algebra;
+pub use aggprov_core as core;
+pub use aggprov_engine as engine;
+pub use aggprov_krel as krel;
+pub use aggprov_workloads as workloads;
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use aggprov_algebra::hom::{SemiringHom, Valuation};
+    pub use aggprov_algebra::monoid::{CommutativeMonoid, MonoidKind};
+    pub use aggprov_algebra::num::Num;
+    pub use aggprov_algebra::poly::{NatPoly, Var};
+    pub use aggprov_algebra::semiring::{Bool, CommutativeSemiring, Nat};
+    pub use aggprov_algebra::tensor::Tensor;
+    pub use aggprov_algebra::domain::Const;
+    pub use aggprov_core::km::Km;
+    pub use aggprov_core::value::Value;
+    pub use aggprov_engine::Database;
+
+    /// The standard provenance annotation: the extended semiring
+    /// `ℕ[X]^M` over provenance polynomials.
+    pub type Prov = aggprov_core::km::Km<aggprov_algebra::poly::NatPoly>;
+}

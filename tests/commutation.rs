@@ -1,0 +1,140 @@
+//! The paper's central theorem, mechanized: **query evaluation commutes
+//! with semiring homomorphisms** (Theorem 3.3 for SPJU-AGB, extended to the
+//! §4.3 semantics and the §5 difference).
+//!
+//! For random query plans `Q`, random token-annotated databases `D` and
+//! random valuations `h`: `Q(h_Rel(D)) = h_Rel(Q(D))`.
+
+use aggprov::core::eval::{collapse, map_hom_mk, specialize};
+use aggprov::core::ops::MKRel;
+use aggprov::core::Km;
+use aggprov::workloads::plans::{eval_mk, random_plan};
+use aggprov::workloads::randrel::{
+    random_bool_valuation, random_nat_valuation, random_prov_tables,
+};
+use aggprov_algebra::semiring::{Bool, Nat, Security};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn commutes_with_valuations_into_nat() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for round in 0..60 {
+        let (tables, tokens) = random_prov_tables(&mut rng, 2, 5);
+        let plan = random_plan(&mut rng, 2, 2);
+        let val = random_nat_valuation(&mut rng, &tokens);
+
+        // h first, then Q.
+        let specialized: Vec<MKRel<Km<Nat>>> =
+            tables.iter().map(|t| specialize(t, &val)).collect();
+        let lhs = eval_mk(&plan, &specialized).expect("eval after hom");
+
+        // Q first, then h.
+        let symbolic = eval_mk(&plan, &tables).expect("symbolic eval");
+        let rhs = map_hom_mk(&symbolic, &|p| val.eval(p));
+
+        let lhs = collapse(&lhs).expect("ℕ results are token-free");
+        let rhs = collapse(&rhs).expect("ℕ results are token-free");
+        assert_eq!(lhs, rhs, "round {round}, plan {plan:?}");
+    }
+}
+
+#[test]
+fn commutes_with_valuations_into_bool() {
+    // Set semantics: restrict to SUM-free plans (B is incompatible with
+    // SUM, §3.4 — with SUM the results are not ι-readable).
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut tested = 0;
+    while tested < 40 {
+        let (tables, tokens) = random_prov_tables(&mut rng, 2, 5);
+        let plan = random_plan(&mut rng, 2, 2);
+        if plan.uses_sum() {
+            continue;
+        }
+        tested += 1;
+        let val = random_bool_valuation(&mut rng, &tokens);
+
+        let specialized: Vec<MKRel<Km<Bool>>> =
+            tables.iter().map(|t| specialize(t, &val)).collect();
+        let lhs = collapse(&eval_mk(&plan, &specialized).expect("eval after hom"))
+            .expect("B results are token-free");
+        let symbolic = eval_mk(&plan, &tables).expect("symbolic eval");
+        let rhs = collapse(&map_hom_mk(&symbolic, &|p| val.eval(p)))
+            .expect("B results are token-free");
+        assert_eq!(lhs, rhs, "plan {plan:?}");
+    }
+}
+
+#[test]
+fn commutes_with_composed_homomorphisms() {
+    // Factorization: valuating into ℕ and then dropping to B equals
+    // valuating into B directly, on whole query results.
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut tested = 0;
+    while tested < 25 {
+        let (tables, tokens) = random_prov_tables(&mut rng, 2, 4);
+        let plan = random_plan(&mut rng, 2, 2);
+        if plan.uses_sum() {
+            continue;
+        }
+        tested += 1;
+        let nat_val = random_nat_valuation(&mut rng, &tokens);
+        let symbolic = eval_mk(&plan, &tables).expect("symbolic eval");
+
+        let via_nat = map_hom_mk(
+            &map_hom_mk(&symbolic, &|p| nat_val.eval(p)),
+            &|n: &Nat| Bool(n.0 > 0),
+        );
+        let bool_val = aggprov_algebra::hom::Valuation::<Bool>::ones().set_all(
+            tokens
+                .iter()
+                .map(|t| {
+                    let var = aggprov_algebra::poly::Var::new(t);
+                    let b = Bool(nat_val.get(&var).0 > 0);
+                    (var, b)
+                }),
+        );
+        let direct = map_hom_mk(&symbolic, &|p| bool_val.eval(p));
+        assert_eq!(
+            collapse(&via_nat).unwrap(),
+            collapse(&direct).unwrap(),
+            "plan {plan:?}"
+        );
+    }
+}
+
+#[test]
+fn commutes_with_security_specializations() {
+    // Example 3.5 at scale: assigning clearances commutes with MIN/MAX
+    // queries.
+    let mut rng = StdRng::seed_from_u64(5);
+    let levels = [
+        Security::Public,
+        Security::Confidential,
+        Security::Secret,
+        Security::TopSecret,
+    ];
+    let mut tested = 0;
+    while tested < 25 {
+        let (tables, tokens) = random_prov_tables(&mut rng, 2, 4);
+        let plan = random_plan(&mut rng, 2, 1);
+        if plan.uses_sum() {
+            continue;
+        }
+        tested += 1;
+        let val = aggprov_algebra::hom::Valuation::<Security>::ones().set_all(
+            tokens.iter().map(|t| {
+                (
+                    aggprov_algebra::poly::Var::new(t),
+                    levels[rng.random_range(0..levels.len())],
+                )
+            }),
+        );
+        let specialized: Vec<MKRel<Km<Security>>> =
+            tables.iter().map(|t| specialize(t, &val)).collect();
+        let lhs = eval_mk(&plan, &specialized).expect("eval after hom");
+        let symbolic = eval_mk(&plan, &tables).expect("symbolic eval");
+        let rhs = map_hom_mk(&symbolic, &|p| val.eval(p));
+        assert_eq!(lhs, rhs, "plan {plan:?}");
+    }
+}

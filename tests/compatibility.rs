@@ -1,0 +1,80 @@
+//! Set/bag compatibility (desideratum 1, paper §3.1/§3.4): the annotated
+//! semantics specialized to `K = ℕ` must behave exactly like a plain bag
+//! engine, and specialized to `K = B` (for idempotent aggregations) like a
+//! plain set engine. The reference engine shares no code with the annotated
+//! operators.
+
+use aggprov::core::eval::{collapse, map_hom_mk, read_off_bag, read_off_set};
+use aggprov::workloads::plans::{eval_bag, eval_mk, random_plan};
+use aggprov::workloads::randrel::{
+    random_bool_valuation, random_nat_valuation, random_prov_tables, to_bag,
+};
+use aggprov_algebra::semiring::Nat;
+use aggprov_krel::reference::BagRel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn bag_compatibility_against_reference_engine() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for round in 0..80 {
+        let (tables, tokens) = random_prov_tables(&mut rng, 2, 5);
+        let plan = random_plan(&mut rng, 2, 2);
+        let val = random_nat_valuation(&mut rng, &tokens);
+
+        let annotated = eval_mk(&plan, &tables).expect("symbolic eval");
+        let ours = read_off_bag(
+            &collapse(&map_hom_mk(&annotated, &|p| val.eval(p))).expect("collapse"),
+        )
+        .expect("read-off");
+
+        let bags: Vec<BagRel> = tables.iter().map(|t| to_bag(t, &val)).collect();
+        let reference = eval_bag(&plan, &bags);
+
+        assert_eq!(
+            ours.sorted_rows(),
+            reference.sorted_rows(),
+            "round {round}, plan {plan:?}"
+        );
+    }
+}
+
+#[test]
+fn set_compatibility_against_reference_engine() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut tested = 0;
+    while tested < 60 {
+        let (tables, tokens) = random_prov_tables(&mut rng, 2, 5);
+        let plan = random_plan(&mut rng, 2, 2);
+        if plan.uses_sum() {
+            continue; // B is incompatible with SUM (§3.4).
+        }
+        tested += 1;
+        let val = random_bool_valuation(&mut rng, &tokens);
+
+        let annotated = eval_mk(&plan, &tables).expect("symbolic eval");
+        let ours = read_off_set(
+            &collapse(&map_hom_mk(&annotated, &|p| val.eval(p))).expect("collapse"),
+        )
+        .expect("read-off");
+
+        // Reference: run the bag engine over 0/1-multiplicity inputs and
+        // eliminate duplicates at the end — equivalent for SUM-free plans
+        // (MIN/MAX ignore duplicates, groups appear once either way).
+        let nat_like = aggprov_algebra::hom::Valuation::<Nat>::ones().set_all(
+            tokens.iter().map(|t| {
+                let var = aggprov_algebra::poly::Var::new(t);
+                let n = Nat(u64::from(val.get(&var).0));
+                (var, n)
+            }),
+        );
+        let bags: Vec<BagRel> = tables.iter().map(|t| to_bag(t, &nat_like)).collect();
+        let reference = eval_bag(&plan, &bags).distinct();
+
+        assert_eq!(
+            ours.sorted_rows(),
+            reference.sorted_rows(),
+            "plan {plan:?}"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! The impossibility results, mechanized (Propositions 3.1, 3.2 and 4.2).
+//!
+//! No tuple-level `K`-relation semantics for aggregation can be both
+//! set/bag-compatible and commute with homomorphisms. The proof hinges on a
+//! monotonicity obstruction: any algebraically uniform annotation is a
+//! polynomial `p(x, y) ∈ ℕ[X]`, functions defined by such polynomials on
+//! `B` are monotone, yet compatibility forces `p(⊤,⊤) = ⊥` and
+//! `p(⊤,⊥) = ⊤`. We verify the monotonicity lemma by property testing, the
+//! forced requirements from the paper's scenario, and that the tensor
+//! semantics dissolves the obstruction.
+
+use aggprov::algebra::hom::Valuation;
+use aggprov::algebra::monoid::MonoidKind;
+use aggprov::algebra::poly::{Monomial, NatPoly, Poly, Var};
+use aggprov::algebra::semiring::{Bool, Nat};
+use aggprov::algebra::tensor::Tensor;
+use aggprov::algebra::domain::Const;
+use proptest::prelude::*;
+
+fn arb_poly() -> impl Strategy<Value = NatPoly> {
+    prop::collection::vec(
+        (
+            prop::collection::vec((prop::sample::select(vec!["x", "y"]), 1u32..3), 0..3),
+            0u64..4,
+        ),
+        0..5,
+    )
+    .prop_map(|terms| {
+        Poly::from_terms(terms.into_iter().map(|(m, c)| {
+            (
+                Monomial::from_pairs(m.into_iter().map(|(v, e)| (Var::new(v), e))),
+                Nat(c),
+            )
+        }))
+    })
+}
+
+proptest! {
+    /// Lemma: polynomial functions on B are monotone in each variable.
+    #[test]
+    fn polynomials_on_bool_are_monotone(p in arb_poly()) {
+        let eval = |x: bool, y: bool| {
+            Valuation::<Bool>::ones()
+                .set("x", Bool(x))
+                .set("y", Bool(y))
+                .eval(&p)
+        };
+        // Raising an input never lowers the output.
+        prop_assert!(eval(true, true) >= eval(true, false));
+        prop_assert!(eval(true, true) >= eval(false, true));
+        prop_assert!(eval(true, false) >= eval(false, false));
+        prop_assert!(eval(false, true) >= eval(false, false));
+    }
+
+    /// Proposition 3.2's contradiction: no polynomial annotation for the
+    /// MAX-aggregation answer tuple (value 10) satisfies both required
+    /// specializations: h′(x,y ↦ ⊤,⊤) must erase the tuple (the max is 20)
+    /// while h″(x,y ↦ ⊤,⊥) must keep it.
+    #[test]
+    fn no_annotation_satisfies_both_homomorphisms(p in arb_poly()) {
+        let eval = |x: bool, y: bool| {
+            Valuation::<Bool>::ones()
+                .set("x", Bool(x))
+                .set("y", Bool(y))
+                .eval(&p)
+        };
+        prop_assert!(
+            !(eval(true, true) == Bool(false) && eval(true, false) == Bool(true)),
+            "a tuple-level annotation would have to be non-monotone"
+        );
+    }
+}
+
+#[test]
+fn tensor_values_dissolve_the_obstruction() {
+    // The same scenario through the paper's construction: the aggregate
+    // value x⊗10 + y⊗20 (a value, not a tuple annotation) answers both
+    // specializations correctly.
+    let m = MonoidKind::Max;
+    let t = Tensor::<NatPoly, Const>::from_terms(
+        &m,
+        [
+            (NatPoly::token("x"), Const::int(10)),
+            (NatPoly::token("y"), Const::int(20)),
+        ],
+    );
+    let specialize = |x: bool, y: bool| {
+        t.map_coeffs(&m, &mut |p| {
+            Valuation::<Bool>::ones()
+                .set("x", Bool(x))
+                .set("y", Bool(y))
+                .eval(p)
+        })
+        .try_resolve(&m)
+    };
+    assert_eq!(specialize(true, true), Some(Const::int(20)));
+    assert_eq!(specialize(true, false), Some(Const::int(10)));
+    assert_eq!(
+        specialize(false, false),
+        Some(Const::Num(aggprov::algebra::num::Num::NegInf)),
+        "max over nothing is −∞ (= 0_MAX)"
+    );
+}
+
+#[test]
+fn proposition_4_2_scenario_resolves_non_monotonically() {
+    // Example 4.1: the selection "summed salary = 20" keeps the d1 group
+    // iff r1 ↦ 1, r2 ↦ 0 — adding r2 *removes* the tuple. Tuple-level
+    // polynomial annotations cannot express this; the K^M token can.
+    use aggprov::core::Km;
+    type P = Km<NatPoly>;
+    let m = MonoidKind::Sum;
+    let lhs = Tensor::<P, Const>::from_terms(
+        &m,
+        [
+            (Km::embed(NatPoly::token("r1")), Const::int(20)),
+            (Km::embed(NatPoly::token("r2")), Const::int(10)),
+        ],
+    );
+    let token = P::eq_token(m, &lhs, &Tensor::iota(&m, Const::int(20)));
+    let at = |r1: u64, r2: u64| {
+        token
+            .map_hom(&|p: &NatPoly| {
+                Valuation::<Nat>::ones()
+                    .set("r1", Nat(r1))
+                    .set("r2", Nat(r2))
+                    .eval(p)
+            })
+            .try_collapse()
+            .unwrap()
+    };
+    assert_eq!(at(1, 0), Nat(1), "r1 alone: 20 = 20");
+    assert_eq!(at(1, 1), Nat(0), "adding r2 removes the tuple");
+    assert_eq!(at(2, 0), Nat(0), "doubling r1 removes it too: 40 ≠ 20");
+    assert_eq!(at(0, 2), Nat(1), "two copies of r2: 20 = 20");
+}

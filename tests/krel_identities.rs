@@ -1,0 +1,130 @@
+//! The equational laws of the positive K-relational algebra (Green et al.,
+//! PODS 2007 — the "desired equivalences" the paper's footnote 9 says
+//! justify semirings, as semimodule laws justify aggregation): union is
+//! associative/commutative, join distributes over union, join is
+//! associative/commutative, projection commutes with union. These are the
+//! identities that make annotated query optimization sound.
+
+use aggprov::algebra::poly::NatPoly;
+use aggprov::krel::relation::Relation;
+use aggprov::krel::schema::Schema;
+use aggprov_algebra::domain::Const;
+use aggprov_algebra::semiring::CommutativeSemiring;
+use proptest::prelude::*;
+
+type Rel = Relation<NatPoly, Const>;
+
+fn rel(prefix: &str, attrs: &[&str]) -> impl Strategy<Value = Rel> + use<> {
+    let schema = Schema::new(attrs.iter().copied()).unwrap();
+    let arity = attrs.len();
+    let prefix = prefix.to_string();
+    prop::collection::vec(prop::collection::vec(0i64..3, arity..=arity), 0..5).prop_map(
+        move |rows| {
+            let mut out = Relation::empty(schema.clone());
+            for (i, row) in rows.into_iter().enumerate() {
+                out.insert(
+                    row.into_iter().map(Const::int).collect::<Vec<_>>(),
+                    NatPoly::token(&format!("{prefix}{i}")),
+                )
+                .unwrap();
+            }
+            out
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn union_is_associative_and_commutative(
+        a in rel("a", &["x", "y"]),
+        b in rel("b", &["x", "y"]),
+        c in rel("c", &["x", "y"]),
+    ) {
+        prop_assert_eq!(a.union(&b).unwrap(), b.union(&a).unwrap());
+        prop_assert_eq!(
+            a.union(&b.union(&c).unwrap()).unwrap(),
+            a.union(&b).unwrap().union(&c).unwrap()
+        );
+        let empty = Relation::empty(a.schema().clone());
+        prop_assert_eq!(a.union(&empty).unwrap(), a);
+    }
+
+    #[test]
+    fn join_distributes_over_union(
+        a in rel("a", &["x", "y"]),
+        b in rel("b", &["x", "y"]),
+        s in rel("s", &["y", "z"]),
+    ) {
+        let lhs = a.union(&b).unwrap().natural_join(&s).unwrap();
+        let rhs = a
+            .natural_join(&s)
+            .unwrap()
+            .union(&b.natural_join(&s).unwrap())
+            .unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn join_is_associative_and_commutative_up_to_schema(
+        a in rel("a", &["x", "y"]),
+        b in rel("b", &["y", "z"]),
+        c in rel("c", &["z", "w"]),
+    ) {
+        // Commutativity up to column order: compare after projecting to a
+        // common order.
+        let ab = a.natural_join(&b).unwrap();
+        let ba = b.natural_join(&a).unwrap();
+        prop_assert_eq!(
+            ab.project(&["x", "y", "z"]).unwrap(),
+            ba.project(&["x", "y", "z"]).unwrap()
+        );
+        let a_bc = a.natural_join(&b.natural_join(&c).unwrap()).unwrap();
+        let ab_c = a.natural_join(&b).unwrap().natural_join(&c).unwrap();
+        prop_assert_eq!(a_bc, ab_c);
+    }
+
+    #[test]
+    fn projection_commutes_with_union(
+        a in rel("a", &["x", "y"]),
+        b in rel("b", &["x", "y"]),
+    ) {
+        prop_assert_eq!(
+            a.union(&b).unwrap().project(&["x"]).unwrap(),
+            a.project(&["x"])
+                .unwrap()
+                .union(&b.project(&["x"]).unwrap())
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn selection_commutes_with_join(
+        a in rel("a", &["x", "y"]),
+        s in rel("s", &["y", "z"]),
+        v in 0i64..3,
+    ) {
+        // σ_{x=v}(A ⋈ S) = σ_{x=v}(A) ⋈ S (the predicate touches only A).
+        let lhs = a
+            .natural_join(&s)
+            .unwrap()
+            .select_eq("x", &Const::int(v))
+            .unwrap();
+        let rhs = a
+            .select_eq("x", &Const::int(v))
+            .unwrap()
+            .natural_join(&s)
+            .unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn annotations_are_polynomial_in_inputs(a in rel("a", &["x", "y"])) {
+        // Every output annotation of a self-join is a polynomial over the
+        // input tokens with only {+, ·} — algebraic uniformity (Prop 3.1).
+        let j = a.natural_join(&a.rename("x", "x2").unwrap()).unwrap();
+        for (_, k) in j.iter() {
+            prop_assert!(!k.is_zero());
+            prop_assert!(k.degree() <= 2, "self-join annotations are quadratic");
+        }
+    }
+}
