@@ -102,7 +102,10 @@ impl BoolExp {
     /// variables (2²⁰ assignments); intended for tests and small baselines.
     pub fn equivalent(&self, other: &Self) -> bool {
         let vars: Vec<Var> = self.vars().union(&other.vars()).cloned().collect();
-        assert!(vars.len() <= 20, "truth-table equivalence limited to 20 vars");
+        assert!(
+            vars.len() <= 20,
+            "truth-table equivalence limited to 20 vars"
+        );
         for bits in 0u32..(1 << vars.len()) {
             let mut assign = |v: &Var| {
                 let idx = vars.iter().position(|w| w == v).expect("collected var");

@@ -183,11 +183,7 @@ impl PosBool {
     fn absorb(sets: BTreeSet<BTreeSet<Var>>) -> Self {
         let minimal: BTreeSet<BTreeSet<Var>> = sets
             .iter()
-            .filter(|s| {
-                !sets
-                    .iter()
-                    .any(|other| other != *s && other.is_subset(s))
-            })
+            .filter(|s| !sets.iter().any(|other| other != *s && other.is_subset(s)))
             .cloned()
             .collect();
         PosBool(minimal)
@@ -361,10 +357,7 @@ pub fn to_trio(p: &NatPoly) -> Trio {
 
 /// `ℕ[X] → Why(X)`: drop coefficients and exponents.
 pub fn to_why(p: &NatPoly) -> Why {
-    Why(p
-        .terms()
-        .map(|(m, _)| monomial_vars(m))
-        .collect())
+    Why(p.terms().map(|(m, _)| monomial_vars(m)).collect())
 }
 
 /// `ℕ[X] → PosBool(X)`: additionally apply absorption.
@@ -424,7 +417,12 @@ mod tests {
 
     #[test]
     fn hierarchy_semiring_laws() {
-        let ts = [Trio::zero(), Trio::one(), Trio::token("x"), Trio::token("y")];
+        let ts = [
+            Trio::zero(),
+            Trio::one(),
+            Trio::token("x"),
+            Trio::token("y"),
+        ];
         for a in &ts {
             for b in &ts {
                 for c in &ts {
@@ -499,10 +497,7 @@ mod tests {
     #[test]
     fn trio_has_hom_to_nat() {
         // Tokens ↦ 1 yields the term-count-with-multiplicity homomorphism.
-        let h = FnHom(|t: &Trio| {
-            t.as_poly()
-                .eval(&mut |_| Nat(1), &mut |c| *c)
-        });
+        let h = FnHom(|t: &Trio| t.as_poly().eval(&mut |_| Nat(1), &mut |c| *c));
         check_hom(&h, &Trio::token("x"), &Trio::token("y")).unwrap();
     }
 }

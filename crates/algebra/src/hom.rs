@@ -90,7 +90,10 @@ impl<K: CommutativeSemiring> Valuation<K> {
 
     /// Looks a token up.
     pub fn get(&self, var: &Var) -> K {
-        self.map.get(var).cloned().unwrap_or_else(|| self.default.clone())
+        self.map
+            .get(var)
+            .cloned()
+            .unwrap_or_else(|| self.default.clone())
     }
 
     /// The free extension: evaluates a provenance polynomial in `K`.

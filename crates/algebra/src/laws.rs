@@ -146,11 +146,7 @@ pub fn check_semimodule<K: CommutativeSemiring, W: Semimodule<K>>(
 }
 
 /// Checks the semiring-homomorphism laws on a sample pair.
-pub fn check_hom<A, B>(
-    h: &impl crate::hom::SemiringHom<A, B>,
-    a: &A,
-    b: &A,
-) -> Result<(), String>
+pub fn check_hom<A, B>(h: &impl crate::hom::SemiringHom<A, B>, a: &A, b: &A) -> Result<(), String>
 where
     A: CommutativeSemiring,
     B: CommutativeSemiring,
@@ -171,15 +167,20 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::domain::Const;
     use crate::hom::FnHom;
     use crate::monoid::MonoidKind;
     use crate::semiring::{Bool, IntZ, Nat, Security, Tropical, Viterbi};
-    use crate::domain::Const;
 
     #[test]
     fn builtin_monoids_satisfy_laws() {
         let samples = [Const::int(-3), Const::int(0), Const::int(7), Const::int(42)];
-        for kind in [MonoidKind::Sum, MonoidKind::Min, MonoidKind::Max, MonoidKind::Prod] {
+        for kind in [
+            MonoidKind::Sum,
+            MonoidKind::Min,
+            MonoidKind::Max,
+            MonoidKind::Prod,
+        ] {
             for a in &samples {
                 for b in &samples {
                     for c in &samples {

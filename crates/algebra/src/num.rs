@@ -283,7 +283,9 @@ impl Num {
             let scale = 10i64.checked_pow(frac.len() as u32)?;
             let frac_val: i64 = frac.parse().ok()?;
             let signed_frac = if negative { -frac_val } else { frac_val };
-            return Some(Num::Rat(Rational::int(int) + Rational::new(signed_frac, scale)));
+            return Some(Num::Rat(
+                Rational::int(int) + Rational::new(signed_frac, scale),
+            ));
         }
         let n: i64 = s.parse().ok()?;
         Some(Num::int(n))
@@ -387,7 +389,10 @@ mod tests {
         assert_eq!(Num::int(2) * Num::ratio(1, 2), Num::ONE);
         assert_eq!(Num::PosInf + Num::int(5), Num::PosInf);
         assert_eq!(Num::NegInf * Num::int(-2), Num::PosInf);
-        assert_eq!(Num::int(7).checked_div(&Num::int(2)), Some(Num::ratio(7, 2)));
+        assert_eq!(
+            Num::int(7).checked_div(&Num::int(2)),
+            Some(Num::ratio(7, 2))
+        );
         assert_eq!(Num::int(7).checked_div(&Num::ZERO), None);
     }
 

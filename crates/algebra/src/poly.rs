@@ -498,10 +498,9 @@ mod tests {
     fn eval_to_bool_is_support() {
         // Deletion propagation: x + y with x ↦ ⊥, y ↦ ⊤ gives ⊤.
         let p = x().plus(&y());
-        let v = p.eval(
-            &mut |v: &Var| Bool(v.name() == "y"),
-            &mut |c: &Nat| Bool(c.0 != 0),
-        );
+        let v = p.eval(&mut |v: &Var| Bool(v.name() == "y"), &mut |c: &Nat| {
+            Bool(c.0 != 0)
+        });
         assert_eq!(v, Bool(true));
     }
 

@@ -325,14 +325,15 @@ mod tests {
         let m = MonoidKind::Sum;
         let t = Tensor::<Sn, Const>::from_terms(
             &m,
-            [(Sn::from_nat(2), Const::int(30)), (Sn::from_nat(1), Const::int(10))],
+            [
+                (Sn::from_nat(2), Const::int(30)),
+                (Sn::from_nat(1), Const::int(10)),
+            ],
         );
         assert_eq!(t.try_resolve(&m), Some(Const::int(70)));
         // Symbolic (level-annotated) coefficients do not resolve yet.
-        let t = Tensor::<Sn, Const>::from_terms(
-            &m,
-            [(Sn::level(Security::TopSecret), Const::int(30))],
-        );
+        let t =
+            Tensor::<Sn, Const>::from_terms(&m, [(Sn::level(Security::TopSecret), Const::int(30))]);
         assert_eq!(t.try_resolve(&m), None);
     }
 }

@@ -149,10 +149,7 @@ impl<K: CommutativeSemiring, E: Ord + Clone + std::hash::Hash + fmt::Debug> Tens
     where
         M: CommutativeMonoid<Elem = E>,
     {
-        Self::from_terms(
-            m,
-            self.terms.iter().chain(other.terms.iter()).cloned(),
-        )
+        Self::from_terms(m, self.terms.iter().chain(other.terms.iter()).cloned())
     }
 
     /// Scalar multiplication `k ∗ Σ kᵢ⊗mᵢ = Σ (k·kᵢ)⊗mᵢ`, renormalized.
@@ -163,12 +160,7 @@ impl<K: CommutativeSemiring, E: Ord + Clone + std::hash::Hash + fmt::Debug> Tens
         if k.is_zero() {
             return Self::zero();
         }
-        Self::from_terms(
-            m,
-            self.terms
-                .iter()
-                .map(|(ki, e)| (k.times(ki), e.clone())),
-        )
+        Self::from_terms(m, self.terms.iter().map(|(ki, e)| (k.times(ki), e.clone())))
     }
 
     /// The lifted homomorphism `h^M(Σ kᵢ⊗mᵢ) = Σ h(kᵢ)⊗mᵢ` (paper §2.3),
@@ -387,7 +379,10 @@ mod tests {
     fn empty_tensor_resolves_to_monoid_zero() {
         let m = MonoidKind::Sum;
         assert_eq!(NT::zero().try_resolve(&m), Some(n(0)));
-        assert_eq!(NT::zero().try_resolve(&MonoidKind::Min), Some(Const::Num(crate::num::Num::PosInf)));
+        assert_eq!(
+            NT::zero().try_resolve(&MonoidKind::Min),
+            Some(Const::Num(crate::num::Num::PosInf))
+        );
     }
 
     #[test]
@@ -427,8 +422,14 @@ mod tests {
     fn tensor_is_a_semimodule() {
         let module = TensorModule(MonoidKind::Sum);
         let m = MonoidKind::Sum;
-        let v1 = PT::from_terms(&m, [(NatPoly::token("x"), n(5)), (NatPoly::token("y"), n(7))]);
-        let v2 = PT::from_terms(&m, [(NatPoly::token("x"), n(5)), (NatPoly::from_nat(2), n(1))]);
+        let v1 = PT::from_terms(
+            &m,
+            [(NatPoly::token("x"), n(5)), (NatPoly::token("y"), n(7))],
+        );
+        let v2 = PT::from_terms(
+            &m,
+            [(NatPoly::token("x"), n(5)), (NatPoly::from_nat(2), n(1))],
+        );
         for k1 in [NatPoly::zero(), NatPoly::one(), NatPoly::token("z")] {
             for k2 in [NatPoly::one(), NatPoly::token("x")] {
                 check_semimodule(&module, &k1, &k2, &v1, &v2).unwrap();

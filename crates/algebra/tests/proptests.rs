@@ -5,9 +5,7 @@
 //! every structure, plus the tensor-specific congruence properties.
 
 use aggprov_algebra::domain::Const;
-use aggprov_algebra::hierarchy::{
-    to_bool_poly, to_lineage, to_posbool, to_trio, to_why, PosBool,
-};
+use aggprov_algebra::hierarchy::{to_bool_poly, to_lineage, to_posbool, to_trio, to_why, PosBool};
 use aggprov_algebra::hom::{FnHom, Valuation};
 use aggprov_algebra::laws::{
     check_delta, check_hom, check_monoid, check_nat_embedding, check_semimodule, check_semiring,

@@ -37,8 +37,7 @@ fn bench(c: &mut Criterion) {
             &symbolic,
             |b, symbolic| {
                 b.iter(|| {
-                    collapse(&map_hom_mk(symbolic, &|p: &NatPoly| val.eval(p)))
-                        .expect("resolved")
+                    collapse(&map_hom_mk(symbolic, &|p: &NatPoly| val.eval(p))).expect("resolved")
                 });
             },
         );
@@ -46,9 +45,8 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 // Rebuild without fired employees and evaluate afresh.
                 let mut db2 = aggprov_engine::ProvDb::new();
-                let mut rel = aggprov_krel::relation::Relation::empty(
-                    workload.emp.schema().clone(),
-                );
+                let mut rel =
+                    aggprov_krel::relation::Relation::empty(workload.emp.schema().clone());
                 for (t, k) in workload.emp.iter() {
                     let keep = k
                         .try_collapse()

@@ -15,7 +15,10 @@ use rand::{Rng, SeedableRng};
 
 const QUERIES: [(&str, &str); 4] = [
     ("projection", "SELECT dept FROM emp"),
-    ("group_sum", "SELECT dept, SUM(sal) AS mass FROM emp GROUP BY dept"),
+    (
+        "group_sum",
+        "SELECT dept, SUM(sal) AS mass FROM emp GROUP BY dept",
+    ),
     (
         "join_group",
         "SELECT d.region, MAX(e.sal) AS top FROM emp e JOIN dept d ON e.dept = d.dept \

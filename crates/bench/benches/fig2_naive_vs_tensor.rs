@@ -48,9 +48,7 @@ fn bench(c: &mut Criterion) {
             .map(|(v, num)| (NatPoly::var(v.clone()), Const::Num(*num))),
     );
     group.bench_function("naive_propagate", |b| {
-        b.iter(|| {
-            aggprov_core::naive::naive_propagate(&rows, &|v| !v.name().ends_with('3'))
-        });
+        b.iter(|| aggprov_core::naive::naive_propagate(&rows, &|v| !v.name().ends_with('3')));
     });
     group.bench_function("tensor_specialize", |b| {
         b.iter(|| {

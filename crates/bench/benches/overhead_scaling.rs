@@ -38,9 +38,7 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("nested_having", n),
             &grouped,
             |b, grouped| {
-                b.iter(|| {
-                    select_eq(grouped, "sal", &Value::int(1000)).expect("having")
-                });
+                b.iter(|| select_eq(grouped, "sal", &Value::int(1000)).expect("having"));
             },
         );
     }

@@ -59,9 +59,18 @@ fn t2_figure_2() {
     );
     // Figure 2(a): dept d1 with salaries 20, 10, 15.
     let input = [
-        (aggprov_algebra::poly::Var::new("p1"), aggprov_algebra::num::Num::int(20)),
-        (aggprov_algebra::poly::Var::new("p2"), aggprov_algebra::num::Num::int(10)),
-        (aggprov_algebra::poly::Var::new("p3"), aggprov_algebra::num::Num::int(15)),
+        (
+            aggprov_algebra::poly::Var::new("p1"),
+            aggprov_algebra::num::Num::int(20),
+        ),
+        (
+            aggprov_algebra::poly::Var::new("p2"),
+            aggprov_algebra::num::Num::int(10),
+        ),
+        (
+            aggprov_algebra::poly::Var::new("p3"),
+            aggprov_algebra::num::Num::int(15),
+        ),
     ];
     println!("Figure 2(a): every subset of d1's tuples becomes a row");
     for row in naive_table(MonoidKind::Sum, &input) {
@@ -74,7 +83,10 @@ fn t2_figure_2() {
     }
     println!();
     println!("The paper's point — representation sizes as n grows:");
-    println!("{:>4} {:>16} {:>16}", "n", "naive (nodes)", "tensor (terms)");
+    println!(
+        "{:>4} {:>16} {:>16}",
+        "n", "naive (nodes)", "tensor (terms)"
+    );
     for n in [2usize, 4, 6, 8, 10, 12, 14] {
         let input = fig2_input(n);
         let naive = naive_size(&naive_table(MonoidKind::Sum, &input));
@@ -90,7 +102,10 @@ fn t2_figure_2() {
 }
 
 fn t3_examples_34_35() {
-    heading("T3 (Examples 3.4, 3.5)", "AGG values and their specializations");
+    heading(
+        "T3 (Examples 3.4, 3.5)",
+        "AGG values and their specializations",
+    );
     let mut db = ProvDb::new();
     db.exec(
         "CREATE TABLE r (sal NUM);
@@ -183,8 +198,7 @@ fn t5_examples_43_45() {
             .set("r1", Nat(r1))
             .set("r2", Nat(r2))
             .set("r3", Nat(r3));
-        let resolved =
-            collapse(&map_hom_mk(&total, &|p: &NatPoly| val.eval(p))).expect("resolve");
+        let resolved = collapse(&map_hom_mk(&total, &|p: &NatPoly| val.eval(p))).expect("resolve");
         let shown = resolved
             .iter()
             .next()
@@ -214,8 +228,7 @@ fn t6_examples_53_56() {
     let revoked = map_hom_mk(&open, &|p: &NatPoly| {
         Valuation::<NatPoly>::ones()
             .set_all(
-                ["t1", "t2", "t3"]
-                    .map(|t| (aggprov_algebra::poly::Var::new(t), NatPoly::token(t))),
+                ["t1", "t2", "t3"].map(|t| (aggprov_algebra::poly::Var::new(t), NatPoly::token(t))),
             )
             .set("t4", NatPoly::zero())
             .eval(p)
@@ -226,7 +239,10 @@ fn t6_examples_53_56() {
         Valuation::<Nat>::ones().eval(p)
     }))
     .expect("resolve");
-    println!("Example 5.6 (all tokens ↦ 1): hybrid keeps {} row(s);", ours.len());
+    println!(
+        "Example 5.6 (all tokens ↦ 1): hybrid keeps {} row(s);",
+        ours.len()
+    );
     println!("bag monus would keep d1 with multiplicity 1.");
 }
 
@@ -273,7 +289,10 @@ fn t7_overhead() {
 }
 
 fn t8_law_matrix() {
-    heading("T8 (Props 5.4–5.7)", "difference-law matrix across semantics");
+    heading(
+        "T8 (Props 5.4–5.7)",
+        "difference-law matrix across semantics",
+    );
     let mk = |rows: &[(i64, u64)]| -> MKRel<Nat> {
         Relation::from_rows(
             Schema::new(["x"]).expect("schema"),
@@ -311,7 +330,10 @@ fn t8_law_matrix() {
         zr(&[(1, 1), (3, 2)]),
         zr(&[(3, 1), (4, 1)]),
     );
-    println!("{:<34} {:>8} {:>10} {:>4}", "law", "hybrid", "bag-monus", "ℤ");
+    println!(
+        "{:<34} {:>8} {:>10} {:>4}",
+        "law", "hybrid", "bag-monus", "ℤ"
+    );
     let mark = |b: bool| if b { "✓" } else { "✗" };
     for law in DiffLaw::ALL {
         println!(
@@ -341,13 +363,20 @@ fn t9_example_316() {
     let joined = {
         let s2 = s.rename("a", "b").expect("rename");
         let j = product(&s2, &r).expect("product");
-        project(&j, &["b"]).expect("project").rename("b", "a").expect("rename")
+        project(&j, &["b"])
+            .expect("project")
+            .rename("b", "a")
+            .expect("rename")
     };
     let unioned = union(&r, &joined).expect("union");
     let total = agg(&unioned, AggSpec::new(MonoidKind::Sum, "a")).expect("agg");
     println!("AGG(R ∪ Π_S.A(S ⋈ R)) over SN =");
     println!("{total}");
-    for cred in [Security::TopSecret, Security::Secret, Security::Confidential] {
+    for cred in [
+        Security::TopSecret,
+        Security::Secret,
+        Security::Confidential,
+    ] {
         let view = map_hom_mk(&total, &|x: &Sn| Nat(x.multiplicity_for(cred)));
         let shown = collapse(&view)
             .expect("resolve")
@@ -372,12 +401,8 @@ fn t10_eager_resolution_ablation() {
         ..Default::default()
     });
     let bag_emp = aggprov_core::eval::map_mk(&workload.emp, &|_| Nat(1));
-    let grouped = group_by(
-        &bag_emp,
-        &["dept"],
-        &[AggSpec::new(MonoidKind::Sum, "sal")],
-    )
-    .expect("group by");
+    let grouped =
+        group_by(&bag_emp, &["dept"], &[AggSpec::new(MonoidKind::Sum, "sal")]).expect("group by");
     let eager = select_eq(&grouped, "sal", &Value::int(1000)).expect("having");
     let eager_size: usize = eager.iter().map(|(_, k)| 1 + format!("{k}").len()).sum();
 
@@ -386,7 +411,10 @@ fn t10_eager_resolution_ablation() {
     for (t, _) in grouped.iter() {
         let tensor = t.get(1).to_tensor(MonoidKind::Sum).expect("tensor");
         let raw = Km::<Nat>::atom(aggprov_core::Atom::Eq(
-            (MonoidKind::Sum, tensor.map_coeffs(&MonoidKind::Sum, &mut |k| Km::embed(*k))),
+            (
+                MonoidKind::Sum,
+                tensor.map_coeffs(&MonoidKind::Sum, &mut |k| Km::embed(*k)),
+            ),
             (
                 MonoidKind::Sum,
                 Tensor::iota(&MonoidKind::Sum, Const::int(1000)),

@@ -97,9 +97,7 @@ pub trait AggAnnotation: DeltaSemiring {
                     Self::zero()
                 })
             }
-            (Value::Agg(k1, t1), Value::Agg(k2, t2)) => {
-                Self::cmp_token(pred, *k1, t1, *k2, t2)
-            }
+            (Value::Agg(k1, t1), Value::Agg(k2, t2)) => Self::cmp_token(pred, *k1, t1, *k2, t2),
             (Value::Const(c), Value::Agg(k, t)) => {
                 if Value::<Self>::carrier_check(*k, c).is_err() {
                     return if pred == CmpPred::Ne {

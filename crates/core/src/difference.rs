@@ -163,9 +163,7 @@ pub mod laws {
         c: &MKRel<A>,
     ) -> Result<bool> {
         let (lhs, rhs) = match law {
-            DiffLaw::MinusUnionSelf => {
-                (difference(a, &ops::union(b, b)?)?, difference(a, b)?)
-            }
+            DiffLaw::MinusUnionSelf => (difference(a, &ops::union(b, b)?)?, difference(a, b)?),
             DiffLaw::UnionMinus => (difference(&ops::union(a, b)?, b)?, a.clone()),
             DiffLaw::MinusMinus => (
                 difference(a, &difference(b, c)?)?,
@@ -276,7 +274,9 @@ mod tests {
                 .eval(p)
         });
         assert_eq!(
-            revived.annotation(&Tuple::from([Value::str("d1")])).try_collapse(),
+            revived
+                .annotation(&Tuple::from([Value::str("d1")]))
+                .try_collapse(),
             Some(NatPoly::token("t1").plus(&NatPoly::token("t2")))
         );
         // Mapping t4 ↦ 1 removes d1 entirely.
@@ -296,21 +296,14 @@ mod tests {
         }))
         .unwrap();
         assert_eq!(ours.len(), 1, "d1 gone under the hybrid semantics");
-        assert_eq!(
-            ours.annotation(&Tuple::from([Value::str("d2")])),
-            Nat(1)
-        );
+        assert_eq!(ours.annotation(&Tuple::from([Value::str("d2")])), Nat(1));
 
         let r_bag: Relation<Nat, Const> = Relation::from_rows(
             sch(&["dep"]),
-            [
-                ([Const::str("d1")], Nat(2)),
-                ([Const::str("d2")], Nat(1)),
-            ],
+            [([Const::str("d1")], Nat(2)), ([Const::str("d2")], Nat(1))],
         )
         .unwrap();
-        let s_bag =
-            Relation::from_rows(sch(&["dep"]), [([Const::str("d1")], Nat(1))]).unwrap();
+        let s_bag = Relation::from_rows(sch(&["dep"]), [([Const::str("d1")], Nat(1))]).unwrap();
         let bag = aggprov_krel::monus::monus_difference(&r_bag, &s_bag).unwrap();
         assert_eq!(
             bag.annotation(&Tuple::from([Const::str("d1")])),
@@ -362,8 +355,11 @@ mod tests {
         let ab = |r: &MKRel<Nat>| -> Relation<Nat, Const> {
             let mut out = Relation::empty(r.schema().clone());
             for (t, k) in r.iter() {
-                let row: Vec<Const> =
-                    t.values().iter().map(|v| v.as_const().unwrap().clone()).collect();
+                let row: Vec<Const> = t
+                    .values()
+                    .iter()
+                    .map(|v| v.as_const().unwrap().clone())
+                    .collect();
                 out.insert(row, *k).unwrap();
             }
             out
@@ -381,7 +377,11 @@ mod tests {
             )
             .unwrap()
         };
-        let (za, zb, zc) = (zr(&[(1, 2), (2, 1)]), zr(&[(1, 1), (3, 2)]), zr(&[(3, 1), (4, 1)]));
+        let (za, zb, zc) = (
+            zr(&[(1, 2), (2, 1)]),
+            zr(&[(1, 1), (3, 2)]),
+            zr(&[(3, 1), (4, 1)]),
+        );
         assert!(check_z(DiffLaw::MinusMinus, &za, &zb, &zc).unwrap());
         assert!(check_z(DiffLaw::UnionMinus, &za, &zb, &zc).unwrap());
     }

@@ -193,7 +193,10 @@ mod tests {
         // 2·20 + 1·10 = 50 and deletes d2's group.
         let out = specialize(
             &grouped(),
-            &Valuation::<Nat>::ones().set("r1", Nat(2)).set("r2", Nat(1)).set("r3", Nat(0)),
+            &Valuation::<Nat>::ones()
+                .set("r1", Nat(2))
+                .set("r2", Nat(1))
+                .set("r3", Nat(0)),
         );
         let plain = collapse(&out).unwrap();
         assert_eq!(plain.len(), 1);
@@ -204,11 +207,9 @@ mod tests {
 
     #[test]
     fn read_off_bag_expands_multiplicities() {
-        let rel: MKRel<Nat> = Relation::from_rows(
-            Schema::new(["a"]).unwrap(),
-            [(vec![Value::int(7)], Nat(3))],
-        )
-        .unwrap();
+        let rel: MKRel<Nat> =
+            Relation::from_rows(Schema::new(["a"]).unwrap(), [(vec![Value::int(7)], Nat(3))])
+                .unwrap();
         let bag = read_off_bag(&rel).unwrap();
         assert_eq!(bag.rows.len(), 3);
     }

@@ -438,14 +438,20 @@ mod tests {
 
         // r1 ↦ 1, r2 ↦ 0: 20 = 20, token becomes 1 (tuple survives).
         let yes = token.map_hom(&|p| {
-            Valuation::<Nat>::ones().set("r1", Nat(1)).set("r2", Nat(0)).eval(p)
+            Valuation::<Nat>::ones()
+                .set("r1", Nat(1))
+                .set("r2", Nat(0))
+                .eval(p)
         });
         assert!(yes.try_collapse().unwrap().is_one());
 
         // r1 ↦ 1, r2 ↦ 1: 30 ≠ 20, token becomes 0 — the non-monotone
         // behaviour of Example 4.1.
         let no = token.map_hom(&|p| {
-            Valuation::<Nat>::ones().set("r1", Nat(1)).set("r2", Nat(1)).eval(p)
+            Valuation::<Nat>::ones()
+                .set("r1", Nat(1))
+                .set("r2", Nat(1))
+                .eval(p)
         });
         assert!(no.try_collapse().unwrap().is_zero());
     }
@@ -537,7 +543,10 @@ mod tests {
         // Full valuation collapses everything (r1=1, r2=0: inner token 1,
         // δ(1)=1, coeff=1, 1⊗40 = 1⊗40 → 1).
         let v = outer.map_hom(&|p| {
-            Valuation::<Nat>::ones().set("r1", Nat(1)).set("r2", Nat(0)).eval(p)
+            Valuation::<Nat>::ones()
+                .set("r1", Nat(1))
+                .set("r2", Nat(0))
+                .eval(p)
         });
         assert_eq!(v.try_collapse(), Some(Nat(1)));
     }
@@ -548,12 +557,30 @@ mod tests {
         let twenty = t(&[(P::one(), 20)]);
         let thirty = t(&[(P::one(), 30)]);
         // Ground sides decide eagerly.
-        assert!(P::cmp_token(CmpPred::Lt, MonoidKind::Sum, &twenty, MonoidKind::Sum, &thirty)
-            .is_one());
-        assert!(P::cmp_token(CmpPred::Lt, MonoidKind::Sum, &thirty, MonoidKind::Sum, &twenty)
-            .is_zero());
-        assert!(P::cmp_token(CmpPred::Ne, MonoidKind::Sum, &twenty, MonoidKind::Sum, &thirty)
-            .is_one());
+        assert!(P::cmp_token(
+            CmpPred::Lt,
+            MonoidKind::Sum,
+            &twenty,
+            MonoidKind::Sum,
+            &thirty
+        )
+        .is_one());
+        assert!(P::cmp_token(
+            CmpPred::Lt,
+            MonoidKind::Sum,
+            &thirty,
+            MonoidKind::Sum,
+            &twenty
+        )
+        .is_zero());
+        assert!(P::cmp_token(
+            CmpPred::Ne,
+            MonoidKind::Sum,
+            &twenty,
+            MonoidKind::Sum,
+            &thirty
+        )
+        .is_one());
         // Reflexivity on structurally equal symbolic sides.
         let sym = t(&[(tok("x"), 20)]);
         assert!(P::cmp_token(CmpPred::Le, MonoidKind::Sum, &sym, MonoidKind::Sum, &sym).is_one());
@@ -582,7 +609,12 @@ mod tests {
         assert!(token.try_collapse().is_none());
         let at = |x: u64, y: u64| {
             token
-                .map_hom(&|p| Valuation::<Nat>::ones().set("x", Nat(x)).set("y", Nat(y)).eval(p))
+                .map_hom(&|p| {
+                    Valuation::<Nat>::ones()
+                        .set("x", Nat(x))
+                        .set("y", Nat(y))
+                        .eval(p)
+                })
                 .try_collapse()
                 .unwrap()
         };

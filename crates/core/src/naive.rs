@@ -10,9 +10,9 @@
 //! overhead experiments (E2/Fig. 2) compare against.
 
 use aggprov_algebra::boolexpr::BoolExp;
+use aggprov_algebra::domain::Const;
 use aggprov_algebra::monoid::{CommutativeMonoid, MonoidKind};
 use aggprov_algebra::num::Num;
-use aggprov_algebra::domain::Const;
 use aggprov_algebra::poly::Var;
 use std::collections::BTreeMap;
 
@@ -112,9 +112,11 @@ mod tests {
         assert_eq!(values, vec!["0", "10", "15", "20", "25", "30", "35", "45"]);
         // The 45-row carries p1 ∧ p2 ∧ p3.
         let row45 = rows.iter().find(|r| r.value == Const::int(45)).unwrap();
-        assert!(row45
-            .condition
-            .equivalent(&BoolExp::var("p1").and(&BoolExp::var("p2")).and(&BoolExp::var("p3"))));
+        assert!(row45.condition.equivalent(
+            &BoolExp::var("p1")
+                .and(&BoolExp::var("p2"))
+                .and(&BoolExp::var("p3"))
+        ));
     }
 
     #[test]
@@ -164,7 +166,10 @@ mod tests {
         assert!(total.equivalent(&BoolExp::Const(true)));
         for (i, a) in rows.iter().enumerate() {
             for b in rows.iter().skip(i + 1) {
-                assert!(a.condition.and(&b.condition).equivalent(&BoolExp::Const(false)));
+                assert!(a
+                    .condition
+                    .and(&b.condition)
+                    .equivalent(&BoolExp::Const(false)));
             }
         }
     }

@@ -49,13 +49,18 @@ pub struct AggSpec<'a> {
 impl<'a> AggSpec<'a> {
     /// An aggregation whose output column keeps the input attribute name.
     pub fn new(kind: MonoidKind, attr: &'a str) -> Self {
-        AggSpec { kind, attr, out: attr }
+        AggSpec {
+            kind,
+            attr,
+            out: attr,
+        }
     }
 }
 
 /// True iff any tuple contains a symbolic aggregate value.
 pub fn has_symbolic<A: AggAnnotation>(rel: &MKRel<A>) -> bool {
-    rel.iter().any(|(t, _)| t.values().iter().any(Value::is_agg))
+    rel.iter()
+        .any(|(t, _)| t.values().iter().any(Value::is_agg))
 }
 
 /// Lifts a plain constant relation into an `(M, K)`-relation.
@@ -128,11 +133,7 @@ fn sum_many<A: AggAnnotation>(mut items: Vec<A>) -> A {
 /// Pushes `k ∗ tv`'s simple tensors onto an accumulator without
 /// re-normalizing (the caller builds the tensor once at the end — turning
 /// per-tuple O(current-size) merges into a single O(n log n) build).
-fn accumulate_scaled<A: AggAnnotation>(
-    acc: &mut Vec<(A, Const)>,
-    tv: &Tensor<A, Const>,
-    k: &A,
-) {
+fn accumulate_scaled<A: AggAnnotation>(acc: &mut Vec<(A, Const)>, tv: &Tensor<A, Const>, k: &A) {
     for (ki, e) in tv.terms() {
         let prod = k.times(ki);
         if !prod.is_zero() {
@@ -321,11 +322,7 @@ pub fn join_on<A: AggAnnotation>(
     r2: &MKRel<A>,
     on: &[(&str, &str)],
 ) -> Result<MKRel<A>> {
-    if !r1
-        .schema()
-        .shared_with(r2.schema())
-        .is_empty()
-    {
+    if !r1.schema().shared_with(r2.schema()).is_empty() {
         return Err(RelError::SchemaMismatch {
             left: r1.schema().to_string(),
             right: r2.schema().to_string(),
@@ -489,7 +486,9 @@ pub fn group_by<A: AggAnnotation>(
         Schema::new(names.iter().map(|s| s.as_str()))?
     };
 
-    let symbolic_keys = rel.iter().any(|(t, _)| gidx.iter().any(|i| t.get(*i).is_agg()));
+    let symbolic_keys = rel
+        .iter()
+        .any(|(t, _)| gidx.iter().any(|i| t.get(*i).is_agg()));
 
     let mut out = BTreeMap::new();
     if !symbolic_keys {
@@ -605,10 +604,7 @@ mod tests {
         assert_eq!(out.len(), 1);
         let (t, k) = out.iter().next().unwrap();
         assert!(k.is_one());
-        assert_eq!(
-            t.get(0).to_string(),
-            "SUM⟨(r2)⊗10 + (r1)⊗20 + (r3)⊗30⟩"
-        );
+        assert_eq!(t.get(0).to_string(), "SUM⟨(r2)⊗10 + (r1)⊗20 + (r3)⊗30⟩");
     }
 
     #[test]
@@ -657,12 +653,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let out = group_by(
-            &rel,
-            &["dept"],
-            &[AggSpec::new(MonoidKind::Sum, "sal")],
-        )
-        .unwrap();
+        let out = group_by(&rel, &["dept"], &[AggSpec::new(MonoidKind::Sum, "sal")]).unwrap();
         let rows: Vec<(String, String, Nat)> = out
             .iter()
             .map(|(t, k)| (t.get(0).to_string(), t.get(1).to_string(), *k))
@@ -720,10 +711,8 @@ mod tests {
             MonoidKind::Sum,
             Tensor::from_terms(&MonoidKind::Sum, [(tok("y"), Const::int(10))]),
         );
-        let r1: MKRel<P> =
-            Relation::from_rows(sch(&["v"]), [(vec![t1], tok("a"))]).unwrap();
-        let r2: MKRel<P> =
-            Relation::from_rows(sch(&["v"]), [(vec![t2], tok("b"))]).unwrap();
+        let r1: MKRel<P> = Relation::from_rows(sch(&["v"]), [(vec![t1], tok("a"))]).unwrap();
+        let r2: MKRel<P> = Relation::from_rows(sch(&["v"]), [(vec![t2], tok("b"))]).unwrap();
         let u = union(&r1, &r2).unwrap();
         assert_eq!(u.len(), 2);
         for (_, k) in u.iter() {

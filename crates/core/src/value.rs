@@ -166,11 +166,8 @@ mod tests {
         let v = Value::agg_normalized(MonoidKind::Sum, t);
         assert_eq!(v, Value::int(60));
         // Symbolic tensors stay symbolic.
-        let t = Tensor::<NatPoly, Const>::simple(
-            &MonoidKind::Sum,
-            NatPoly::token("x"),
-            Const::int(30),
-        );
+        let t =
+            Tensor::<NatPoly, Const>::simple(&MonoidKind::Sum, NatPoly::token("x"), Const::int(30));
         let v = Value::agg_normalized(MonoidKind::Sum, t);
         assert!(v.is_agg());
     }
@@ -178,11 +175,8 @@ mod tests {
     #[test]
     fn map_hom_resolves_ground_images() {
         // x⊗30 with x ↦ 2 becomes the constant 60.
-        let t = Tensor::<NatPoly, Const>::simple(
-            &MonoidKind::Sum,
-            NatPoly::token("x"),
-            Const::int(30),
-        );
+        let t =
+            Tensor::<NatPoly, Const>::simple(&MonoidKind::Sum, NatPoly::token("x"), Const::int(30));
         let v = Value::Agg(MonoidKind::Sum, t);
         let mapped = v.map_hom(&mut |p| {
             aggprov_algebra::hom::Valuation::<Nat>::ones()

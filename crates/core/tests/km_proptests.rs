@@ -44,9 +44,8 @@ fn arb_km() -> impl Strategy<Value = P> {
     let atom = prop_oneof![
         (0..VARS.len()).prop_map(|i| tok(VARS[i])),
         (0..VARS.len()).prop_map(|i| tok(VARS[i]).plus(&P::one()).delta()),
-        (arb_tensor(), arb_tensor()).prop_map(|((k1, t1), (k2, t2))| {
-            P::eq_token_mixed(k1, &t1, k2, &t2)
-        }),
+        (arb_tensor(), arb_tensor())
+            .prop_map(|((k1, t1), (k2, t2))| { P::eq_token_mixed(k1, &t1, k2, &t2) }),
         (arb_tensor(), arb_tensor(), 0..3usize).prop_map(|((k1, t1), (k2, t2), p)| {
             let pred = [CmpPred::Lt, CmpPred::Le, CmpPred::Ne][p];
             P::cmp_token(pred, k1, &t1, k2, &t2)

@@ -2,7 +2,9 @@
 
 use aggprov_algebra::num::Num;
 use aggprov_algebra::poly::NatPoly;
-use aggprov_algebra::semiring::{Bool, CommutativeSemiring, IntZ, Nat, Security, Tropical, Viterbi};
+use aggprov_algebra::semiring::{
+    Bool, CommutativeSemiring, IntZ, Nat, Security, Tropical, Viterbi,
+};
 use aggprov_algebra::sn::Sn;
 use aggprov_core::km::Km;
 
@@ -88,10 +90,7 @@ impl ParseAnnotation for NatPoly {
         if let Ok(n) = text.parse::<u64>() {
             return Some(NatPoly::from_nat(n));
         }
-        let valid = !text.is_empty()
-            && text
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_');
+        let valid = !text.is_empty() && text.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
         valid.then(|| NatPoly::token(text))
     }
 }
@@ -111,24 +110,18 @@ mod tests {
         assert_eq!(Nat::parse_annotation("3"), Some(Nat(3)));
         assert_eq!(Nat::parse_annotation("p1"), None);
         assert_eq!(Bool::parse_annotation("true"), Some(Bool(true)));
-        assert_eq!(
-            Security::parse_annotation("secret"),
-            Some(Security::Secret)
-        );
+        assert_eq!(Security::parse_annotation("secret"), Some(Security::Secret));
         assert_eq!(Tropical::parse_annotation("inf"), Some(Tropical::Inf));
-        assert_eq!(
-            Viterbi::parse_annotation("0.5"),
-            Some(Viterbi::ratio(1, 2))
-        );
+        assert_eq!(Viterbi::parse_annotation("0.5"), Some(Viterbi::ratio(1, 2)));
         assert_eq!(Viterbi::parse_annotation("2"), None);
-        assert_eq!(
-            NatPoly::parse_annotation("p1"),
-            Some(NatPoly::token("p1"))
-        );
+        assert_eq!(NatPoly::parse_annotation("p1"), Some(NatPoly::token("p1")));
         assert_eq!(
             Km::<NatPoly>::parse_annotation("p1"),
             Some(Km::embed(NatPoly::token("p1")))
         );
-        assert_eq!(Sn::parse_annotation("T"), Some(Sn::level(Security::TopSecret)));
+        assert_eq!(
+            Sn::parse_annotation("T"),
+            Some(Sn::level(Security::TopSecret))
+        );
     }
 }

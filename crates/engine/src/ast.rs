@@ -228,6 +228,9 @@ pub enum Operand {
     Col(ColRef),
     /// A literal.
     Lit(Lit),
+    /// A prepared-statement placeholder `$n` (1-based), bound at
+    /// [`execute_with`](crate::database::Prepared::execute_with) time.
+    Param(u32),
 }
 
 /// Comparison operators.

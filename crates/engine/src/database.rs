@@ -1,9 +1,12 @@
-//! The annotated database: catalog, DDL/DML execution, and queries.
+//! The annotated database: catalog, DDL/DML execution, prepared
+//! statements, and queries.
 
 use crate::annot::ParseAnnotation;
 use crate::ast::{ColType, Lit, Stmt};
-use crate::exec::run_query;
+use crate::exec::execute_plan;
 use crate::parser::parse_script;
+use crate::plan::{lower_query, Plan};
+use crate::result::ResultSet;
 use aggprov_algebra::domain::Const;
 use aggprov_core::annotation::AggAnnotation;
 use aggprov_core::ops::MKRel;
@@ -12,6 +15,7 @@ use aggprov_krel::error::{RelError, Result};
 use aggprov_krel::relation::Relation;
 use aggprov_krel::schema::Schema;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A database of `(M, K)`-relations annotated with `A`.
 ///
@@ -88,17 +92,38 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
                     provenance,
                 } => self.insert_row(&table, &values, provenance.as_deref())?,
                 Stmt::Query(q) => {
-                    last = Some(run_query(self, &q)?);
+                    let lowered = lower_query(self, &q)?;
+                    if lowered.param_count > 0 {
+                        return Err(RelError::Unsupported(
+                            "`$n` parameters require prepare()/execute_with()".into(),
+                        ));
+                    }
+                    last = Some(execute_plan(self, &lowered.plan, &[])?);
                 }
             }
         }
         Ok(last)
     }
 
-    /// Runs a single query (read-only).
-    pub fn query(&self, sql: &str) -> Result<MKRel<A>> {
+    /// Prepares a query: parses, lowers to the logical-plan IR, resolves
+    /// and validates every name — once. The returned [`Prepared`] can be
+    /// executed any number of times (with different `$n` parameters)
+    /// without re-parsing or re-resolving.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared<'_, A>> {
         let q = crate::parser::parse_query(sql)?;
-        run_query(self, &q)
+        let lowered = lower_query(self, &q)?;
+        Ok(Prepared {
+            db: self,
+            plan: Arc::new(lowered.plan),
+            param_count: lowered.param_count,
+        })
+    }
+
+    /// Runs a single query (read-only). Equivalent to
+    /// `prepare(sql)?.execute()?.into_relation()` — kept as the one-shot
+    /// convenience entry point.
+    pub fn query(&self, sql: &str) -> Result<MKRel<A>> {
+        Ok(self.prepare(sql)?.execute()?.into_relation())
     }
 
     fn insert_row(&mut self, table: &str, values: &[Lit], provenance: Option<&str>) -> Result<()> {
@@ -146,5 +171,77 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
             })
             .collect();
         entry.rel.insert(row, ann)
+    }
+}
+
+/// A prepared query: the logical plan with all names resolved, bound to
+/// the database it was prepared against.
+///
+/// Executing a `Prepared` interprets the stored [`Plan`] directly — no
+/// re-parsing, no re-resolution. Because it borrows the database
+/// immutably, the catalog cannot change under a live prepared statement
+/// (the borrow checker enforces what other engines need epoch counters
+/// for).
+///
+/// ```
+/// use aggprov_engine::ProvDb;
+/// use aggprov_algebra::domain::Const;
+///
+/// let mut db = ProvDb::new();
+/// db.exec(
+///     "CREATE TABLE r (dept TEXT, sal NUM);
+///      INSERT INTO r VALUES ('d1', 20) PROVENANCE p1;
+///      INSERT INTO r VALUES ('d2', 30) PROVENANCE p2;",
+/// )
+/// .unwrap();
+///
+/// let by_dept = db.prepare("SELECT sal FROM r WHERE dept = $1").unwrap();
+/// let d1 = by_dept.execute_with(&[Const::str("d1")]).unwrap();
+/// let d2 = by_dept.execute_with(&[Const::str("d2")]).unwrap();
+/// assert_eq!(d1.len(), 1);
+/// assert_eq!(d2.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Prepared<'db, A: AggAnnotation + ParseAnnotation> {
+    db: &'db Database<A>,
+    plan: Arc<Plan>,
+    param_count: usize,
+}
+
+impl<'db, A: AggAnnotation + ParseAnnotation> Prepared<'db, A> {
+    /// The logical plan this statement executes.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// How many `$n` parameters the query expects.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// The result schema (known without executing).
+    pub fn schema(&self) -> &Schema {
+        self.plan.schema()
+    }
+
+    /// Executes the plan. Fails if the query has `$n` placeholders (use
+    /// [`execute_with`](Prepared::execute_with)).
+    pub fn execute(&self) -> Result<ResultSet<A>> {
+        self.execute_with(&[])
+    }
+
+    /// Executes the plan with `$1, $2, …` bound to `params` in order.
+    pub fn execute_with(&self, params: &[Const]) -> Result<ResultSet<A>> {
+        if params.len() != self.param_count {
+            return Err(RelError::Unsupported(format!(
+                "query expects exactly {} parameter{} (`$n`), got {}",
+                self.param_count,
+                if self.param_count == 1 { "" } else { "s" },
+                params.len()
+            )));
+        }
+        Ok(ResultSet::from_relation(execute_plan(
+            self.db, &self.plan, params,
+        )?))
     }
 }

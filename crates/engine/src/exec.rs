@@ -1,160 +1,197 @@
-//! Query execution: interprets the AST against annotated relations using
-//! the operators of `aggprov-core`.
+//! Plan execution: interprets the logical-plan IR of [`crate::plan`]
+//! against annotated relations using the operators of `aggprov-core`.
 //!
-//! Name handling: every scanned table's columns are internally renamed to
-//! `alias.column`; unqualified references resolve by unique suffix match.
-//! Aggregate outputs take their `AS` alias (or a `FUNC(col)` display name)
-//! immediately after grouping, so `HAVING` can reference them.
+//! All parsing, name resolution and validation happened at prepare time
+//! (see [`crate::plan::lower_query`]); this module only moves data. Column
+//! references arrive as positions or resolved internal names, output
+//! naming and set-operation alignment are single schema-level renames
+//! ([`Relation::with_schema`](aggprov_krel::relation::Relation::with_schema)),
+//! and `$n` parameters are bound from the slice passed alongside the plan.
 
-use crate::ast::*;
-use crate::database::Database;
 use crate::annot::ParseAnnotation;
+use crate::ast::{CmpOp, SetOp};
+use crate::database::Database;
+use crate::plan::{AvgSpec, Plan, PlanOperand, Predicate};
 use aggprov_algebra::domain::Const;
-use aggprov_algebra::monoid::MonoidKind;
 use aggprov_core::annotation::AggAnnotation;
 use aggprov_core::ops::{self, AggSpec, MKRel};
 use aggprov_core::{difference, Value};
 use aggprov_krel::error::{RelError, Result};
 use aggprov_krel::relation::Relation;
-use aggprov_krel::schema::Schema;
 
 fn unsup(msg: impl Into<String>) -> RelError {
     RelError::Unsupported(msg.into())
 }
 
-/// Runs a query against the database.
-pub fn run_query<A>(db: &Database<A>, q: &Query) -> Result<MKRel<A>>
+/// Executes a plan against the database with `$n` parameters bound from
+/// `params` (slot `i` holds `$i+1`).
+///
+/// Crate-private on purpose: plans interpret column references by
+/// position without re-validating them, so the only safe entry points are
+/// the ones that lowered the plan against this database —
+/// [`Prepared`](crate::database::Prepared) and
+/// [`Database::exec`](crate::database::Database::exec).
+pub(crate) fn execute_plan<A>(db: &Database<A>, plan: &Plan, params: &[Const]) -> Result<MKRel<A>>
 where
     A: AggAnnotation + ParseAnnotation,
 {
-    match q {
-        Query::Select(s) => run_select(db, s),
-        Query::SetOp { op, left, right } => {
-            let l = run_query(db, left)?;
-            let r = run_query(db, right)?;
-            if l.schema().arity() != r.schema().arity() {
-                return Err(RelError::SchemaMismatch {
-                    left: l.schema().to_string(),
-                    right: r.schema().to_string(),
-                    op: "set operation (arities differ)",
-                });
+    match plan {
+        Plan::Scan { table, schema } => db.table(table)?.clone().with_schema(schema.clone()),
+        Plan::Derived { input, schema } => {
+            execute_plan(db, input, params)?.with_schema(schema.clone())
+        }
+        Plan::Product { left, right, .. } => {
+            let l = execute_plan(db, left, params)?;
+            let r = execute_plan(db, right, params)?;
+            ops::product(&l, &r)
+        }
+        Plan::Join {
+            left, right, on, ..
+        } => {
+            let l = execute_plan(db, left, params)?;
+            let r = execute_plan(db, right, params)?;
+            let pairs: Vec<(&str, &str)> =
+                on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+            ops::join_on(&l, &r, &pairs)
+        }
+        Plan::Filter { input, pred } => {
+            let rel = execute_plan(db, input, params)?;
+            apply_predicate(&rel, pred, params)
+        }
+        Plan::AddUnitColumn { input, schema } => {
+            let rel = execute_plan(db, input, params)?;
+            let mut out = Relation::empty(schema.clone());
+            for (t, k) in rel.iter() {
+                let mut row = t.values().to_vec();
+                row.push(Value::int(1));
+                out.insert(row, k.clone())?;
             }
-            // Align by position, as in SQL.
-            let mut r2 = r;
-            let left_names: Vec<String> = l
-                .schema()
-                .attrs()
+            Ok(out)
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            avg,
+            ..
+        } => {
+            let rel = execute_plan(db, input, params)?;
+            let specs: Vec<AggSpec<'_>> = aggs
                 .iter()
-                .map(|a| a.name().to_string())
+                .map(|a| AggSpec {
+                    kind: a.kind,
+                    attr: &a.attr,
+                    out: &a.out,
+                })
                 .collect();
-            for (i, name) in left_names.iter().enumerate() {
-                let current = r2.schema().attrs()[i].name().to_string();
-                if &current != name {
-                    // Two-step rename avoids transient collisions.
-                    let tmp = format!("__align_{i}");
-                    r2 = r2.rename(&current, &tmp)?;
-                    r2 = r2.rename(&tmp, name)?;
-                }
+            let group_refs: Vec<&str> = group_by.iter().map(|g| g.as_str()).collect();
+            let grouped = if group_refs.is_empty() {
+                ops::agg_all(&rel, &specs)?
+            } else {
+                ops::group_by(&rel, &group_refs, &specs)?
+            };
+            if avg.is_empty() {
+                Ok(grouped)
+            } else {
+                compute_avg_columns(&grouped, avg)
             }
+        }
+        Plan::Project {
+            input,
+            columns,
+            schema,
+        } => {
+            let rel = execute_plan(db, input, params)?;
+            // Project the *distinct* input positions first — the §4.3
+            // symbolic projection (annotation merging under equality
+            // tokens) is defined over a set of attributes — then expand
+            // duplicated select items (`SELECT dept AS a, dept AS b`)
+            // positionally and install the display schema in one
+            // schema-level rename.
+            let mut distinct: Vec<usize> = Vec::new();
+            let expand: Vec<usize> = columns
+                .iter()
+                .map(|i| {
+                    distinct.iter().position(|d| d == i).unwrap_or_else(|| {
+                        distinct.push(*i);
+                        distinct.len() - 1
+                    })
+                })
+                .collect();
+            let names: Vec<&str> = distinct
+                .iter()
+                .map(|i| rel.schema().attrs()[*i].name())
+                .collect();
+            let projected = ops::project(&rel, &names)?;
+            if distinct.len() == columns.len() {
+                return projected.with_schema(schema.clone());
+            }
+            let mut out = Relation::empty(schema.clone());
+            for (t, k) in projected.iter() {
+                let row: Vec<Value<A>> = expand.iter().map(|i| t.get(*i).clone()).collect();
+                out.insert(row, k.clone())?;
+            }
+            Ok(out)
+        }
+        Plan::SetOp {
+            op,
+            left,
+            right,
+            schema,
+        } => {
+            let l = execute_plan(db, left, params)?;
+            // Align the right side by position, as in SQL: one
+            // schema-level rename instead of a per-column rename loop.
+            let r = execute_plan(db, right, params)?.with_schema(schema.clone())?;
             match op {
-                SetOp::Union => ops::union(&l, &r2),
-                SetOp::Except => difference::difference(&l, &r2),
+                SetOp::Union => ops::union(&l, &r),
+                SetOp::Except => difference::difference(&l, &r),
             }
         }
     }
 }
 
-fn lit_to_const(lit: &Lit) -> Const {
-    match lit {
-        Lit::Num(n) => Const::Num(*n),
-        Lit::Str(s) => Const::str(s),
-        Lit::Bool(b) => Const::Bool(*b),
-    }
+/// Binds a resolved operand to a concrete value fetcher.
+enum Fetch {
+    Col(usize),
+    Const(Const),
 }
 
-/// Renames every column of a scanned table (or derived subquery) to
-/// `alias.column`.
-fn scan<A>(db: &Database<A>, tref: &TableRef) -> Result<MKRel<A>>
-where
-    A: AggAnnotation + ParseAnnotation,
-{
-    let derived;
-    let rel = match &tref.source {
-        crate::ast::TableSource::Named(name) => db.table(name)?,
-        crate::ast::TableSource::Subquery(q) => {
-            derived = run_query(db, q)?;
-            &derived
+fn bind_operand(op: &PlanOperand, params: &[Const]) -> Result<Fetch> {
+    Ok(match op {
+        PlanOperand::Col(i) => Fetch::Col(*i),
+        PlanOperand::Lit(c) => Fetch::Const(c.clone()),
+        PlanOperand::Param(slot) => {
+            let c = params.get(*slot).ok_or_else(|| {
+                unsup(format!(
+                    "unknown parameter ${}: the query was given {} parameter{}",
+                    slot + 1,
+                    params.len(),
+                    if params.len() == 1 { "" } else { "s" }
+                ))
+            })?;
+            Fetch::Const(c.clone())
         }
-    };
-    let alias = tref.effective_alias();
-    if alias.contains('.') {
-        return Err(unsup(format!("alias `{alias}` may not contain `.`")));
-    }
-    let names: Vec<String> = rel
-        .schema()
-        .attrs()
-        .iter()
-        .map(|a| a.name().to_string())
-        .collect();
-    let mut out = rel.clone();
-    for name in names {
-        out = out.rename(&name, &format!("{alias}.{name}"))?;
-    }
-    Ok(out)
+    })
 }
 
-/// Resolves a column reference against a schema.
-fn resolve_col(schema: &Schema, col: &ColRef) -> Result<String> {
-    let want = col.display();
-    if schema.contains(&want) {
-        return Ok(want);
-    }
-    if col.table.is_none() {
-        let suffix = format!(".{}", col.column);
-        let matches: Vec<&str> = schema
-            .attrs()
-            .iter()
-            .map(|a| a.name())
-            .filter(|n| n.ends_with(suffix.as_str()))
-            .collect();
-        match matches.len() {
-            1 => return Ok(matches[0].to_string()),
-            0 => {}
-            _ => {
-                return Err(unsup(format!(
-                    "ambiguous column `{}` (candidates: {})",
-                    col.column,
-                    matches.join(", ")
-                )))
-            }
-        }
-    }
-    Err(RelError::UnknownAttr(want))
-}
-
-fn apply_condition<A: AggAnnotation>(rel: &MKRel<A>, cond: &Condition) -> Result<MKRel<A>> {
+fn apply_predicate<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    pred: &Predicate,
+    params: &[Const],
+) -> Result<MKRel<A>> {
     use aggprov_core::km::CmpPred;
-    enum Fetch {
-        Col(usize),
-        Lit(Const),
-    }
-    let resolve = |operand: &Operand| -> Result<Fetch> {
-        Ok(match operand {
-            Operand::Col(c) => Fetch::Col(rel.schema().index_of(&resolve_col(rel.schema(), c)?)?),
-            Operand::Lit(l) => Fetch::Lit(lit_to_const(l)),
-        })
-    };
-    let left = resolve(&cond.left)?;
-    let right = resolve(&cond.right)?;
+    let left = bind_operand(&pred.left, params)?;
+    let right = bind_operand(&pred.right, params)?;
     ops::select_with_token(rel, move |_, t| {
         let fetch = |f: &Fetch| -> Value<A> {
             match f {
                 Fetch::Col(i) => t.get(*i).clone(),
-                Fetch::Lit(c) => Value::Const(c.clone()),
+                Fetch::Const(c) => Value::Const(c.clone()),
             }
         };
         let (lv, rv) = (fetch(&left), fetch(&right));
-        match cond.op {
+        match pred.op {
             CmpOp::Eq => A::value_eq(&lv, &rv),
             CmpOp::Ne => A::value_cmp(CmpPred::Ne, &lv, &rv),
             CmpOp::Lt => A::value_cmp(CmpPred::Lt, &lv, &rv),
@@ -165,276 +202,28 @@ fn apply_condition<A: AggAnnotation>(rel: &MKRel<A>, cond: &Condition) -> Result
     })
 }
 
-fn agg_kind(func: AggFunc) -> MonoidKind {
-    match func {
-        AggFunc::Sum | AggFunc::Count | AggFunc::Avg => MonoidKind::Sum,
-        AggFunc::Min => MonoidKind::Min,
-        AggFunc::Max => MonoidKind::Max,
-        AggFunc::Prod => MonoidKind::Prod,
-        AggFunc::BoolOr => MonoidKind::Or,
-    }
-}
-
-const ONE_COL: &str = "__one";
-
-/// Appends a constant-1 column (for COUNT/AVG).
-fn with_one_column<A: AggAnnotation>(rel: &MKRel<A>) -> Result<MKRel<A>> {
-    let mut names: Vec<String> = rel
-        .schema()
-        .attrs()
-        .iter()
-        .map(|a| a.name().to_string())
-        .collect();
-    names.push(ONE_COL.to_string());
-    let schema = Schema::new(names.iter().map(|s| s.as_str()))?;
-    let mut out = Relation::empty(schema);
-    for (t, k) in rel.iter() {
-        let mut row = t.values().to_vec();
-        row.push(Value::int(1));
-        out.insert(row, k.clone())?;
-    }
-    Ok(out)
-}
-
-struct Planned {
-    /// Internal output column per select item, in order.
-    internal: Vec<String>,
-    /// Display name per select item, in order.
-    display: Vec<String>,
-}
-
-fn run_select<A>(db: &Database<A>, s: &SelectStmt) -> Result<MKRel<A>>
-where
-    A: AggAnnotation + ParseAnnotation,
-{
-    if s.from.is_empty() {
-        return Err(unsup("FROM clause is required"));
-    }
-    // FROM and JOIN.
-    let mut rel = scan(db, &s.from[0])?;
-    for tref in &s.from[1..] {
-        rel = ops::product(&rel, &scan(db, tref)?)?;
-    }
-    for join in &s.joins {
-        let right = scan(db, &join.table)?;
-        let mut pairs: Vec<(String, String)> = Vec::new();
-        for (l, r) in &join.on {
-            // Orient each pair: one side in the accumulated relation, the
-            // other in the joined table.
-            let (lc, rc) = match (resolve_col(rel.schema(), l), resolve_col(right.schema(), r)) {
-                (Ok(a), Ok(b)) => (a, b),
-                _ => {
-                    let a = resolve_col(rel.schema(), r)?;
-                    let b = resolve_col(right.schema(), l)?;
-                    (a, b)
-                }
-            };
-            pairs.push((lc, rc));
-        }
-        let pair_refs: Vec<(&str, &str)> =
-            pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
-        rel = ops::join_on(&rel, &right, &pair_refs)?;
-    }
-    // WHERE.
-    for cond in &s.where_ {
-        rel = apply_condition(&rel, cond)?;
-    }
-
-    let has_agg = s
-        .items
-        .iter()
-        .any(|i| matches!(i, SelectItem::Agg(..)));
-
-    let planned = if has_agg || !s.group_by.is_empty() {
-        let (aggregated, planned) = run_aggregate(rel, s)?;
-        rel = aggregated;
-        planned
-    } else {
-        if !s.having.is_empty() {
-            return Err(unsup("HAVING requires aggregation"));
-        }
-        plan_plain_items(&rel, s)?
-    };
-
-    // HAVING (aggregate outputs are already named).
-    for cond in &s.having {
-        rel = apply_condition(&rel, cond)?;
-    }
-
-    // Final projection and renaming to display names.
-    let internal_refs: Vec<&str> = planned.internal.iter().map(|s| s.as_str()).collect();
-    let mut out = ops::project(&rel, &internal_refs)?;
-    for (i, display) in planned.display.iter().enumerate() {
-        let current = out.schema().attrs()[i].name().to_string();
-        if &current != display {
-            let tmp = format!("__out_{i}");
-            out = out.rename(&current, &tmp)?;
-            out = out.rename(&tmp, display)?;
-        }
-    }
-    Ok(out)
-}
-
-/// Plans SELECT items when no aggregation is involved.
-fn plan_plain_items<A: AggAnnotation>(rel: &MKRel<A>, s: &SelectStmt) -> Result<Planned> {
-    let mut internal = Vec::new();
-    let mut display = Vec::new();
-    for item in &s.items {
-        match item {
-            SelectItem::Star => {
-                for a in rel.schema().attrs() {
-                    internal.push(a.name().to_string());
-                    display.push(bare_display(rel.schema(), a.name()));
-                }
-            }
-            SelectItem::Col(c, alias) => {
-                let name = resolve_col(rel.schema(), c)?;
-                internal.push(name);
-                display.push(alias.clone().unwrap_or_else(|| c.column.clone()));
-            }
-            SelectItem::Agg(..) => unreachable!("plain path has no aggregates"),
-        }
-    }
-    Ok(Planned { internal, display })
-}
-
-/// For `SELECT *`: strips the alias prefix when the bare column name is
-/// unambiguous.
-fn bare_display(schema: &Schema, internal: &str) -> String {
-    let bare = internal.rsplit('.').next().unwrap_or(internal);
-    let suffix = format!(".{bare}");
-    let count = schema
-        .attrs()
-        .iter()
-        .filter(|a| a.name() == bare || a.name().ends_with(suffix.as_str()))
-        .count();
-    if count == 1 {
-        bare.to_string()
-    } else {
-        internal.to_string()
-    }
-}
-
-/// Executes grouping/aggregation and names the outputs.
-fn run_aggregate<A: AggAnnotation>(
-    rel: MKRel<A>,
-    s: &SelectStmt,
-) -> Result<(MKRel<A>, Planned)> {
-    // Resolve grouping columns.
-    let group_internal: Vec<String> = s
-        .group_by
-        .iter()
-        .map(|c| resolve_col(rel.schema(), c))
-        .collect::<Result<_>>()?;
-
-    let needs_one = s.items.iter().any(|i| {
-        matches!(
-            i,
-            SelectItem::Agg(AggFunc::Count | AggFunc::Avg, _, _)
-        )
-    });
-    let rel = if needs_one { with_one_column(&rel)? } else { rel };
-
-    // Build specs and the output plan.
-    let mut specs_owned: Vec<(MonoidKind, String, String)> = Vec::new();
-    let mut avg_pairs: Vec<(String, String, String)> = Vec::new(); // (sum, cnt, out)
-    let mut internal = Vec::new();
-    let mut display = Vec::new();
-
-    for (i, item) in s.items.iter().enumerate() {
-        match item {
-            SelectItem::Star => {
-                return Err(unsup("`*` cannot be mixed with aggregation; list columns"))
-            }
-            SelectItem::Col(c, alias) => {
-                let name = resolve_col(rel.schema(), c)?;
-                if !group_internal.contains(&name) {
-                    return Err(unsup(format!(
-                        "column `{}` must appear in GROUP BY or inside an aggregate",
-                        c.display()
-                    )));
-                }
-                internal.push(name);
-                display.push(alias.clone().unwrap_or_else(|| c.column.clone()));
-            }
-            SelectItem::Agg(func, arg, alias) => {
-                let (attr, arg_name) = match arg {
-                    AggArg::Star => {
-                        if !matches!(func, AggFunc::Count) {
-                            return Err(unsup(format!("{}(*) is not supported", func.name())));
-                        }
-                        (ONE_COL.to_string(), "*".to_string())
-                    }
-                    AggArg::Col(c) => (resolve_col(rel.schema(), c)?, c.display()),
-                };
-                let out_name = alias
-                    .clone()
-                    .unwrap_or_else(|| format!("{}({})", func.name(), arg_name));
-                match func {
-                    AggFunc::Count => {
-                        specs_owned.push((MonoidKind::Sum, ONE_COL.into(), out_name.clone()));
-                    }
-                    AggFunc::Avg => {
-                        let s_col = format!("__avg_sum_{i}");
-                        let c_col = format!("__avg_cnt_{i}");
-                        specs_owned.push((MonoidKind::Sum, attr, s_col.clone()));
-                        specs_owned.push((MonoidKind::Sum, ONE_COL.into(), c_col.clone()));
-                        avg_pairs.push((s_col, c_col, out_name.clone()));
-                    }
-                    _ => {
-                        specs_owned.push((agg_kind(*func), attr, out_name.clone()));
-                    }
-                }
-                internal.push(out_name.clone());
-                display.push(out_name);
-            }
-        }
-    }
-
-    let specs: Vec<AggSpec<'_>> = specs_owned
-        .iter()
-        .map(|(kind, attr, out)| AggSpec {
-            kind: *kind,
-            attr,
-            out,
-        })
-        .collect();
-    let group_refs: Vec<&str> = group_internal.iter().map(|g| g.as_str()).collect();
-    let grouped = if group_refs.is_empty() {
-        ops::agg_all(&rel, &specs)?
-    } else {
-        ops::group_by(&rel, &group_refs, &specs)?
-    };
-
-    // Compute AVG columns from their SUM/COUNT parts.
-    let finished = if avg_pairs.is_empty() {
-        grouped
-    } else {
-        compute_avg_columns(&grouped, &avg_pairs)?
-    };
-    Ok((finished, Planned { internal, display }))
-}
-
 /// Appends `out = sum / cnt` columns; both parts must have resolved
 /// (symbolic AVG would require division in the monoid — compute SUM and
 /// COUNT separately to keep provenance, per paper footnote 6).
-fn compute_avg_columns<A: AggAnnotation>(
-    rel: &MKRel<A>,
-    pairs: &[(String, String, String)],
-) -> Result<MKRel<A>> {
+fn compute_avg_columns<A: AggAnnotation>(rel: &MKRel<A>, pairs: &[AvgSpec]) -> Result<MKRel<A>> {
     let mut names: Vec<String> = rel
         .schema()
         .attrs()
         .iter()
         .map(|a| a.name().to_string())
         .collect();
-    for (_, _, out) in pairs {
-        names.push(out.clone());
+    for spec in pairs {
+        names.push(spec.out.clone());
     }
-    let schema = Schema::new(names.iter().map(|s| s.as_str()))?;
+    let schema = aggprov_krel::schema::Schema::new(names.iter().map(|s| s.as_str()))?;
     let indices: Vec<(usize, usize)> = pairs
         .iter()
-        .map(|(s, c, _)| Ok((rel.schema().index_of(s)?, rel.schema().index_of(c)?)))
+        .map(|spec| {
+            Ok((
+                rel.schema().index_of(&spec.sum)?,
+                rel.schema().index_of(&spec.count)?,
+            ))
+        })
         .collect::<Result<_>>()?;
     let mut out = Relation::empty(schema);
     for (t, k) in rel.iter() {
@@ -443,9 +232,9 @@ fn compute_avg_columns<A: AggAnnotation>(
             let sum = t.get(*si).as_const().and_then(Const::as_num);
             let cnt = t.get(*ci).as_const().and_then(Const::as_num);
             let avg = match (sum, cnt) {
-                (Some(s), Some(c)) => s.checked_div(&c).ok_or_else(|| {
-                    unsup("AVG over an empty group")
-                })?,
+                (Some(s), Some(c)) => s
+                    .checked_div(&c)
+                    .ok_or_else(|| unsup("AVG over an empty group"))?,
                 _ => {
                     return Err(unsup(
                         "AVG over symbolic provenance does not resolve; select SUM and \

@@ -14,6 +14,8 @@ pub enum Token {
     Number(Num),
     /// A single-quoted string literal.
     Str(String),
+    /// A prepared-statement placeholder `$1`, `$2`, … (1-based).
+    Param(u32),
     /// `(`
     LParen,
     /// `)`
@@ -46,6 +48,7 @@ impl fmt::Display for Token {
             Token::Ident(s) => write!(f, "{s}"),
             Token::Number(n) => write!(f, "{n}"),
             Token::Str(s) => write!(f, "'{s}'"),
+            Token::Param(n) => write!(f, "${n}"),
             Token::LParen => write!(f, "("),
             Token::RParen => write!(f, ")"),
             Token::Comma => write!(f, ","),
@@ -133,6 +136,24 @@ pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
                     i += 1;
                 }
             }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(err("expected a parameter number after `$`".into()));
+                }
+                let n: u32 = input[start..j]
+                    .parse()
+                    .map_err(|_| err(format!("parameter `${}` out of range", &input[start..j])))?;
+                if n == 0 {
+                    return Err(err("parameters are numbered from $1".into()));
+                }
+                out.push(Token::Param(n));
+                i = j;
+            }
             '\'' => {
                 let start = i + 1;
                 let mut j = start;
@@ -148,9 +169,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
             '0'..='9' => {
                 let start = i;
                 let mut j = i;
-                while j < bytes.len()
-                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
-                {
+                while j < bytes.len() && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.') {
                     // A dot is part of the number only if followed by a digit
                     // (so `r.a` lexes as ident-dot-ident).
                     if bytes[j] == b'.'
@@ -163,8 +182,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
                     j += 1;
                 }
                 let text = &input[start..j];
-                let n = Num::parse(text)
-                    .ok_or_else(|| err(format!("invalid number `{text}`")))?;
+                let n = Num::parse(text).ok_or_else(|| err(format!("invalid number `{text}`")))?;
                 out.push(Token::Number(n));
                 i = j;
             }
@@ -172,15 +190,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
                 // Negative literal.
                 let start = i;
                 let mut j = i + 1;
-                if !bytes
-                    .get(j)
-                    .is_some_and(|b| (*b as char).is_ascii_digit())
-                {
+                if !bytes.get(j).is_some_and(|b| (*b as char).is_ascii_digit()) {
                     return Err(err("stray `-`".into()));
                 }
-                while j < bytes.len()
-                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
-                {
+                while j < bytes.len() && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.') {
                     if bytes[j] == b'.'
                         && !bytes
                             .get(j + 1)
@@ -191,8 +204,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
                     j += 1;
                 }
                 let text = &input[start..j];
-                let n = Num::parse(text)
-                    .ok_or_else(|| err(format!("invalid number `{text}`")))?;
+                let n = Num::parse(text).ok_or_else(|| err(format!("invalid number `{text}`")))?;
                 out.push(Token::Number(n));
                 i = j;
             }
@@ -251,7 +263,14 @@ mod tests {
             .collect();
         assert_eq!(
             ops,
-            vec![&Token::Le, &Token::Ne, &Token::Ge, &Token::Lt, &Token::Gt, &Token::Ne]
+            vec![
+                &Token::Le,
+                &Token::Ne,
+                &Token::Ge,
+                &Token::Lt,
+                &Token::Gt,
+                &Token::Ne
+            ]
         );
     }
 

@@ -19,6 +19,21 @@
 //! symbolic aggregate provenance (`ℕ[X]^M`); instantiations at `ℕ`, `B`,
 //! `Security`, `SN`, … run the same queries under bag, set, or
 //! security semantics directly.
+//!
+//! ## The prepared-statement pipeline
+//!
+//! Queries run through a three-stage pipeline:
+//!
+//! 1. [`Database::prepare`] parses and **lowers** the SQL to a logical-plan
+//!    IR ([`plan::Plan`]): name resolution, schema computation and
+//!    validation happen exactly once;
+//! 2. [`Prepared::execute`] / [`Prepared::execute_with`] interpret the
+//!    plan (re-executable, with `$n` parameters);
+//! 3. the resulting [`ResultSet`] is interrogated fluently —
+//!    [`ResultSet::valuate`], [`ResultSet::delete_tokens`],
+//!    [`ResultSet::clearance`], [`ResultSet::collapse`], by-name rows.
+//!
+//! [`Database::query`] remains as the one-shot convenience wrapper.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,9 +44,16 @@ pub mod database;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
+pub mod result;
 
 pub use annot::ParseAnnotation;
-pub use database::Database;
+pub use database::{Database, Prepared};
+pub use plan::Plan;
+pub use result::{ResultSet, Row};
+
+/// Constants, re-exported for `Prepared::execute_with` parameter lists.
+pub use aggprov_algebra::domain::Const;
 
 /// A database tracking full aggregate provenance (`ℕ[X]^M` annotations).
 pub type ProvDb = Database<aggprov_core::Prov>;
@@ -65,10 +87,7 @@ mod tests {
         let out = db.query("SELECT dept FROM r").unwrap();
         assert_eq!(out.len(), 2);
         let d1 = out.annotation(&aggprov_krel::relation::Tuple::from([Value::str("d1")]));
-        assert_eq!(
-            d1.try_collapse().unwrap().to_string(),
-            "p1 + p2 + p3"
-        );
+        assert_eq!(d1.try_collapse().unwrap().to_string(), "p1 + p2 + p3");
     }
 
     #[test]
@@ -80,7 +99,11 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out.schema().to_string(), "dept, mass");
         let rows: Vec<String> = out.iter().map(|(t, k)| format!("{t} @ {k}")).collect();
-        assert!(rows[0].contains("(p2)⊗10 + (p3)⊗15 + (p1)⊗20"), "{}", rows[0]);
+        assert!(
+            rows[0].contains("(p2)⊗10 + (p3)⊗15 + (p1)⊗20"),
+            "{}",
+            rows[0]
+        );
         assert!(rows[0].contains("δ(p1 + p2 + p3)"), "{}", rows[0]);
     }
 
@@ -109,9 +132,7 @@ mod tests {
     fn having_keeps_symbolic_tokens() {
         let db = figure_1_db();
         let out = db
-            .query(
-                "SELECT dept, SUM(sal) AS total FROM r GROUP BY dept HAVING total = 25",
-            )
+            .query("SELECT dept, SUM(sal) AS total FROM r GROUP BY dept HAVING total = 25")
             .unwrap();
         // Both groups survive symbolically with equality tokens.
         assert_eq!(out.len(), 2);
@@ -327,7 +348,10 @@ mod tests {
         assert!(db.exec("INSERT INTO missing VALUES (1)").is_err());
         assert!(db.query("SELECT b FROM t").is_err());
         assert!(db.query("SELECT a FROM t HAVING a = 1").is_err());
-        assert!(db.query("SELECT a, SUM(a) FROM t").is_err(), "a not grouped");
+        assert!(
+            db.query("SELECT a, SUM(a) FROM t").is_err(),
+            "a not grouped"
+        );
         assert!(db.exec("DROP TABLE t").is_ok());
         assert!(db.query("SELECT a FROM t").is_err());
     }

@@ -75,7 +75,9 @@ impl Parser {
     }
 
     fn peek_text(&self) -> String {
-        self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+        self.peek()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "end of input".into())
     }
 
     fn next(&mut self) -> Option<Token> {
@@ -121,7 +123,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(err(format!("expected `{kw}`, found `{}`", self.peek_text())))
+            Err(err(format!(
+                "expected `{kw}`, found `{}`",
+                self.peek_text()
+            )))
         }
     }
 
@@ -130,7 +135,9 @@ impl Parser {
             Some(Token::Ident(s)) => Ok(s),
             other => Err(err(format!(
                 "expected identifier, found `{}`",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -141,7 +148,9 @@ impl Parser {
         } else if self.at_kw("DROP") {
             self.pos += 1;
             self.expect_kw("TABLE")?;
-            Ok(Stmt::DropTable { name: self.ident()? })
+            Ok(Stmt::DropTable {
+                name: self.ident()?,
+            })
         } else if self.at_kw("INSERT") {
             self.insert()
         } else if self.at_kw("SELECT") {
@@ -218,7 +227,9 @@ impl Parser {
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case("FALSE") => Ok(Lit::Bool(false)),
             other => Err(err(format!(
                 "expected literal, found `{}`",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -357,8 +368,8 @@ impl Parser {
         } else if let Some(Token::Ident(s)) = self.peek() {
             // Bare alias, unless it's a keyword continuing the query.
             const KEYWORDS: [&str; 12] = [
-                "JOIN", "ON", "WHERE", "GROUP", "HAVING", "UNION", "EXCEPT", "AND", "AS",
-                "FROM", "SELECT", "BY",
+                "JOIN", "ON", "WHERE", "GROUP", "HAVING", "UNION", "EXCEPT", "AND", "AS", "FROM",
+                "SELECT", "BY",
             ];
             if KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) {
                 None
@@ -413,7 +424,9 @@ impl Parser {
             other => {
                 return Err(err(format!(
                     "expected comparison operator, found `{}`",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 )))
             }
         };
@@ -423,6 +436,11 @@ impl Parser {
 
     fn operand(&mut self) -> Result<Operand> {
         match self.peek() {
+            Some(Token::Param(n)) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(Operand::Param(n))
+            }
             Some(Token::Number(_)) | Some(Token::Str(_)) => Ok(Operand::Lit(self.literal()?)),
             Some(Token::Ident(s))
                 if s.eq_ignore_ascii_case("TRUE") || s.eq_ignore_ascii_case("FALSE") =>
@@ -464,18 +482,14 @@ mod tests {
 
     #[test]
     fn select_with_group_by_and_having() {
-        let q = parse_query(
-            "SELECT dept, SUM(sal) AS total FROM r GROUP BY dept HAVING total = 20",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT dept, SUM(sal) AS total FROM r GROUP BY dept HAVING total = 20")
+                .unwrap();
         let Query::Select(s) = q else { panic!() };
         assert_eq!(s.items.len(), 2);
         assert_eq!(s.group_by, vec![ColRef::bare("dept")]);
         assert_eq!(s.having.len(), 1);
-        assert_eq!(
-            s.having[0].right,
-            Operand::Lit(Lit::Num(Num::int(20)))
-        );
+        assert_eq!(s.having[0].right, Operand::Lit(Lit::Num(Num::int(20))));
     }
 
     #[test]
@@ -495,11 +509,19 @@ mod tests {
 
     #[test]
     fn set_operations_left_associate() {
-        let q = parse_query("SELECT a FROM r UNION SELECT a FROM s EXCEPT SELECT a FROM t")
-            .unwrap();
-        let Query::SetOp { op, left, .. } = q else { panic!() };
+        let q =
+            parse_query("SELECT a FROM r UNION SELECT a FROM s EXCEPT SELECT a FROM t").unwrap();
+        let Query::SetOp { op, left, .. } = q else {
+            panic!()
+        };
         assert_eq!(op, SetOp::Except);
-        assert!(matches!(*left, Query::SetOp { op: SetOp::Union, .. }));
+        assert!(matches!(
+            *left,
+            Query::SetOp {
+                op: SetOp::Union,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl fmt::Display for RelError {
             RelError::UnknownAttr(a) => write!(f, "unknown attribute `{a}`"),
             RelError::DuplicateAttr(a) => write!(f, "duplicate attribute `{a}`"),
             RelError::ArityMismatch { expected, got } => {
-                write!(f, "tuple arity {got} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {got} does not match schema arity {expected}"
+                )
             }
             RelError::TypeError(msg) => write!(f, "type error: {msg}"),
             RelError::Unsupported(msg) => write!(f, "unsupported: {msg}"),

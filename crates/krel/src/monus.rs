@@ -65,10 +65,7 @@ where
 /// ℤ-difference: `(R − S)(t) = R(t) − S(t)` on ℤ-relations, following
 /// "Reconcilable differences" (ICDT 2009). Tuples of `S` absent from `R`
 /// appear with negative multiplicity.
-pub fn z_difference<V>(
-    r: &Relation<IntZ, V>,
-    s: &Relation<IntZ, V>,
-) -> Result<Relation<IntZ, V>>
+pub fn z_difference<V>(r: &Relation<IntZ, V>, s: &Relation<IntZ, V>) -> Result<Relation<IntZ, V>>
 where
     V: Clone + Ord + Hash + fmt::Debug,
 {
@@ -86,8 +83,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::Schema;
     use crate::relation::Tuple;
+    use crate::schema::Schema;
     use aggprov_algebra::domain::Const;
 
     fn sch() -> Schema {
@@ -95,11 +92,7 @@ mod tests {
     }
 
     fn bag(rows: &[(i64, u64)]) -> Relation<Nat, Const> {
-        Relation::from_rows(
-            sch(),
-            rows.iter().map(|(v, n)| ([Const::int(*v)], Nat(*n))),
-        )
-        .unwrap()
+        Relation::from_rows(sch(), rows.iter().map(|(v, n)| ([Const::int(*v)], Nat(*n)))).unwrap()
     }
 
     #[test]
@@ -115,11 +108,7 @@ mod tests {
     #[test]
     fn set_monus() {
         let mk = |vals: &[i64]| {
-            Relation::from_rows(
-                sch(),
-                vals.iter().map(|v| ([Const::int(*v)], Bool(true))),
-            )
-            .unwrap()
+            Relation::from_rows(sch(), vals.iter().map(|v| ([Const::int(*v)], Bool(true)))).unwrap()
         };
         let d = monus_difference(&mk(&[1, 2]), &mk(&[2, 3])).unwrap();
         assert_eq!(d.len(), 1);

@@ -76,7 +76,11 @@ impl BagRel {
 
     /// Natural join by nested loops.
     pub fn natural_join(&self, other: &BagRel) -> BagRel {
-        let shared: Vec<&String> = self.attrs.iter().filter(|a| other.attrs.contains(a)).collect();
+        let shared: Vec<&String> = self
+            .attrs
+            .iter()
+            .filter(|a| other.attrs.contains(a))
+            .collect();
         let left_idx: Vec<usize> = shared.iter().map(|a| self.idx(a)).collect();
         let right_idx: Vec<usize> = shared.iter().map(|a| other.idx(a)).collect();
         let extra_idx: Vec<usize> = (0..other.attrs.len())
@@ -162,7 +166,12 @@ impl BagRel {
 
     /// `GROUP BY group_attrs` with a single aggregation `kind(agg_attr)`;
     /// output schema is `group_attrs ++ [agg_attr]`.
-    pub fn group_aggregate(&self, group_attrs: &[&str], kind: MonoidKind, agg_attr: &str) -> BagRel {
+    pub fn group_aggregate(
+        &self,
+        group_attrs: &[&str],
+        kind: MonoidKind,
+        agg_attr: &str,
+    ) -> BagRel {
         let gidx: Vec<usize> = group_attrs.iter().map(|a| self.idx(a)).collect();
         let ai = self.idx(agg_attr);
         let mut groups: BTreeMap<Vec<Const>, Const> = BTreeMap::new();
@@ -235,7 +244,14 @@ mod tests {
 
     #[test]
     fn differences() {
-        let a = BagRel::new(&["x"], vec![vec![Const::int(1)], vec![Const::int(1)], vec![Const::int(2)]]);
+        let a = BagRel::new(
+            &["x"],
+            vec![
+                vec![Const::int(1)],
+                vec![Const::int(1)],
+                vec![Const::int(2)],
+            ],
+        );
         let b = BagRel::new(&["x"], vec![vec![Const::int(1)]]);
         assert_eq!(a.bag_difference(&b).rows.len(), 2);
         assert_eq!(a.set_difference(&b).rows, vec![vec![Const::int(2)]]);

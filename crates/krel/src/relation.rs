@@ -214,9 +214,7 @@ where
     pub fn natural_join(&self, other: &Self) -> Result<Self> {
         let shared = self.schema.shared_with(&other.schema);
         let shared_names: Vec<&str> = shared.iter().map(|a| a.name()).collect();
-        let left_keys = self
-            .schema
-            .indices_of(&shared_names)?;
+        let left_keys = self.schema.indices_of(&shared_names)?;
         let right_keys = other.schema.indices_of(&shared_names)?;
         // Positions of the other relation's non-shared attributes.
         let right_extra: Vec<usize> = (0..other.schema.arity())
@@ -266,6 +264,25 @@ where
         })
     }
 
+    /// Replaces the whole schema in one step (a simultaneous rename of all
+    /// attributes). Unlike a chain of [`Relation::rename`] calls this cannot
+    /// collide with existing names, never touches the tuples (it consumes
+    /// `self`, so renaming an owned relation is free), and is what
+    /// positional operations (SQL set operations, SELECT output naming)
+    /// want: `(ρ_{U→U'} R)(t) = R(t)` tuple-for-tuple.
+    pub fn with_schema(self, schema: Schema) -> Result<Self> {
+        if schema.arity() != self.schema.arity() {
+            return Err(RelError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: schema.arity(),
+            });
+        }
+        Ok(Relation {
+            schema,
+            tuples: self.tuples,
+        })
+    }
+
     /// Applies a semiring homomorphism to every annotation (`h_Rel`),
     /// renormalizing the support. Commutation of queries with this map is
     /// the paper's Theorem 3.3 (and its §4 extension).
@@ -288,7 +305,10 @@ where
     ) -> Relation<K, V2> {
         let mut out = Relation::empty(self.schema.clone());
         for (t, k) in &self.tuples {
-            out.add_tuple(Tuple::new(t.values().iter().map(&mut *f).collect::<Vec<_>>()), k.clone());
+            out.add_tuple(
+                Tuple::new(t.values().iter().map(&mut *f).collect::<Vec<_>>()),
+                k.clone(),
+            );
         }
         out
     }
@@ -330,11 +350,26 @@ mod tests {
         Relation::from_rows(
             s(&["emp", "dept", "sal"]),
             [
-                (vec![Const::int(1), Const::str("d1"), Const::int(20)], NatPoly::token("p1")),
-                (vec![Const::int(2), Const::str("d1"), Const::int(10)], NatPoly::token("p2")),
-                (vec![Const::int(3), Const::str("d1"), Const::int(15)], NatPoly::token("p3")),
-                (vec![Const::int(4), Const::str("d2"), Const::int(10)], NatPoly::token("r1")),
-                (vec![Const::int(5), Const::str("d2"), Const::int(15)], NatPoly::token("r2")),
+                (
+                    vec![Const::int(1), Const::str("d1"), Const::int(20)],
+                    NatPoly::token("p1"),
+                ),
+                (
+                    vec![Const::int(2), Const::str("d1"), Const::int(10)],
+                    NatPoly::token("p2"),
+                ),
+                (
+                    vec![Const::int(3), Const::str("d1"), Const::int(15)],
+                    NatPoly::token("p3"),
+                ),
+                (
+                    vec![Const::int(4), Const::str("d2"), Const::int(10)],
+                    NatPoly::token("r1"),
+                ),
+                (
+                    vec![Const::int(5), Const::str("d2"), Const::int(15)],
+                    NatPoly::token("r2"),
+                ),
             ],
         )
         .unwrap()
@@ -348,7 +383,9 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(
             p.annotation(&Tuple::from([Const::str("d1")])),
-            NatPoly::token("p1").plus(&NatPoly::token("p2")).plus(&NatPoly::token("p3"))
+            NatPoly::token("p1")
+                .plus(&NatPoly::token("p2"))
+                .plus(&NatPoly::token("p3"))
         );
         assert_eq!(
             p.annotation(&Tuple::from([Const::str("d2")])),
@@ -371,8 +408,8 @@ mod tests {
             after.annotation(&Tuple::from([Const::str("d1")])),
             NatPoly::token("p1").plus(&NatPoly::token("p2"))
         );
-        let del_more = aggprov_algebra::hom::Valuation::<NatPoly>::ones()
-            .set("r1", NatPoly::zero());
+        let del_more =
+            aggprov_algebra::hom::Valuation::<NatPoly>::ones().set("r1", NatPoly::zero());
         let after2 = after.map_annotations(&mut |k| del_more.eval(k));
         assert_eq!(after2.len(), 1, "d2 deleted once r1 = r2 = 0");
     }
@@ -415,7 +452,11 @@ mod tests {
         assert_eq!(j.schema().to_string(), "a, b, c");
         assert_eq!(j.len(), 2);
         assert_eq!(
-            j.annotation(&Tuple::from([Const::int(1), Const::int(10), Const::int(100)])),
+            j.annotation(&Tuple::from([
+                Const::int(1),
+                Const::int(10),
+                Const::int(100)
+            ])),
             Nat(6)
         );
     }
@@ -426,7 +467,11 @@ mod tests {
         let sel = r.select_eq("dept", &Const::str("d2")).unwrap();
         assert_eq!(sel.len(), 2);
         assert_eq!(
-            sel.annotation(&Tuple::from([Const::int(4), Const::str("d2"), Const::int(10)])),
+            sel.annotation(&Tuple::from([
+                Const::int(4),
+                Const::str("d2"),
+                Const::int(10)
+            ])),
             NatPoly::token("r1")
         );
     }
@@ -457,10 +502,7 @@ mod tests {
     fn map_values_merges_collisions() {
         let r = Relation::from_rows(
             s(&["a"]),
-            [
-                ([Const::int(1)], Nat(2)),
-                ([Const::int(2)], Nat(3)),
-            ],
+            [([Const::int(1)], Nat(2)), ([Const::int(2)], Nat(3))],
         )
         .unwrap();
         let merged = r.map_values(&mut |_| Const::int(0));

@@ -185,10 +185,7 @@ mod tests {
         let a = Schema::new(["x", "y"]).unwrap();
         let b = Schema::new(["y", "z"]).unwrap();
         assert_eq!(a.join_with(&b).unwrap().to_string(), "x, y, z");
-        assert_eq!(
-            a.shared_with(&b),
-            vec![Attr::new("y")]
-        );
+        assert_eq!(a.shared_with(&b), vec![Attr::new("y")]);
         assert!(a.concat(&b).is_err(), "product needs disjoint attrs");
     }
 }

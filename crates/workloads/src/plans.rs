@@ -59,9 +59,7 @@ impl Plan {
         match self {
             Plan::Scan(_) => BASE_SCHEMA.to_vec(),
             Plan::Union(l, _) | Plan::Difference(l, _) => l.schema(),
-            Plan::SelectEq(p, _, _) | Plan::HavingEq(p, _) | Plan::HavingCmp(p, _, _) => {
-                p.schema()
-            }
+            Plan::SelectEq(p, _, _) | Plan::HavingEq(p, _) | Plan::HavingCmp(p, _, _) => p.schema(),
             Plan::Project(_) => vec!["g", "v"],
             Plan::GroupBy(_, _) => vec!["g", AGG_COL],
             Plan::AggAll(_, _) => vec![AGG_COL],
@@ -118,7 +116,7 @@ fn random_base(rng: &mut StdRng, tables: usize, depth: usize) -> Plan {
             Box::new(random_base(rng, tables, depth - 1)),
         ),
         _ => {
-            let col = ["g", "v", "w"][rng.random_range(0..3)];
+            let col = ["g", "v", "w"][rng.random_range(0..3usize)];
             let c = rng.random_range(-3..4);
             Plan::SelectEq(Box::new(random_base(rng, tables, depth - 1)), col, c)
         }
@@ -148,7 +146,7 @@ pub fn random_plan(rng: &mut StdRng, tables: usize, depth: usize) -> Plan {
             let having = if rng.random_bool(0.5) {
                 Plan::HavingEq(Box::new(g1), rng.random_range(-3..8))
             } else {
-                let pred = [CmpPred::Lt, CmpPred::Le, CmpPred::Ne][rng.random_range(0..3)];
+                let pred = [CmpPred::Lt, CmpPred::Le, CmpPred::Ne][rng.random_range(0..3usize)];
                 Plan::HavingCmp(Box::new(g1), pred, rng.random_range(-3..8))
             };
             if rng.random_bool(0.4) {
@@ -170,9 +168,7 @@ pub fn eval_mk<A: AggAnnotation>(plan: &Plan, tables: &[MKRel<A>]) -> Result<MKR
         Plan::Scan(i) => Ok(tables[*i].clone()),
         Plan::Union(l, r) => ops::union(&eval_mk(l, tables)?, &eval_mk(r, tables)?),
         Plan::Difference(l, r) => difference(&eval_mk(l, tables)?, &eval_mk(r, tables)?),
-        Plan::SelectEq(p, col, c) => {
-            ops::select_eq(&eval_mk(p, tables)?, col, &Value::int(*c))
-        }
+        Plan::SelectEq(p, col, c) => ops::select_eq(&eval_mk(p, tables)?, col, &Value::int(*c)),
         Plan::Project(p) => ops::project(&eval_mk(p, tables)?, &["g", "v"]),
         Plan::GroupBy(p, kind) => ops::group_by(
             &eval_mk(p, tables)?,
@@ -191,9 +187,7 @@ pub fn eval_mk<A: AggAnnotation>(plan: &Plan, tables: &[MKRel<A>]) -> Result<MKR
                 out: AGG_COL,
             }],
         ),
-        Plan::HavingEq(p, c) => {
-            ops::select_eq(&eval_mk(p, tables)?, AGG_COL, &Value::int(*c))
-        }
+        Plan::HavingEq(p, c) => ops::select_eq(&eval_mk(p, tables)?, AGG_COL, &Value::int(*c)),
         Plan::HavingCmp(p, pred, c) => {
             ops::select_cmp(&eval_mk(p, tables)?, AGG_COL, *pred, &Value::int(*c))
         }
@@ -260,13 +254,11 @@ mod tests {
     fn plans_evaluate_on_both_engines() {
         let mut rng = StdRng::seed_from_u64(7);
         let (tables, tokens) = random_prov_tables(&mut rng, 2, 6);
-        let val = Valuation::<Nat>::ones()
-            .set_all(tokens.iter().map(|t| {
-                (
-                    aggprov_algebra::poly::Var::new(t),
-                    Nat(1),
-                )
-            }));
+        let val = Valuation::<Nat>::ones().set_all(
+            tokens
+                .iter()
+                .map(|t| (aggprov_algebra::poly::Var::new(t), Nat(1))),
+        );
         for _ in 0..30 {
             let plan = random_plan(&mut rng, 2, 2);
             let annotated = eval_mk(&plan, &tables).unwrap();
@@ -274,11 +266,7 @@ mod tests {
             let ours = read_off_bag(&collapse(&specialized).unwrap()).unwrap();
             let bags: Vec<BagRel> = tables.iter().map(|t| to_bag(t, &val)).collect();
             let reference = eval_bag(&plan, &bags);
-            assert_eq!(
-                ours.sorted_rows(),
-                reference.sorted_rows(),
-                "plan {plan:?}"
-            );
+            assert_eq!(ours.sorted_rows(), reference.sorted_rows(), "plan {plan:?}");
         }
     }
 }

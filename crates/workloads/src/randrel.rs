@@ -44,20 +44,22 @@ pub fn random_prov_tables(
 
 /// A random valuation of the tokens into small multiplicities.
 pub fn random_nat_valuation(rng: &mut StdRng, tokens: &[String]) -> Valuation<Nat> {
-    Valuation::ones().set_all(
-        tokens
-            .iter()
-            .map(|t| (aggprov_algebra::poly::Var::new(t), Nat(rng.random_range(0..3)))),
-    )
+    Valuation::ones().set_all(tokens.iter().map(|t| {
+        (
+            aggprov_algebra::poly::Var::new(t),
+            Nat(rng.random_range(0..3)),
+        )
+    }))
 }
 
 /// A random valuation of the tokens into booleans (set semantics).
 pub fn random_bool_valuation(rng: &mut StdRng, tokens: &[String]) -> Valuation<Bool> {
-    Valuation::ones().set_all(
-        tokens
-            .iter()
-            .map(|t| (aggprov_algebra::poly::Var::new(t), Bool(rng.random_bool(0.7)))),
-    )
+    Valuation::ones().set_all(tokens.iter().map(|t| {
+        (
+            aggprov_algebra::poly::Var::new(t),
+            Bool(rng.random_bool(0.7)),
+        )
+    }))
 }
 
 /// Materializes a token-annotated base table as a plain bag under a
@@ -106,8 +108,11 @@ mod tests {
     fn to_bag_expands_multiplicities() {
         let mut rng = StdRng::seed_from_u64(2);
         let (tables, tokens) = random_prov_tables(&mut rng, 1, 4);
-        let val = Valuation::<Nat>::ones()
-            .set_all(tokens.iter().map(|t| (aggprov_algebra::poly::Var::new(t), Nat(2))));
+        let val = Valuation::<Nat>::ones().set_all(
+            tokens
+                .iter()
+                .map(|t| (aggprov_algebra::poly::Var::new(t), Nat(2))),
+        );
         let bag = to_bag(&tables[0], &val);
         assert_eq!(bag.rows.len(), 8);
     }

@@ -2,15 +2,14 @@
 //!
 //! The commutation theorem turns "what does the query return after these
 //! deletions?" into an *algebraic substitution* on the stored result — no
-//! re-evaluation. This example measures both routes on the organisation
-//! workload and checks they agree.
+//! re-evaluation. This example prepares the query once, measures both
+//! routes on the organisation workload through the fluent `ResultSet` API,
+//! and checks they agree.
 //!
 //! Run with: `cargo run --release --example deletion_propagation`
 
-use aggprov::core::eval::{collapse, map_hom_mk};
 use aggprov::prelude::*;
 use aggprov::workloads::org::{org_database, OrgParams};
-use aggprov_algebra::poly::NatPoly;
 use aggprov_algebra::semiring::Nat;
 use std::time::Instant;
 
@@ -23,9 +22,10 @@ fn main() {
     let (db, workload) = org_database(params);
     let query = "SELECT dept, SUM(sal) AS mass FROM emp GROUP BY dept";
 
-    // Evaluate once, symbolically.
+    // Prepare and evaluate once, symbolically.
     let t0 = Instant::now();
-    let symbolic = db.query(query).expect("symbolic evaluation");
+    let stmt = db.prepare(query).expect("prepare");
+    let symbolic = stmt.execute().expect("symbolic evaluation");
     let t_symbolic = t0.elapsed();
 
     // Scenario: every 7th employee resigns.
@@ -39,18 +39,15 @@ fn main() {
     // Route 1: specialize the stored provenance.
     let t0 = Instant::now();
     let val: Valuation<Nat> = Valuation::deleting(fired.iter().copied());
-    let via_provenance =
-        collapse(&map_hom_mk(&symbolic, &|p: &NatPoly| val.eval(p))).expect("resolve");
+    let via_provenance = symbolic.valuate(&val).collapse().expect("resolve");
     let t_specialize = t0.elapsed();
 
     // Route 2: rebuild the database without the fired employees and
     // re-evaluate from scratch.
     let t0 = Instant::now();
-    let mut db2 = aggprov::engine::ProvDb::new();
+    let mut db2 = ProvDb::new();
     let emp2 = {
-        let mut rel = aggprov_krel::relation::Relation::empty(
-            workload.emp.schema().clone(),
-        );
+        let mut rel = aggprov_krel::relation::Relation::empty(workload.emp.schema().clone());
         for (t, k) in workload.emp.iter() {
             let keep = k
                 .try_collapse()
@@ -63,43 +60,51 @@ fn main() {
         rel
     };
     db2.register("emp", emp2);
-    let re_evaluated = db2.query(query).expect("re-evaluation");
-    let via_reeval = collapse(&map_hom_mk(&re_evaluated, &|p: &NatPoly| {
-        Valuation::<Nat>::ones().eval(p)
-    }))
-    .expect("resolve");
+    let via_reeval = db2
+        .prepare(query)
+        .expect("prepare")
+        .execute()
+        .expect("re-evaluation")
+        .valuate(&Valuation::<Nat>::ones())
+        .collapse()
+        .expect("resolve");
     let t_reeval = t0.elapsed();
 
     assert_eq!(
-        via_provenance, via_reeval,
+        via_provenance.relation(),
+        via_reeval.relation(),
         "commutation with homomorphisms (Theorem 3.3)"
     );
 
-    println!("workload: {} employees, {} departments", workload.emp.len(), params.departments);
+    println!(
+        "workload: {} employees, {} departments",
+        workload.emp.len(),
+        params.departments
+    );
     println!("deleted:  {} employees", fired.len());
     println!();
     println!("one-time symbolic evaluation: {t_symbolic:?}");
     println!("deletion via provenance:      {t_specialize:?}");
     println!("deletion via re-evaluation:   {t_reeval:?}");
     println!();
-    let sample = via_provenance.iter().next().expect("non-empty");
-    println!("sample result row: {} @ {}", sample.0, sample.1);
+    let sample = via_provenance.first().expect("non-empty");
+    println!(
+        "sample result row: dept {} → {} @ {}",
+        sample.get("dept").expect("column"),
+        sample.get("mass").expect("column"),
+        sample.annotation()
+    );
     println!("(both routes agree on all {} groups)", via_provenance.len());
 
     // The same stored result also answers trust questions: which groups
     // survive if we only trust even-numbered employees?
-    let trusted: Valuation<aggprov_algebra::semiring::Bool> = Valuation::ones().set_all(
-        workload
-            .emp_tokens
-            .iter()
-            .enumerate()
-            .map(|(i, t)| {
-                (
-                    aggprov_algebra::poly::Var::new(t),
-                    aggprov_algebra::semiring::Bool(i % 2 == 0),
-                )
-            }),
-    );
-    let _trusted_view = map_hom_mk(&symbolic, &|p: &NatPoly| trusted.eval(p));
+    let trusted: Valuation<aggprov_algebra::semiring::Bool> =
+        Valuation::ones().set_all(workload.emp_tokens.iter().enumerate().map(|(i, t)| {
+            (
+                aggprov_algebra::poly::Var::new(t),
+                aggprov_algebra::semiring::Bool(i % 2 == 0),
+            )
+        }));
+    let _trusted_view = symbolic.valuate(&trusted);
     println!("trust view computed from the same stored provenance — no re-evaluation.");
 }

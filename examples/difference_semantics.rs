@@ -8,12 +8,9 @@
 //! Run with: `cargo run --example difference_semantics`
 
 use aggprov::core::difference::laws::{check_bag_monus, check_ours, check_z, DiffLaw};
-use aggprov::core::eval::{collapse, map_hom_mk};
 use aggprov::core::{MKRel, Value};
 use aggprov::engine::ProvDb;
 use aggprov_algebra::hom::Valuation;
-use aggprov_algebra::semiring::CommutativeSemiring;
-use aggprov_algebra::poly::NatPoly;
 use aggprov_algebra::semiring::{IntZ, Nat};
 use aggprov_krel::relation::Relation;
 use aggprov_krel::schema::Schema;
@@ -31,27 +28,21 @@ fn main() {
     .expect("load Example 5.3");
 
     let open = db
-        .query("SELECT dep FROM emp EXCEPT SELECT dep FROM closing")
+        .prepare("SELECT dep FROM emp EXCEPT SELECT dep FROM closing")
+        .expect("prepare")
+        .execute()
         .expect("difference");
     println!("== (Π_dep emp) − closing, symbolic (Example 5.3) ==");
     println!("{open}");
 
     println!("-- revoke the closure: t4 ↦ 0, other tokens kept symbolic --");
-    let revoked = map_hom_mk(&open, &|p: &NatPoly| {
-        Valuation::<NatPoly>::ones()
-            .set_all(["t1", "t2", "t3"].map(|t| {
-                (aggprov_algebra::poly::Var::new(t), NatPoly::token(t))
-            }))
-            .set("t4", NatPoly::zero())
-            .eval(p)
-    });
-    println!("{revoked}");
+    println!("{}", open.delete_tokens(["t4"]));
 
     println!("-- all tokens present (Example 5.6) --");
-    let ours = collapse(&map_hom_mk(&open, &|p: &NatPoly| {
-        Valuation::<Nat>::ones().eval(p)
-    }))
-    .expect("resolve");
+    let ours = open
+        .valuate(&Valuation::<Nat>::ones())
+        .collapse()
+        .expect("resolve");
     println!("hybrid:    {} row(s) — d1 vetoed entirely", ours.len());
 
     let r_bag: Relation<Nat, aggprov_algebra::domain::Const> = Relation::from_rows(
@@ -80,7 +71,11 @@ fn main() {
         )
         .unwrap()
     };
-    let (a, b, c) = (mk(&[(1, 2), (2, 1)]), mk(&[(1, 1), (3, 2)]), mk(&[(3, 1), (4, 1)]));
+    let (a, b, c) = (
+        mk(&[(1, 2), (2, 1)]),
+        mk(&[(1, 1), (3, 2)]),
+        mk(&[(3, 1), (4, 1)]),
+    );
     let zr = |rows: &[(i64, i64)]| {
         Relation::from_rows(
             Schema::new(["x"]).unwrap(),
@@ -89,19 +84,29 @@ fn main() {
         )
         .unwrap()
     };
-    let (za, zb, zc) = (zr(&[(1, 2), (2, 1)]), zr(&[(1, 1), (3, 2)]), zr(&[(3, 1), (4, 1)]));
+    let (za, zb, zc) = (
+        zr(&[(1, 2), (2, 1)]),
+        zr(&[(1, 1), (3, 2)]),
+        zr(&[(3, 1), (4, 1)]),
+    );
     let nb = |rel: &MKRel<Nat>| {
         let mut out = Relation::empty(rel.schema().clone());
         for (t, k) in rel.iter() {
-            let row: Vec<aggprov_algebra::domain::Const> =
-                t.values().iter().map(|v| v.as_const().unwrap().clone()).collect();
+            let row: Vec<aggprov_algebra::domain::Const> = t
+                .values()
+                .iter()
+                .map(|v| v.as_const().unwrap().clone())
+                .collect();
             out.insert(row, *k).unwrap();
         }
         out
     };
     let (ba, bb, bc) = (nb(&a), nb(&b), nb(&c));
 
-    println!("{:<34} {:>8} {:>10} {:>8}", "law", "hybrid", "bag-monus", "ℤ");
+    println!(
+        "{:<34} {:>8} {:>10} {:>8}",
+        "law", "hybrid", "bag-monus", "ℤ"
+    );
     for law in DiffLaw::ALL {
         let ours = check_ours(law, &a, &b, &c).unwrap();
         let monus = check_bag_monus(law, &ba, &bb, &bc).unwrap();

@@ -1,13 +1,13 @@
-//! Quickstart: annotate, aggregate, specialize.
+//! Quickstart: prepare, execute, interrogate.
 //!
-//! Builds the paper's Figure 1 relation, runs a GROUP BY SUM, and shows how
-//! one symbolic result answers many questions: deletion propagation, bag
-//! multiplicities, and set-style trust — all by valuating the provenance
-//! tokens *after* query evaluation.
+//! Builds the paper's Figure 1 relation, prepares a GROUP BY SUM once, and
+//! shows how one symbolic result answers many questions through the fluent
+//! `ResultSet` API: deletion propagation, bag multiplicities, and
+//! parameterized reuse — all by valuating the provenance tokens *after*
+//! query evaluation, never re-running the query.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use aggprov::core::eval::{collapse, map_hom_mk};
 use aggprov::prelude::*;
 use aggprov_algebra::poly::NatPoly;
 use aggprov_algebra::semiring::Nat;
@@ -27,40 +27,70 @@ fn main() {
     println!("== Figure 1(a): the annotated employee relation ==");
     println!("{}", db.table("r").expect("table"));
 
-    let grouped = db
-        .query("SELECT dept, SUM(sal) AS mass FROM r GROUP BY dept")
-        .expect("group-by");
+    // Prepare once: parsing, name resolution and planning happen here;
+    // every execute() below reuses the stored logical plan.
+    let grouped_stmt = db
+        .prepare("SELECT dept, SUM(sal) AS mass FROM r GROUP BY dept")
+        .expect("prepare group-by");
+    let grouped = grouped_stmt.execute().expect("execute");
     println!("== GROUP BY dept, SUM(sal): tensor values, δ annotations ==");
     println!("{grouped}");
 
     // Deletion propagation: fire employee 3 (token p3) without
     // re-evaluating the query.
-    let deleted = map_hom_mk(&grouped, &|p: &NatPoly| {
-        Valuation::<NatPoly>::ones().set("p3", NatPoly::zero()).eval(p)
-    });
     println!("== After deleting employee 3 (p3 ↦ 0) ==");
-    println!("{deleted}");
+    println!("{}", grouped.delete_tokens(["p3"]));
 
     // Bag reading: give each employee a multiplicity and resolve.
-    let bag = collapse(&map_hom_mk(&grouped, &|p: &NatPoly| {
-        Valuation::<Nat>::ones().set("p1", Nat(2)).eval(p)
-    }))
-    .expect("fully resolved");
+    let bag = grouped
+        .valuate(&Valuation::<Nat>::ones().set("p1", Nat(2)))
+        .collapse()
+        .expect("fully resolved");
     println!("== Under multiplicities (p1 ↦ 2, rest 1) ==");
     println!("{bag}");
 
-    // Nested aggregation: filter on the aggregate (paper §4). The result
-    // carries symbolic equality tokens until tokens are valuated.
-    let having = db
-        .query("SELECT dept, SUM(sal) AS mass FROM r GROUP BY dept HAVING mass = 25")
-        .expect("having");
-    println!("== HAVING mass = 25: symbolic equality tokens ==");
-    println!("{having}");
+    // Rows are addressable by column name.
+    for row in bag.rows() {
+        println!(
+            "  dept {} has total mass {}",
+            row.get("dept").expect("column"),
+            row.get("mass").expect("column"),
+        );
+    }
+    println!();
 
-    let resolved = collapse(&map_hom_mk(&having, &|p: &NatPoly| {
-        Valuation::<Nat>::ones().eval(p)
-    }))
-    .expect("resolved");
+    // Nested aggregation: filter on the aggregate (paper §4), with the
+    // threshold as a $1 parameter — one plan, many thresholds.
+    let having = db
+        .prepare("SELECT dept, SUM(sal) AS mass FROM r GROUP BY dept HAVING mass = $1")
+        .expect("prepare having");
+    let at_25 = having.execute_with(&[Const::int(25)]).expect("execute");
+    println!("== HAVING mass = $1 with $1 = 25: symbolic equality tokens ==");
+    println!("{at_25}");
+
     println!("== …resolved with every token present ==");
-    println!("{resolved}");
+    println!(
+        "{}",
+        at_25
+            .valuate(&Valuation::<Nat>::ones())
+            .collapse()
+            .expect("resolved")
+    );
+
+    // The same prepared plan, different parameter — still no re-parse.
+    let at_45 = having.execute_with(&[Const::int(45)]).expect("execute");
+    println!("== Same plan, $1 = 45, all tokens present ==");
+    println!(
+        "{}",
+        at_45
+            .valuate(&Valuation::<Nat>::ones())
+            .collapse()
+            .expect("resolved")
+    );
+
+    // The old free-function route still exists for homomorphisms that are
+    // not valuations:
+    let support = grouped.map_hom(|p: &NatPoly| aggprov_algebra::hierarchy::to_lineage(p));
+    println!("== Lineage reading (which sources matter per group) ==");
+    println!("{support}");
 }

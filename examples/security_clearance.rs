@@ -4,11 +4,10 @@
 //! (`1s < C < S < T < 0s`). Idempotent aggregates (MIN/MAX) work directly
 //! over `S`; SUM needs the security-bag semiring `SN` (§3.4), which is
 //! compatible with every monoid. One symbolic result serves every
-//! credential level.
+//! credential level, read off with `ResultSet::clearance`.
 //!
 //! Run with: `cargo run --example security_clearance`
 
-use aggprov::core::eval::{collapse, map_hom_mk};
 use aggprov::core::Km;
 use aggprov::engine::Database;
 use aggprov_algebra::semiring::{Nat, Security};
@@ -25,7 +24,11 @@ fn main() {
     )
     .expect("load");
 
-    let top = db.query("SELECT MAX(sal) AS top FROM salaries").expect("query");
+    let top = db
+        .prepare("SELECT MAX(sal) AS top FROM salaries")
+        .expect("prepare")
+        .execute()
+        .expect("query");
     println!("== MAX(sal), symbolic over S (Example 3.5) ==");
     println!("{top}");
 
@@ -35,17 +38,11 @@ fn main() {
         Security::Secret,
         Security::TopSecret,
     ] {
-        let view = map_hom_mk(&top, &|s: &Security| {
-            if s.visible_to(cred) {
-                Security::Public
-            } else {
-                Security::Never
-            }
-        });
+        // The fluent form of the manual `map_hom_mk` visibility view.
+        let view = top.clearance(cred);
         let shown = view
-            .iter()
-            .next()
-            .map(|(t, _)| t.get(0).to_string())
+            .first()
+            .map(|row| row.at(0).to_string())
             .unwrap_or_else(|| "(empty)".into());
         println!("credentials {cred:>2}: MAX = {shown}");
     }
@@ -61,7 +58,11 @@ fn main() {
          INSERT INTO payroll VALUES (10) PROVENANCE S;",
     )
     .expect("load");
-    let total = db.query("SELECT SUM(sal) AS total FROM payroll").expect("query");
+    let total = db
+        .prepare("SELECT SUM(sal) AS total FROM payroll")
+        .expect("prepare")
+        .execute()
+        .expect("query");
     println!("{total}");
 
     for cred in [
@@ -70,11 +71,11 @@ fn main() {
         Security::TopSecret,
     ] {
         // Each principal sees the multiplicity of the tuples they may read.
-        let view = collapse(&map_hom_mk(&total, &|x: &Sn| {
-            Nat(x.multiplicity_for(cred))
-        }))
-        .expect("SN resolves through its ℕ homomorphism");
-        let shown = view.iter().next().expect("row").0.get(0).to_string();
+        let view = total
+            .map_hom(|x: &Sn| Nat(x.multiplicity_for(cred)))
+            .collapse()
+            .expect("SN resolves through its ℕ homomorphism");
+        let shown = view.scalar().expect("1×1 result").to_string();
         println!("credentials {cred:>2}: SUM = {shown}");
     }
 

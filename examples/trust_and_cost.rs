@@ -2,8 +2,8 @@
 //!
 //! The factorization property (paper §1/§2.1): any semiring-annotation
 //! semantics factors through the provenance polynomials. This example
-//! evaluates an aggregate query once over `ℕ[X]^M` and then reads the same
-//! result under three different application semirings:
+//! prepares and evaluates an aggregate query once over `ℕ[X]^M` and then
+//! reads the same `ResultSet` under three different application semirings:
 //!
 //! * **Viterbi** (`[0,1], max, ×`): how confident are we in each group sum,
 //!   given per-source confidence?
@@ -13,7 +13,6 @@
 //!
 //! Run with: `cargo run --example trust_and_cost`
 
-use aggprov::core::eval::map_hom_mk;
 use aggprov::engine::ProvDb;
 use aggprov_algebra::hierarchy::to_lineage;
 use aggprov_algebra::hom::Valuation;
@@ -32,7 +31,9 @@ fn main() {
     .expect("load sensor data");
 
     let result = db
-        .query("SELECT region, MAX(temp) AS peak FROM readings GROUP BY region")
+        .prepare("SELECT region, MAX(temp) AS peak FROM readings GROUP BY region")
+        .expect("prepare")
+        .execute()
         .expect("query");
     println!("== symbolic result (evaluated once) ==");
     println!("{result}");
@@ -42,26 +43,21 @@ fn main() {
         .set("src1", Viterbi::ratio(1, 2))
         .set("src2", Viterbi::ratio(9, 10))
         .set("src3", Viterbi::ratio(9, 10));
-    let view = map_hom_mk(&result, &|p: &NatPoly| confidence.eval(p));
     println!("== Viterbi reading: confidence of each group ==");
-    println!("{view}");
+    println!("{}", result.valuate(&confidence));
 
     // Reading 2: cost. Fetching from src2 is expensive.
     let cost = Valuation::<Tropical>::ones()
         .set("src1", Tropical::Fin(1))
         .set("src2", Tropical::Fin(10))
         .set("src3", Tropical::Fin(2));
-    let view = map_hom_mk(&result, &|p: &NatPoly| cost.eval(p));
     println!("== tropical reading: cost to obtain each group ==");
-    println!("{view}");
+    println!("{}", result.valuate(&cost));
 
     // Reading 3: lineage — which sources each group depends on. Valuating
     // each token to its own lineage singleton pushes the whole annotation
     // (δ included — identity on this idempotent semiring) down the
     // hierarchy.
-    let view = map_hom_mk(&result, &|p: &NatPoly| {
-        to_lineage(p)
-    });
     println!("== lineage reading: which sources matter per group ==");
-    println!("{view}");
+    println!("{}", result.map_hom(|p: &NatPoly| to_lineage(p)));
 }

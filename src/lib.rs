@@ -25,6 +25,9 @@
 //!
 //! ## Quick start
 //!
+//! Evaluate once, interrogate many times: prepare a query, execute it, and
+//! read the one symbolic result under as many valuations as you like.
+//!
 //! ```
 //! use aggprov::prelude::*;
 //!
@@ -38,11 +41,25 @@
 //! )
 //! .unwrap();
 //!
-//! // Sum salaries per department: the aggregate values are tensors.
-//! let out = db
-//!     .query("SELECT dept, SUM(sal) AS total FROM r GROUP BY dept")
+//! // Prepare once: parsing, name resolution and planning happen here.
+//! let totals = db
+//!     .prepare("SELECT dept, SUM(sal) AS total FROM r GROUP BY dept")
 //!     .unwrap();
+//!
+//! // Execute: the aggregate values are tensors over the tokens.
+//! let out = totals.execute().unwrap();
 //! assert_eq!(out.len(), 2);
+//!
+//! // Interrogate the stored result — no re-evaluation:
+//! let fired = out.delete_tokens(["p2"]);                       // deletion propagation
+//! let plain = out.valuate(&Valuation::<Nat>::ones()).collapse().unwrap();
+//! assert_eq!(plain.rows().next().unwrap().get("total").unwrap().to_string(), "30");
+//! assert_eq!(fired.len(), 2);
+//!
+//! // Parameterized reuse of the same plan:
+//! let by_dept = db.prepare("SELECT sal FROM r WHERE dept = $1").unwrap();
+//! assert_eq!(by_dept.execute_with(&[Const::str("d1")]).unwrap().len(), 2);
+//! assert_eq!(by_dept.execute_with(&[Const::str("d2")]).unwrap().len(), 1);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -56,16 +73,19 @@ pub use aggprov_workloads as workloads;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
+    pub use aggprov_algebra::domain::Const;
     pub use aggprov_algebra::hom::{SemiringHom, Valuation};
     pub use aggprov_algebra::monoid::{CommutativeMonoid, MonoidKind};
     pub use aggprov_algebra::num::Num;
     pub use aggprov_algebra::poly::{NatPoly, Var};
     pub use aggprov_algebra::semiring::{Bool, CommutativeSemiring, Nat};
     pub use aggprov_algebra::tensor::Tensor;
-    pub use aggprov_algebra::domain::Const;
     pub use aggprov_core::km::Km;
     pub use aggprov_core::value::Value;
-    pub use aggprov_engine::Database;
+    pub use aggprov_engine::{Database, Prepared, ResultSet, Row};
+
+    /// A database tracking full aggregate provenance.
+    pub use aggprov_engine::ProvDb;
 
     /// The standard provenance annotation: the extended semiring
     /// `ℕ[X]^M` over provenance polynomials.

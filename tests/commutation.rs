@@ -25,8 +25,7 @@ fn commutes_with_valuations_into_nat() {
         let val = random_nat_valuation(&mut rng, &tokens);
 
         // h first, then Q.
-        let specialized: Vec<MKRel<Km<Nat>>> =
-            tables.iter().map(|t| specialize(t, &val)).collect();
+        let specialized: Vec<MKRel<Km<Nat>>> = tables.iter().map(|t| specialize(t, &val)).collect();
         let lhs = eval_mk(&plan, &specialized).expect("eval after hom");
 
         // Q first, then h.
@@ -59,8 +58,8 @@ fn commutes_with_valuations_into_bool() {
         let lhs = collapse(&eval_mk(&plan, &specialized).expect("eval after hom"))
             .expect("B results are token-free");
         let symbolic = eval_mk(&plan, &tables).expect("symbolic eval");
-        let rhs = collapse(&map_hom_mk(&symbolic, &|p| val.eval(p)))
-            .expect("B results are token-free");
+        let rhs =
+            collapse(&map_hom_mk(&symbolic, &|p| val.eval(p))).expect("B results are token-free");
         assert_eq!(lhs, rhs, "plan {plan:?}");
     }
 }
@@ -81,19 +80,15 @@ fn commutes_with_composed_homomorphisms() {
         let nat_val = random_nat_valuation(&mut rng, &tokens);
         let symbolic = eval_mk(&plan, &tables).expect("symbolic eval");
 
-        let via_nat = map_hom_mk(
-            &map_hom_mk(&symbolic, &|p| nat_val.eval(p)),
-            &|n: &Nat| Bool(n.0 > 0),
-        );
-        let bool_val = aggprov_algebra::hom::Valuation::<Bool>::ones().set_all(
-            tokens
-                .iter()
-                .map(|t| {
-                    let var = aggprov_algebra::poly::Var::new(t);
-                    let b = Bool(nat_val.get(&var).0 > 0);
-                    (var, b)
-                }),
-        );
+        let via_nat = map_hom_mk(&map_hom_mk(&symbolic, &|p| nat_val.eval(p)), &|n: &Nat| {
+            Bool(n.0 > 0)
+        });
+        let bool_val =
+            aggprov_algebra::hom::Valuation::<Bool>::ones().set_all(tokens.iter().map(|t| {
+                let var = aggprov_algebra::poly::Var::new(t);
+                let b = Bool(nat_val.get(&var).0 > 0);
+                (var, b)
+            }));
         let direct = map_hom_mk(&symbolic, &|p| bool_val.eval(p));
         assert_eq!(
             collapse(&via_nat).unwrap(),
@@ -122,14 +117,13 @@ fn commutes_with_security_specializations() {
             continue;
         }
         tested += 1;
-        let val = aggprov_algebra::hom::Valuation::<Security>::ones().set_all(
-            tokens.iter().map(|t| {
+        let val =
+            aggprov_algebra::hom::Valuation::<Security>::ones().set_all(tokens.iter().map(|t| {
                 (
                     aggprov_algebra::poly::Var::new(t),
                     levels[rng.random_range(0..levels.len())],
                 )
-            }),
-        );
+            }));
         let specialized: Vec<MKRel<Km<Security>>> =
             tables.iter().map(|t| specialize(t, &val)).collect();
         let lhs = eval_mk(&plan, &specialized).expect("eval after hom");

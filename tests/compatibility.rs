@@ -23,10 +23,9 @@ fn bag_compatibility_against_reference_engine() {
         let val = random_nat_valuation(&mut rng, &tokens);
 
         let annotated = eval_mk(&plan, &tables).expect("symbolic eval");
-        let ours = read_off_bag(
-            &collapse(&map_hom_mk(&annotated, &|p| val.eval(p))).expect("collapse"),
-        )
-        .expect("read-off");
+        let ours =
+            read_off_bag(&collapse(&map_hom_mk(&annotated, &|p| val.eval(p))).expect("collapse"))
+                .expect("read-off");
 
         let bags: Vec<BagRel> = tables.iter().map(|t| to_bag(t, &val)).collect();
         let reference = eval_bag(&plan, &bags);
@@ -53,28 +52,22 @@ fn set_compatibility_against_reference_engine() {
         let val = random_bool_valuation(&mut rng, &tokens);
 
         let annotated = eval_mk(&plan, &tables).expect("symbolic eval");
-        let ours = read_off_set(
-            &collapse(&map_hom_mk(&annotated, &|p| val.eval(p))).expect("collapse"),
-        )
-        .expect("read-off");
+        let ours =
+            read_off_set(&collapse(&map_hom_mk(&annotated, &|p| val.eval(p))).expect("collapse"))
+                .expect("read-off");
 
         // Reference: run the bag engine over 0/1-multiplicity inputs and
         // eliminate duplicates at the end — equivalent for SUM-free plans
         // (MIN/MAX ignore duplicates, groups appear once either way).
-        let nat_like = aggprov_algebra::hom::Valuation::<Nat>::ones().set_all(
-            tokens.iter().map(|t| {
+        let nat_like =
+            aggprov_algebra::hom::Valuation::<Nat>::ones().set_all(tokens.iter().map(|t| {
                 let var = aggprov_algebra::poly::Var::new(t);
                 let n = Nat(u64::from(val.get(&var).0));
                 (var, n)
-            }),
-        );
+            }));
         let bags: Vec<BagRel> = tables.iter().map(|t| to_bag(t, &nat_like)).collect();
         let reference = eval_bag(&plan, &bags).distinct();
 
-        assert_eq!(
-            ours.sorted_rows(),
-            reference.sorted_rows(),
-            "plan {plan:?}"
-        );
+        assert_eq!(ours.sorted_rows(), reference.sorted_rows(), "plan {plan:?}");
     }
 }

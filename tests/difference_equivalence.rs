@@ -4,16 +4,16 @@
 //! (`ℕ`, `B`), and the difference guard `[S(t)⊗⊤ = 0]` reads as
 //! "t is absent from S".
 
-use aggprov::core::difference::{difference, difference_encoded};
-use aggprov::core::eval::{collapse, map_hom_mk};
-use aggprov::core::ops::MKRel;
-use aggprov::core::{AggAnnotation, Km, Prov, Value};
+use aggprov::algebra::domain::Const;
 use aggprov::algebra::hom::Valuation;
 use aggprov::algebra::monoid::MonoidKind;
 use aggprov::algebra::poly::NatPoly;
 use aggprov::algebra::semiring::{Bool, Nat};
 use aggprov::algebra::tensor::Tensor;
-use aggprov::algebra::domain::Const;
+use aggprov::core::difference::{difference, difference_encoded};
+use aggprov::core::eval::{collapse, map_hom_mk};
+use aggprov::core::ops::MKRel;
+use aggprov::core::{AggAnnotation, Km, Prov, Value};
 use aggprov_krel::relation::Relation;
 use aggprov_krel::schema::Schema;
 use rand::rngs::StdRng;
@@ -96,9 +96,7 @@ fn lemma_5_2_guard_reads_absence() {
     .unwrap();
     for present in [false, true] {
         let resolved = guard
-            .map_hom(&|p: &NatPoly| {
-                Valuation::<Bool>::ones().set("s", Bool(present)).eval(p)
-            })
+            .map_hom(&|p: &NatPoly| Valuation::<Bool>::ones().set("s", Bool(present)).eval(p))
             .try_collapse()
             .unwrap();
         assert_eq!(resolved, Bool(!present));
@@ -113,10 +111,7 @@ fn hybrid_difference_is_boolean_in_s_but_bag_in_r() {
     let schema = Schema::new(["x"]).unwrap();
     let r: MKRel<Nat> = Relation::from_rows(
         schema.clone(),
-        [
-            (vec![Value::int(1)], Nat(5)),
-            (vec![Value::int(2)], Nat(2)),
-        ],
+        [(vec![Value::int(1)], Nat(5)), (vec![Value::int(2)], Nat(2))],
     )
     .unwrap();
     for s_mult in [1u64, 2, 9] {

@@ -2,8 +2,8 @@
 //! input, and engine-level queries over a bag database agree with the
 //! reference evaluator.
 
-use aggprov::engine::Database;
 use aggprov::core::eval::read_off_bag;
+use aggprov::engine::Database;
 use aggprov::workloads::org::{org, OrgParams};
 use aggprov_algebra::monoid::MonoidKind;
 use aggprov_algebra::semiring::Nat;
@@ -50,14 +50,8 @@ fn engine_sql_matches_reference_on_bag_database() {
         ..Default::default()
     });
     let mut db: Database<Nat> = Database::new();
-    db.register(
-        "emp",
-        aggprov::core::eval::map_mk(&o.emp, &|_| Nat(1)),
-    );
-    db.register(
-        "dept",
-        aggprov::core::eval::map_mk(&o.dept, &|_| Nat(1)),
-    );
+    db.register("emp", aggprov::core::eval::map_mk(&o.emp, &|_| Nat(1)));
+    db.register("dept", aggprov::core::eval::map_mk(&o.dept, &|_| Nat(1)));
 
     // Q1: group-by sum.
     let ours = read_off_bag(
@@ -69,10 +63,7 @@ fn engine_sql_matches_reference_on_bag_database() {
     assert_eq!(ours.sorted_rows(), reference.sorted_rows());
 
     // Q2: selection + projection.
-    let ours = read_off_bag(
-        &db.query("SELECT emp FROM emp WHERE dept = 'd1'").unwrap(),
-    )
-    .unwrap();
+    let ours = read_off_bag(&db.query("SELECT emp FROM emp WHERE dept = 'd1'").unwrap()).unwrap();
     let reference = o
         .emp_bag
         .select_eq("dept", &aggprov_algebra::domain::Const::str("d1"))
@@ -88,29 +79,25 @@ fn engine_sql_matches_reference_on_bag_database() {
         .unwrap(),
     )
     .unwrap();
-    let mut reference = o
-        .emp_bag
-        .natural_join(&o.dept_bag)
-        .group_aggregate(&["region"], MonoidKind::Max, "sal");
+    let mut reference =
+        o.emp_bag
+            .natural_join(&o.dept_bag)
+            .group_aggregate(&["region"], MonoidKind::Max, "sal");
     reference.attrs = vec!["region".into(), "sal".into()];
     assert_eq!(ours.sorted_rows(), reference.sorted_rows());
 
     // Q4: HAVING over a bag database resolves eagerly.
     let ours = read_off_bag(
-        &db.query(
-            "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept HAVING n = 8",
-        )
-        .unwrap(),
+        &db.query("SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept HAVING n = 8")
+            .unwrap(),
     )
     .unwrap();
     assert_eq!(ours.rows.len(), 5, "all departments have 8 employees");
 
     // Q5: EXCEPT (hybrid difference).
     let ours = read_off_bag(
-        &db.query(
-            "SELECT dept FROM emp EXCEPT SELECT dept FROM dept WHERE region = 'region0'",
-        )
-        .unwrap(),
+        &db.query("SELECT dept FROM emp EXCEPT SELECT dept FROM dept WHERE region = 'region0'")
+            .unwrap(),
     )
     .unwrap();
     let closed: Vec<&str> = vec!["d0", "d4"]; // departments in region0 (d % 4 == 0)

@@ -9,12 +9,12 @@
 //! forced requirements from the paper's scenario, and that the tensor
 //! semantics dissolves the obstruction.
 
+use aggprov::algebra::domain::Const;
 use aggprov::algebra::hom::Valuation;
 use aggprov::algebra::monoid::MonoidKind;
 use aggprov::algebra::poly::{Monomial, NatPoly, Poly, Var};
 use aggprov::algebra::semiring::{Bool, Nat};
 use aggprov::algebra::tensor::Tensor;
-use aggprov::algebra::domain::Const;
 use proptest::prelude::*;
 
 fn arb_poly() -> impl Strategy<Value = NatPoly> {

@@ -42,8 +42,11 @@ fn figure_1_projection_and_deletions() {
     // Deleting EmpId 3 and 5 (p3 = r2 = 0) keeps both depts; also deleting
     // EmpId 4 (r1 = 0) drops d2 — exactly the paper's narrative.
     let del = |tokens: &[&str]| {
-        let val = Valuation::<Nat>::ones()
-            .set_all(tokens.iter().map(|t| (aggprov::algebra::poly::Var::new(t), Nat(0))));
+        let val = Valuation::<Nat>::ones().set_all(
+            tokens
+                .iter()
+                .map(|t| (aggprov::algebra::poly::Var::new(t), Nat(0))),
+        );
         map_hom_mk(&out, &|p: &NatPoly| val.eval(p)).len()
     };
     assert_eq!(del(&["p3", "r2"]), 2);
@@ -64,10 +67,7 @@ fn example_3_4_sum_and_valuations() {
     let out = db.query("SELECT SUM(sal) AS total FROM r").unwrap();
     let (t, k) = out.iter().next().unwrap();
     assert!(k.is_one(), "AGG output is annotated 1_K (§3.2)");
-    assert_eq!(
-        t.get(0).to_string(),
-        "SUM⟨(r2)⊗10 + (r1)⊗20 + (r3)⊗30⟩"
-    );
+    assert_eq!(t.get(0).to_string(), "SUM⟨(r2)⊗10 + (r1)⊗20 + (r3)⊗30⟩");
 
     // r1 ↦ 1, r2 ↦ 0, r3 ↦ 2 gives 1·20 + 2·30 = 80.
     let val = Valuation::<Nat>::ones()
@@ -279,7 +279,14 @@ fn example_3_16_security_bag() {
     // The paper: credentials T see 70, credentials S see 40.
     let view = |cred: Security| {
         let v = map_hom_mk(&total, &|x: &Sn| Nat(x.multiplicity_for(cred)));
-        collapse(&v).unwrap().iter().next().unwrap().0.get(0).clone()
+        collapse(&v)
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap()
+            .0
+            .get(0)
+            .clone()
     };
     assert_eq!(view(Security::TopSecret), Value::int(70));
     assert_eq!(view(Security::Secret), Value::int(40));

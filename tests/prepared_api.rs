@@ -1,0 +1,378 @@
+//! The prepared-statement API end to end: plan reuse with different `$n`
+//! parameters, fluent `ResultSet` interrogation equivalent to the
+//! free-function `map_hom_mk` + `collapse` path, and the error surface.
+
+use aggprov::core::eval::{collapse, map_hom_mk, specialize};
+use aggprov::prelude::*;
+use aggprov_algebra::poly::NatPoly;
+use aggprov_algebra::semiring::{Nat, Security};
+
+fn figure_1_db() -> ProvDb {
+    let mut db = ProvDb::new();
+    db.exec(
+        "CREATE TABLE r (emp NUM, dept TEXT, sal NUM);
+         INSERT INTO r VALUES (1, 'd1', 20) PROVENANCE p1;
+         INSERT INTO r VALUES (2, 'd1', 10) PROVENANCE p2;
+         INSERT INTO r VALUES (3, 'd1', 15) PROVENANCE p3;
+         INSERT INTO r VALUES (4, 'd2', 10) PROVENANCE r1;
+         INSERT INTO r VALUES (5, 'd2', 15) PROVENANCE r2;",
+    )
+    .unwrap();
+    db
+}
+
+// ------------------------------------------------------------ reuse
+
+#[test]
+fn prepared_statement_reuses_the_plan_across_parameters() {
+    let db = figure_1_db();
+    let by_dept = db
+        .prepare("SELECT emp, sal FROM r WHERE dept = $1")
+        .unwrap();
+    assert_eq!(by_dept.param_count(), 1);
+    assert_eq!(by_dept.schema().to_string(), "emp, sal");
+
+    let d1 = by_dept.execute_with(&[Const::str("d1")]).unwrap();
+    let d2 = by_dept.execute_with(&[Const::str("d2")]).unwrap();
+    assert_eq!(d1.len(), 3);
+    assert_eq!(d2.len(), 2);
+
+    // Executing twice with the same parameters is deterministic and does
+    // not consume the statement.
+    let d1_again = by_dept.execute_with(&[Const::str("d1")]).unwrap();
+    assert_eq!(d1.relation(), d1_again.relation());
+    // The plan is the same object across executions — nothing was
+    // re-parsed or re-lowered.
+    assert!(std::ptr::eq(by_dept.plan(), by_dept.plan()));
+}
+
+#[test]
+fn parameters_work_in_having_and_with_numbers() {
+    let db = figure_1_db();
+    let stmt = db
+        .prepare("SELECT dept, SUM(sal) AS total FROM r GROUP BY dept HAVING total = $1")
+        .unwrap();
+    // Both groups stay symbolic; under the all-ones valuation only the
+    // group matching the bound constant survives.
+    let survivors = |total: i64| {
+        stmt.execute_with(&[Const::int(total)])
+            .unwrap()
+            .valuate(&Valuation::<Nat>::ones())
+            .collapse()
+            .unwrap()
+            .len()
+    };
+    assert_eq!(survivors(45), 1, "d1 sums to 45");
+    assert_eq!(survivors(25), 1, "d2 sums to 25");
+    assert_eq!(survivors(99), 0);
+}
+
+#[test]
+fn query_is_a_thin_wrapper_over_prepare_execute() {
+    let db = figure_1_db();
+    let sql = "SELECT dept, SUM(sal) AS mass FROM r GROUP BY dept";
+    let via_query = db.query(sql).unwrap();
+    let via_prepare = db.prepare(sql).unwrap().execute().unwrap().into_relation();
+    assert_eq!(via_query, via_prepare);
+}
+
+#[test]
+fn prepared_statements_cover_joins_subqueries_and_set_ops() {
+    let mut db = figure_1_db();
+    db.exec(
+        "CREATE TABLE heads (dept TEXT, head TEXT);
+         INSERT INTO heads VALUES ('d1', 'alice') PROVENANCE h1;
+         INSERT INTO heads VALUES ('d2', 'bob') PROVENANCE h2;",
+    )
+    .unwrap();
+
+    let joined = db
+        .prepare(
+            "SELECT r.emp, heads.head FROM r JOIN heads ON r.dept = heads.dept \
+             WHERE r.sal >= $1",
+        )
+        .unwrap();
+    assert_eq!(joined.execute_with(&[Const::int(15)]).unwrap().len(), 3);
+    assert_eq!(joined.execute_with(&[Const::int(20)]).unwrap().len(), 1);
+
+    let nested = db
+        .prepare(
+            "SELECT SUM(s) AS total FROM \
+             (SELECT dept, SUM(sal) AS s FROM r GROUP BY dept HAVING s = $1) g",
+        )
+        .unwrap();
+    let out = nested.execute_with(&[Const::int(25)]).unwrap();
+    let resolved = out.valuate(&Valuation::<Nat>::ones()).collapse().unwrap();
+    assert_eq!(
+        resolved.first().unwrap().get("total").unwrap(),
+        &Value::int(25)
+    );
+
+    let setop = db
+        .prepare("SELECT dept FROM r EXCEPT SELECT dept FROM heads WHERE head = $1")
+        .unwrap();
+    let out = setop.execute_with(&[Const::str("alice")]).unwrap();
+    let resolved = out.valuate(&Valuation::<Nat>::ones()).collapse().unwrap();
+    assert_eq!(resolved.len(), 1, "d1 closed by alice, d2 survives");
+}
+
+// ------------------------------------------- fluent ResultSet equivalence
+
+#[test]
+fn valuate_collapse_matches_the_free_function_path() {
+    let db = figure_1_db();
+    let out = db
+        .prepare("SELECT dept, SUM(sal) AS total FROM r GROUP BY dept HAVING total > 25")
+        .unwrap()
+        .execute()
+        .unwrap();
+
+    for val in [
+        Valuation::<Nat>::ones(),
+        Valuation::<Nat>::ones().set("p1", Nat(0)),
+        Valuation::<Nat>::ones().set("p1", Nat(2)).set("r2", Nat(3)),
+        Valuation::<Nat>::deleting(["p1", "p2", "p3"]),
+    ] {
+        let fluent = out.valuate(&val).collapse().unwrap();
+        let free = collapse(&map_hom_mk(out.relation(), &|p: &NatPoly| val.eval(p))).unwrap();
+        assert_eq!(fluent.relation(), &free);
+        // …and both agree with core's `specialize`.
+        let via_specialize = collapse(&specialize(out.relation(), &val)).unwrap();
+        assert_eq!(fluent.relation(), &via_specialize);
+    }
+}
+
+#[test]
+fn delete_tokens_is_deletion_propagation() {
+    let db = figure_1_db();
+    let out = db
+        .prepare("SELECT dept, SUM(sal) AS mass FROM r GROUP BY dept")
+        .unwrap()
+        .execute()
+        .unwrap();
+
+    // Fluent deletion propagation…
+    let deleted = out.delete_tokens(["r1", "r2"]);
+    // …equals the free-function substitution sending the deleted tokens to
+    // zero and keeping every other token symbolic.
+    let free = map_hom_mk(out.relation(), &|p: &NatPoly| {
+        p.eval(
+            &mut |v| {
+                if v.name() == "r1" || v.name() == "r2" {
+                    NatPoly::zero()
+                } else {
+                    NatPoly::token(v.name())
+                }
+            },
+            &mut |c| NatPoly::from_nat(c.0),
+        )
+    });
+    assert_eq!(deleted.relation(), &free);
+    assert_eq!(deleted.len(), 1, "d2's group is gone");
+    // The survivors' provenance is still symbolic, token for token.
+    assert!(deleted
+        .first()
+        .unwrap()
+        .annotation()
+        .to_string()
+        .contains("p1"));
+
+    // Deletion stays symbolic: further interrogation still works.
+    let plain = deleted
+        .valuate(&Valuation::<Nat>::ones())
+        .collapse()
+        .unwrap();
+    assert_eq!(plain.first().unwrap().get("mass").unwrap(), &Value::int(45));
+}
+
+#[test]
+fn clearance_matches_the_manual_security_view() {
+    let mut db: Database<Km<Security>> = Database::new();
+    db.exec(
+        "CREATE TABLE r (sal NUM);
+         INSERT INTO r VALUES (20) PROVENANCE S;
+         INSERT INTO r VALUES (10) PROVENANCE PUBLIC;
+         INSERT INTO r VALUES (30) PROVENANCE S;",
+    )
+    .unwrap();
+    let out = db
+        .prepare("SELECT MAX(sal) AS top FROM r")
+        .unwrap()
+        .execute()
+        .unwrap();
+
+    // Example 3.5: the aggregate stays symbolic until credentials arrive.
+    assert!(out.first().unwrap().get("top").unwrap().is_agg());
+
+    for cred in [
+        Security::Confidential,
+        Security::Secret,
+        Security::TopSecret,
+    ] {
+        let fluent = out.clearance(cred);
+        let manual = map_hom_mk(out.relation(), &|s: &Security| {
+            if s.visible_to(cred) {
+                Security::Public
+            } else {
+                Security::Never
+            }
+        });
+        assert_eq!(fluent.relation(), &manual);
+    }
+    assert_eq!(
+        out.clearance(Security::Secret).first().unwrap().at(0),
+        &Value::int(30)
+    );
+    assert_eq!(
+        out.clearance(Security::Confidential).first().unwrap().at(0),
+        &Value::int(10)
+    );
+}
+
+#[test]
+fn rows_give_by_name_access() {
+    let db = figure_1_db();
+    let out = db
+        .prepare("SELECT dept, SUM(sal) AS total FROM r GROUP BY dept")
+        .unwrap()
+        .execute()
+        .unwrap();
+    assert_eq!(out.columns(), vec!["dept", "total"]);
+    assert_eq!(out.column_index("total").unwrap(), 1);
+
+    let mut depts = Vec::new();
+    for row in out.rows() {
+        depts.push(row.get("dept").unwrap().to_string());
+        assert!(row.get("total").unwrap().is_agg());
+        assert!(row.get("nope").is_err());
+        assert!(!row.annotation().is_zero());
+    }
+    assert_eq!(depts, vec!["'d1'", "'d2'"]);
+
+    // scalar() reads 1×1 aggregates directly.
+    let total = db
+        .prepare("SELECT COUNT(*) AS n FROM r")
+        .unwrap()
+        .execute()
+        .unwrap();
+    assert!(total.scalar().is_ok());
+    assert!(out.scalar().is_err(), "2×2 result has no scalar");
+}
+
+// ----------------------------------------------------------- error cases
+
+#[test]
+fn unknown_parameters_are_rejected() {
+    let db = figure_1_db();
+
+    // Two placeholders referenced but only one value supplied.
+    let stmt = db
+        .prepare("SELECT emp FROM r WHERE sal = $1 AND dept = $2")
+        .unwrap();
+    assert_eq!(stmt.param_count(), 2);
+    let err = stmt.execute_with(&[Const::int(10)]).unwrap_err();
+    assert!(err.to_string().contains("exactly 2 parameter"), "{err}");
+
+    // Executing a parameterized query with no parameters at all.
+    let err = stmt.execute().unwrap_err();
+    assert!(err.to_string().contains("`$n`"), "{err}");
+
+    // Supplying more parameters than the query uses is also an error.
+    let stmt = db.prepare("SELECT emp FROM r WHERE sal = $1").unwrap();
+    let err = stmt
+        .execute_with(&[Const::int(10), Const::int(20)])
+        .unwrap_err();
+    assert!(err.to_string().contains("exactly 1 parameter"), "{err}");
+
+    // Gaps in the numbering are rejected at prepare time: a query that
+    // says $2 but never $1 has miscounted, and accepting it would
+    // silently drop a bound value.
+    let err = db.prepare("SELECT emp FROM r WHERE sal = $2").unwrap_err();
+    assert!(err.to_string().contains("never $1"), "{err}");
+
+    // $0 is a lex-time error; bare `$` too.
+    assert!(db.prepare("SELECT emp FROM r WHERE sal = $0").is_err());
+    assert!(db.prepare("SELECT emp FROM r WHERE sal = $").is_err());
+
+    // Scripts cannot use parameters (no way to bind them).
+    let mut db = figure_1_db();
+    assert!(db.exec("SELECT emp FROM r WHERE sal = $1").is_err());
+}
+
+#[test]
+fn duplicated_select_items_project_positionally() {
+    let db = figure_1_db();
+    // The same column under two aliases is legal SQL; the symbolic
+    // projection runs once over the distinct columns and the output is
+    // expanded positionally.
+    let out = db
+        .prepare("SELECT dept AS a, dept AS b, sal FROM r WHERE emp = 1")
+        .unwrap()
+        .execute()
+        .unwrap();
+    assert_eq!(out.columns(), vec!["a", "b", "sal"]);
+    let row = out.first().unwrap();
+    assert_eq!(row.get("a").unwrap(), row.get("b").unwrap());
+    assert_eq!(row.get("a").unwrap(), &Value::str("d1"));
+
+    // Projection semantics (annotation merging) agree with the
+    // single-copy projection.
+    let doubled = db.prepare("SELECT dept AS a, dept AS b FROM r").unwrap();
+    let single = db.query("SELECT dept FROM r").unwrap();
+    let out = doubled.execute().unwrap();
+    assert_eq!(out.len(), single.len());
+    for (t, k) in out.iter() {
+        assert_eq!(t.get(0), t.get(1));
+        let single_tuple = aggprov_krel::relation::Tuple::from([t.get(0).clone()]);
+        assert_eq!(&single.annotation(&single_tuple), k);
+    }
+}
+
+#[test]
+fn preparation_resolves_and_validates_names_eagerly() {
+    let db = figure_1_db();
+    // All of these fail at prepare() time — before any execution.
+    assert!(db.prepare("SELECT nope FROM r").is_err());
+    assert!(db.prepare("SELECT emp FROM missing").is_err());
+    assert!(db.prepare("SELECT emp, SUM(sal) FROM r").is_err());
+    assert!(db.prepare("SELECT emp FROM r HAVING emp = 1").is_err());
+    assert!(db
+        .prepare("SELECT emp FROM r UNION SELECT emp, sal FROM r")
+        .is_err());
+}
+
+#[test]
+fn collapse_reports_surviving_symbolic_atoms() {
+    let db = figure_1_db();
+    let out = db
+        .prepare("SELECT dept, SUM(sal) AS mass FROM r GROUP BY dept")
+        .unwrap()
+        .execute()
+        .unwrap();
+    // Without a valuation the δ-annotations are still symbolic.
+    let err = out.collapse().unwrap_err();
+    assert!(err.to_string().contains("symbolic"), "{err}");
+}
+
+// `ResultSet::valuate` on a bag database (`Database<Nat>`) is a *compile*
+// error — there are no tokens to valuate. See the `compile_fail` doctest on
+// `ResultSet::valuate`. The runtime analogue: a bag database's results
+// collapse/aggregate eagerly, so the fluent provenance methods simply are
+// not there, and plain access still works:
+#[test]
+fn bag_databases_expose_plain_results_only() {
+    let mut db: Database<Nat> = Database::new();
+    db.exec(
+        "CREATE TABLE r (dept TEXT, sal NUM);
+         INSERT INTO r VALUES ('d1', 20) PROVENANCE 2;
+         INSERT INTO r VALUES ('d1', 10);",
+    )
+    .unwrap();
+    let out = db
+        .prepare("SELECT dept, SUM(sal) AS total FROM r GROUP BY dept")
+        .unwrap()
+        .execute()
+        .unwrap();
+    // Bag semantics resolve on the spot: 2·20 + 10 = 50.
+    assert_eq!(out.first().unwrap().get("total").unwrap(), &Value::int(50));
+}

@@ -1,0 +1,164 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal timing harness exposing the subset of the criterion 0.5 API its
+//! benches use: [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Each benchmark runs `sample_size` timed iterations (after one warm-up)
+//! and prints mean wall-clock time per iteration. There is no statistical
+//! analysis, outlier rejection, or HTML report — the point is that
+//! `cargo bench` builds and produces comparable numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A fresh driver (mirrors `Criterion::default()`).
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.to_string(), |b| f(b))
+    }
+
+    /// Runs a benchmark over one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input))
+    }
+
+    fn run(&mut self, label: String, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let total: Duration = bencher.samples.iter().sum();
+        let mean = total
+            .checked_div(bencher.samples.len().max(1) as u32)
+            .unwrap_or_default();
+        println!(
+            "{label:<40} {mean:>12.2?}/iter ({} samples)",
+            bencher.samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark's timing handle.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times the routine `sample_size` times (after one warm-up run).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// An identifier of a parameterized benchmark (`name/parameter`).
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.parameter)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; there is
+            // nothing to test here, so exit quickly in that mode.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
