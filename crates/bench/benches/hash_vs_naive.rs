@@ -1,0 +1,207 @@
+//! Hash-partitioned physical operators vs the literal §4.3 reference path
+//! (`aggprov_core::specops`) on ground-tuple workloads — the perf
+//! trajectory's first tracked point.
+//!
+//! Besides printing criterion-style timings, this bench emits
+//! `BENCH_pr2.json` at the repository root (override with
+//! `BENCH_PR2_OUT=/path.json`): per operator, the mean wall-clock time of
+//! the naive and hash paths and the resulting speedup. CI runs it in quick
+//! mode (`AGGPROV_BENCH_SAMPLES=2`) and the checked-in JSON is the first
+//! point of the perf trajectory.
+//!
+//! Workloads are fully ground (the common case the ground/symbolic split
+//! optimizes for): a 10k-row employee table joined with / grouped over a
+//! 500-key dimension, and 2k-row union/project inputs (the reference
+//! union/project are quadratic in the *output key* count, so 10k rows
+//! there would dominate the run without adding information).
+
+use aggprov_algebra::monoid::MonoidKind;
+use aggprov_algebra::poly::NatPoly;
+use aggprov_core::km::Km;
+use aggprov_core::ops::{self, AggSpec, MKRel};
+use aggprov_core::{specops, Prov, Value};
+use aggprov_krel::relation::Relation;
+use aggprov_krel::schema::Schema;
+use criterion::quick_mode_samples;
+use std::time::{Duration, Instant};
+
+const EMP_ROWS: usize = 10_000;
+const DEPTS: i64 = 500;
+const SMALL_ROWS: usize = 2_000;
+
+fn tok(name: &str) -> Prov {
+    Km::embed(NatPoly::token(name))
+}
+
+fn schema(names: &[&str]) -> Schema {
+    Schema::new(names.iter().copied()).expect("schema")
+}
+
+/// `emp(emp, dept, sal)`: `n` ground rows with distinct tokens, `DEPTS`
+/// distinct departments (deterministic LCG so runs are comparable).
+fn emp_table(n: usize) -> MKRel<Prov> {
+    let mut rel = Relation::empty(schema(&["emp", "dept", "sal"]));
+    let mut state: u64 = 0x9E37_79B9;
+    for i in 0..n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let dept = (state >> 33) as i64 % DEPTS;
+        let sal = 10 + (state >> 17) as i64 % 190;
+        rel.insert(
+            vec![Value::int(i as i64), Value::int(dept), Value::int(sal)],
+            tok(&format!("p{i}")),
+        )
+        .expect("insert");
+    }
+    rel
+}
+
+/// `dim(dept2, region)`: one row per department key.
+fn dept_table() -> MKRel<Prov> {
+    let mut rel = Relation::empty(schema(&["dept2", "region"]));
+    for d in 0..DEPTS {
+        rel.insert(
+            vec![Value::int(d), Value::int(d % 7)],
+            tok(&format!("d{d}")),
+        )
+        .expect("insert");
+    }
+    rel
+}
+
+/// Times `f` (one warm-up, then `samples` runs) and returns the mean.
+fn time(samples: usize, mut f: impl FnMut()) -> Duration {
+    f();
+    let mut total = Duration::ZERO;
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        total += start.elapsed();
+    }
+    total / samples as u32
+}
+
+struct Measurement {
+    op: &'static str,
+    rows: usize,
+    naive: Duration,
+    hash: Duration,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.naive.as_secs_f64() / self.hash.as_secs_f64().max(1e-12)
+    }
+}
+
+fn main() {
+    let samples = quick_mode_samples(5);
+    let emp = emp_table(EMP_ROWS);
+    let dim = dept_table();
+    let small_a = emp_table(SMALL_ROWS);
+    let small_b = {
+        // A disjoint token space and shifted values for the union's right side.
+        let mut rel = Relation::empty(schema(&["emp", "dept", "sal"]));
+        for (i, (t, _)) in emp_table(SMALL_ROWS).iter().enumerate() {
+            rel.insert(t.values().to_vec(), tok(&format!("q{i}")))
+                .expect("insert");
+        }
+        rel
+    };
+    let gb_specs = [AggSpec::new(MonoidKind::Sum, "sal")];
+
+    println!("== hash_vs_naive ({samples} samples, emp = {EMP_ROWS} rows) ==");
+    let mut results = Vec::new();
+    let mut push = |m: Measurement| {
+        println!(
+            "{:<10} rows={:<6} naive {:>12.2?}/iter   hash {:>12.2?}/iter   speedup {:>8.1}x",
+            m.op,
+            m.rows,
+            m.naive,
+            m.hash,
+            m.speedup()
+        );
+        results.push(m);
+    };
+
+    push(Measurement {
+        op: "join_on",
+        rows: EMP_ROWS,
+        naive: time(samples, || {
+            std::hint::black_box(specops::join_on(&emp, &dim, &[("dept", "dept2")]).unwrap());
+        }),
+        hash: time(samples, || {
+            std::hint::black_box(ops::join_on(&emp, &dim, &[("dept", "dept2")]).unwrap());
+        }),
+    });
+    push(Measurement {
+        op: "group_by",
+        rows: EMP_ROWS,
+        naive: time(samples, || {
+            std::hint::black_box(specops::group_by(&emp, &["dept"], &gb_specs).unwrap());
+        }),
+        hash: time(samples, || {
+            std::hint::black_box(ops::group_by(&emp, &["dept"], &gb_specs).unwrap());
+        }),
+    });
+    push(Measurement {
+        op: "union",
+        rows: SMALL_ROWS,
+        naive: time(samples, || {
+            std::hint::black_box(specops::union(&small_a, &small_b).unwrap());
+        }),
+        hash: time(samples, || {
+            std::hint::black_box(ops::union(&small_a, &small_b).unwrap());
+        }),
+    });
+    push(Measurement {
+        op: "project",
+        rows: SMALL_ROWS,
+        naive: time(samples, || {
+            std::hint::black_box(specops::project(&small_a, &["dept"]).unwrap());
+        }),
+        hash: time(samples, || {
+            std::hint::black_box(ops::project(&small_a, &["dept"]).unwrap());
+        }),
+    });
+
+    // Sanity: the two paths agree on every workload (cheap versions).
+    let tiny = emp_table(200);
+    assert_eq!(
+        ops::join_on(&tiny, &dim, &[("dept", "dept2")]).unwrap(),
+        specops::join_on(&tiny, &dim, &[("dept", "dept2")]).unwrap()
+    );
+    assert_eq!(
+        ops::group_by(&tiny, &["dept"], &gb_specs).unwrap(),
+        specops::group_by(&tiny, &["dept"], &gb_specs).unwrap()
+    );
+
+    let json = render_json(&results, samples);
+    let out = std::env::var("BENCH_PR2_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_pr2.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, json).expect("write BENCH_pr2.json");
+    println!("wrote {out}");
+}
+
+fn render_json(results: &[Measurement], samples: usize) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"hash_vs_naive\",\n");
+    s.push_str("  \"pr\": 2,\n");
+    s.push_str(&format!("  \"samples\": {samples},\n"));
+    s.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"op\": \"{}\", \"rows\": {}, \"naive_ns\": {}, \"hash_ns\": {}, \
+             \"speedup\": {:.1}}}{}\n",
+            m.op,
+            m.rows,
+            m.naive.as_nanos(),
+            m.hash.as_nanos(),
+            m.speedup(),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -10,8 +10,11 @@
 //! * [`annotation`] — the [`annotation::AggAnnotation`] interface: `Km<K>`
 //!   compares symbolically, concrete compatible semirings resolve on the
 //!   spot (Proposition 4.4);
-//! * [`ops`] — the relational operators of §3.2/§3.3/§4.3: union,
-//!   projection, selection, value joins, `AGG`, `GROUP BY`;
+//! * [`ops`] — the *physical* relational operators of §3.2/§3.3/§4.3:
+//!   hash build/probe joins, hash-partitioned grouping, and ground/symbolic
+//!   partitioning so token construction stays off the ground hot path;
+//! * [`specops`] — the literal §4.3 specification operators, retained as
+//!   the reference path the physical layer is property-tested against;
 //! * [`eval`] — `h_Rel`, token valuations, collapse and plain read-off;
 //! * [`difference`] — difference via `B̂`-aggregation and its hybrid direct
 //!   form, plus the §5.2 law matrix;
@@ -28,6 +31,7 @@ pub mod eval;
 pub mod km;
 pub mod naive;
 pub mod ops;
+pub mod specops;
 pub mod value;
 
 /// The standard aggregate-provenance annotation: the extended semiring over

@@ -8,9 +8,28 @@
 //!
 //! When every relevant value is an ordinary constant, each token resolves to
 //! `0`/`1` on the spot and the operators coincide with the classical
-//! `K`-relational algebra of §2.1 — so a single implementation covers both
-//! the "simple" queries of §3 and the nested ones of §4 (a fast path avoids
-//! the quadratic token construction when no symbolic values are present).
+//! `K`-relational algebra of §2.1.
+//!
+//! ## Physical execution: hash operators with a ground/symbolic split
+//!
+//! The operators here are the *physical* layer. Each one partitions its
+//! input into **ground** tuples (only constants at the positions the
+//! operator compares) and **symbolic** tuples (a tensor-valued aggregate at
+//! one of those positions):
+//!
+//! * ground × ground work runs classically — hash build/probe for
+//!   [`join_on`]/[`natural_join`], hash-partitioned grouping for
+//!   [`group_by`], an `O(n log n)` additive merge for [`union`] and
+//!   [`project`] — because between constants every §4.3 equality token is
+//!   `0` or `1` and structural equality decides it;
+//! * the quadratic token construction runs only over the (typically tiny)
+//!   symbolic fraction and its cross terms against the ground partition,
+//!   then the two partitions recombine per the paper's
+//!   sum-of-weighted-contributions rule.
+//!
+//! The results are bit-identical to the literal §4.3 evaluation, which is
+//! retained in [`crate::specops`] as the reference path (property-tested
+//! equivalence; see `tests/hash_vs_spec_proptests.rs`).
 //!
 //! ## Output construction and duplicate groups
 //!
@@ -30,7 +49,7 @@ use aggprov_algebra::tensor::Tensor;
 use aggprov_krel::error::{RelError, Result};
 use aggprov_krel::relation::{Relation, Tuple};
 use aggprov_krel::schema::Schema;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// An `(M, K)`-relation: tuples of [`Value`]s annotated with `A`.
 pub type MKRel<A> = Relation<A, Value<A>>;
@@ -63,6 +82,12 @@ pub fn has_symbolic<A: AggAnnotation>(rel: &MKRel<A>) -> bool {
         .any(|(t, _)| t.values().iter().any(Value::is_agg))
 }
 
+/// True iff a tuple holds only constants at the given positions — the
+/// ground/symbolic partition criterion of the physical operators.
+fn is_ground_at<A: AggAnnotation>(t: &Tuple<Value<A>>, positions: &[usize]) -> bool {
+    positions.iter().all(|i| !t.get(*i).is_agg())
+}
+
 /// Lifts a plain constant relation into an `(M, K)`-relation.
 pub fn lift<A: AggAnnotation>(rel: &Relation<A, Const>) -> MKRel<A> {
     rel.map_values(&mut |c| Value::Const(c.clone()))
@@ -70,7 +95,7 @@ pub fn lift<A: AggAnnotation>(rel: &Relation<A, Const>) -> MKRel<A> {
 
 /// Inserts with the §4.3 collision rule: annotations of colliding tuples
 /// are equal by construction, so the first copy is kept.
-fn insert_distinct<A: AggAnnotation>(
+pub(crate) fn insert_distinct<A: AggAnnotation>(
     map: &mut BTreeMap<Tuple<Value<A>>, A>,
     t: Tuple<Value<A>>,
     ann: A,
@@ -81,7 +106,10 @@ fn insert_distinct<A: AggAnnotation>(
     map.entry(t).or_insert(ann);
 }
 
-fn from_map<A: AggAnnotation>(schema: Schema, map: BTreeMap<Tuple<Value<A>>, A>) -> MKRel<A> {
+pub(crate) fn from_map<A: AggAnnotation>(
+    schema: Schema,
+    map: BTreeMap<Tuple<Value<A>>, A>,
+) -> MKRel<A> {
     let mut out = Relation::empty(schema);
     for (t, k) in map {
         out.insert(t.values().to_vec(), k).expect("arity preserved");
@@ -112,7 +140,7 @@ pub fn annotation_at<A: AggAnnotation>(rel: &MKRel<A>, t: &Tuple<Value<A>>) -> R
 /// Sums many annotations by pairwise tree reduction: summing n tokens of
 /// size 1 costs O(n log n) rather than the O(n²) of a left fold (each
 /// `plus` clones its left operand).
-fn sum_many<A: AggAnnotation>(mut items: Vec<A>) -> A {
+pub(crate) fn sum_many<A: AggAnnotation>(mut items: Vec<A>) -> A {
     if items.is_empty() {
         return A::zero();
     }
@@ -133,7 +161,11 @@ fn sum_many<A: AggAnnotation>(mut items: Vec<A>) -> A {
 /// Pushes `k ∗ tv`'s simple tensors onto an accumulator without
 /// re-normalizing (the caller builds the tensor once at the end — turning
 /// per-tuple O(current-size) merges into a single O(n log n) build).
-fn accumulate_scaled<A: AggAnnotation>(acc: &mut Vec<(A, Const)>, tv: &Tensor<A, Const>, k: &A) {
+pub(crate) fn accumulate_scaled<A: AggAnnotation>(
+    acc: &mut Vec<(A, Const)>,
+    tv: &Tensor<A, Const>,
+    k: &A,
+) {
     for (ki, e) in tv.terms() {
         let prod = k.times(ki);
         if !prod.is_zero() {
@@ -143,7 +175,7 @@ fn accumulate_scaled<A: AggAnnotation>(acc: &mut Vec<(A, Const)>, tv: &Tensor<A,
 }
 
 /// The product of per-attribute equality tokens `Π_u [t'(u) = t(u)]`.
-fn tuple_eq_token<A: AggAnnotation>(
+pub(crate) fn tuple_eq_token<A: AggAnnotation>(
     a: &Tuple<Value<A>>,
     b: &Tuple<Value<A>>,
     positions: &[usize],
@@ -165,6 +197,11 @@ fn tuple_eq_token<A: AggAnnotation>(
 
 /// Union. With symbolic values, every output tuple sums contributions from
 /// *all* input tuples weighted by equality tokens.
+///
+/// Physical plan: fully ground tuples take an `O(n log n)` additive merge
+/// (between constants the §4.3 tokens are structural `0`/`1`); the
+/// quadratic token construction runs only over the symbolic fraction and
+/// its cross terms against the merged ground partition.
 pub fn union<A: AggAnnotation>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> {
     if r1.schema() != r2.schema() {
         return Err(RelError::SchemaMismatch {
@@ -177,48 +214,141 @@ pub fn union<A: AggAnnotation>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>>
         return r1.union(r2);
     }
     let all_positions: Vec<usize> = (0..r1.schema().arity()).collect();
-    let mut out = BTreeMap::new();
-    for (t, _) in r1.iter().chain(r2.iter()) {
-        if out.contains_key(t) {
-            continue;
+    // Partition: ground tuples merge additively (token 1 exactly on
+    // structural equality); symbolic tuples keep their annotations for the
+    // token-weighted cross sums.
+    let mut ground: BTreeMap<&Tuple<Value<A>>, A> = BTreeMap::new();
+    let mut sym: Vec<(&Tuple<Value<A>>, &A)> = Vec::new();
+    for (t, k) in r1.iter().chain(r2.iter()) {
+        if is_ground_at(t, &all_positions) {
+            ground
+                .entry(t)
+                .and_modify(|a| *a = a.plus(k))
+                .or_insert_with(|| k.clone());
+        } else {
+            sym.push((t, k));
         }
-        let mut parts = Vec::new();
-        for (t2, k2) in r1.iter().chain(r2.iter()) {
-            let tok = tuple_eq_token(t2, t, &all_positions)?;
-            let part = k2.times(&tok);
+    }
+    let mut out = BTreeMap::new();
+    // Ground output keys: the structural merge plus every symbolic tuple's
+    // token-weighted contribution (a constant row can equal a symbolic one
+    // under a valuation, so the cross terms are required for §4.3 parity).
+    for (t, base) in &ground {
+        let mut parts = vec![base.clone()];
+        for (s, ks) in &sym {
+            let tok = tuple_eq_token(s, t, &all_positions)?;
+            if tok.is_zero() {
+                continue;
+            }
+            let part = ks.times(&tok);
             if !part.is_zero() {
                 parts.push(part);
             }
         }
-        insert_distinct(&mut out, t.clone(), sum_many(parts));
+        insert_distinct(&mut out, (*t).clone(), sum_many(parts));
+    }
+    // Symbolic output keys: contributions from every input tuple.
+    for (t, _) in &sym {
+        if out.contains_key(*t) {
+            continue;
+        }
+        let mut parts = Vec::new();
+        for (g, kg) in &ground {
+            let tok = tuple_eq_token(g, t, &all_positions)?;
+            if tok.is_zero() {
+                continue;
+            }
+            let part = kg.times(&tok);
+            if !part.is_zero() {
+                parts.push(part);
+            }
+        }
+        for (s, ks) in &sym {
+            let tok = tuple_eq_token(s, t, &all_positions)?;
+            if tok.is_zero() {
+                continue;
+            }
+            let part = ks.times(&tok);
+            if !part.is_zero() {
+                parts.push(part);
+            }
+        }
+        insert_distinct(&mut out, (*t).clone(), sum_many(parts));
     }
     Ok(from_map(r1.schema().clone(), out))
 }
 
 /// Projection `Π_{U'}`. With symbolic values, annotations sum over all
 /// tuples weighted by tokens on the projected attributes.
+///
+/// Physical plan: tuples that are ground *at the projected positions* (a
+/// strictly wider fast set than "the whole relation is ground") merge
+/// additively by projected key; the token construction runs only over the
+/// symbolic-at-`U'` fraction and its cross terms.
 pub fn project<A: AggAnnotation>(rel: &MKRel<A>, attrs: &[&str]) -> Result<MKRel<A>> {
-    if !has_symbolic(rel) {
+    let positions = rel.schema().indices_of(attrs)?;
+    if rel.iter().all(|(t, _)| is_ground_at(t, &positions)) {
         return rel.project(attrs);
     }
-    let positions = rel.schema().indices_of(attrs)?;
     let schema = rel.schema().project(attrs)?;
     let all: Vec<usize> = (0..positions.len()).collect();
-    let mut out = BTreeMap::new();
-    for (t, _) in rel.iter() {
+    // Partition by groundness of the projected key.
+    let mut ground: BTreeMap<Tuple<Value<A>>, A> = BTreeMap::new();
+    let mut sym: Vec<(Tuple<Value<A>>, &A)> = Vec::new();
+    for (t, k) in rel.iter() {
         let proj = t.project(&positions);
-        if out.contains_key(&proj) {
-            continue;
+        if is_ground_at(&proj, &all) {
+            ground
+                .entry(proj)
+                .and_modify(|a| *a = a.plus(k))
+                .or_insert_with(|| k.clone());
+        } else {
+            sym.push((proj, k));
         }
-        let mut parts = Vec::new();
-        for (t2, k2) in rel.iter() {
-            let tok = tuple_eq_token(&t2.project(&positions), &proj, &all)?;
-            let part = k2.times(&tok);
+    }
+    let mut out = BTreeMap::new();
+    for (p, base) in &ground {
+        let mut parts = vec![base.clone()];
+        for (s, ks) in &sym {
+            let tok = tuple_eq_token(s, p, &all)?;
+            if tok.is_zero() {
+                continue;
+            }
+            let part = ks.times(&tok);
             if !part.is_zero() {
                 parts.push(part);
             }
         }
-        insert_distinct(&mut out, proj, sum_many(parts));
+        insert_distinct(&mut out, p.clone(), sum_many(parts));
+    }
+    for (p, _) in &sym {
+        if out.contains_key(p) {
+            continue;
+        }
+        let mut parts = Vec::new();
+        // Token equality depends only on the projected key, so the merged
+        // ground partition contributes per distinct key, not per tuple.
+        for (g, kg) in &ground {
+            let tok = tuple_eq_token(g, p, &all)?;
+            if tok.is_zero() {
+                continue;
+            }
+            let part = kg.times(&tok);
+            if !part.is_zero() {
+                parts.push(part);
+            }
+        }
+        for (s, ks) in &sym {
+            let tok = tuple_eq_token(s, p, &all)?;
+            if tok.is_zero() {
+                continue;
+            }
+            let part = ks.times(&tok);
+            if !part.is_zero() {
+                parts.push(part);
+            }
+        }
+        insert_distinct(&mut out, p.clone(), sum_many(parts));
     }
     Ok(from_map(schema, out))
 }
@@ -270,7 +400,18 @@ pub fn select_with_token<A: AggAnnotation>(
     let mut out = BTreeMap::new();
     for (t, k) in rel.iter() {
         let tok = token(rel.schema(), t)?;
-        insert_distinct(&mut out, t.clone(), k.times(&tok));
+        // Ground fast path: a predicate over constants yields `0`/`1`, so
+        // the tuple is either dropped or kept verbatim — no semiring
+        // multiplication on the hot path.
+        if tok.is_zero() {
+            continue;
+        }
+        let ann = if tok.is_one() {
+            k.clone()
+        } else {
+            k.times(&tok)
+        };
+        insert_distinct(&mut out, t.clone(), ann);
     }
     Ok(from_map(rel.schema().clone(), out))
 }
@@ -317,6 +458,13 @@ pub fn select_where<A: AggAnnotation>(
 
 /// Value-based join on attribute pairs (schemas must be disjoint):
 /// `R₁(t|U₁) · R₂(t|U₂) · Π [t(u₁ᵢ) = t(u₂ᵢ)]`.
+///
+/// Physical plan: each side is partitioned by groundness of its join-key
+/// columns. The ground × ground block runs as a hash build (right) /
+/// probe (left) equi-join — between constants the §4.3 tokens are exactly
+/// the structural key equality. Pairs with a symbolic key on either side
+/// fall back to the token-weighted nested loop, which therefore costs
+/// `O(|G|·|S| + |S|²)` instead of `O(n²)`.
 pub fn join_on<A: AggAnnotation>(
     r1: &MKRel<A>,
     r2: &MKRel<A>,
@@ -339,24 +487,29 @@ pub fn join_on<A: AggAnnotation>(
         .collect::<Result<_>>()?;
     let schema = r1.schema().concat(r2.schema())?;
 
-    // Fast path: when every compared column is constant-valued on both
-    // sides, the tokens are 0/1 and an indexed equi-join is equivalent.
-    let all_const = !on.is_empty()
-        && r1
-            .iter()
-            .all(|(t, _)| left.iter().all(|i| !t.get(*i).is_agg()))
-        && r2
-            .iter()
-            .all(|(t, _)| right.iter().all(|j| !t.get(*j).is_agg()));
+    type Side<'a, A> = Vec<(&'a Tuple<Value<A>>, &'a A)>;
+    let (g1, s1): (Side<'_, A>, Side<'_, A>) = r1.iter().partition(|(t, _)| is_ground_at(t, &left));
+    let (g2, s2): (Side<'_, A>, Side<'_, A>) =
+        r2.iter().partition(|(t, _)| is_ground_at(t, &right));
+
     let mut out = BTreeMap::new();
-    if all_const {
+    if on.is_empty() {
+        // Cartesian product: no keys, no tokens (s1/s2 are empty since the
+        // groundness check over zero positions is vacuous).
+        for (t1, k1) in &g1 {
+            for (t2, k2) in &g2 {
+                insert_distinct(&mut out, t1.concat(t2.values()), k1.times(k2));
+            }
+        }
+    } else {
+        // Ground × ground: hash build on the right side, probe with the left.
         type Bucket<'a, A> = Vec<(&'a Tuple<Value<A>>, &'a A)>;
-        let mut index: BTreeMap<Vec<&Value<A>>, Bucket<'_, A>> = BTreeMap::new();
-        for (t2, k2) in r2.iter() {
+        let mut index: HashMap<Vec<&Value<A>>, Bucket<'_, A>> = HashMap::new();
+        for (t2, k2) in &g2 {
             let key: Vec<&Value<A>> = right.iter().map(|j| t2.get(*j)).collect();
             index.entry(key).or_default().push((t2, k2));
         }
-        for (t1, k1) in r1.iter() {
+        for (t1, k1) in &g1 {
             let key: Vec<&Value<A>> = left.iter().map(|i| t1.get(*i)).collect();
             if let Some(matches) = index.get(&key) {
                 for (t2, k2) in matches {
@@ -364,18 +517,23 @@ pub fn join_on<A: AggAnnotation>(
                 }
             }
         }
-    } else {
-        for (t1, k1) in r1.iter() {
-            for (t2, k2) in r2.iter() {
-                let mut ann = k1.times(k2);
+    }
+    // Symbolic fringes: every pair with a symbolic key on at least one side
+    // carries a genuine §4.3 token product.
+    for (lhs, rhs) in [(&g1, &s2), (&s1, &g2), (&s1, &s2)] {
+        for (t1, k1) in lhs.iter() {
+            for (t2, k2) in rhs.iter() {
+                let mut tok = A::one();
                 for (i, j) in left.iter().zip(&right) {
-                    if ann.is_zero() {
+                    if tok.is_zero() {
                         break;
                     }
-                    let tok = A::value_eq(t1.get(*i), t2.get(*j))?;
-                    ann = ann.times(&tok);
+                    tok = tok.times(&A::value_eq(t1.get(*i), t2.get(*j))?);
                 }
-                insert_distinct(&mut out, t1.concat(t2.values()), ann);
+                if tok.is_zero() {
+                    continue;
+                }
+                insert_distinct(&mut out, t1.concat(t2.values()), k1.times(k2).times(&tok));
             }
         }
     }
@@ -389,16 +547,23 @@ pub fn product<A: AggAnnotation>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A
 
 /// Natural join on the shared attributes. Requires the shared columns to be
 /// constant-valued (use [`join_on`] with renaming for symbolic joins); the
-/// classical indexed join then applies.
+/// classical hash build/probe join of
+/// [`Relation::natural_join`](aggprov_krel::relation::Relation::natural_join)
+/// then applies.
 pub fn natural_join<A: AggAnnotation>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> {
     let shared = r1.schema().shared_with(r2.schema());
     for rel in [r1, r2] {
-        for a in &shared {
-            let i = rel.schema().index_of(a.name())?;
-            if rel.iter().any(|(t, _)| t.get(i).is_agg()) {
+        // One pass per side: resolve the shared positions once, then scan.
+        let idx: Vec<usize> = shared
+            .iter()
+            .map(|a| rel.schema().index_of(a.name()))
+            .collect::<Result<_>>()?;
+        for (t, _) in rel.iter() {
+            if let Some(p) = idx.iter().position(|i| t.get(*i).is_agg()) {
                 return Err(RelError::Unsupported(format!(
-                    "natural join on symbolic aggregate column `{a}`; \
-                     rename and use join_on"
+                    "natural join on symbolic aggregate column `{}`; \
+                     rename and use join_on",
+                    shared[p]
                 )));
             }
         }
@@ -452,15 +617,15 @@ pub fn agg_all<A: AggAnnotation>(rel: &MKRel<A>, specs: &[AggSpec<'_>]) -> Resul
 // Group-by (§3.3 Definition 3.7 / §4.3 item 7)
 // ---------------------------------------------------------------------------
 
-/// `GB_{U', specs}(R)`: groups by `group_attrs` and aggregates each spec's
-/// attribute. Output schema: `group_attrs ++ [spec.attr, …]`. The group
-/// tuple's annotation is `δ(Σ_{t' ∈ group} coeff(t'))` where with symbolic
-/// group values `coeff(t') = R(t') · Π_{u ∈ U'} [t'(u) = g(u)]`.
-pub fn group_by<A: AggAnnotation>(
+/// Validates a grouping request and resolves its layout: grouping
+/// positions, aggregated positions, and the output schema
+/// `group_attrs ++ [spec.out, …]`. Shared between the physical
+/// [`group_by`] and the reference [`crate::specops::group_by`].
+pub(crate) fn group_by_layout<A: AggAnnotation>(
     rel: &MKRel<A>,
     group_attrs: &[&str],
     specs: &[AggSpec<'_>],
-) -> Result<MKRel<A>> {
+) -> Result<(Vec<usize>, Vec<usize>, Schema)> {
     let gidx = rel.schema().indices_of(group_attrs)?;
     let sidx: Vec<usize> = specs
         .iter()
@@ -474,85 +639,138 @@ pub fn group_by<A: AggAnnotation>(
             )));
         }
     }
-    let mut schema_attrs: Vec<&str> = group_attrs.to_vec();
+    let mut names: Vec<String> = group_attrs.iter().map(|a| (*a).to_string()).collect();
     for s in specs {
-        schema_attrs.push(s.out);
+        names.push(s.out.to_string());
     }
-    let schema = {
-        let mut names: Vec<String> = Vec::new();
-        for a in &schema_attrs {
-            names.push((*a).to_string());
-        }
-        Schema::new(names.iter().map(|s| s.as_str()))?
-    };
+    let schema = Schema::new(names.iter().map(|s| s.as_str()))?;
+    Ok((gidx, sidx, schema))
+}
 
-    let symbolic_keys = rel
-        .iter()
-        .any(|(t, _)| gidx.iter().any(|i| t.get(*i).is_agg()));
+/// `GB_{U', specs}(R)`: groups by `group_attrs` and aggregates each spec's
+/// attribute. Output schema: `group_attrs ++ [spec.attr, …]`. The group
+/// tuple's annotation is `δ(Σ_{t' ∈ group} coeff(t'))` where with symbolic
+/// group values `coeff(t') = R(t') · Π_{u ∈ U'} [t'(u) = g(u)]`.
+///
+/// Physical plan: tuples with ground group keys are hash-partitioned into
+/// buckets (between constants the membership token is structural key
+/// equality). Tuples with symbolic keys join every candidate group with a
+/// token-weighted coefficient; tokens against a ground bucket are computed
+/// once per bucket, not once per member.
+pub fn group_by<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    group_attrs: &[&str],
+    specs: &[AggSpec<'_>],
+) -> Result<MKRel<A>> {
+    let (gidx, sidx, schema) = group_by_layout(rel, group_attrs, specs)?;
+    let all: Vec<usize> = (0..gidx.len()).collect();
+
+    // Hash-partition on ground group keys; collect symbolic-keyed tuples.
+    type Members<'a, A> = Vec<(&'a Tuple<Value<A>>, &'a A)>;
+    /// A symbolic-keyed tuple: its projected group key, the tuple, its
+    /// annotation.
+    type SymEntry<'a, A> = (Tuple<Value<A>>, &'a Tuple<Value<A>>, &'a A);
+    let mut buckets: HashMap<Tuple<Value<A>>, Members<'_, A>> = HashMap::new();
+    let mut sym: Vec<SymEntry<'_, A>> = Vec::new();
+    for (t, k) in rel.iter() {
+        let g = t.project(&gidx);
+        if is_ground_at(&g, &all) {
+            buckets.entry(g).or_default().push((t, k));
+        } else {
+            sym.push((g, t, k));
+        }
+    }
 
     let mut out = BTreeMap::new();
-    if !symbolic_keys {
-        // Fast path: structural grouping.
-        type Members<'a, A> = Vec<(&'a Tuple<Value<A>>, &'a A)>;
-        let mut groups: BTreeMap<Tuple<Value<A>>, Members<'_, A>> = BTreeMap::new();
-        for (t, k) in rel.iter() {
-            groups.entry(t.project(&gidx)).or_default().push((t, k));
-        }
-        for (g, members) in groups {
-            let mut anns: Vec<A> = Vec::with_capacity(members.len());
-            let mut terms: Vec<Vec<(A, Const)>> = vec![Vec::new(); specs.len()];
-            for (t, k) in members {
-                anns.push(k.clone());
-                for (si, spec) in specs.iter().enumerate() {
-                    let tv = t.get(sidx[si]).to_tensor(spec.kind)?;
-                    accumulate_scaled(&mut terms[si], &tv, k);
-                }
+    // Ground candidate groups: the bucket's members join with token 1;
+    // symbolic-keyed tuples contribute with a token weight.
+    for (g, members) in &buckets {
+        let mut anns: Vec<A> = Vec::with_capacity(members.len());
+        let mut terms: Vec<Vec<(A, Const)>> = vec![Vec::new(); specs.len()];
+        for (t, k) in members {
+            anns.push((*k).clone());
+            for (si, spec) in specs.iter().enumerate() {
+                let tv = t.get(sidx[si]).to_tensor(spec.kind)?;
+                accumulate_scaled(&mut terms[si], &tv, k);
             }
-            let total = sum_many(anns);
-            let mut row: Vec<Value<A>> = g.values().to_vec();
-            for (spec, ts) in specs.iter().zip(terms) {
-                row.push(Value::agg_normalized(
-                    spec.kind,
-                    Tensor::from_terms(&spec.kind, ts),
-                ));
-            }
-            insert_distinct(&mut out, Tuple::new(row), total.delta());
         }
-    } else {
-        // General path: every distinct group key generates a candidate
-        // group; membership is weighted by equality tokens.
-        let all: Vec<usize> = (0..gidx.len()).collect();
-        let mut seen: Vec<Tuple<Value<A>>> = Vec::new();
-        for (t, _) in rel.iter() {
-            let g = t.project(&gidx);
-            if seen.contains(&g) {
+        for (key, t2, k2) in &sym {
+            let tok = tuple_eq_token(key, g, &all)?;
+            if tok.is_zero() {
                 continue;
             }
-            seen.push(g.clone());
-            let mut anns: Vec<A> = Vec::new();
-            let mut terms: Vec<Vec<(A, Const)>> = vec![Vec::new(); specs.len()];
-            for (t2, k2) in rel.iter() {
-                let tok = tuple_eq_token(&t2.project(&gidx), &g, &all)?;
-                let coeff = k2.times(&tok);
+            let coeff = k2.times(&tok);
+            if coeff.is_zero() {
+                continue;
+            }
+            for (si, spec) in specs.iter().enumerate() {
+                let tv = t2.get(sidx[si]).to_tensor(spec.kind)?;
+                accumulate_scaled(&mut terms[si], &tv, &coeff);
+            }
+            anns.push(coeff);
+        }
+        let total = sum_many(anns);
+        let mut row: Vec<Value<A>> = g.values().to_vec();
+        for (spec, ts) in specs.iter().zip(terms) {
+            row.push(Value::agg_normalized(
+                spec.kind,
+                Tensor::from_terms(&spec.kind, ts),
+            ));
+        }
+        insert_distinct(&mut out, Tuple::new(row), total.delta());
+    }
+    // Symbolic candidate groups: membership of *every* tuple is weighted by
+    // equality tokens (the full §4.3 rule), but the token against a ground
+    // bucket depends only on the bucket key — computed once per bucket.
+    let mut seen: Vec<&Tuple<Value<A>>> = Vec::new();
+    for (p, _, _) in &sym {
+        if seen.contains(&p) {
+            continue;
+        }
+        seen.push(p);
+        let mut anns: Vec<A> = Vec::new();
+        let mut terms: Vec<Vec<(A, Const)>> = vec![Vec::new(); specs.len()];
+        for (g, members) in &buckets {
+            let tok = tuple_eq_token(g, p, &all)?;
+            if tok.is_zero() {
+                continue;
+            }
+            for (t, k) in members {
+                let coeff = k.times(&tok);
                 if coeff.is_zero() {
                     continue;
                 }
                 for (si, spec) in specs.iter().enumerate() {
-                    let tv = t2.get(sidx[si]).to_tensor(spec.kind)?;
+                    let tv = t.get(sidx[si]).to_tensor(spec.kind)?;
                     accumulate_scaled(&mut terms[si], &tv, &coeff);
                 }
                 anns.push(coeff);
             }
-            let total = sum_many(anns);
-            let mut row: Vec<Value<A>> = g.values().to_vec();
-            for (spec, ts) in specs.iter().zip(terms) {
-                row.push(Value::agg_normalized(
-                    spec.kind,
-                    Tensor::from_terms(&spec.kind, ts),
-                ));
-            }
-            insert_distinct(&mut out, Tuple::new(row), total.delta());
         }
+        for (key, t2, k2) in &sym {
+            let tok = tuple_eq_token(key, p, &all)?;
+            if tok.is_zero() {
+                continue;
+            }
+            let coeff = k2.times(&tok);
+            if coeff.is_zero() {
+                continue;
+            }
+            for (si, spec) in specs.iter().enumerate() {
+                let tv = t2.get(sidx[si]).to_tensor(spec.kind)?;
+                accumulate_scaled(&mut terms[si], &tv, &coeff);
+            }
+            anns.push(coeff);
+        }
+        let total = sum_many(anns);
+        let mut row: Vec<Value<A>> = p.values().to_vec();
+        for (spec, ts) in specs.iter().zip(terms) {
+            row.push(Value::agg_normalized(
+                spec.kind,
+                Tensor::from_terms(&spec.kind, ts),
+            ));
+        }
+        insert_distinct(&mut out, Tuple::new(row), total.delta());
     }
     Ok(from_map(schema, out))
 }

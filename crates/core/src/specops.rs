@@ -1,0 +1,181 @@
+//! The literal §4.3 specification operators — the retained reference
+//! (naive) execution path.
+//!
+//! Each operator here computes output annotations exactly as the paper
+//! writes them: a sum over *all* support tuples weighted by per-attribute
+//! equality tokens, with no ground/symbolic partitioning, no hash indexes
+//! and no structural fast paths. That makes the implementations quadratic
+//! in general — deliberately so. This module is the oracle that the
+//! hash-partitioned physical operators in [`crate::ops`] are
+//! property-tested against (`hash_vs_spec` proptests) and benchmarked
+//! against (`hash_vs_naive`); both paths must produce bit-identical
+//! relations.
+
+use crate::annotation::AggAnnotation;
+use crate::ops::{
+    accumulate_scaled, from_map, insert_distinct, sum_many, tuple_eq_token, AggSpec, MKRel,
+};
+use crate::value::Value;
+use aggprov_algebra::tensor::Tensor;
+use aggprov_krel::error::{RelError, Result};
+use aggprov_krel::relation::Tuple;
+use std::collections::BTreeMap;
+
+/// Union by the literal §4.3 rule: every output tuple sums contributions
+/// from *all* input tuples weighted by equality tokens.
+pub fn union<A: AggAnnotation>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> {
+    if r1.schema() != r2.schema() {
+        return Err(RelError::SchemaMismatch {
+            left: r1.schema().to_string(),
+            right: r2.schema().to_string(),
+            op: "union",
+        });
+    }
+    let all_positions: Vec<usize> = (0..r1.schema().arity()).collect();
+    let mut out = BTreeMap::new();
+    for (t, _) in r1.iter().chain(r2.iter()) {
+        if out.contains_key(t) {
+            continue;
+        }
+        let mut parts = Vec::new();
+        for (t2, k2) in r1.iter().chain(r2.iter()) {
+            let tok = tuple_eq_token(t2, t, &all_positions)?;
+            if tok.is_zero() {
+                continue;
+            }
+            let part = k2.times(&tok);
+            if !part.is_zero() {
+                parts.push(part);
+            }
+        }
+        insert_distinct(&mut out, t.clone(), sum_many(parts));
+    }
+    Ok(from_map(r1.schema().clone(), out))
+}
+
+/// Projection `Π_{U'}` by the literal §4.3 rule: annotations sum over all
+/// tuples weighted by tokens on the projected attributes.
+pub fn project<A: AggAnnotation>(rel: &MKRel<A>, attrs: &[&str]) -> Result<MKRel<A>> {
+    let positions = rel.schema().indices_of(attrs)?;
+    let schema = rel.schema().project(attrs)?;
+    let all: Vec<usize> = (0..positions.len()).collect();
+    let mut out = BTreeMap::new();
+    for (t, _) in rel.iter() {
+        let proj = t.project(&positions);
+        if out.contains_key(&proj) {
+            continue;
+        }
+        let mut parts = Vec::new();
+        for (t2, k2) in rel.iter() {
+            let tok = tuple_eq_token(&t2.project(&positions), &proj, &all)?;
+            if tok.is_zero() {
+                continue;
+            }
+            let part = k2.times(&tok);
+            if !part.is_zero() {
+                parts.push(part);
+            }
+        }
+        insert_distinct(&mut out, proj, sum_many(parts));
+    }
+    Ok(from_map(schema, out))
+}
+
+/// Value-based join on attribute pairs by the literal §4.3 rule: a full
+/// nested loop, `R₁(t|U₁) · R₂(t|U₂) · Π [t(u₁ᵢ) = t(u₂ᵢ)]` per pair.
+pub fn join_on<A: AggAnnotation>(
+    r1: &MKRel<A>,
+    r2: &MKRel<A>,
+    on: &[(&str, &str)],
+) -> Result<MKRel<A>> {
+    if !r1.schema().shared_with(r2.schema()).is_empty() {
+        return Err(RelError::SchemaMismatch {
+            left: r1.schema().to_string(),
+            right: r2.schema().to_string(),
+            op: "join_on (schemas must be disjoint; rename first)",
+        });
+    }
+    let left: Vec<usize> = on
+        .iter()
+        .map(|(a, _)| r1.schema().index_of(a))
+        .collect::<Result<_>>()?;
+    let right: Vec<usize> = on
+        .iter()
+        .map(|(_, b)| r2.schema().index_of(b))
+        .collect::<Result<_>>()?;
+    let schema = r1.schema().concat(r2.schema())?;
+    let mut out = BTreeMap::new();
+    for (t1, k1) in r1.iter() {
+        for (t2, k2) in r2.iter() {
+            let mut tok = A::one();
+            for (i, j) in left.iter().zip(&right) {
+                if tok.is_zero() {
+                    break;
+                }
+                tok = tok.times(&A::value_eq(t1.get(*i), t2.get(*j))?);
+            }
+            if tok.is_zero() {
+                continue;
+            }
+            insert_distinct(&mut out, t1.concat(t2.values()), k1.times(k2).times(&tok));
+        }
+    }
+    Ok(from_map(schema, out))
+}
+
+/// Whole-relation aggregation by the literal §3.2 rule: one output tuple,
+/// annotated `1`, value `Σ_{t' ∈ supp(R)} R(t') ∗ t'(u)` per spec.
+pub fn agg_all<A: AggAnnotation>(rel: &MKRel<A>, specs: &[AggSpec<'_>]) -> Result<MKRel<A>> {
+    // Already a single linear fold in the physical layer; the spec and the
+    // physical path coincide.
+    crate::ops::agg_all(rel, specs)
+}
+
+/// `GB_{U', specs}(R)` by the literal §4.3 rule: every distinct group key
+/// is a candidate group and membership of *every* tuple is weighted by
+/// equality tokens on the grouping attributes.
+pub fn group_by<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    group_attrs: &[&str],
+    specs: &[AggSpec<'_>],
+) -> Result<MKRel<A>> {
+    let (gidx, sidx, schema) = crate::ops::group_by_layout(rel, group_attrs, specs)?;
+    let all: Vec<usize> = (0..gidx.len()).collect();
+    let mut out = BTreeMap::new();
+    let mut seen: Vec<Tuple<Value<A>>> = Vec::new();
+    for (t, _) in rel.iter() {
+        let g = t.project(&gidx);
+        if seen.contains(&g) {
+            continue;
+        }
+        seen.push(g.clone());
+        let mut anns: Vec<A> = Vec::new();
+        let mut terms: Vec<Vec<(A, aggprov_algebra::domain::Const)>> =
+            vec![Vec::new(); specs.len()];
+        for (t2, k2) in rel.iter() {
+            let tok = tuple_eq_token(&t2.project(&gidx), &g, &all)?;
+            if tok.is_zero() {
+                continue;
+            }
+            let coeff = k2.times(&tok);
+            if coeff.is_zero() {
+                continue;
+            }
+            for (si, spec) in specs.iter().enumerate() {
+                let tv = t2.get(sidx[si]).to_tensor(spec.kind)?;
+                accumulate_scaled(&mut terms[si], &tv, &coeff);
+            }
+            anns.push(coeff);
+        }
+        let total = sum_many(anns);
+        let mut row: Vec<Value<A>> = g.values().to_vec();
+        for (spec, ts) in specs.iter().zip(terms) {
+            row.push(Value::agg_normalized(
+                spec.kind,
+                Tensor::from_terms(&spec.kind, ts),
+            ));
+        }
+        insert_distinct(&mut out, Tuple::new(row), total.delta());
+    }
+    Ok(from_map(schema, out))
+}

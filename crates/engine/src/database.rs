@@ -98,7 +98,7 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
                             "`$n` parameters require prepare()/execute_with()".into(),
                         ));
                     }
-                    last = Some(execute_plan(self, &lowered.plan, &[])?);
+                    last = Some(execute_plan(self, &lowered.plan, &[], 0)?);
                 }
             }
         }
@@ -233,15 +233,16 @@ impl<'db, A: AggAnnotation + ParseAnnotation> Prepared<'db, A> {
     /// Executes the plan with `$1, $2, …` bound to `params` in order.
     pub fn execute_with(&self, params: &[Const]) -> Result<ResultSet<A>> {
         if params.len() != self.param_count {
-            return Err(RelError::Unsupported(format!(
-                "query expects exactly {} parameter{} (`$n`), got {}",
-                self.param_count,
-                if self.param_count == 1 { "" } else { "s" },
-                params.len()
-            )));
+            return Err(RelError::ParamArity {
+                expected: self.param_count,
+                got: params.len(),
+            });
         }
         Ok(ResultSet::from_relation(execute_plan(
-            self.db, &self.plan, params,
+            self.db,
+            &self.plan,
+            params,
+            self.param_count,
         )?))
     }
 }

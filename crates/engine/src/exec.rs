@@ -31,35 +31,40 @@ fn unsup(msg: impl Into<String>) -> RelError {
 /// the ones that lowered the plan against this database —
 /// [`Prepared`](crate::database::Prepared) and
 /// [`Database::exec`](crate::database::Database::exec).
-pub(crate) fn execute_plan<A>(db: &Database<A>, plan: &Plan, params: &[Const]) -> Result<MKRel<A>>
+pub(crate) fn execute_plan<A>(
+    db: &Database<A>,
+    plan: &Plan,
+    params: &[Const],
+    param_count: usize,
+) -> Result<MKRel<A>>
 where
     A: AggAnnotation + ParseAnnotation,
 {
     match plan {
         Plan::Scan { table, schema } => db.table(table)?.clone().with_schema(schema.clone()),
         Plan::Derived { input, schema } => {
-            execute_plan(db, input, params)?.with_schema(schema.clone())
+            execute_plan(db, input, params, param_count)?.with_schema(schema.clone())
         }
         Plan::Product { left, right, .. } => {
-            let l = execute_plan(db, left, params)?;
-            let r = execute_plan(db, right, params)?;
+            let l = execute_plan(db, left, params, param_count)?;
+            let r = execute_plan(db, right, params, param_count)?;
             ops::product(&l, &r)
         }
         Plan::Join {
             left, right, on, ..
         } => {
-            let l = execute_plan(db, left, params)?;
-            let r = execute_plan(db, right, params)?;
+            let l = execute_plan(db, left, params, param_count)?;
+            let r = execute_plan(db, right, params, param_count)?;
             let pairs: Vec<(&str, &str)> =
                 on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
             ops::join_on(&l, &r, &pairs)
         }
         Plan::Filter { input, pred } => {
-            let rel = execute_plan(db, input, params)?;
-            apply_predicate(&rel, pred, params)
+            let rel = execute_plan(db, input, params, param_count)?;
+            apply_predicate(&rel, pred, params, param_count)
         }
         Plan::AddUnitColumn { input, schema } => {
-            let rel = execute_plan(db, input, params)?;
+            let rel = execute_plan(db, input, params, param_count)?;
             let mut out = Relation::empty(schema.clone());
             for (t, k) in rel.iter() {
                 let mut row = t.values().to_vec();
@@ -75,7 +80,7 @@ where
             avg,
             ..
         } => {
-            let rel = execute_plan(db, input, params)?;
+            let rel = execute_plan(db, input, params, param_count)?;
             let specs: Vec<AggSpec<'_>> = aggs
                 .iter()
                 .map(|a| AggSpec {
@@ -93,7 +98,7 @@ where
             if avg.is_empty() {
                 Ok(grouped)
             } else {
-                compute_avg_columns(&grouped, avg)
+                compute_avg_columns(&grouped, avg, group_refs.is_empty())
             }
         }
         Plan::Project {
@@ -101,7 +106,7 @@ where
             columns,
             schema,
         } => {
-            let rel = execute_plan(db, input, params)?;
+            let rel = execute_plan(db, input, params, param_count)?;
             // Project the *distinct* input positions first — the §4.3
             // symbolic projection (annotation merging under equality
             // tokens) is defined over a set of attributes — then expand
@@ -122,7 +127,21 @@ where
                 .iter()
                 .map(|i| rel.schema().attrs()[*i].name())
                 .collect();
-            let projected = ops::project(&rel, &names)?;
+            // An identity projection (every input column, in order) over a
+            // symbol-free relation is a pure schema rename: no tuple
+            // rebuild, the Arc'd store stays shared with the input (and,
+            // through a bare scan, with the base table itself). With
+            // symbolic values the §4.3 projection is *not* the identity —
+            // a constant row and an aggregate row can carry a nonzero
+            // equality token, so cross contributions must still be summed.
+            let identity = distinct.len() == rel.schema().arity()
+                && distinct.iter().enumerate().all(|(i, d)| i == *d)
+                && !ops::has_symbolic(&rel);
+            let projected = if identity {
+                rel
+            } else {
+                ops::project(&rel, &names)?
+            };
             if distinct.len() == columns.len() {
                 return projected.with_schema(schema.clone());
             }
@@ -139,10 +158,10 @@ where
             right,
             schema,
         } => {
-            let l = execute_plan(db, left, params)?;
+            let l = execute_plan(db, left, params, param_count)?;
             // Align the right side by position, as in SQL: one
             // schema-level rename instead of a per-column rename loop.
-            let r = execute_plan(db, right, params)?.with_schema(schema.clone())?;
+            let r = execute_plan(db, right, params, param_count)?.with_schema(schema.clone())?;
             match op {
                 SetOp::Union => ops::union(&l, &r),
                 SetOp::Except => difference::difference(&l, &r),
@@ -157,18 +176,16 @@ enum Fetch {
     Const(Const),
 }
 
-fn bind_operand(op: &PlanOperand, params: &[Const]) -> Result<Fetch> {
+fn bind_operand(op: &PlanOperand, params: &[Const], param_count: usize) -> Result<Fetch> {
     Ok(match op {
         PlanOperand::Col(i) => Fetch::Col(*i),
         PlanOperand::Lit(c) => Fetch::Const(c.clone()),
         PlanOperand::Param(slot) => {
-            let c = params.get(*slot).ok_or_else(|| {
-                unsup(format!(
-                    "unknown parameter ${}: the query was given {} parameter{}",
-                    slot + 1,
-                    params.len(),
-                    if params.len() == 1 { "" } else { "s" }
-                ))
+            // Defensive re-check of what `Prepared::execute_with` verified
+            // up front; both paths raise the same `ParamArity` error.
+            let c = params.get(*slot).ok_or(RelError::ParamArity {
+                expected: param_count,
+                got: params.len(),
             })?;
             Fetch::Const(c.clone())
         }
@@ -179,10 +196,11 @@ fn apply_predicate<A: AggAnnotation>(
     rel: &MKRel<A>,
     pred: &Predicate,
     params: &[Const],
+    param_count: usize,
 ) -> Result<MKRel<A>> {
     use aggprov_core::km::CmpPred;
-    let left = bind_operand(&pred.left, params)?;
-    let right = bind_operand(&pred.right, params)?;
+    let left = bind_operand(&pred.left, params, param_count)?;
+    let right = bind_operand(&pred.right, params, param_count)?;
     ops::select_with_token(rel, move |_, t| {
         let fetch = |f: &Fetch| -> Value<A> {
             match f {
@@ -205,7 +223,17 @@ fn apply_predicate<A: AggAnnotation>(
 /// Appends `out = sum / cnt` columns; both parts must have resolved
 /// (symbolic AVG would require division in the monoid — compute SUM and
 /// COUNT separately to keep provenance, per paper footnote 6).
-fn compute_avg_columns<A: AggAnnotation>(rel: &MKRel<A>, pairs: &[AvgSpec]) -> Result<MKRel<A>> {
+///
+/// An *ungrouped* AVG over empty input sees the §3.2 identity row
+/// (`sum = 0, cnt = 0`); SQL answers NULL there, and since the engine has
+/// no NULLs, we drop the row and return an empty result instead of
+/// erroring. Grouped AVG never divides by zero — a group only exists with
+/// at least one member — so a zero count there stays an error.
+fn compute_avg_columns<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    pairs: &[AvgSpec],
+    ungrouped: bool,
+) -> Result<MKRel<A>> {
     let mut names: Vec<String> = rel
         .schema()
         .attrs()
@@ -226,15 +254,17 @@ fn compute_avg_columns<A: AggAnnotation>(rel: &MKRel<A>, pairs: &[AvgSpec]) -> R
         })
         .collect::<Result<_>>()?;
     let mut out = Relation::empty(schema);
-    for (t, k) in rel.iter() {
+    'rows: for (t, k) in rel.iter() {
         let mut row = t.values().to_vec();
         for (si, ci) in &indices {
             let sum = t.get(*si).as_const().and_then(Const::as_num);
             let cnt = t.get(*ci).as_const().and_then(Const::as_num);
             let avg = match (sum, cnt) {
-                (Some(s), Some(c)) => s
-                    .checked_div(&c)
-                    .ok_or_else(|| unsup("AVG over an empty group"))?,
+                (Some(s), Some(c)) => match s.checked_div(&c) {
+                    Some(avg) => avg,
+                    None if ungrouped => continue 'rows,
+                    None => return Err(unsup("AVG over an empty group")),
+                },
                 _ => {
                     return Err(unsup(
                         "AVG over symbolic provenance does not resolve; select SUM and \

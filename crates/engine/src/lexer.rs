@@ -187,9 +187,15 @@ pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
                 i = j;
             }
             '-' => {
-                // Negative literal.
-                let start = i;
+                // Negative literal: unary minus, optionally separated from
+                // its digits by whitespace (`WHERE x > - 1`). The `--`
+                // comment case was handled above, so a `-` followed by
+                // another `-` (even after spaces) is stray.
                 let mut j = i + 1;
+                while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                    j += 1;
+                }
+                let digits_start = j;
                 if !bytes.get(j).is_some_and(|b| (*b as char).is_ascii_digit()) {
                     return Err(err("stray `-`".into()));
                 }
@@ -203,8 +209,8 @@ pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
                     }
                     j += 1;
                 }
-                let text = &input[start..j];
-                let n = Num::parse(text).ok_or_else(|| err(format!("invalid number `{text}`")))?;
+                let text = format!("-{}", &input[digits_start..j]);
+                let n = Num::parse(&text).ok_or_else(|| err(format!("invalid number `{text}`")))?;
                 out.push(Token::Number(n));
                 i = j;
             }
@@ -279,5 +285,42 @@ mod tests {
         assert_eq!(lex("-- hi\nx").unwrap(), vec![Token::Ident("x".into())]);
         assert!(lex("'unterminated").is_err());
         assert!(lex("@").is_err());
+    }
+
+    #[test]
+    fn unary_minus_separated_from_digits() {
+        // `WHERE x > - 1` must lex: whitespace between the unary minus and
+        // its digits is allowed.
+        let toks = lex("x > - 1").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("x".into()),
+                Token::Gt,
+                Token::Number(Num::int(-1)),
+            ]
+        );
+        assert_eq!(
+            lex("-   3.5").unwrap(),
+            vec![Token::Number(Num::ratio(-7, 2))]
+        );
+        // A `-` with nothing numeric after it is still stray…
+        assert!(lex("x > -").is_err());
+        assert!(lex("x > - y").is_err());
+        // …and two separated minuses do not merge into a comment.
+        assert!(lex("- - 1").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_adjacent_to_comments() {
+        // `--` still starts a comment, even right after a negative literal.
+        assert_eq!(
+            lex("-1--note\n-2").unwrap(),
+            vec![Token::Number(Num::int(-1)), Token::Number(Num::int(-2))]
+        );
+        // A comment line followed by a spaced negative literal.
+        assert_eq!(lex("-- c\n- 7").unwrap(), vec![Token::Number(Num::int(-7))]);
+        // `--1` is a comment, not negative negative one.
+        assert_eq!(lex("--1\n5").unwrap(), vec![Token::Number(Num::int(5))]);
     }
 }

@@ -83,6 +83,10 @@ pub struct AvgSpec {
 #[derive(Clone, PartialEq, Debug)]
 pub enum Plan {
     /// A base-table scan, columns renamed wholesale to `alias.column`.
+    ///
+    /// Cost: `O(1)` — the relation tuple store is `Arc`-shared
+    /// (copy-on-write), so a scan is a cheap handle clone plus a
+    /// schema-level rename, never a deep copy of the table.
     Scan {
         /// The catalog table name.
         table: String,
@@ -106,6 +110,11 @@ pub enum Plan {
         schema: Schema,
     },
     /// `JOIN … ON` with resolved equality column pairs.
+    ///
+    /// Cost: executed as a hash build (right) / probe (left) equi-join on
+    /// the ground join keys — `O(|L| + |R|)` expected — plus a
+    /// token-weighted nested loop over tuples whose join key holds a
+    /// symbolic aggregate (`O(|ground|·|symbolic| + |symbolic|²)`).
     Join {
         /// Left input.
         left: Box<Plan>,
@@ -132,6 +141,10 @@ pub enum Plan {
     },
     /// Grouping/aggregation (`GROUP BY` + aggregate select items, or
     /// whole-relation aggregation when `group_by` is empty).
+    ///
+    /// Cost: hash-partitioned grouping on ground group keys (`O(n)`
+    /// expected, plus tensor accumulation); symbolic group keys form
+    /// token-weighted candidate groups against every hash bucket.
     Aggregate {
         /// Input plan.
         input: Box<Plan>,
@@ -156,6 +169,9 @@ pub enum Plan {
     },
     /// `UNION` / `EXCEPT`. The right side is aligned to the left schema by
     /// position with a single schema-level rename (SQL set-op semantics).
+    ///
+    /// Cost: ground tuples merge additively in `O(n log n)`; only tuples
+    /// carrying symbolic aggregates pay the §4.3 token cross terms.
     SetOp {
         /// The operation.
         op: SetOp,

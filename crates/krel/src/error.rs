@@ -27,6 +27,16 @@ pub enum RelError {
     },
     /// A value had the wrong type for an operation (e.g. `SUM` over text).
     TypeError(String),
+    /// A query was executed with the wrong number of `$n` parameters.
+    /// Raised both by the arity check before execution and by the
+    /// defensive binding check inside the plan interpreter, so prepare-time
+    /// and execute-time failures carry the same precise message.
+    ParamArity {
+        /// How many parameters the query expects.
+        expected: usize,
+        /// How many were supplied.
+        got: usize,
+    },
     /// The annotation semiring cannot express an operation (e.g. comparing
     /// symbolic aggregates without the `K^M` extension, paper §4.1).
     Unsupported(String),
@@ -47,6 +57,13 @@ impl fmt::Display for RelError {
                 )
             }
             RelError::TypeError(msg) => write!(f, "type error: {msg}"),
+            RelError::ParamArity { expected, got } => {
+                write!(
+                    f,
+                    "query expects exactly {expected} parameter{} (`$n`), got {got}",
+                    if *expected == 1 { "" } else { "s" }
+                )
+            }
             RelError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }

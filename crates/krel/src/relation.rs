@@ -12,7 +12,7 @@
 use crate::error::{RelError, Result};
 use crate::schema::Schema;
 use aggprov_algebra::semiring::CommutativeSemiring;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::Hash;
 use std::sync::Arc;
@@ -74,10 +74,16 @@ impl<V: fmt::Display> fmt::Display for Tuple<V> {
 
 /// A `K`-relation: a schema plus a finite-support map from tuples to
 /// non-zero annotations.
+///
+/// The tuple store sits behind an [`Arc`]: cloning a relation (a plan
+/// `Scan`, a rename, a set-op alignment) shares the base data, and the
+/// first mutation of a shared relation copies it out — copy-on-write. A
+/// prepared statement re-executed with different `$n` parameters therefore
+/// never duplicates its base tables.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Relation<K, V> {
     schema: Schema,
-    tuples: BTreeMap<Tuple<V>, K>,
+    tuples: Arc<BTreeMap<Tuple<V>, K>>,
 }
 
 impl<K, V> Relation<K, V>
@@ -89,7 +95,7 @@ where
     pub fn empty(schema: Schema) -> Self {
         Relation {
             schema,
-            tuples: BTreeMap::new(),
+            tuples: Arc::new(BTreeMap::new()),
         }
     }
 
@@ -128,7 +134,8 @@ where
         if k.is_zero() {
             return;
         }
-        match self.tuples.entry(t) {
+        // Copy-on-write: clones the store only if it is currently shared.
+        match Arc::make_mut(&mut self.tuples).entry(t) {
             std::collections::btree_map::Entry::Vacant(e) => {
                 e.insert(k);
             }
@@ -163,6 +170,12 @@ where
         self.tuples.iter()
     }
 
+    /// True iff the two relations share the same physical tuple store
+    /// (copy-on-write diagnostics; sharing implies equal support).
+    pub fn shares_tuples_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.tuples, &other.tuples)
+    }
+
     // ------------------------------------------------------------ algebra
 
     /// Union: `(R₁ ∪ R₂)(t) = R₁(t) + R₂(t)`.
@@ -175,7 +188,7 @@ where
             });
         }
         let mut out = self.clone();
-        for (t, k) in &other.tuples {
+        for (t, k) in other.tuples.iter() {
             out.add_tuple(t.clone(), k.clone());
         }
         Ok(out)
@@ -186,7 +199,7 @@ where
         let indices = self.schema.indices_of(attrs)?;
         let schema = self.schema.project(attrs)?;
         let mut out = Relation::empty(schema);
-        for (t, k) in &self.tuples {
+        for (t, k) in self.tuples.iter() {
             out.add_tuple(t.project(&indices), k.clone());
         }
         Ok(out)
@@ -196,7 +209,7 @@ where
     /// `P(t) ∈ {0_K, 1_K}`.
     pub fn select(&self, pred: impl Fn(&Schema, &Tuple<V>) -> bool) -> Self {
         let mut out = Relation::empty(self.schema.clone());
-        for (t, k) in &self.tuples {
+        for (t, k) in self.tuples.iter() {
             if pred(&self.schema, t) {
                 out.add_tuple(t.clone(), k.clone());
             }
@@ -222,9 +235,10 @@ where
             .collect();
         let schema = self.schema.join_with(&other.schema)?;
 
-        // Index the right side by its shared-key projection.
-        let mut index: BTreeMap<Tuple<V>, Vec<(&Tuple<V>, &K)>> = BTreeMap::new();
-        for (t, k) in &other.tuples {
+        // Hash-index the right side by its shared-key projection (build),
+        // then stream the left side through it (probe).
+        let mut index: HashMap<Tuple<V>, Vec<(&Tuple<V>, &K)>> = HashMap::new();
+        for (t, k) in other.tuples.iter() {
             index
                 .entry(t.project(&right_keys))
                 .or_default()
@@ -232,7 +246,7 @@ where
         }
 
         let mut out = Relation::empty(schema);
-        for (t, k) in &self.tuples {
+        for (t, k) in self.tuples.iter() {
             let key = t.project(&left_keys);
             if let Some(matches) = index.get(&key) {
                 for (t2, k2) in matches {
@@ -291,7 +305,7 @@ where
         h: &mut impl FnMut(&K) -> K2,
     ) -> Relation<K2, V> {
         let mut out = Relation::empty(self.schema.clone());
-        for (t, k) in &self.tuples {
+        for (t, k) in self.tuples.iter() {
             out.add_tuple(t.clone(), h(k));
         }
         out
@@ -304,7 +318,7 @@ where
         f: &mut impl FnMut(&V) -> V2,
     ) -> Relation<K, V2> {
         let mut out = Relation::empty(self.schema.clone());
-        for (t, k) in &self.tuples {
+        for (t, k) in self.tuples.iter() {
             out.add_tuple(
                 Tuple::new(t.values().iter().map(&mut *f).collect::<Vec<_>>()),
                 k.clone(),
@@ -327,7 +341,7 @@ where
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "[{}]", self.schema)?;
-        for (t, k) in &self.tuples {
+        for (t, k) in self.tuples.iter() {
             writeln!(f, "  {t}  @ {k}")?;
         }
         Ok(())
@@ -496,6 +510,27 @@ mod tests {
     fn insert_arity_checked() {
         let mut r: Relation<Nat, Const> = Relation::empty(s(&["a", "b"]));
         assert!(r.insert([Const::int(1)], Nat(1)).is_err());
+    }
+
+    #[test]
+    fn clone_shares_storage_until_mutation() {
+        let mut r = figure_1a();
+        let snapshot = r.clone();
+        assert!(snapshot.shares_tuples_with(&r), "clone is an Arc share");
+        // Schema-level operations keep sharing (rename touches no tuples).
+        let renamed = r.rename("sal", "salary").unwrap();
+        assert!(renamed.shares_tuples_with(&r));
+        let rel = r.clone().with_schema(s(&["a", "b", "c"])).unwrap();
+        assert!(rel.shares_tuples_with(&r));
+        // The first mutation copies the store out; the snapshot is intact.
+        r.insert(
+            [Const::int(6), Const::str("d3"), Const::int(5)],
+            NatPoly::token("q1"),
+        )
+        .unwrap();
+        assert!(!snapshot.shares_tuples_with(&r));
+        assert_eq!(snapshot.len(), 5);
+        assert_eq!(r.len(), 6);
     }
 
     #[test]

@@ -300,6 +300,118 @@ fn unknown_parameters_are_rejected() {
 }
 
 #[test]
+fn param_arity_errors_are_a_dedicated_variant_on_both_paths() {
+    use aggprov_krel::error::RelError;
+    let db = figure_1_db();
+    let stmt = db.prepare("SELECT emp FROM r WHERE sal = $1").unwrap();
+
+    // The up-front arity check raises the dedicated variant…
+    let err = stmt.execute_with(&[]).unwrap_err();
+    assert_eq!(
+        err,
+        RelError::ParamArity {
+            expected: 1,
+            got: 0
+        }
+    );
+    // …with the precise human-readable rendering.
+    assert_eq!(
+        err.to_string(),
+        "query expects exactly 1 parameter (`$n`), got 0"
+    );
+    let err = stmt
+        .execute_with(&[Const::int(1), Const::int(2)])
+        .unwrap_err();
+    assert_eq!(
+        err,
+        RelError::ParamArity {
+            expected: 1,
+            got: 2
+        }
+    );
+    assert!(!matches!(err, RelError::Unsupported(_)));
+}
+
+#[test]
+fn ungrouped_avg_over_empty_input_returns_no_rows() {
+    let mut db = ProvDb::new();
+    db.exec("CREATE TABLE t (x NUM);").unwrap();
+
+    // SQL answers NULL for AVG over an empty table; with no NULLs in the
+    // engine, the identity row is dropped and the result is empty (it
+    // used to error with `Unsupported("AVG over an empty group")`).
+    let out = db
+        .prepare("SELECT AVG(x) FROM t")
+        .unwrap()
+        .execute()
+        .unwrap();
+    assert_eq!(out.len(), 0);
+
+    // Grouped AVG over an empty table has no groups, hence no rows either.
+    db.exec("CREATE TABLE u (g TEXT, x NUM);").unwrap();
+    let out = db
+        .prepare("SELECT g, AVG(x) FROM u GROUP BY g")
+        .unwrap()
+        .execute()
+        .unwrap();
+    assert_eq!(out.len(), 0);
+
+    // Non-empty input still averages; SUM/COUNT still return their
+    // identities on empty input (0 and 0) — only AVG's row is dropped.
+    db.exec("INSERT INTO t VALUES (10); INSERT INTO t VALUES (20);")
+        .unwrap();
+    let avg = db.query("SELECT AVG(x) AS a FROM t").unwrap();
+    let row = avg.iter().next().unwrap().0;
+    assert_eq!(row.get(0).to_string(), "15");
+    let empty_sum = db
+        .query("SELECT SUM(x) AS s, COUNT(*) AS n FROM u")
+        .unwrap();
+    assert_eq!(empty_sum.len(), 1, "SUM/COUNT keep the §3.2 identity row");
+}
+
+#[test]
+fn identity_projection_over_symbolic_rows_keeps_cross_tokens() {
+    // `SELECT x FROM (…) q` selects every column in order — but over rows
+    // that mix constants and symbolic aggregates it must still apply the
+    // §4.3 projection (a constant row and an aggregate row carry a
+    // nonzero equality token); only symbol-free inputs may take the
+    // schema-rename shortcut.
+    let mut db = ProvDb::new();
+    db.exec(
+        "CREATE TABLE t (x NUM);
+         INSERT INTO t VALUES (20) PROVENANCE p1;
+         CREATE TABLE u (y NUM);
+         INSERT INTO u VALUES (10) PROVENANCE q1;
+         INSERT INTO u VALUES (10) PROVENANCE q2;",
+    )
+    .unwrap();
+    let inner_sql = "SELECT x FROM t UNION SELECT SUM(y) AS x FROM u";
+    let inner = db.query(inner_sql).unwrap();
+    let expected = aggprov::core::ops::project(&inner, &["x"]).unwrap();
+    let outer = db.query(&format!("SELECT x FROM ({inner_sql}) q")).unwrap();
+    assert_eq!(outer, expected);
+    // The constant row's annotation must include the cross contribution
+    // of the symbolic SUM row, guarded by an equality token.
+    let (_, k) = outer
+        .iter()
+        .find(|(t, _)| !t.get(0).is_agg())
+        .expect("constant row");
+    assert!(k.to_string().contains("=SUM="), "cross token kept: {k}");
+}
+
+#[test]
+fn scans_share_base_table_storage_across_executions() {
+    let db = figure_1_db();
+    let stmt = db.prepare("SELECT emp, dept, sal FROM r").unwrap();
+    let a = stmt.execute().unwrap().into_relation();
+    let b = stmt.execute().unwrap().into_relation();
+    // `Plan::Scan` no longer deep-copies the base table: re-executions
+    // share one Arc'd tuple store (schema-level renames only).
+    assert!(a.shares_tuples_with(&b));
+    assert!(a.shares_tuples_with(db.table("r").unwrap()));
+}
+
+#[test]
 fn duplicated_select_items_project_positionally() {
     let db = figure_1_db();
     // The same column under two aliases is legal SQL; the symbolic

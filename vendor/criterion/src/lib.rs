@@ -22,6 +22,17 @@ pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
 }
 
+/// The effective sample count: `AGGPROV_BENCH_SAMPLES`, when set, caps the
+/// configured sample size — CI runs the benches in quick mode with
+/// `AGGPROV_BENCH_SAMPLES=2` (the stand-in for criterion's `--quick`).
+pub fn quick_mode_samples(configured: usize) -> usize {
+    std::env::var("AGGPROV_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .map_or(configured, |n| n.min(configured))
+        .max(1)
+}
+
 /// The top-level benchmark driver.
 #[derive(Default)]
 pub struct Criterion {}
@@ -77,9 +88,10 @@ impl BenchmarkGroup<'_> {
     }
 
     fn run(&mut self, label: String, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample_size = quick_mode_samples(self.sample_size);
         let mut bencher = Bencher {
-            samples: Vec::with_capacity(self.sample_size),
-            sample_size: self.sample_size,
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
         };
         f(&mut bencher);
         let total: Duration = bencher.samples.iter().sum();
