@@ -325,7 +325,7 @@ impl NatPoly {
 
 impl<A, C> CommutativeSemiring for Poly<A, C>
 where
-    A: Ord + Clone + Hash + fmt::Debug + fmt::Display,
+    A: Ord + Clone + Hash + fmt::Debug + fmt::Display + Send + Sync,
     C: CommutativeSemiring,
 {
     fn zero() -> Self {

@@ -3,11 +3,14 @@
 //! trajectory's first tracked point.
 //!
 //! Besides printing criterion-style timings, this bench emits
-//! `BENCH_pr2.json` at the repository root (override with
-//! `BENCH_PR2_OUT=/path.json`): per operator, the mean wall-clock time of
-//! the naive and hash paths and the resulting speedup. CI runs it in quick
-//! mode (`AGGPROV_BENCH_SAMPLES=2`) and the checked-in JSON is the first
-//! point of the perf trajectory.
+//! `BENCH_pr2.json`: per operator, the mean wall-clock time of the naive
+//! and hash paths and the resulting speedup. By default the file goes to
+//! `target/bench/` so a plain `cargo bench` never dirties the working
+//! tree; set `AGGPROV_BENCH_COMMIT=1` to overwrite the checked-in
+//! repo-root copy when committing a new trajectory point (or point
+//! `BENCH_PR2_OUT` at an explicit path). CI runs this in quick mode
+//! (`AGGPROV_BENCH_SAMPLES=2`) and the `check_trajectory` gate compares
+//! the fresh ratios against the checked-in point.
 //!
 //! Workloads are fully ground (the common case the ground/symbolic split
 //! optimizes for): a 10k-row employee table joined with / grouped over a
@@ -16,71 +19,13 @@
 //! there would dominate the run without adding information).
 
 use aggprov_algebra::monoid::MonoidKind;
-use aggprov_algebra::poly::NatPoly;
-use aggprov_core::km::Km;
-use aggprov_core::ops::{self, AggSpec, MKRel};
-use aggprov_core::{specops, Prov, Value};
-use aggprov_krel::relation::Relation;
-use aggprov_krel::schema::Schema;
+use aggprov_bench::fixtures::{dept_table, emp_table, union_pair, EMP_ROWS, SMALL_ROWS};
+use aggprov_bench::parbench::time;
+use aggprov_bench::trajectory::out_path;
+use aggprov_core::ops::{self, AggSpec};
+use aggprov_core::specops;
 use criterion::quick_mode_samples;
-use std::time::{Duration, Instant};
-
-const EMP_ROWS: usize = 10_000;
-const DEPTS: i64 = 500;
-const SMALL_ROWS: usize = 2_000;
-
-fn tok(name: &str) -> Prov {
-    Km::embed(NatPoly::token(name))
-}
-
-fn schema(names: &[&str]) -> Schema {
-    Schema::new(names.iter().copied()).expect("schema")
-}
-
-/// `emp(emp, dept, sal)`: `n` ground rows with distinct tokens, `DEPTS`
-/// distinct departments (deterministic LCG so runs are comparable).
-fn emp_table(n: usize) -> MKRel<Prov> {
-    let mut rel = Relation::empty(schema(&["emp", "dept", "sal"]));
-    let mut state: u64 = 0x9E37_79B9;
-    for i in 0..n {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        let dept = (state >> 33) as i64 % DEPTS;
-        let sal = 10 + (state >> 17) as i64 % 190;
-        rel.insert(
-            vec![Value::int(i as i64), Value::int(dept), Value::int(sal)],
-            tok(&format!("p{i}")),
-        )
-        .expect("insert");
-    }
-    rel
-}
-
-/// `dim(dept2, region)`: one row per department key.
-fn dept_table() -> MKRel<Prov> {
-    let mut rel = Relation::empty(schema(&["dept2", "region"]));
-    for d in 0..DEPTS {
-        rel.insert(
-            vec![Value::int(d), Value::int(d % 7)],
-            tok(&format!("d{d}")),
-        )
-        .expect("insert");
-    }
-    rel
-}
-
-/// Times `f` (one warm-up, then `samples` runs) and returns the mean.
-fn time(samples: usize, mut f: impl FnMut()) -> Duration {
-    f();
-    let mut total = Duration::ZERO;
-    for _ in 0..samples {
-        let start = Instant::now();
-        f();
-        total += start.elapsed();
-    }
-    total / samples as u32
-}
+use std::time::Duration;
 
 struct Measurement {
     op: &'static str,
@@ -96,19 +41,13 @@ impl Measurement {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
     let samples = quick_mode_samples(5);
     let emp = emp_table(EMP_ROWS);
     let dim = dept_table();
-    let small_a = emp_table(SMALL_ROWS);
-    let small_b = {
-        // A disjoint token space and shifted values for the union's right side.
-        let mut rel = Relation::empty(schema(&["emp", "dept", "sal"]));
-        for (i, (t, _)) in emp_table(SMALL_ROWS).iter().enumerate() {
-            rel.insert(t.values().to_vec(), tok(&format!("q{i}")))
-                .expect("insert");
-        }
-        rel
-    };
+    let (small_a, small_b) = union_pair(SMALL_ROWS);
     let gb_specs = [AggSpec::new(MonoidKind::Sum, "sal")];
 
     println!("== hash_vs_naive ({samples} samples, emp = {EMP_ROWS} rows) ==");
@@ -178,10 +117,12 @@ fn main() {
     );
 
     let json = render_json(&results, samples);
-    let out = std::env::var("BENCH_PR2_OUT")
-        .unwrap_or_else(|_| format!("{}/../../BENCH_pr2.json", env!("CARGO_MANIFEST_DIR")));
+    let out = match std::env::var("BENCH_PR2_OUT") {
+        Ok(explicit) => std::path::PathBuf::from(explicit),
+        Err(_) => out_path("BENCH_pr2.json"),
+    };
     std::fs::write(&out, json).expect("write BENCH_pr2.json");
-    println!("wrote {out}");
+    println!("wrote {}", out.display());
 }
 
 fn render_json(results: &[Measurement], samples: usize) -> String {

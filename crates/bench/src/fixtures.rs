@@ -1,0 +1,77 @@
+//! Shared relational workloads for the physical-operator benchmarks
+//! (`hash_vs_naive`, `partition_parallel`) and the `check_trajectory`
+//! gate: fully ground tables with distinct provenance tokens, generated
+//! with a deterministic LCG so runs are comparable across machines and
+//! PRs.
+
+use aggprov_algebra::poly::NatPoly;
+use aggprov_core::km::Km;
+use aggprov_core::ops::MKRel;
+use aggprov_core::{Prov, Value};
+use aggprov_krel::relation::Relation;
+use aggprov_krel::schema::Schema;
+
+/// The employee-table row count the perf trajectory tracks.
+pub const EMP_ROWS: usize = 10_000;
+/// The department-dimension key count.
+pub const DEPTS: i64 = 500;
+/// The union/project input size (the reference paths are quadratic in the
+/// output key count, so these stay smaller).
+pub const SMALL_ROWS: usize = 2_000;
+
+/// A provenance token.
+pub fn tok(name: &str) -> Prov {
+    Km::embed(NatPoly::token(name))
+}
+
+/// A schema from names.
+pub fn schema(names: &[&str]) -> Schema {
+    Schema::new(names.iter().copied()).expect("schema")
+}
+
+/// `emp(emp, dept, sal)`: `n` ground rows with distinct tokens, [`DEPTS`]
+/// distinct departments (deterministic LCG so runs are comparable).
+pub fn emp_table(n: usize) -> MKRel<Prov> {
+    let mut rel = Relation::empty(schema(&["emp", "dept", "sal"]));
+    let mut state: u64 = 0x9E37_79B9;
+    for i in 0..n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let dept = (state >> 33) as i64 % DEPTS;
+        let sal = 10 + (state >> 17) as i64 % 190;
+        rel.insert(
+            vec![Value::int(i as i64), Value::int(dept), Value::int(sal)],
+            tok(&format!("p{i}")),
+        )
+        .expect("insert");
+    }
+    rel
+}
+
+/// `dim(dept2, region)`: one row per department key.
+pub fn dept_table() -> MKRel<Prov> {
+    let mut rel = Relation::empty(schema(&["dept2", "region"]));
+    for d in 0..DEPTS {
+        rel.insert(
+            vec![Value::int(d), Value::int(d % 7)],
+            tok(&format!("d{d}")),
+        )
+        .expect("insert");
+    }
+    rel
+}
+
+/// The union workload: the same `n` tuples on both sides but with a
+/// disjoint token space on the right, so every key collides and the merge
+/// pays a polynomial `plus` per tuple.
+pub fn union_pair(n: usize) -> (MKRel<Prov>, MKRel<Prov>) {
+    let left = emp_table(n);
+    let mut right = Relation::empty(schema(&["emp", "dept", "sal"]));
+    for (i, (t, _)) in left.iter().enumerate() {
+        right
+            .insert(t.values().to_vec(), tok(&format!("q{i}")))
+            .expect("insert");
+    }
+    (left, right)
+}

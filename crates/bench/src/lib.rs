@@ -1,4 +1,10 @@
-//! Shared fixtures for the benchmark harness.
+//! Shared fixtures for the benchmark harness, the partition-parallel
+//! measurement ([`parbench`]) and the perf-trajectory tooling behind the
+//! enforcing `check_trajectory` CI gate ([`trajectory`]).
+
+pub mod fixtures;
+pub mod parbench;
+pub mod trajectory;
 
 use aggprov_algebra::num::Num;
 use aggprov_algebra::poly::Var;

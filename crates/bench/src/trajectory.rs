@@ -1,0 +1,297 @@
+//! The perf trajectory: reading/locating the checked-in `BENCH_pr<N>.json`
+//! points, routing fresh bench output away from the working tree, and the
+//! ratio comparison behind the enforcing `check_trajectory` CI gate.
+//!
+//! Every trajectory file records, per operator, a `speedup` ratio (hash vs
+//! naive for PR 2, `threads = N` vs `threads = 1` for PR 3). Algorithmic
+//! ratios (hash vs naive) are scale-free and comparable across machines;
+//! *thread-scaling* ratios are not — a point recorded on an 8-core box
+//! cannot be reproduced by a 2-core runner — so points that record a
+//! `threads` count have their expectations clamped to the judging host's
+//! parallelism first ([`clamp_to_host`]). The gate fails when a fresh
+//! quick-mode measurement shows any (clamped) recorded ratio regressed by
+//! more than [`MAX_REGRESSION`]×.
+//!
+//! The JSON subset used by the trajectory files is fixed and written by
+//! this workspace, so the parser here is a small hand-rolled scanner — no
+//! serde in the offline build environment.
+
+use std::path::{Path, PathBuf};
+
+/// The regression multiplier the gate tolerates: a fresh ratio may be up
+/// to this many times *smaller* than the recorded one before the job
+/// fails (quick-mode sampling is noisy; an order-of-magnitude loss is
+/// not).
+pub const MAX_REGRESSION: f64 = 2.0;
+
+/// Opt-in for writing bench output over the checked-in trajectory files.
+pub const COMMIT_ENV: &str = "AGGPROV_BENCH_COMMIT";
+
+/// One recorded operator ratio.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Point {
+    /// Operator name.
+    pub op: String,
+    /// The recorded speedup ratio.
+    pub speedup: f64,
+}
+
+/// A parsed trajectory file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchFile {
+    /// The PR number of the point (`"pr"`).
+    pub pr: u32,
+    /// The thread count of a parallel point (`"threads"`), if recorded.
+    pub threads: Option<usize>,
+    /// The host parallelism at measuring time (`"host_cpus"`), if
+    /// recorded.
+    pub host_cpus: Option<usize>,
+    /// The per-operator ratios.
+    pub points: Vec<Point>,
+}
+
+/// Extracts the number following `"key":` at top level or anywhere after
+/// `from`, returning the value and the position after it.
+fn scan_number(s: &str, key: &str, from: usize) -> Option<(f64, usize)> {
+    let needle = format!("\"{key}\":");
+    let at = s[from..].find(&needle)? + from + needle.len();
+    let rest = s[at..].trim_start();
+    let offset = at + (s[at..].len() - rest.len());
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse::<f64>().ok().map(|v| (v, offset + end))
+}
+
+/// Extracts the string following `"key":` after `from`.
+fn scan_string(s: &str, key: &str, from: usize) -> Option<(String, usize)> {
+    let needle = format!("\"{key}\":");
+    let at = s[from..].find(&needle)? + from + needle.len();
+    let open = s[at..].find('"')? + at + 1;
+    let close = s[open..].find('"')? + open;
+    Some((s[open..close].to_string(), close + 1))
+}
+
+/// Parses a trajectory file. Unknown fields are ignored; `op`/`speedup`
+/// pairs are read in document order.
+pub fn parse(json: &str) -> Option<BenchFile> {
+    let pr = scan_number(json, "pr", 0)?.0 as u32;
+    let threads = scan_number(json, "threads", 0).map(|(v, _)| v as usize);
+    let host_cpus = scan_number(json, "host_cpus", 0).map(|(v, _)| v as usize);
+    let mut points = Vec::new();
+    let mut pos = 0;
+    while let Some((op, after_op)) = scan_string(json, "op", pos) {
+        let (speedup, after) = scan_number(json, "speedup", after_op)?;
+        points.push(Point { op, speedup });
+        pos = after;
+    }
+    Some(BenchFile {
+        pr,
+        threads,
+        host_cpus,
+        points,
+    })
+}
+
+/// The repository root (two levels above the bench crate).
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+/// Where a bench should write `file_name`: the checked-in repo root only
+/// when `AGGPROV_BENCH_COMMIT=1` (committing a new trajectory point),
+/// otherwise `target/bench/` — a plain `cargo bench` must not dirty the
+/// working tree.
+pub fn out_path(file_name: &str) -> PathBuf {
+    let root = repo_root();
+    if std::env::var(COMMIT_ENV).as_deref() == Ok("1") {
+        return root.join(file_name);
+    }
+    let dir = root.join("target").join("bench");
+    std::fs::create_dir_all(&dir).expect("create target/bench");
+    dir.join(file_name)
+}
+
+/// The fresh (non-committed) location of `file_name`.
+pub fn fresh_path(file_name: &str) -> PathBuf {
+    repo_root().join("target").join("bench").join(file_name)
+}
+
+/// All checked-in `BENCH_pr<N>.json` files at the repo root, sorted by PR
+/// number.
+pub fn checked_in_points() -> Vec<(u32, PathBuf)> {
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(repo_root()) else {
+        return found;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        if let Some(n) = name
+            .strip_prefix("BENCH_pr")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|digits| digits.parse::<u32>().ok())
+        {
+            found.push((n, entry.path()));
+        }
+    }
+    found.sort_by_key(|(n, _)| *n);
+    found
+}
+
+/// Clamps a *thread-scaling* point's expectations to what `host_cpus`
+/// CPUs can physically deliver: a ratio recorded as 3.1× on an 8-core
+/// machine is judged as "≥ `host_cpus`×" on a smaller host (ideal linear
+/// scaling is the hard ceiling), so an honestly recorded multi-core point
+/// does not permanently fail CI on a smaller runner — and a single-core
+/// recording (ratio ≈ 1) still guards against catastrophic parallel
+/// slowdowns everywhere. Points without a `threads` field (algorithmic
+/// ratios, e.g. hash vs naive) are left untouched.
+pub fn clamp_to_host(checked: &mut BenchFile, host_cpus: usize) -> bool {
+    if checked.threads.is_none() {
+        return false;
+    }
+    let ceiling = host_cpus.max(1) as f64;
+    let mut clamped = false;
+    for p in &mut checked.points {
+        if p.speedup > ceiling {
+            p.speedup = ceiling;
+            clamped = true;
+        }
+    }
+    clamped
+}
+
+/// Compares a fresh measurement against a recorded point: one failure
+/// line per operator whose ratio regressed more than `max_regression`×,
+/// or which the fresh run did not measure at all.
+pub fn compare(checked: &BenchFile, fresh: &BenchFile, max_regression: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for point in &checked.points {
+        match fresh.points.iter().find(|p| p.op == point.op) {
+            None => failures.push(format!(
+                "BENCH_pr{}: op `{}` missing from the fresh run",
+                checked.pr, point.op
+            )),
+            Some(f) if f.speedup * max_regression < point.speedup => failures.push(format!(
+                "BENCH_pr{}: op `{}` regressed: recorded speedup {:.2}x, fresh {:.2}x \
+                 (> {:.1}x regression)",
+                checked.pr, point.op, point.speedup, f.speedup, max_regression
+            )),
+            Some(_) => {}
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "bench": "partition_parallel",
+  "pr": 3,
+  "samples": 5,
+  "threads": 4,
+  "host_cpus": 8,
+  "results": [
+    {"op": "join_on", "rows": 10000, "t1_ns": 100, "tn_ns": 40, "speedup": 2.50},
+    {"op": "group_by", "rows": 10000, "t1_ns": 90, "tn_ns": 30, "speedup": 3.00}
+  ]
+}"#;
+
+    #[test]
+    fn parses_points_and_metadata() {
+        let f = parse(SAMPLE).unwrap();
+        assert_eq!(f.pr, 3);
+        assert_eq!(f.threads, Some(4));
+        assert_eq!(f.host_cpus, Some(8));
+        assert_eq!(f.points.len(), 2);
+        assert_eq!(f.points[0].op, "join_on");
+        assert!((f.points[0].speedup - 2.5).abs() < 1e-9);
+        assert!((f.points[1].speedup - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_the_pr2_format_without_threads() {
+        let pr2 = r#"{"bench": "hash_vs_naive", "pr": 2, "samples": 5,
+            "results": [{"op": "union", "rows": 2000, "naive_ns": 9, "hash_ns": 3, "speedup": 350.5}]}"#;
+        let f = parse(pr2).unwrap();
+        assert_eq!(f.pr, 2);
+        assert_eq!(f.threads, None);
+        assert_eq!(f.points.len(), 1);
+        assert!((f.points[0].speedup - 350.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_missing_ops() {
+        let checked = parse(SAMPLE).unwrap();
+        let mut fresh = checked.clone();
+        assert!(compare(&checked, &fresh, MAX_REGRESSION).is_empty());
+        // Half the recorded ratio is exactly at the 2x boundary: allowed.
+        fresh.points[0].speedup = 1.25;
+        assert!(compare(&checked, &fresh, 2.0).is_empty());
+        // Below the boundary: flagged, naming the op and both ratios.
+        fresh.points[0].speedup = 1.24;
+        let failures = compare(&checked, &fresh, 2.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("join_on"), "{}", failures[0]);
+        assert!(failures[0].contains("2.50"), "{}", failures[0]);
+        // A missing op is a failure too — renaming an operator must not
+        // silently drop it from the gate.
+        fresh.points.remove(0);
+        let failures = compare(&checked, &fresh, 2.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("missing"), "{}", failures[0]);
+    }
+
+    #[test]
+    fn clamping_bounds_thread_points_by_host_parallelism() {
+        // An 8-core recording (2.5x / 3.0x) judged on a 2-core host: both
+        // expectations clamp to 2.0, so an honest fresh ~1.4x passes the
+        // 2x gate instead of failing CI forever.
+        let mut checked = parse(SAMPLE).unwrap();
+        assert!(clamp_to_host(&mut checked, 2));
+        assert!(checked.points.iter().all(|p| p.speedup <= 2.0));
+        let mut fresh = parse(SAMPLE).unwrap();
+        for p in &mut fresh.points {
+            p.speedup = 1.4;
+        }
+        assert!(compare(&checked, &fresh, MAX_REGRESSION).is_empty());
+        // A catastrophic parallel slowdown still fails on any host.
+        for p in &mut fresh.points {
+            p.speedup = 0.3;
+        }
+        let mut single = parse(SAMPLE).unwrap();
+        clamp_to_host(&mut single, 1);
+        assert_eq!(compare(&single, &fresh, MAX_REGRESSION).len(), 2);
+        // Algorithmic points (no `threads` field) are never clamped.
+        let pr2 = r#"{"pr": 2, "results": [{"op": "union", "speedup": 350.5}]}"#;
+        let mut pr2 = parse(pr2).unwrap();
+        assert!(!clamp_to_host(&mut pr2, 1));
+        assert!((pr2.points[0].speedup - 350.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        use crate::parbench::{render_json, ParPoint};
+        use std::time::Duration;
+        let points = vec![ParPoint {
+            op: "join_on",
+            rows: 10_000,
+            t1: Duration::from_nanos(1000),
+            tn: Duration::from_nanos(400),
+        }];
+        let json = render_json(&points, 5, 4, 8);
+        let parsed = parse(&json).unwrap();
+        assert_eq!(parsed.pr, crate::parbench::PR);
+        assert_eq!(parsed.threads, Some(4));
+        assert_eq!(parsed.host_cpus, Some(8));
+        assert_eq!(parsed.points.len(), 1);
+        assert!((parsed.points[0].speedup - 2.5).abs() < 1e-9);
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`ops`] — the *physical* relational operators of §3.2/§3.3/§4.3:
 //!   hash build/probe joins, hash-partitioned grouping, and ground/symbolic
 //!   partitioning so token construction stays off the ground hot path;
+//! * [`par`] — partition-parallel execution: [`par::ExecOptions`]
+//!   (`AGGPROV_THREADS`), shard planning and the scoped thread fan-out the
+//!   `ops::*_opts` operator variants run on;
 //! * [`specops`] — the literal §4.3 specification operators, retained as
 //!   the reference path the physical layer is property-tested against;
 //! * [`eval`] — `h_Rel`, token valuations, collapse and plain read-off;
@@ -31,6 +34,7 @@ pub mod eval;
 pub mod km;
 pub mod naive;
 pub mod ops;
+pub mod par;
 pub mod specops;
 pub mod value;
 
@@ -41,4 +45,5 @@ pub type Prov = km::Km<aggprov_algebra::poly::NatPoly>;
 pub use annotation::AggAnnotation;
 pub use km::{Atom, Km};
 pub use ops::{AggSpec, MKRel};
+pub use par::ExecOptions;
 pub use value::Value;

@@ -31,6 +31,16 @@
 //! retained in [`crate::specops`] as the reference path (property-tested
 //! equivalence; see `tests/hash_vs_spec_proptests.rs`).
 //!
+//! ## Partition-parallel execution
+//!
+//! The same key hashing that drives the ground/symbolic split is the seam
+//! for multi-threaded execution: the `*_opts` variants of [`join_on`],
+//! [`group_by`], [`union`] and [`project`] shard the ground partition by
+//! operator key across scoped worker threads (see [`crate::par`]) and fold
+//! the per-shard results in deterministic shard order, while the symbolic
+//! fringe stays on the sequential token path. Results are bit-identical at
+//! every thread count (see `tests/par_determinism_proptests.rs`).
+//!
 //! ## Output construction and duplicate groups
 //!
 //! The §4.3 rules define each output tuple's annotation as a sum over *all*
@@ -42,17 +52,23 @@
 //! output maps are built with [`insert_distinct`].
 
 use crate::annotation::AggAnnotation;
+use crate::par::{fan_out, plan_shards, split_by, ExecOptions};
 use crate::value::Value;
 use aggprov_algebra::domain::Const;
 use aggprov_algebra::monoid::MonoidKind;
 use aggprov_algebra::tensor::Tensor;
 use aggprov_krel::error::{RelError, Result};
-use aggprov_krel::relation::{Relation, Tuple};
+use aggprov_krel::relation::{shard_index, Relation, Tuple};
 use aggprov_krel::schema::Schema;
 use std::collections::{BTreeMap, HashMap};
 
 /// An `(M, K)`-relation: tuples of [`Value`]s annotated with `A`.
 pub type MKRel<A> = Relation<A, Value<A>>;
+
+/// One shard of key-projected entries: (projected key, borrowed
+/// annotation). The key is owned (projection allocates once, up front);
+/// cloning it later is an `Arc` bump.
+type KeyedShard<'a, A> = Vec<(Tuple<Value<A>>, &'a A)>;
 
 /// One aggregation request: `kind(attr) AS out`.
 #[derive(Clone, Copy, Debug)]
@@ -110,11 +126,8 @@ pub(crate) fn from_map<A: AggAnnotation>(
     schema: Schema,
     map: BTreeMap<Tuple<Value<A>>, A>,
 ) -> MKRel<A> {
-    let mut out = Relation::empty(schema);
-    for (t, k) in map {
-        out.insert(t.values().to_vec(), k).expect("arity preserved");
-    }
-    out
+    // Keys are distinct by construction, so the map *is* the tuple store.
+    Relation::from_tuple_map(schema, map).expect("arity preserved")
 }
 
 /// The extended annotation lookup, i.e. the §4.3 reading of `R(t)` on
@@ -196,13 +209,28 @@ pub(crate) fn tuple_eq_token<A: AggAnnotation>(
 // ---------------------------------------------------------------------------
 
 /// Union. With symbolic values, every output tuple sums contributions from
-/// *all* input tuples weighted by equality tokens.
+/// *all* input tuples weighted by equality tokens. Single-threaded; see
+/// [`union_opts`] for the partition-parallel form.
+pub fn union<A: AggAnnotation>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> {
+    union_opts(r1, r2, &ExecOptions::serial())
+}
+
+/// [`union`] with explicit [`ExecOptions`].
 ///
 /// Physical plan: fully ground tuples take an `O(n log n)` additive merge
 /// (between constants the §4.3 tokens are structural `0`/`1`); the
 /// quadratic token construction runs only over the symbolic fraction and
-/// its cross terms against the merged ground partition.
-pub fn union<A: AggAnnotation>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> {
+/// its cross terms against the merged ground partition. With more than one
+/// thread, the ground partition is sharded by tuple hash across scoped
+/// worker threads — the per-shard merges (and the ground side of the cross
+/// terms) run concurrently, per-shard outputs fold in shard order, and the
+/// symbolic output keys stay on the sequential token path. The result is
+/// identical at every thread count.
+pub fn union_opts<A: AggAnnotation>(
+    r1: &MKRel<A>,
+    r2: &MKRel<A>,
+    opts: &ExecOptions,
+) -> Result<MKRel<A>> {
     if r1.schema() != r2.schema() {
         return Err(RelError::SchemaMismatch {
             left: r1.schema().to_string(),
@@ -211,56 +239,106 @@ pub fn union<A: AggAnnotation>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>>
         });
     }
     if !has_symbolic(r1) && !has_symbolic(r2) {
-        return r1.union(r2);
+        let nshards = plan_shards(opts, r1.len() + r2.len());
+        if nshards == 1 {
+            return r1.union(r2);
+        }
+        // Sharded additive merge over both supports' shard views: a tuple
+        // lands in the same shard on either side (the split keys on the
+        // whole tuple), so pairing the views and keeping `r1`'s entries
+        // first reproduces the serial per-key accumulation order exactly.
+        // The key closure clones the tuple — an `Arc` bump, not a deep copy.
+        let shards1 = r1.shard_views(nshards, Tuple::clone);
+        let shards2 = r2.shard_views(nshards, Tuple::clone);
+        let pairs: Vec<_> = shards1.into_iter().zip(shards2).collect();
+        let maps = fan_out(pairs, |(s1, s2)| {
+            let mut m: BTreeMap<&Tuple<Value<A>>, A> = BTreeMap::new();
+            for (t, k) in s1.iter().chain(s2.iter()) {
+                m.entry(t)
+                    .and_modify(|a| *a = a.plus(k))
+                    .or_insert_with(|| k.clone());
+            }
+            Ok(m)
+        })?;
+        let mut out = BTreeMap::new();
+        for m in maps {
+            for (t, k) in m {
+                insert_distinct(&mut out, t.clone(), k);
+            }
+        }
+        return Ok(from_map(r1.schema().clone(), out));
     }
     let all_positions: Vec<usize> = (0..r1.schema().arity()).collect();
     // Partition: ground tuples merge additively (token 1 exactly on
     // structural equality); symbolic tuples keep their annotations for the
     // token-weighted cross sums.
-    let mut ground: BTreeMap<&Tuple<Value<A>>, A> = BTreeMap::new();
+    let mut ground_entries: Vec<(&Tuple<Value<A>>, &A)> = Vec::new();
     let mut sym: Vec<(&Tuple<Value<A>>, &A)> = Vec::new();
     for (t, k) in r1.iter().chain(r2.iter()) {
         if is_ground_at(t, &all_positions) {
-            ground
-                .entry(t)
-                .and_modify(|a| *a = a.plus(k))
-                .or_insert_with(|| k.clone());
+            ground_entries.push((t, k));
         } else {
             sym.push((t, k));
         }
     }
-    let mut out = BTreeMap::new();
-    // Ground output keys: the structural merge plus every symbolic tuple's
-    // token-weighted contribution (a constant row can equal a symbolic one
-    // under a valuation, so the cross terms are required for §4.3 parity).
-    for (t, base) in &ground {
-        let mut parts = vec![base.clone()];
-        for (s, ks) in &sym {
-            let tok = tuple_eq_token(s, t, &all_positions)?;
-            if tok.is_zero() {
-                continue;
-            }
-            let part = ks.times(&tok);
-            if !part.is_zero() {
-                parts.push(part);
-            }
+    let nshards = plan_shards(opts, ground_entries.len());
+    let shards = split_by(&ground_entries, nshards, |(t, _)| shard_index(t, nshards));
+    // Ground output keys, per shard: the structural merge plus every
+    // symbolic tuple's token-weighted contribution (a constant row can
+    // equal a symbolic one under a valuation, so the cross terms are
+    // required for §4.3 parity).
+    let sym_ref = &sym;
+    let positions_ref = &all_positions;
+    let shard_results = fan_out(shards, move |entries| {
+        let mut ground: BTreeMap<&Tuple<Value<A>>, A> = BTreeMap::new();
+        for (t, k) in entries {
+            ground
+                .entry(t)
+                .and_modify(|a| *a = a.plus(k))
+                .or_insert_with(|| k.clone());
         }
-        insert_distinct(&mut out, (*t).clone(), sum_many(parts));
+        let mut rows = BTreeMap::new();
+        for (t, base) in &ground {
+            let mut parts = vec![base.clone()];
+            for (s, ks) in sym_ref {
+                let tok = tuple_eq_token(s, t, positions_ref)?;
+                if tok.is_zero() {
+                    continue;
+                }
+                let part = ks.times(&tok);
+                if !part.is_zero() {
+                    parts.push(part);
+                }
+            }
+            insert_distinct(&mut rows, (*t).clone(), sum_many(parts));
+        }
+        Ok((ground, rows))
+    })?;
+    let mut out = BTreeMap::new();
+    let mut ground_shards = Vec::with_capacity(shard_results.len());
+    for (ground, rows) in shard_results {
+        for (t, k) in rows {
+            insert_distinct(&mut out, t, k);
+        }
+        ground_shards.push(ground);
     }
-    // Symbolic output keys: contributions from every input tuple.
+    // Symbolic output keys: contributions from every input tuple. The
+    // sequential token path — the symbolic fringe is tiny by construction.
     for (t, _) in &sym {
         if out.contains_key(*t) {
             continue;
         }
         let mut parts = Vec::new();
-        for (g, kg) in &ground {
-            let tok = tuple_eq_token(g, t, &all_positions)?;
-            if tok.is_zero() {
-                continue;
-            }
-            let part = kg.times(&tok);
-            if !part.is_zero() {
-                parts.push(part);
+        for ground in &ground_shards {
+            for (g, kg) in ground {
+                let tok = tuple_eq_token(g, t, &all_positions)?;
+                if tok.is_zero() {
+                    continue;
+                }
+                let part = kg.times(&tok);
+                if !part.is_zero() {
+                    parts.push(part);
+                }
             }
         }
         for (s, ks) in &sym {
@@ -279,47 +357,111 @@ pub fn union<A: AggAnnotation>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>>
 }
 
 /// Projection `Π_{U'}`. With symbolic values, annotations sum over all
-/// tuples weighted by tokens on the projected attributes.
+/// tuples weighted by tokens on the projected attributes. Single-threaded;
+/// see [`project_opts`] for the partition-parallel form.
+pub fn project<A: AggAnnotation>(rel: &MKRel<A>, attrs: &[&str]) -> Result<MKRel<A>> {
+    project_opts(rel, attrs, &ExecOptions::serial())
+}
+
+/// [`project`] with explicit [`ExecOptions`].
 ///
 /// Physical plan: tuples that are ground *at the projected positions* (a
 /// strictly wider fast set than "the whole relation is ground") merge
 /// additively by projected key; the token construction runs only over the
-/// symbolic-at-`U'` fraction and its cross terms.
-pub fn project<A: AggAnnotation>(rel: &MKRel<A>, attrs: &[&str]) -> Result<MKRel<A>> {
+/// symbolic-at-`U'` fraction and its cross terms. With more than one
+/// thread, the ground partition is sharded by projected-key hash across
+/// scoped worker threads; the symbolic output keys stay on the sequential
+/// token path. The result is identical at every thread count.
+pub fn project_opts<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    attrs: &[&str],
+    opts: &ExecOptions,
+) -> Result<MKRel<A>> {
     let positions = rel.schema().indices_of(attrs)?;
-    if rel.iter().all(|(t, _)| is_ground_at(t, &positions)) {
-        return rel.project(attrs);
-    }
     let schema = rel.schema().project(attrs)?;
     let all: Vec<usize> = (0..positions.len()).collect();
-    // Partition by groundness of the projected key.
-    let mut ground: BTreeMap<Tuple<Value<A>>, A> = BTreeMap::new();
-    let mut sym: Vec<(Tuple<Value<A>>, &A)> = Vec::new();
+    if rel.iter().all(|(t, _)| is_ground_at(t, &positions)) {
+        let nshards = plan_shards(opts, rel.len());
+        if nshards == 1 {
+            return rel.project(attrs);
+        }
+        // Sharded additive merge by projected key: each tuple is projected
+        // exactly once (the projection allocates; its `Tuple` clone is an
+        // `Arc` bump) and equal keys co-locate, so per-shard merged maps
+        // are disjoint sorted runs.
+        let mut shards: Vec<KeyedShard<'_, A>> = (0..nshards).map(|_| Vec::new()).collect();
+        for (t, k) in rel.iter() {
+            let proj = t.project(&positions);
+            shards[shard_index(&proj, nshards)].push((proj, k));
+        }
+        let maps = fan_out(shards, |entries| {
+            let mut m: BTreeMap<Tuple<Value<A>>, A> = BTreeMap::new();
+            for (proj, k) in entries {
+                m.entry(proj)
+                    .and_modify(|a| *a = a.plus(k))
+                    .or_insert_with(|| k.clone());
+            }
+            Ok(m)
+        })?;
+        let mut out = BTreeMap::new();
+        for m in maps {
+            for (t, k) in m {
+                insert_distinct(&mut out, t, k);
+            }
+        }
+        return Ok(from_map(schema, out));
+    }
+    // Partition by groundness of the projected key (projected once here,
+    // carried through shard assignment and the per-shard merge).
+    let mut ground_entries: KeyedShard<'_, A> = Vec::new();
+    let mut sym: KeyedShard<'_, A> = Vec::new();
     for (t, k) in rel.iter() {
         let proj = t.project(&positions);
         if is_ground_at(&proj, &all) {
-            ground
-                .entry(proj)
-                .and_modify(|a| *a = a.plus(k))
-                .or_insert_with(|| k.clone());
+            ground_entries.push((proj, k));
         } else {
             sym.push((proj, k));
         }
     }
-    let mut out = BTreeMap::new();
-    for (p, base) in &ground {
-        let mut parts = vec![base.clone()];
-        for (s, ks) in &sym {
-            let tok = tuple_eq_token(s, p, &all)?;
-            if tok.is_zero() {
-                continue;
-            }
-            let part = ks.times(&tok);
-            if !part.is_zero() {
-                parts.push(part);
-            }
+    let nshards = plan_shards(opts, ground_entries.len());
+    let mut shards: Vec<KeyedShard<'_, A>> = (0..nshards).map(|_| Vec::new()).collect();
+    for (proj, k) in ground_entries {
+        shards[shard_index(&proj, nshards)].push((proj, k));
+    }
+    let sym_ref = &sym;
+    let all_ref = &all;
+    let shard_results = fan_out(shards, move |entries| {
+        let mut ground: BTreeMap<Tuple<Value<A>>, A> = BTreeMap::new();
+        for (proj, k) in entries {
+            ground
+                .entry(proj)
+                .and_modify(|a| *a = a.plus(k))
+                .or_insert_with(|| k.clone());
         }
-        insert_distinct(&mut out, p.clone(), sum_many(parts));
+        let mut rows = BTreeMap::new();
+        for (p, base) in &ground {
+            let mut parts = vec![base.clone()];
+            for (s, ks) in sym_ref {
+                let tok = tuple_eq_token(s, p, all_ref)?;
+                if tok.is_zero() {
+                    continue;
+                }
+                let part = ks.times(&tok);
+                if !part.is_zero() {
+                    parts.push(part);
+                }
+            }
+            insert_distinct(&mut rows, p.clone(), sum_many(parts));
+        }
+        Ok((ground, rows))
+    })?;
+    let mut out = BTreeMap::new();
+    let mut ground_shards = Vec::with_capacity(shard_results.len());
+    for (ground, rows) in shard_results {
+        for (t, k) in rows {
+            insert_distinct(&mut out, t, k);
+        }
+        ground_shards.push(ground);
     }
     for (p, _) in &sym {
         if out.contains_key(p) {
@@ -328,14 +470,16 @@ pub fn project<A: AggAnnotation>(rel: &MKRel<A>, attrs: &[&str]) -> Result<MKRel
         let mut parts = Vec::new();
         // Token equality depends only on the projected key, so the merged
         // ground partition contributes per distinct key, not per tuple.
-        for (g, kg) in &ground {
-            let tok = tuple_eq_token(g, p, &all)?;
-            if tok.is_zero() {
-                continue;
-            }
-            let part = kg.times(&tok);
-            if !part.is_zero() {
-                parts.push(part);
+        for ground in &ground_shards {
+            for (g, kg) in ground {
+                let tok = tuple_eq_token(g, p, &all)?;
+                if tok.is_zero() {
+                    continue;
+                }
+                let part = kg.times(&tok);
+                if !part.is_zero() {
+                    parts.push(part);
+                }
             }
         }
         for (s, ks) in &sym {
@@ -457,18 +601,59 @@ pub fn select_where<A: AggAnnotation>(
 }
 
 /// Value-based join on attribute pairs (schemas must be disjoint):
-/// `R₁(t|U₁) · R₂(t|U₂) · Π [t(u₁ᵢ) = t(u₂ᵢ)]`.
-///
-/// Physical plan: each side is partitioned by groundness of its join-key
-/// columns. The ground × ground block runs as a hash build (right) /
-/// probe (left) equi-join — between constants the §4.3 tokens are exactly
-/// the structural key equality. Pairs with a symbolic key on either side
-/// fall back to the token-weighted nested loop, which therefore costs
-/// `O(|G|·|S| + |S|²)` instead of `O(n²)`.
+/// `R₁(t|U₁) · R₂(t|U₂) · Π [t(u₁ᵢ) = t(u₂ᵢ)]`. Single-threaded; see
+/// [`join_on_opts`] for the partition-parallel form.
 pub fn join_on<A: AggAnnotation>(
     r1: &MKRel<A>,
     r2: &MKRel<A>,
     on: &[(&str, &str)],
+) -> Result<MKRel<A>> {
+    join_on_opts(r1, r2, on, &ExecOptions::serial())
+}
+
+/// The ground × ground equi-join block: hash build on the right side,
+/// probe with the left — between constants the §4.3 tokens are exactly the
+/// structural key equality. Shared by the serial path (one call over the
+/// whole ground partition) and the parallel path (one call per hash
+/// shard).
+fn hash_join_ground<A: AggAnnotation>(
+    g1: &[(&Tuple<Value<A>>, &A)],
+    g2: &[(&Tuple<Value<A>>, &A)],
+    left: &[usize],
+    right: &[usize],
+    out: &mut BTreeMap<Tuple<Value<A>>, A>,
+) {
+    type Bucket<'a, A> = Vec<(&'a Tuple<Value<A>>, &'a A)>;
+    let mut index: HashMap<Vec<&Value<A>>, Bucket<'_, A>> = HashMap::new();
+    for (t2, k2) in g2 {
+        let key: Vec<&Value<A>> = right.iter().map(|j| t2.get(*j)).collect();
+        index.entry(key).or_default().push((t2, k2));
+    }
+    for (t1, k1) in g1 {
+        let key: Vec<&Value<A>> = left.iter().map(|i| t1.get(*i)).collect();
+        if let Some(matches) = index.get(&key) {
+            for (t2, k2) in matches {
+                insert_distinct(out, t1.concat(t2.values()), k1.times(k2));
+            }
+        }
+    }
+}
+
+/// [`join_on`] with explicit [`ExecOptions`].
+///
+/// Physical plan: each side is partitioned by groundness of its join-key
+/// columns. The ground × ground block runs as a hash build (right) /
+/// probe (left) equi-join — with more than one thread, both ground sides
+/// are sharded by the same join-key hash, so each scoped worker joins one
+/// hash-disjoint shard pair and the per-shard outputs fold in shard order.
+/// Pairs with a symbolic key on either side fall back to the sequential
+/// token-weighted nested loop, which therefore costs `O(|G|·|S| + |S|²)`
+/// instead of `O(n²)`. The result is identical at every thread count.
+pub fn join_on_opts<A: AggAnnotation>(
+    r1: &MKRel<A>,
+    r2: &MKRel<A>,
+    on: &[(&str, &str)],
+    opts: &ExecOptions,
 ) -> Result<MKRel<A>> {
     if !r1.schema().shared_with(r2.schema()).is_empty() {
         return Err(RelError::SchemaMismatch {
@@ -502,18 +687,32 @@ pub fn join_on<A: AggAnnotation>(
             }
         }
     } else {
-        // Ground × ground: hash build on the right side, probe with the left.
-        type Bucket<'a, A> = Vec<(&'a Tuple<Value<A>>, &'a A)>;
-        let mut index: HashMap<Vec<&Value<A>>, Bucket<'_, A>> = HashMap::new();
-        for (t2, k2) in &g2 {
-            let key: Vec<&Value<A>> = right.iter().map(|j| t2.get(*j)).collect();
-            index.entry(key).or_default().push((t2, k2));
-        }
-        for (t1, k1) in &g1 {
-            let key: Vec<&Value<A>> = left.iter().map(|i| t1.get(*i)).collect();
-            if let Some(matches) = index.get(&key) {
-                for (t2, k2) in matches {
-                    insert_distinct(&mut out, t1.concat(t2.values()), k1.times(k2));
+        let nshards = plan_shards(opts, g1.len().max(g2.len()));
+        if nshards == 1 {
+            hash_join_ground(&g1, &g2, &left, &right, &mut out);
+        } else {
+            // Both sides sharded by the same key hash: matching keys land
+            // in the same shard, so shard outputs are disjoint.
+            let shards1 = split_by(&g1, nshards, |(t, _)| {
+                shard_index(&left.iter().map(|i| t.get(*i)).collect::<Vec<_>>(), nshards)
+            });
+            let shards2 = split_by(&g2, nshards, |(t, _)| {
+                shard_index(
+                    &right.iter().map(|j| t.get(*j)).collect::<Vec<_>>(),
+                    nshards,
+                )
+            });
+            let left_ref = &left;
+            let right_ref = &right;
+            let pairs: Vec<_> = shards1.into_iter().zip(shards2).collect();
+            let maps = fan_out(pairs, move |(p1, p2)| {
+                let mut m = BTreeMap::new();
+                hash_join_ground(&p1, &p2, left_ref, right_ref, &mut m);
+                Ok(m)
+            })?;
+            for m in maps {
+                for (t, k) in m {
+                    insert_distinct(&mut out, t, k);
                 }
             }
         }
@@ -647,77 +846,134 @@ pub(crate) fn group_by_layout<A: AggAnnotation>(
     Ok((gidx, sidx, schema))
 }
 
+/// A symbolic-keyed tuple of [`group_by_opts`]: its projected group key,
+/// the tuple, its annotation.
+type SymEntry<'a, A> = (Tuple<Value<A>>, &'a Tuple<Value<A>>, &'a A);
+
+/// Builds one ground candidate group's output row and annotation: the
+/// bucket's members join with token 1, symbolic-keyed tuples contribute
+/// with a token weight. Shared by the serial and per-shard paths.
+fn ground_group_row<A: AggAnnotation>(
+    g: &Tuple<Value<A>>,
+    members: &[(&Tuple<Value<A>>, &A)],
+    sym: &[SymEntry<'_, A>],
+    specs: &[AggSpec<'_>],
+    sidx: &[usize],
+    all: &[usize],
+) -> Result<(Tuple<Value<A>>, A)> {
+    let mut anns: Vec<A> = Vec::with_capacity(members.len());
+    let mut terms: Vec<Vec<(A, Const)>> = vec![Vec::new(); specs.len()];
+    for (t, k) in members {
+        anns.push((*k).clone());
+        for (si, spec) in specs.iter().enumerate() {
+            let tv = t.get(sidx[si]).to_tensor(spec.kind)?;
+            accumulate_scaled(&mut terms[si], &tv, k);
+        }
+    }
+    for (key, t2, k2) in sym {
+        let tok = tuple_eq_token(key, g, all)?;
+        if tok.is_zero() {
+            continue;
+        }
+        let coeff = k2.times(&tok);
+        if coeff.is_zero() {
+            continue;
+        }
+        for (si, spec) in specs.iter().enumerate() {
+            let tv = t2.get(sidx[si]).to_tensor(spec.kind)?;
+            accumulate_scaled(&mut terms[si], &tv, &coeff);
+        }
+        anns.push(coeff);
+    }
+    let total = sum_many(anns);
+    let mut row: Vec<Value<A>> = g.values().to_vec();
+    for (spec, ts) in specs.iter().zip(terms) {
+        row.push(Value::agg_normalized(
+            spec.kind,
+            Tensor::from_terms(&spec.kind, ts),
+        ));
+    }
+    Ok((Tuple::new(row), total.delta()))
+}
+
 /// `GB_{U', specs}(R)`: groups by `group_attrs` and aggregates each spec's
 /// attribute. Output schema: `group_attrs ++ [spec.attr, …]`. The group
 /// tuple's annotation is `δ(Σ_{t' ∈ group} coeff(t'))` where with symbolic
 /// group values `coeff(t') = R(t') · Π_{u ∈ U'} [t'(u) = g(u)]`.
-///
-/// Physical plan: tuples with ground group keys are hash-partitioned into
-/// buckets (between constants the membership token is structural key
-/// equality). Tuples with symbolic keys join every candidate group with a
-/// token-weighted coefficient; tokens against a ground bucket are computed
-/// once per bucket, not once per member.
+/// Single-threaded; see [`group_by_opts`] for the partition-parallel form.
 pub fn group_by<A: AggAnnotation>(
     rel: &MKRel<A>,
     group_attrs: &[&str],
     specs: &[AggSpec<'_>],
 ) -> Result<MKRel<A>> {
+    group_by_opts(rel, group_attrs, specs, &ExecOptions::serial())
+}
+
+/// [`group_by`] with explicit [`ExecOptions`].
+///
+/// Physical plan: tuples with ground group keys are hash-partitioned into
+/// buckets (between constants the membership token is structural key
+/// equality) — with more than one thread, whole buckets are sharded by
+/// group-key hash, each scoped worker aggregates its buckets (including
+/// the token-weighted contributions of symbolic-keyed tuples), and the
+/// per-shard rows fold in shard order. Tuples with symbolic keys join
+/// every candidate group with a token-weighted coefficient on the
+/// sequential path; tokens against a ground bucket are computed once per
+/// bucket, not once per member. The result is identical at every thread
+/// count.
+pub fn group_by_opts<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    group_attrs: &[&str],
+    specs: &[AggSpec<'_>],
+    opts: &ExecOptions,
+) -> Result<MKRel<A>> {
     let (gidx, sidx, schema) = group_by_layout(rel, group_attrs, specs)?;
     let all: Vec<usize> = (0..gidx.len()).collect();
 
-    // Hash-partition on ground group keys; collect symbolic-keyed tuples.
+    // Partition pass: ground group keys shard by key hash (whole buckets
+    // stay together); symbolic-keyed tuples go to the sequential fringe.
+    // Keyed entries share the `SymEntry` layout: (group key, tuple, ann).
     type Members<'a, A> = Vec<(&'a Tuple<Value<A>>, &'a A)>;
-    /// A symbolic-keyed tuple: its projected group key, the tuple, its
-    /// annotation.
-    type SymEntry<'a, A> = (Tuple<Value<A>>, &'a Tuple<Value<A>>, &'a A);
-    let mut buckets: HashMap<Tuple<Value<A>>, Members<'_, A>> = HashMap::new();
+    let mut ground: Vec<SymEntry<'_, A>> = Vec::new();
     let mut sym: Vec<SymEntry<'_, A>> = Vec::new();
     for (t, k) in rel.iter() {
         let g = t.project(&gidx);
         if is_ground_at(&g, &all) {
-            buckets.entry(g).or_default().push((t, k));
+            ground.push((g, t, k));
         } else {
             sym.push((g, t, k));
         }
     }
+    let nshards = plan_shards(opts, ground.len());
+    let mut shards: Vec<Vec<SymEntry<'_, A>>> = (0..nshards).map(|_| Vec::new()).collect();
+    for (g, t, k) in ground {
+        let shard = shard_index(&g, nshards);
+        shards[shard].push((g, t, k));
+    }
 
+    let sym_ref = &sym;
+    let specs_ref = specs;
+    let sidx_ref = &sidx;
+    let all_ref = &all;
+    let shard_results = fan_out(shards, move |entries| {
+        let mut buckets: HashMap<Tuple<Value<A>>, Members<'_, A>> = HashMap::new();
+        for (g, t, k) in entries {
+            buckets.entry(g).or_default().push((t, k));
+        }
+        let mut rows = BTreeMap::new();
+        for (g, members) in &buckets {
+            let (row, ann) = ground_group_row(g, members, sym_ref, specs_ref, sidx_ref, all_ref)?;
+            insert_distinct(&mut rows, row, ann);
+        }
+        Ok((rows, buckets))
+    })?;
     let mut out = BTreeMap::new();
-    // Ground candidate groups: the bucket's members join with token 1;
-    // symbolic-keyed tuples contribute with a token weight.
-    for (g, members) in &buckets {
-        let mut anns: Vec<A> = Vec::with_capacity(members.len());
-        let mut terms: Vec<Vec<(A, Const)>> = vec![Vec::new(); specs.len()];
-        for (t, k) in members {
-            anns.push((*k).clone());
-            for (si, spec) in specs.iter().enumerate() {
-                let tv = t.get(sidx[si]).to_tensor(spec.kind)?;
-                accumulate_scaled(&mut terms[si], &tv, k);
-            }
+    let mut bucket_shards = Vec::with_capacity(shard_results.len());
+    for (rows, buckets) in shard_results {
+        for (t, k) in rows {
+            insert_distinct(&mut out, t, k);
         }
-        for (key, t2, k2) in &sym {
-            let tok = tuple_eq_token(key, g, &all)?;
-            if tok.is_zero() {
-                continue;
-            }
-            let coeff = k2.times(&tok);
-            if coeff.is_zero() {
-                continue;
-            }
-            for (si, spec) in specs.iter().enumerate() {
-                let tv = t2.get(sidx[si]).to_tensor(spec.kind)?;
-                accumulate_scaled(&mut terms[si], &tv, &coeff);
-            }
-            anns.push(coeff);
-        }
-        let total = sum_many(anns);
-        let mut row: Vec<Value<A>> = g.values().to_vec();
-        for (spec, ts) in specs.iter().zip(terms) {
-            row.push(Value::agg_normalized(
-                spec.kind,
-                Tensor::from_terms(&spec.kind, ts),
-            ));
-        }
-        insert_distinct(&mut out, Tuple::new(row), total.delta());
+        bucket_shards.push(buckets);
     }
     // Symbolic candidate groups: membership of *every* tuple is weighted by
     // equality tokens (the full §4.3 rule), but the token against a ground
@@ -730,21 +986,23 @@ pub fn group_by<A: AggAnnotation>(
         seen.push(p);
         let mut anns: Vec<A> = Vec::new();
         let mut terms: Vec<Vec<(A, Const)>> = vec![Vec::new(); specs.len()];
-        for (g, members) in &buckets {
-            let tok = tuple_eq_token(g, p, &all)?;
-            if tok.is_zero() {
-                continue;
-            }
-            for (t, k) in members {
-                let coeff = k.times(&tok);
-                if coeff.is_zero() {
+        for buckets in &bucket_shards {
+            for (g, members) in buckets {
+                let tok = tuple_eq_token(g, p, &all)?;
+                if tok.is_zero() {
                     continue;
                 }
-                for (si, spec) in specs.iter().enumerate() {
-                    let tv = t.get(sidx[si]).to_tensor(spec.kind)?;
-                    accumulate_scaled(&mut terms[si], &tv, &coeff);
+                for (t, k) in members {
+                    let coeff = k.times(&tok);
+                    if coeff.is_zero() {
+                        continue;
+                    }
+                    for (si, spec) in specs.iter().enumerate() {
+                        let tv = t.get(sidx[si]).to_tensor(spec.kind)?;
+                        accumulate_scaled(&mut terms[si], &tv, &coeff);
+                    }
+                    anns.push(coeff);
                 }
-                anns.push(coeff);
             }
         }
         for (key, t2, k2) in &sym {

@@ -1,0 +1,275 @@
+//! Parallel determinism: the partition-parallel operator variants
+//! (`ops::*_opts`) must produce relations **bit-identical** to the literal
+//! §4.3 reference path (`specops`) at every thread count.
+//!
+//! The generated relations mix ground and symbolic values (as in
+//! `hash_vs_spec_proptests`), and the thread counts deliberately straddle
+//! the input sizes: with up to 7-row relations, `threads = 2` splits real
+//! work while `threads = 8` produces more shards than tuples — so empty
+//! shards, single-tuple shards and the shard-order merge are all exercised
+//! on every case. Dedicated tests pin the degenerate corners: empty
+//! inputs, all-symbolic relations (an empty ground partition with a
+//! populated fringe), and a larger deterministic workload where every
+//! shard is genuinely busy.
+
+use aggprov_algebra::domain::Const;
+use aggprov_algebra::monoid::MonoidKind;
+use aggprov_algebra::poly::NatPoly;
+use aggprov_algebra::tensor::Tensor;
+use aggprov_core::km::Km;
+use aggprov_core::ops::{self, AggSpec, MKRel};
+use aggprov_core::par::ExecOptions;
+use aggprov_core::{specops, Value};
+use aggprov_krel::relation::Relation;
+use aggprov_krel::schema::Schema;
+use proptest::prelude::*;
+
+type P = Km<NatPoly>;
+
+/// The thread counts under test: serial, genuine splitting, and more
+/// shards than tuples (empty shards).
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn tok(name: &str) -> P {
+    Km::embed(NatPoly::token(name))
+}
+
+const VARS: [&str; 4] = ["x", "y", "z", "w"];
+
+/// One generated cell (see `hash_vs_spec_proptests`): `(kind, var_index,
+/// int_value)` with kind 0–5; 0–2 ground ints, 3 a ground string, 4–5 a
+/// symbolic `SUM` tensor.
+type RawVal = (u8, usize, i64);
+
+fn decode_val(raw: RawVal) -> Value<P> {
+    let (kind, vi, n) = raw;
+    match kind {
+        0..=2 => Value::int(n),
+        3 => Value::str(if n % 2 == 0 { "s0" } else { "s1" }),
+        _ => sym_val(vi, n),
+    }
+}
+
+fn sym_val(vi: usize, n: i64) -> Value<P> {
+    Value::agg_normalized(
+        MonoidKind::Sum,
+        Tensor::from_terms(
+            &MonoidKind::Sum,
+            [(tok(VARS[vi % VARS.len()]), Const::int(n))],
+        ),
+    )
+}
+
+fn raw_val() -> impl Strategy<Value = RawVal> {
+    (0u8..6, 0..VARS.len(), -2i64..5)
+}
+
+fn rel_from(prefix: &str, schema: Schema, rows: Vec<Vec<Value<P>>>) -> MKRel<P> {
+    Relation::from_rows(
+        schema,
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, row)| (row, tok(&format!("{prefix}{i}")))),
+    )
+    .unwrap()
+}
+
+fn arb_rel2(
+    prefix: &'static str,
+    a: &'static str,
+    b: &'static str,
+) -> impl Strategy<Value = MKRel<P>> {
+    prop::collection::vec((raw_val(), raw_val()), 0..7).prop_map(move |rows| {
+        rel_from(
+            prefix,
+            Schema::new([a, b]).unwrap(),
+            rows.into_iter()
+                .map(|(x, y)| vec![decode_val(x), decode_val(y)])
+                .collect(),
+        )
+    })
+}
+
+/// A `(group-key, numeric)` relation for the grouping tests (strings in
+/// the aggregated column would be carrier-type errors on both paths).
+fn arb_group_rel() -> impl Strategy<Value = MKRel<P>> {
+    prop::collection::vec((raw_val(), raw_val()), 0..7).prop_map(|rows| {
+        rel_from(
+            "g",
+            Schema::new(["g", "v"]).unwrap(),
+            rows.into_iter()
+                .map(|(x, y)| {
+                    let (kind, vi, n) = y;
+                    let v = if kind <= 3 {
+                        Value::int(n)
+                    } else {
+                        sym_val(vi, n)
+                    };
+                    vec![decode_val(x), v]
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn union_parallel_matches_spec(r1 in arb_rel2("a", "a", "b"), r2 in arb_rel2("b", "a", "b")) {
+        let spec = specops::union(&r1, &r2).unwrap();
+        for t in THREADS {
+            let par = ops::union_opts(&r1, &r2, &ExecOptions::with_threads(t)).unwrap();
+            prop_assert_eq!(&par, &spec, "threads = {}", t);
+        }
+    }
+
+    #[test]
+    fn project_parallel_matches_spec(rel in arb_rel2("a", "a", "b"), keep_b in prop::bool::ANY) {
+        let attrs: Vec<&str> = if keep_b { vec!["b", "a"] } else { vec!["a"] };
+        let spec = specops::project(&rel, &attrs).unwrap();
+        for t in THREADS {
+            let par = ops::project_opts(&rel, &attrs, &ExecOptions::with_threads(t)).unwrap();
+            prop_assert_eq!(&par, &spec, "threads = {}", t);
+        }
+    }
+
+    #[test]
+    fn join_on_parallel_matches_spec(r1 in arb_rel2("a", "a", "b"), r2 in arb_rel2("b", "c", "d")) {
+        let spec = specops::join_on(&r1, &r2, &[("a", "c")]).unwrap();
+        let spec2 = specops::join_on(&r1, &r2, &[("a", "c"), ("b", "d")]).unwrap();
+        for t in THREADS {
+            let opts = ExecOptions::with_threads(t);
+            let par = ops::join_on_opts(&r1, &r2, &[("a", "c")], &opts).unwrap();
+            prop_assert_eq!(&par, &spec, "threads = {}", t);
+            let par2 = ops::join_on_opts(&r1, &r2, &[("a", "c"), ("b", "d")], &opts).unwrap();
+            prop_assert_eq!(&par2, &spec2, "two-column, threads = {}", t);
+        }
+    }
+
+    #[test]
+    fn group_by_parallel_matches_spec(rel in arb_group_rel()) {
+        let specs = [AggSpec::new(MonoidKind::Sum, "v")];
+        let spec = specops::group_by(&rel, &["g"], &specs).unwrap();
+        for t in THREADS {
+            let par =
+                ops::group_by_opts(&rel, &["g"], &specs, &ExecOptions::with_threads(t)).unwrap();
+            prop_assert_eq!(&par, &spec, "threads = {}", t);
+        }
+    }
+
+    #[test]
+    fn parallel_is_deterministic_across_thread_counts(
+        r1 in arb_rel2("a", "a", "b"),
+        r2 in arb_rel2("b", "a", "b"),
+    ) {
+        // threads = 2 vs threads = 8 directly (not just both-equal-spec):
+        // the merge order itself must not leak into the result.
+        let two = ops::union_opts(&r1, &r2, &ExecOptions::with_threads(2)).unwrap();
+        let eight = ops::union_opts(&r1, &r2, &ExecOptions::with_threads(8)).unwrap();
+        prop_assert_eq!(two, eight);
+    }
+}
+
+fn sch(names: &[&str]) -> Schema {
+    Schema::new(names.iter().copied()).unwrap()
+}
+
+/// Empty inputs at high thread counts: shard planning must degrade to one
+/// (empty) shard instead of spawning workers over nothing.
+#[test]
+fn empty_inputs_at_high_thread_counts() {
+    let empty: MKRel<P> = Relation::empty(sch(&["a", "b"]));
+    let opts = ExecOptions::with_threads(8);
+    assert!(ops::union_opts(&empty, &empty, &opts).unwrap().is_empty());
+    assert!(ops::project_opts(&empty, &["a"], &opts).unwrap().is_empty());
+    assert!(ops::join_on_opts(
+        &empty,
+        &empty.clone().with_schema(sch(&["c", "d"])).unwrap(),
+        &[("a", "c")],
+        &opts
+    )
+    .unwrap()
+    .is_empty());
+    let grouped =
+        ops::group_by_opts(&empty, &["a"], &[AggSpec::new(MonoidKind::Sum, "b")], &opts).unwrap();
+    assert!(grouped.is_empty());
+}
+
+/// All-symbolic relations: the ground partition is empty, so every shard
+/// is empty and the whole computation runs on the sequential token path.
+#[test]
+fn all_symbolic_relations_match_spec_at_every_thread_count() {
+    let rows: Vec<Vec<Value<P>>> = (0..5)
+        .map(|i| vec![sym_val(i, i as i64), sym_val(i + 1, 2)])
+        .collect();
+    let r1 = rel_from("a", sch(&["a", "b"]), rows.clone());
+    let r2 = rel_from("b", sch(&["a", "b"]), rows.into_iter().rev().collect());
+    let spec_union = specops::union(&r1, &r2).unwrap();
+    let spec_proj = specops::project(&r1, &["a"]).unwrap();
+    let r2j = r2.clone().with_schema(sch(&["c", "d"])).unwrap();
+    let spec_join = specops::join_on(&r1, &r2j, &[("a", "c")]).unwrap();
+    let gspecs = [AggSpec::new(MonoidKind::Sum, "b")];
+    let spec_group = specops::group_by(&r1, &["a"], &gspecs).unwrap();
+    for t in THREADS {
+        let opts = ExecOptions::with_threads(t);
+        assert_eq!(ops::union_opts(&r1, &r2, &opts).unwrap(), spec_union);
+        assert_eq!(ops::project_opts(&r1, &["a"], &opts).unwrap(), spec_proj);
+        assert_eq!(
+            ops::join_on_opts(&r1, &r2j, &[("a", "c")], &opts).unwrap(),
+            spec_join
+        );
+        assert_eq!(
+            ops::group_by_opts(&r1, &["a"], &gspecs, &opts).unwrap(),
+            spec_group
+        );
+    }
+}
+
+/// A workload big enough that every shard at `threads = 8` is busy:
+/// parallel results must equal the serial hash path (which the
+/// `hash_vs_spec` suite already ties to the oracle) tuple for tuple.
+#[test]
+fn busy_shards_match_serial_hash_path() {
+    let mut emp = Relation::empty(sch(&["emp", "dept", "sal"]));
+    let mut state: u64 = 0xDEAD_BEEF;
+    for i in 0..400 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let dept = (state >> 33) as i64 % 23;
+        let sal = 10 + (state >> 17) as i64 % 90;
+        emp.insert(
+            vec![Value::int(i as i64), Value::int(dept), Value::int(sal)],
+            tok(&format!("p{i}")),
+        )
+        .unwrap();
+    }
+    let mut dim = Relation::empty(sch(&["dept2", "region"]));
+    for d in 0..23 {
+        dim.insert(
+            vec![Value::int(d), Value::int(d % 5)],
+            tok(&format!("d{d}")),
+        )
+        .unwrap();
+    }
+    let serial = ExecOptions::serial();
+    let par = ExecOptions::with_threads(8);
+    assert_eq!(
+        ops::join_on_opts(&emp, &dim, &[("dept", "dept2")], &par).unwrap(),
+        ops::join_on_opts(&emp, &dim, &[("dept", "dept2")], &serial).unwrap()
+    );
+    let gspecs = [AggSpec::new(MonoidKind::Sum, "sal")];
+    assert_eq!(
+        ops::group_by_opts(&emp, &["dept"], &gspecs, &par).unwrap(),
+        ops::group_by_opts(&emp, &["dept"], &gspecs, &serial).unwrap()
+    );
+    assert_eq!(
+        ops::project_opts(&emp, &["dept"], &par).unwrap(),
+        ops::project_opts(&emp, &["dept"], &serial).unwrap()
+    );
+    assert_eq!(
+        ops::union_opts(&emp, &emp, &par).unwrap(),
+        ops::union_opts(&emp, &emp, &serial).unwrap()
+    );
+}

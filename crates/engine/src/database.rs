@@ -10,6 +10,7 @@ use crate::result::ResultSet;
 use aggprov_algebra::domain::Const;
 use aggprov_core::annotation::AggAnnotation;
 use aggprov_core::ops::MKRel;
+use aggprov_core::par::ExecOptions;
 use aggprov_core::Value;
 use aggprov_krel::error::{RelError, Result};
 use aggprov_krel::relation::Relation;
@@ -98,7 +99,13 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
                             "`$n` parameters require prepare()/execute_with()".into(),
                         ));
                     }
-                    last = Some(execute_plan(self, &lowered.plan, &[], 0)?);
+                    last = Some(execute_plan(
+                        self,
+                        &lowered.plan,
+                        &[],
+                        0,
+                        &ExecOptions::from_env()?,
+                    )?);
                 }
             }
         }
@@ -226,12 +233,29 @@ impl<'db, A: AggAnnotation + ParseAnnotation> Prepared<'db, A> {
 
     /// Executes the plan. Fails if the query has `$n` placeholders (use
     /// [`execute_with`](Prepared::execute_with)).
+    ///
+    /// Physical operators run partition-parallel with the environment's
+    /// thread count: `AGGPROV_THREADS` when set (an unparseable value is a
+    /// loud [`RelError::InvalidEnv`]), otherwise the machine's available
+    /// parallelism. The produced result is identical at every thread count
+    /// — use [`execute_with_opts`](Prepared::execute_with_opts) to pin it
+    /// explicitly.
     pub fn execute(&self) -> Result<ResultSet<A>> {
         self.execute_with(&[])
     }
 
-    /// Executes the plan with `$1, $2, …` bound to `params` in order.
+    /// Executes the plan with `$1, $2, …` bound to `params` in order,
+    /// using the environment's thread count (see
+    /// [`execute`](Prepared::execute)).
     pub fn execute_with(&self, params: &[Const]) -> Result<ResultSet<A>> {
+        self.execute_with_opts(params, &ExecOptions::from_env()?)
+    }
+
+    /// Executes the plan with `$1, $2, …` bound to `params` and an explicit
+    /// [`ExecOptions`] — `ExecOptions::serial()` pins the single-threaded
+    /// path, `ExecOptions::with_threads(n)` shards ground partitions across
+    /// `n` scoped worker threads.
+    pub fn execute_with_opts(&self, params: &[Const], opts: &ExecOptions) -> Result<ResultSet<A>> {
         if params.len() != self.param_count {
             return Err(RelError::ParamArity {
                 expected: self.param_count,
@@ -243,6 +267,7 @@ impl<'db, A: AggAnnotation + ParseAnnotation> Prepared<'db, A> {
             &self.plan,
             params,
             self.param_count,
+            opts,
         )?))
     }
 }

@@ -7,6 +7,12 @@
 //! naming and set-operation alignment are single schema-level renames
 //! ([`Relation::with_schema`](aggprov_krel::relation::Relation::with_schema)),
 //! and `$n` parameters are bound from the slice passed alongside the plan.
+//!
+//! Join, group-by, union and projection nodes run the partition-parallel
+//! operator variants of `aggprov_core::ops`, sharding their ground
+//! partitions across the worker threads of the [`ExecOptions`] passed down
+//! from [`Prepared::execute_with_opts`](crate::database::Prepared); the
+//! produced relations are identical at every thread count.
 
 use crate::annot::ParseAnnotation;
 use crate::ast::{CmpOp, SetOp};
@@ -15,6 +21,7 @@ use crate::plan::{AvgSpec, Plan, PlanOperand, Predicate};
 use aggprov_algebra::domain::Const;
 use aggprov_core::annotation::AggAnnotation;
 use aggprov_core::ops::{self, AggSpec, MKRel};
+use aggprov_core::par::ExecOptions;
 use aggprov_core::{difference, Value};
 use aggprov_krel::error::{RelError, Result};
 use aggprov_krel::relation::Relation;
@@ -36,6 +43,7 @@ pub(crate) fn execute_plan<A>(
     plan: &Plan,
     params: &[Const],
     param_count: usize,
+    opts: &ExecOptions,
 ) -> Result<MKRel<A>>
 where
     A: AggAnnotation + ParseAnnotation,
@@ -43,28 +51,28 @@ where
     match plan {
         Plan::Scan { table, schema } => db.table(table)?.clone().with_schema(schema.clone()),
         Plan::Derived { input, schema } => {
-            execute_plan(db, input, params, param_count)?.with_schema(schema.clone())
+            execute_plan(db, input, params, param_count, opts)?.with_schema(schema.clone())
         }
         Plan::Product { left, right, .. } => {
-            let l = execute_plan(db, left, params, param_count)?;
-            let r = execute_plan(db, right, params, param_count)?;
+            let l = execute_plan(db, left, params, param_count, opts)?;
+            let r = execute_plan(db, right, params, param_count, opts)?;
             ops::product(&l, &r)
         }
         Plan::Join {
             left, right, on, ..
         } => {
-            let l = execute_plan(db, left, params, param_count)?;
-            let r = execute_plan(db, right, params, param_count)?;
+            let l = execute_plan(db, left, params, param_count, opts)?;
+            let r = execute_plan(db, right, params, param_count, opts)?;
             let pairs: Vec<(&str, &str)> =
                 on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
-            ops::join_on(&l, &r, &pairs)
+            ops::join_on_opts(&l, &r, &pairs, opts)
         }
         Plan::Filter { input, pred } => {
-            let rel = execute_plan(db, input, params, param_count)?;
+            let rel = execute_plan(db, input, params, param_count, opts)?;
             apply_predicate(&rel, pred, params, param_count)
         }
         Plan::AddUnitColumn { input, schema } => {
-            let rel = execute_plan(db, input, params, param_count)?;
+            let rel = execute_plan(db, input, params, param_count, opts)?;
             let mut out = Relation::empty(schema.clone());
             for (t, k) in rel.iter() {
                 let mut row = t.values().to_vec();
@@ -80,7 +88,7 @@ where
             avg,
             ..
         } => {
-            let rel = execute_plan(db, input, params, param_count)?;
+            let rel = execute_plan(db, input, params, param_count, opts)?;
             let specs: Vec<AggSpec<'_>> = aggs
                 .iter()
                 .map(|a| AggSpec {
@@ -93,7 +101,7 @@ where
             let grouped = if group_refs.is_empty() {
                 ops::agg_all(&rel, &specs)?
             } else {
-                ops::group_by(&rel, &group_refs, &specs)?
+                ops::group_by_opts(&rel, &group_refs, &specs, opts)?
             };
             if avg.is_empty() {
                 Ok(grouped)
@@ -106,7 +114,7 @@ where
             columns,
             schema,
         } => {
-            let rel = execute_plan(db, input, params, param_count)?;
+            let rel = execute_plan(db, input, params, param_count, opts)?;
             // Project the *distinct* input positions first — the §4.3
             // symbolic projection (annotation merging under equality
             // tokens) is defined over a set of attributes — then expand
@@ -140,7 +148,7 @@ where
             let projected = if identity {
                 rel
             } else {
-                ops::project(&rel, &names)?
+                ops::project_opts(&rel, &names, opts)?
             };
             if distinct.len() == columns.len() {
                 return projected.with_schema(schema.clone());
@@ -158,12 +166,13 @@ where
             right,
             schema,
         } => {
-            let l = execute_plan(db, left, params, param_count)?;
+            let l = execute_plan(db, left, params, param_count, opts)?;
             // Align the right side by position, as in SQL: one
             // schema-level rename instead of a per-column rename loop.
-            let r = execute_plan(db, right, params, param_count)?.with_schema(schema.clone())?;
+            let r =
+                execute_plan(db, right, params, param_count, opts)?.with_schema(schema.clone())?;
             match op {
-                SetOp::Union => ops::union(&l, &r),
+                SetOp::Union => ops::union_opts(&l, &r, opts),
                 SetOp::Except => difference::difference(&l, &r),
             }
         }

@@ -55,6 +55,10 @@ pub use result::{ResultSet, Row};
 /// Constants, re-exported for `Prepared::execute_with` parameter lists.
 pub use aggprov_algebra::domain::Const;
 
+/// Execution options (worker-thread count, `AGGPROV_THREADS`), re-exported
+/// for `Prepared::execute_with_opts`.
+pub use aggprov_core::par::ExecOptions;
+
 /// A database tracking full aggregate provenance (`ℕ[X]^M` annotations).
 pub type ProvDb = Database<aggprov_core::Prov>;
 

@@ -214,6 +214,44 @@ impl Plan {
             | Plan::SetOp { left, right, .. } => left.node_count() + right.node_count(),
         }
     }
+
+    /// The number of nodes that shard their ground partition across worker
+    /// threads at execution (join, grouped aggregation, projection,
+    /// `UNION`) — `EXPLAIN`-style introspection for sizing
+    /// `AGGPROV_THREADS` against a prepared plan. `EXCEPT` runs through
+    /// the difference operator, *ungrouped* aggregation is a single linear
+    /// fold (`agg_all`), and products/filters stay on linear single-pass
+    /// paths, so none of those count.
+    ///
+    /// The count is a static *upper bound*: some fast paths are
+    /// data-dependent and only decided at execution time (an identity
+    /// projection over a symbol-free relation is a pure schema rename; a
+    /// projection of the same plan over symbolic values runs the sharded
+    /// §4.3 merge), so a counted node may still execute serially on
+    /// friendly data.
+    pub fn partition_parallel_nodes(&self) -> usize {
+        let own = match self {
+            Plan::Join { .. } | Plan::Project { .. } => 1,
+            Plan::Aggregate { group_by, .. } => usize::from(!group_by.is_empty()),
+            Plan::SetOp {
+                op: SetOp::Union, ..
+            } => 1,
+            _ => 0,
+        };
+        own + match self {
+            Plan::Scan { .. } => 0,
+            Plan::Derived { input, .. }
+            | Plan::Filter { input, .. }
+            | Plan::AddUnitColumn { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Project { input, .. } => input.partition_parallel_nodes(),
+            Plan::Product { left, right, .. }
+            | Plan::Join { left, right, .. }
+            | Plan::SetOp { left, right, .. } => {
+                left.partition_parallel_nodes() + right.partition_parallel_nodes()
+            }
+        }
+    }
 }
 
 /// A lowered query: the plan plus the number of `$n` parameter slots it

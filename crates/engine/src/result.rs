@@ -49,6 +49,13 @@ use std::fmt;
 /// [`delete_tokens`](ResultSet::delete_tokens) exist only on provenance
 /// results (`Km<ℕ[X]>`), [`clearance`](ResultSet::clearance) only on
 /// security results, [`collapse`](ResultSet::collapse) on any `Km<K>`.
+///
+/// Determinism guarantee: a `ResultSet` is a pure function of the plan,
+/// the parameters and the database — never of `AGGPROV_THREADS`. The
+/// partition-parallel operators merge their shards in a deterministic
+/// order and keep the symbolic token path sequential, so rows, annotations
+/// and [`rows`](ResultSet::rows) iteration order are bit-identical at
+/// every thread count (property-tested against the literal §4.3 oracle).
 #[derive(Clone, PartialEq, Debug)]
 pub struct ResultSet<A: CommutativeSemiring> {
     rel: MKRel<A>,

@@ -40,6 +40,18 @@ pub enum RelError {
     /// The annotation semiring cannot express an operation (e.g. comparing
     /// symbolic aggregates without the `K^M` extension, paper §4.1).
     Unsupported(String),
+    /// An environment variable held a value the engine cannot use. Raised
+    /// loudly (naming both the variable and the offending value) instead of
+    /// silently falling back to a default — a typo in `AGGPROV_THREADS`
+    /// must not quietly serialize execution.
+    InvalidEnv {
+        /// The environment variable.
+        var: &'static str,
+        /// The rejected value.
+        value: String,
+        /// What a valid value looks like.
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for RelError {
@@ -65,6 +77,13 @@ impl fmt::Display for RelError {
                 )
             }
             RelError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            RelError::InvalidEnv {
+                var,
+                value,
+                expected,
+            } => {
+                write!(f, "invalid {var}=`{value}`: expected {expected}")
+            }
         }
     }
 }

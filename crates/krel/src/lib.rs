@@ -24,5 +24,5 @@ pub mod relation;
 pub mod schema;
 
 pub use error::{RelError, Result};
-pub use relation::{Relation, Tuple};
+pub use relation::{Relation, ShardView, Tuple};
 pub use schema::{Attr, Schema};

@@ -14,7 +14,7 @@ use crate::schema::Schema;
 use aggprov_algebra::semiring::CommutativeSemiring;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// A tuple of values. Cheap to clone (shared storage).
@@ -176,6 +176,57 @@ where
         Arc::ptr_eq(&self.tuples, &other.tuples)
     }
 
+    /// Splits the support into `n` hash-disjoint [`ShardView`]s over the
+    /// `Arc`'d tuple store — the seam for partition-parallel execution.
+    ///
+    /// A tuple's shard is determined solely by the hash of `key(t)` under a
+    /// fixed-key hasher (see [`shard_index`] for the exact stability
+    /// scope), so the same tuple lands in the same shard on every run of
+    /// the same build; tuples with equal keys are
+    /// never split across shards. Within a view, tuples keep support
+    /// (`BTreeMap`) order, which gives downstream merges a deterministic
+    /// order. The views borrow the store (`&self`), so they are `Send` +
+    /// `Sync` and can be handed to scoped worker threads without cloning a
+    /// single tuple.
+    pub fn shard_views<H: Hash>(
+        &self,
+        n: usize,
+        key: impl Fn(&Tuple<V>) -> H,
+    ) -> Vec<ShardView<'_, K, V>> {
+        let n = n.max(1);
+        let mut shards: Vec<ShardView<'_, K, V>> = (0..n)
+            .map(|_| ShardView {
+                entries: Vec::new(),
+            })
+            .collect();
+        for (t, k) in self.tuples.iter() {
+            shards[shard_index(&key(t), n)].entries.push((t, k));
+        }
+        shards
+    }
+
+    /// Builds a relation directly from a map of **distinct** tuples,
+    /// reusing the map as the tuple store (no per-tuple re-insertion).
+    /// Zero annotations are dropped to maintain the finite-support
+    /// invariant; every tuple's arity is checked against the schema.
+    ///
+    /// This is the merge step of partition-parallel operators: shards
+    /// produce disjoint sorted runs, the caller folds them into one
+    /// `BTreeMap`, and the map becomes the relation wholesale.
+    pub fn from_tuple_map(schema: Schema, mut tuples: BTreeMap<Tuple<V>, K>) -> Result<Self> {
+        if let Some(t) = tuples.keys().find(|t| t.arity() != schema.arity()) {
+            return Err(RelError::ArityMismatch {
+                expected: schema.arity(),
+                got: t.arity(),
+            });
+        }
+        tuples.retain(|_, k| !k.is_zero());
+        Ok(Relation {
+            schema,
+            tuples: Arc::new(tuples),
+        })
+    }
+
     // ------------------------------------------------------------ algebra
 
     /// Union: `(R₁ ∪ R₂)(t) = R₁(t) + R₂(t)`.
@@ -331,6 +382,46 @@ where
     /// overhead experiments).
     pub fn annotation_size(&self, measure: impl Fn(&K) -> usize) -> usize {
         self.tuples.values().map(measure).sum()
+    }
+}
+
+/// The deterministic shard index of a key: SipHash with the standard
+/// library's fixed `DefaultHasher::new()` keys, reduced modulo `n`.
+/// Deterministic across runs and processes *of the same build* — unlike
+/// `HashMap`'s per-process-seeded state — which is what in-process
+/// parallel determinism needs. It is **not** pinned across Rust releases
+/// (std reserves the right to change `DefaultHasher`'s algorithm), so a
+/// future cross-node deployment must swap in an explicitly keyed hasher
+/// before shipping shard assignments between binaries.
+pub fn shard_index<H: Hash>(key: &H, n: usize) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() % n.max(1) as u64) as usize
+}
+
+/// A borrowed, hash-disjoint slice of a relation's support (see
+/// [`Relation::shard_views`]). Entries keep support order; the view holds
+/// only references into the `Arc`'d tuple store.
+#[derive(Debug)]
+pub struct ShardView<'a, K, V> {
+    entries: Vec<(&'a Tuple<V>, &'a K)>,
+}
+
+impl<'a, K, V> ShardView<'a, K, V> {
+    /// Iterates the shard's `(tuple, annotation)` entries in support order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'a Tuple<V>, &'a K)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The number of tuples in this shard.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff the shard received no tuples (a legal, common state when
+    /// there are fewer distinct keys than shards).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -531,6 +622,50 @@ mod tests {
         assert!(!snapshot.shares_tuples_with(&r));
         assert_eq!(snapshot.len(), 5);
         assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn shard_views_partition_support_deterministically() {
+        let r = figure_1a();
+        let shards = r.shard_views(3, |t| t.get(1).clone());
+        assert_eq!(shards.iter().map(ShardView::len).sum::<usize>(), r.len());
+        // Tuples with equal keys land in the same shard.
+        for shard in &shards {
+            for (t, _) in shard.iter() {
+                let home = shard_index(&t.get(1).clone(), 3);
+                assert!(shards[home].iter().any(|(t2, _)| t2 == t));
+            }
+        }
+        // The split is a pure function of the key hash: same every time.
+        let again = r.shard_views(3, |t| t.get(1).clone());
+        for (a, b) in shards.iter().zip(&again) {
+            assert_eq!(a.entries, b.entries);
+        }
+        // n = 1 degenerates to the whole support, in order.
+        let whole = r.shard_views(1, |t| t.clone());
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].len(), r.len());
+        // More shards than keys leaves some empty — a legal state.
+        let many = r.shard_views(64, |t| t.clone());
+        assert!(many.iter().any(ShardView::is_empty));
+        assert_eq!(many.iter().map(ShardView::len).sum::<usize>(), r.len());
+    }
+
+    #[test]
+    fn from_tuple_map_wraps_without_reinsertion() {
+        let r = figure_1a();
+        let map: BTreeMap<_, _> = r.iter().map(|(t, k)| (t.clone(), k.clone())).collect();
+        let rebuilt = Relation::from_tuple_map(r.schema().clone(), map).unwrap();
+        assert_eq!(rebuilt, r);
+        // Zero annotations are dropped; arity mismatches are errors.
+        let mut map = BTreeMap::new();
+        map.insert(Tuple::from([Const::int(1)]), Nat(0));
+        map.insert(Tuple::from([Const::int(2)]), Nat(3));
+        let rel = Relation::from_tuple_map(s(&["a"]), map).unwrap();
+        assert_eq!(rel.len(), 1);
+        let mut bad = BTreeMap::new();
+        bad.insert(Tuple::from([Const::int(1), Const::int(2)]), Nat(1));
+        assert!(Relation::from_tuple_map(s(&["a"]), bad).is_err());
     }
 
     #[test]

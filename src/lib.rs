@@ -81,6 +81,7 @@ pub mod prelude {
     pub use aggprov_algebra::semiring::{Bool, CommutativeSemiring, Nat};
     pub use aggprov_algebra::tensor::Tensor;
     pub use aggprov_core::km::Km;
+    pub use aggprov_core::par::ExecOptions;
     pub use aggprov_core::value::Value;
     pub use aggprov_engine::{Database, Prepared, ResultSet, Row};
 

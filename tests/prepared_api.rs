@@ -488,3 +488,64 @@ fn bag_databases_expose_plain_results_only() {
     // Bag semantics resolve on the spot: 2·20 + 10 = 50.
     assert_eq!(out.first().unwrap().get("total").unwrap(), &Value::int(50));
 }
+
+// ------------------------------------------------------------ parallelism
+
+// The same prepared plan, executed serial and with 8 worker threads, must
+// produce bit-identical ResultSets — including the symbolic HAVING tokens
+// and the δ-annotations, which live on the sequential fringe.
+#[test]
+fn execute_with_opts_is_thread_count_invariant() {
+    let db = figure_1_db();
+    let prepared = db
+        .prepare(
+            "SELECT dept, SUM(sal) AS total FROM r GROUP BY dept \
+             HAVING total = 25",
+        )
+        .unwrap();
+    let serial = prepared
+        .execute_with_opts(&[], &ExecOptions::serial())
+        .unwrap();
+    let parallel = prepared
+        .execute_with_opts(&[], &ExecOptions::with_threads(8))
+        .unwrap();
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.len(), 2, "both groups kept symbolically");
+
+    // A join over the same table (renamed through subqueries) too.
+    let join = db
+        .prepare(
+            "SELECT a.emp, b.emp2 FROM \
+             (SELECT emp, dept FROM r) a JOIN \
+             (SELECT emp AS emp2, dept AS dept2 FROM r) b \
+             ON a.dept = b.dept2",
+        )
+        .unwrap();
+    assert_eq!(
+        join.execute_with_opts(&[], &ExecOptions::serial()).unwrap(),
+        join.execute_with_opts(&[], &ExecOptions::with_threads(8))
+            .unwrap()
+    );
+}
+
+// Plan introspection: which nodes will shard across threads.
+#[test]
+fn plans_report_partition_parallel_nodes() {
+    let db = figure_1_db();
+    let scan = db.prepare("SELECT emp, dept, sal FROM r").unwrap();
+    // The count is a static upper bound: an identity projection still
+    // counts because whether it shards is decided by the data (over
+    // symbol-free input it degrades to a pure schema rename; over
+    // symbolic values it runs the sharded §4.3 merge).
+    assert_eq!(scan.plan().partition_parallel_nodes(), 1);
+    let grouped = db
+        .prepare("SELECT dept, SUM(sal) AS total FROM r GROUP BY dept")
+        .unwrap();
+    // Aggregate + the outer projection.
+    assert_eq!(grouped.plan().partition_parallel_nodes(), 2);
+    let unioned = db
+        .prepare("SELECT dept FROM r UNION SELECT dept FROM r")
+        .unwrap();
+    // Two projections + the union.
+    assert_eq!(unioned.plan().partition_parallel_nodes(), 3);
+}

@@ -25,12 +25,22 @@ pub fn black_box<T>(x: T) -> T {
 /// The effective sample count: `AGGPROV_BENCH_SAMPLES`, when set, caps the
 /// configured sample size — CI runs the benches in quick mode with
 /// `AGGPROV_BENCH_SAMPLES=2` (the stand-in for criterion's `--quick`).
+///
+/// A set-but-unparseable value is a loud panic naming the variable and the
+/// bad value: `AGGPROV_BENCH_SAMPLES=fast` must not silently run the full
+/// sample count (or, worse, make CI quietly stop being quick).
 pub fn quick_mode_samples(configured: usize) -> usize {
-    std::env::var("AGGPROV_BENCH_SAMPLES")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .map_or(configured, |n| n.min(configured))
-        .max(1)
+    const VAR: &str = "AGGPROV_BENCH_SAMPLES";
+    match std::env::var(VAR) {
+        Err(std::env::VarError::NotPresent) => configured.max(1),
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            panic!("{VAR} must be a positive integer, got non-unicode `{raw:?}`")
+        }
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n.min(configured).max(1),
+            _ => panic!("{VAR} must be a positive integer, got `{s}`"),
+        },
+    }
 }
 
 /// The top-level benchmark driver.
@@ -173,4 +183,37 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::quick_mode_samples;
+
+    /// The only test in this binary that touches `AGGPROV_BENCH_SAMPLES`
+    /// (env vars are process-global); it restores the prior value so a CI
+    /// quick-mode env survives.
+    #[test]
+    fn quick_mode_samples_caps_and_rejects_loudly() {
+        const VAR: &str = "AGGPROV_BENCH_SAMPLES";
+        let saved = std::env::var(VAR).ok();
+        std::env::remove_var(VAR);
+        assert_eq!(quick_mode_samples(5), 5, "unset: configured wins");
+        assert_eq!(quick_mode_samples(0), 1, "never zero samples");
+        std::env::set_var(VAR, "2");
+        assert_eq!(quick_mode_samples(5), 2, "env caps");
+        assert_eq!(quick_mode_samples(1), 1, "cap never raises");
+        for bad in ["", "0", "quick", "-3"] {
+            std::env::set_var(VAR, bad);
+            let err = std::panic::catch_unwind(|| quick_mode_samples(5)).unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains(VAR) && msg.contains(&format!("`{bad}`")),
+                "loud panic names variable and value: {msg}"
+            );
+        }
+        match saved {
+            Some(v) => std::env::set_var(VAR, v),
+            None => std::env::remove_var(VAR),
+        }
+    }
 }

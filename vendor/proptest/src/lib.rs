@@ -25,16 +25,38 @@ pub mod test_runner {
         pub cases: u32,
     }
 
+    /// `PROPTEST_CASES`, mirroring real proptest's env override: when set,
+    /// it replaces both the default case count and explicit `with_cases`
+    /// configuration (so a scheduled deep run — `PROPTEST_CASES=1024` —
+    /// scales every suite in the workspace). A set-but-unparseable value
+    /// panics, naming the variable and the bad value.
+    fn env_cases() -> Option<u32> {
+        const VAR: &str = "PROPTEST_CASES";
+        match std::env::var(VAR) {
+            Err(std::env::VarError::NotPresent) => None,
+            Err(std::env::VarError::NotUnicode(raw)) => {
+                panic!("{VAR} must be a positive integer, got non-unicode `{raw:?}`")
+            }
+            Ok(s) => match s.trim().parse::<u32>() {
+                Ok(n) if n >= 1 => Some(n),
+                _ => panic!("{VAR} must be a positive integer, got `{s}`"),
+            },
+        }
+    }
+
     impl ProptestConfig {
-        /// A configuration running `cases` cases.
+        /// A configuration running `cases` cases (`PROPTEST_CASES`
+        /// overrides, see [`env_cases`]).
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases: env_cases().unwrap_or(cases),
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64 }
+            Self::with_cases(64)
         }
     }
 

@@ -1,0 +1,39 @@
+//! `PROPTEST_CASES` handling, isolated in its own test binary: the
+//! variable is process-global and this test mutates it, so it must not
+//! share a process with the proptest-macro tests (which read the variable
+//! whenever a test body constructs its config).
+
+use proptest::test_runner::ProptestConfig;
+
+#[test]
+fn proptest_cases_env_overrides_and_rejects_loudly() {
+    const VAR: &str = "PROPTEST_CASES";
+    let saved = std::env::var(VAR).ok();
+    std::env::remove_var(VAR);
+    assert_eq!(ProptestConfig::default().cases, 64);
+    assert_eq!(ProptestConfig::with_cases(16).cases, 16);
+    std::env::set_var(VAR, "1024");
+    assert_eq!(
+        ProptestConfig::default().cases,
+        1024,
+        "env overrides default"
+    );
+    assert_eq!(
+        ProptestConfig::with_cases(16).cases,
+        1024,
+        "env overrides explicit configs too (a deep run scales every suite)"
+    );
+    for bad in ["", "0", "lots"] {
+        std::env::set_var(VAR, bad);
+        let err = std::panic::catch_unwind(ProptestConfig::default).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains(VAR) && msg.contains(&format!("`{bad}`")),
+            "loud panic names variable and value: {msg}"
+        );
+    }
+    match saved {
+        Some(v) => std::env::set_var(VAR, v),
+        None => std::env::remove_var(VAR),
+    }
+}
