@@ -11,18 +11,19 @@
 //!
 //! * the **newest** checked-in point is always enforced. Its fresh
 //!   counterpart is read from `target/bench/` (written by a preceding
-//!   `cargo bench`); for the partition-parallel point the gate can also
-//!   measure inline, so it works as a single standalone command;
+//!   `cargo bench`); for the partition-parallel and batch-pipeline points
+//!   the gate can also measure inline, so it works as a single
+//!   standalone command;
 //! * **older** checked-in points are enforced whenever a fresh counterpart
 //!   exists in `target/bench/` (CI runs their benches first), so the PR 2
 //!   hash-vs-naive ratios stay guarded too;
 //! * ratios are scale-free and compared with a 2× tolerance, which rides
 //!   out quick-mode sampling noise but not an order-of-magnitude loss.
 
-use aggprov_bench::parbench;
 use aggprov_bench::trajectory::{
     checked_in_points, clamp_to_host, compare, fresh_path, parse, BenchFile, MAX_REGRESSION,
 };
+use aggprov_bench::{batchbench, parbench};
 use criterion::quick_mode_samples;
 
 fn read_bench_file(path: &std::path::Path) -> Option<BenchFile> {
@@ -75,6 +76,21 @@ fn main() {
         };
         let fresh = match fresh {
             Some(f) => f,
+            None if *pr == batchbench::PR => {
+                // The gate owns this measurement too: the batch-pipeline
+                // point re-measures inline so a bare
+                // `cargo run --bin check_trajectory` always enforces the
+                // newest point.
+                let samples = quick_mode_samples(5);
+                println!("check_trajectory: measuring batch_pipeline inline ({samples} samples)");
+                let points = batchbench::measure(samples);
+                parse(&batchbench::render_json(
+                    &points,
+                    samples,
+                    parbench::host_cpus(),
+                ))
+                .expect("self-rendered JSON parses")
+            }
             None if *pr == parbench::PR => {
                 // The gate owns this measurement: run it inline (quick
                 // mode) so a bare `cargo run --bin check_trajectory`

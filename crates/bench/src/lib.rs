@@ -1,7 +1,9 @@
 //! Shared fixtures for the benchmark harness, the partition-parallel
-//! measurement ([`parbench`]) and the perf-trajectory tooling behind the
-//! enforcing `check_trajectory` CI gate ([`trajectory`]).
+//! measurement ([`parbench`]), the batch-pipeline measurement
+//! ([`batchbench`]) and the perf-trajectory tooling behind the enforcing
+//! `check_trajectory` CI gate ([`trajectory`]).
 
+pub mod batchbench;
 pub mod fixtures;
 pub mod parbench;
 pub mod trajectory;

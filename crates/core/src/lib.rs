@@ -13,6 +13,10 @@
 //! * [`ops`] — the *physical* relational operators of §3.2/§3.3/§4.3:
 //!   hash build/probe joins, hash-partitioned grouping, and ground/symbolic
 //!   partitioning so token construction stays off the ground hot path;
+//! * [`ops::batch`] — vectorized batch kernels over the columnar ground
+//!   partition ([`ops::batch::Chunk`]): selection-vector filter,
+//!   gather-based projection, unit-column append, AVG division and hash
+//!   join, so pipelines over ground data run columnar end to end;
 //! * [`par`] — partition-parallel execution: [`par::ExecOptions`]
 //!   (`AGGPROV_THREADS`), shard planning and the scoped thread fan-out the
 //!   `ops::*_opts` operator variants run on;

@@ -31,6 +31,16 @@
 //! retained in [`crate::specops`] as the reference path (property-tested
 //! equivalence; see `tests/hash_vs_spec_proptests.rs`).
 //!
+//! ## Vectorized batch execution
+//!
+//! The [`batch`] submodule carries the same ground/symbolic split one step
+//! further: the ground partition moves column-major
+//! ([`aggprov_krel::batch::ColumnBatch`]) through selection-vector kernels
+//! (filter, gather/project, unit-column append, AVG division, hash join),
+//! so a filter→project→join chain over ground tuples never materializes a
+//! `BTreeMap` between nodes. Whenever a symbolic fringe forces cross-row
+//! token sums, execution falls back to the operators in this module.
+//!
 //! ## Partition-parallel execution
 //!
 //! The same key hashing that drives the ground/symbolic split is the seam
@@ -50,6 +60,8 @@
 //! — the paper's "duplicates are ignored" (appendix, commutation proof).
 //! This is different from the additive merge of `K`-relations, which is why
 //! output maps are built with [`insert_distinct`].
+
+pub mod batch;
 
 use crate::annotation::AggAnnotation;
 use crate::par::{fan_out, plan_shards, split_by, ExecOptions};
@@ -135,7 +147,11 @@ pub(crate) fn from_map<A: AggAnnotation>(
 /// `Σ_{t' ∈ supp(R)} R(t') · Π_u [t'(u) = t(u)]`. Coincides with the
 /// structural lookup when no symbolic values are present.
 pub fn annotation_at<A: AggAnnotation>(rel: &MKRel<A>, t: &Tuple<Value<A>>) -> Result<A> {
-    if !has_symbolic(rel) {
+    // The structural fast path needs *both* sides ground: a symbolic
+    // lookup tuple carries nonzero equality tokens against ground support
+    // tuples (and vice versa), so the token-weighted sum below is the only
+    // correct reading whenever either side is symbolic.
+    if !has_symbolic(rel) && !t.values().iter().any(Value::is_agg) {
         return Ok(rel.annotation(t));
     }
     let positions: Vec<usize> = (0..rel.schema().arity()).collect();

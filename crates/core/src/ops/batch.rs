@@ -1,0 +1,762 @@
+//! Vectorized batch kernels over the ground partition — the columnar
+//! execution layer behind the engine's physical-plan pipeline.
+//!
+//! A [`Chunk`] is a relation mid-pipeline: the fully ground rows live
+//! column-major in a [`ColumnBatch`] (plus a live selection vector, so a
+//! filter never moves data), and the symbolic fringe rides alongside
+//! row-wise, exactly as [`GroundBatch`] splits it. The kernels here —
+//! [`Chunk::filter`], [`Chunk::project`], [`Chunk::add_unit_column`],
+//! [`Chunk::avg_divide`], [`hash_join`] — run classical columnar
+//! algorithms over the ground batch: between constants every §4.3
+//! equality token is `0`/`1`, so the token machinery degenerates to plain
+//! comparisons and a filter→project→join chain never materializes a
+//! `BTreeMap` between nodes.
+//!
+//! Division of labour with the row-at-a-time operators of [`crate::ops`]:
+//!
+//! * **filter** and **unit-column append** have no cross-row terms in
+//!   §4.3, so a chunk stays a chunk even with a non-empty fringe — ground
+//!   rows take the vectorized comparison, fringe rows the token path
+//!   (annotation × token, as in [`crate::ops::select_with_token`]);
+//! * **projection**, **join**, **aggregation** and **set operations** sum
+//!   token-weighted contributions *across* rows when symbolic values are
+//!   present, so their batch kernels require an empty fringe — the
+//!   engine's driver falls back to the `ops::*_opts` operators (and their
+//!   partition-parallel ground/symbolic machinery) whenever a fringe
+//!   exists, keeping results bit-identical to [`crate::specops`].
+//!
+//! A chunk defers the additive merge of duplicate ground rows to its next
+//! materialization ([`Chunk::into_relation`]); semiring distributivity
+//! makes that exactly the eager merge the row-at-a-time path performs.
+
+use crate::annotation::AggAnnotation;
+use crate::km::CmpPred;
+use crate::ops::MKRel;
+use crate::value::Value;
+use aggprov_algebra::domain::Const;
+use aggprov_krel::batch::{ColumnBatch, GroundBatch};
+use aggprov_krel::error::{RelError, Result};
+use aggprov_krel::relation::Tuple;
+use aggprov_krel::schema::Schema;
+use std::collections::HashMap;
+
+/// One side of a batched comparison: a column of the chunk or a constant
+/// (literals and already-bound `$n` parameters look the same down here).
+#[derive(Clone, Debug)]
+pub enum BatchOperand {
+    /// The value at a column position.
+    Col(usize),
+    /// A constant.
+    Lit(Const),
+}
+
+/// A batched comparison operator. `>`/`≥` are not represented: callers
+/// normalize by swapping the operands, exactly as the token path does.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BatchCmp {
+    /// Equality (the §4.3 token `[a = b]`, `0`/`1` between constants).
+    Eq,
+    /// A canonical order/inequality predicate.
+    Pred(CmpPred),
+}
+
+/// A relation mid-pipeline: columnar ground rows + live selection vector
+/// + row-wise symbolic fringe, under the current schema.
+///
+/// Columns are addressed through a **view** (logical position → physical
+/// column), so a projection is a view update — no values move until the
+/// next pipeline breaker materializes.
+#[derive(Clone, Debug)]
+pub struct Chunk<A: AggAnnotation> {
+    schema: Schema,
+    ground: ColumnBatch<A>,
+    /// Logical column `i` lives in physical column `view[i]`.
+    view: Vec<usize>,
+    /// Selected ground-row indices, ascending; `None` = all rows.
+    sel: Option<Vec<u32>>,
+    fringe: Vec<(Tuple<Value<A>>, A)>,
+}
+
+impl<A: AggAnnotation> Chunk<A> {
+    /// Splits a relation into a chunk (ground columns + symbolic fringe),
+    /// preserving support order in both partitions.
+    pub fn from_relation(rel: &MKRel<A>) -> Self {
+        let batch = GroundBatch::from_relation(rel, Value::as_const);
+        let (ground, fringe) = batch.into_parts();
+        Chunk {
+            schema: rel.schema().clone(),
+            view: (0..ground.arity()).collect(),
+            ground,
+            sel: None,
+            fringe,
+        }
+    }
+
+    /// Materializes the chunk back into a relation: selected ground rows
+    /// lift to `Value::Const` tuples (columns reordered through the view
+    /// wholesale, values and annotations moved, not re-cloned), duplicates
+    /// merge additively, and the fringe rows merge in after them.
+    pub fn into_relation(self) -> Result<MKRel<A>> {
+        let (phys, anns) = self.ground.into_columns();
+        // Move each physical column into its (last) logical slot; only a
+        // column viewed more than once (duplicate select items) is cloned.
+        let mut uses = vec![0usize; phys.len()];
+        for &p in &self.view {
+            uses[p] += 1;
+        }
+        let mut slots: Vec<Option<Vec<Const>>> = phys.into_iter().map(Some).collect();
+        let logical: Vec<Vec<Const>> = self
+            .view
+            .iter()
+            .map(|&p| {
+                uses[p] -= 1;
+                if uses[p] == 0 {
+                    slots[p].take().expect("each physical column taken once")
+                } else {
+                    slots[p].clone().expect("column still present")
+                }
+            })
+            .collect();
+        let ground = ColumnBatch::from_columns(logical, anns)?;
+        GroundBatch::from_parts(ground, self.fringe).into_relation_selected(
+            self.schema,
+            Value::Const,
+            self.sel.as_deref(),
+        )
+    }
+
+    /// The current schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Replaces the schema wholesale (a rename; arity must match).
+    pub fn with_schema(mut self, schema: Schema) -> Result<Self> {
+        if schema.arity() != self.schema.arity() {
+            return Err(RelError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: schema.arity(),
+            });
+        }
+        self.schema = schema;
+        Ok(self)
+    }
+
+    /// The number of currently selected ground rows.
+    pub fn ground_len(&self) -> usize {
+        match &self.sel {
+            None => self.ground.len(),
+            Some(s) => s.len(),
+        }
+    }
+
+    /// The symbolic fringe rows.
+    pub fn fringe(&self) -> &[(Tuple<Value<A>>, A)] {
+        &self.fringe
+    }
+
+    /// True iff the chunk carries symbolic rows — the condition under
+    /// which cross-row kernels (project, join) must fall back to the
+    /// token-path operators.
+    pub fn has_fringe(&self) -> bool {
+        !self.fringe.is_empty()
+    }
+
+    /// The selected ground-row indices, ascending.
+    fn selected(&self) -> Vec<u32> {
+        match &self.sel {
+            None => (0..self.ground.len() as u32).collect(),
+            Some(s) => s.clone(),
+        }
+    }
+
+    /// The physical column backing logical position `i`.
+    fn col(&self, i: usize) -> &[Const] {
+        self.ground.col(self.view[i])
+    }
+
+    /// Errors unless the chunk is fringe-free. The cross-row kernels
+    /// (projection, join, AVG division) are only defined over ground
+    /// rows — symbolic values need the token-weighted operators of
+    /// [`crate::ops`] — so misuse must fail loudly, not corrupt results.
+    fn require_all_ground(&self, kernel: &str) -> Result<()> {
+        if self.fringe.is_empty() {
+            Ok(())
+        } else {
+            Err(RelError::Unsupported(format!(
+                "{kernel} over a chunk with {} symbolic row(s); route symbolic \
+                 relations through the token-path operators in aggprov_core::ops",
+                self.fringe.len()
+            )))
+        }
+    }
+
+    /// The vectorized filter kernel: narrows the selection vector over the
+    /// ground columns (between constants the comparison token is `0`/`1`,
+    /// so a row is kept verbatim or dropped — no semiring work), and runs
+    /// the §4.3 token path over the fringe rows (annotation × token).
+    /// `>`/`≥` callers pass swapped operands with `Pred(Lt)`/`Pred(Le)`.
+    ///
+    /// Matches [`crate::ops::select_with_token`] row for row, including
+    /// the type errors ordering comparisons raise across value types.
+    pub fn filter(
+        &mut self,
+        left: &BatchOperand,
+        cmp: BatchCmp,
+        right: &BatchOperand,
+    ) -> Result<()> {
+        // Ground rows: compare Const columns directly. The common
+        // column-vs-literal shapes (either orientation — `>`/`≥` arrive
+        // with the literal on the left after operand swapping) get
+        // dedicated loops with no per-row operand dispatch; everything
+        // else takes the general form.
+        let mut kept: Vec<u32> = Vec::new();
+        if let (BatchOperand::Col(i), BatchOperand::Lit(c)) = (left, right) {
+            let col = self.col(*i);
+            for r in self.selected() {
+                if const_cmp(&col[r as usize], cmp, c)? {
+                    kept.push(r);
+                }
+            }
+        } else if let (BatchOperand::Lit(c), BatchOperand::Col(i)) = (left, right) {
+            let col = self.col(*i);
+            for r in self.selected() {
+                if const_cmp(c, cmp, &col[r as usize])? {
+                    kept.push(r);
+                }
+            }
+        } else {
+            for r in self.selected() {
+                let lv: &Const = match left {
+                    BatchOperand::Col(i) => &self.col(*i)[r as usize],
+                    BatchOperand::Lit(c) => c,
+                };
+                let rv: &Const = match right {
+                    BatchOperand::Col(i) => &self.col(*i)[r as usize],
+                    BatchOperand::Lit(c) => c,
+                };
+                if const_cmp(lv, cmp, rv)? {
+                    kept.push(r);
+                }
+            }
+        }
+        self.sel = Some(kept);
+        // Fringe rows: genuine §4.3 tokens. The constant operand (literal
+        // or bound `$n` parameter) is lifted to a `Value` once, outside
+        // the row loop — not cloned per row per comparison.
+        if !self.fringe.is_empty() {
+            let lift = |op: &BatchOperand| -> Option<Value<A>> {
+                match op {
+                    BatchOperand::Col(_) => None,
+                    BatchOperand::Lit(c) => Some(Value::Const(c.clone())),
+                }
+            };
+            let (lconst, rconst) = (lift(left), lift(right));
+            let mut kept_fringe = Vec::with_capacity(self.fringe.len());
+            for (t, k) in self.fringe.drain(..) {
+                let lv: &Value<A> = match (left, &lconst) {
+                    (BatchOperand::Col(i), _) => t.get(*i),
+                    (_, Some(v)) => v,
+                    _ => unreachable!("non-column operand lifted above"),
+                };
+                let rv: &Value<A> = match (right, &rconst) {
+                    (BatchOperand::Col(i), _) => t.get(*i),
+                    (_, Some(v)) => v,
+                    _ => unreachable!("non-column operand lifted above"),
+                };
+                let tok = match cmp {
+                    BatchCmp::Eq => A::value_eq(lv, rv)?,
+                    BatchCmp::Pred(p) => A::value_cmp(p, lv, rv)?,
+                };
+                if tok.is_zero() {
+                    continue;
+                }
+                let ann = if tok.is_one() { k } else { k.times(&tok) };
+                kept_fringe.push((t, ann));
+            }
+            self.fringe = kept_fringe;
+        }
+        Ok(())
+    }
+
+    /// The projection kernel: remaps the view to the requested columns
+    /// (indices may repeat — duplicate select items view one physical
+    /// column twice). No values move, no selection is lost; duplicate
+    /// *rows* stay unmerged until the next materialization, which merges
+    /// them additively — for ground data exactly the §4.3 projection.
+    /// Requires an empty fringe — symbolic projection sums token-weighted
+    /// contributions across rows and must go through
+    /// [`crate::ops::project_opts`].
+    pub fn project(self, columns: &[usize], schema: Schema) -> Result<Chunk<A>> {
+        self.require_all_ground("batch projection")?;
+        if schema.arity() != columns.len() {
+            return Err(RelError::ArityMismatch {
+                expected: columns.len(),
+                got: schema.arity(),
+            });
+        }
+        let view = columns.iter().map(|&c| self.view[c]).collect();
+        Ok(Chunk {
+            schema,
+            ground: self.ground,
+            view,
+            sel: self.sel,
+            fringe: self.fringe,
+        })
+    }
+
+    /// The unit-column kernel: appends the constant-1 column COUNT/AVG
+    /// aggregate over (`ι(1)` per row). Per-row on both partitions, so
+    /// the fringe stays in the chunk.
+    pub fn add_unit_column(mut self, schema: Schema) -> Result<Chunk<A>> {
+        if schema.arity() != self.schema.arity() + 1 {
+            return Err(RelError::ArityMismatch {
+                expected: self.schema.arity() + 1,
+                got: schema.arity(),
+            });
+        }
+        self.ground
+            .push_column(vec![Const::int(1); self.ground.len()])?;
+        self.view.push(self.ground.arity() - 1);
+        for (t, _) in &mut self.fringe {
+            let mut row = t.values().to_vec();
+            row.push(Value::int(1));
+            *t = Tuple::new(row);
+        }
+        self.schema = schema;
+        Ok(self)
+    }
+
+    /// The AVG-division kernel: appends one `sum / cnt` column per
+    /// `(sum, cnt)` logical-position pair. Both inputs are ground numbers
+    /// here by construction (a symbolic SUM or COUNT puts the row on the
+    /// fringe, and the engine falls back to its row-at-a-time AVG path,
+    /// which raises the paper-footnote-6 error). A zero count drops the
+    /// row when `ungrouped` (SQL's NULL AVG over empty input; the engine
+    /// has no NULLs) and errors otherwise — grouped AVG never sees an
+    /// empty group.
+    pub fn avg_divide(
+        mut self,
+        pairs: &[(usize, usize)],
+        ungrouped: bool,
+        schema: Schema,
+    ) -> Result<Chunk<A>> {
+        self.require_all_ground("batch AVG division")?;
+        if schema.arity() != self.schema.arity() + pairs.len() {
+            return Err(RelError::ArityMismatch {
+                expected: self.schema.arity() + pairs.len(),
+                got: schema.arity(),
+            });
+        }
+        let nrows = self.ground.len();
+        let mut kept: Vec<u32> = Vec::new();
+        let mut avg_cols: Vec<Vec<Const>> = vec![Vec::new(); pairs.len()];
+        'rows: for r in self.selected() {
+            let mut avgs: Vec<Const> = Vec::with_capacity(pairs.len());
+            for (si, ci) in pairs {
+                let sum = self.col(*si)[r as usize].as_num();
+                let cnt = self.col(*ci)[r as usize].as_num();
+                let avg = match (sum, cnt) {
+                    (Some(s), Some(c)) => match s.checked_div(&c) {
+                        Some(avg) => avg,
+                        None if ungrouped => continue 'rows,
+                        None => {
+                            return Err(RelError::Unsupported("AVG over an empty group".into()))
+                        }
+                    },
+                    _ => {
+                        return Err(RelError::Unsupported(
+                            "AVG over symbolic provenance does not resolve; select SUM and \
+                             COUNT separately (paper footnote 6)"
+                                .into(),
+                        ))
+                    }
+                };
+                avgs.push(Const::Num(avg));
+            }
+            kept.push(r);
+            for (col, v) in avg_cols.iter_mut().zip(avgs) {
+                col.push(v);
+            }
+        }
+        // The new columns are dense over the kept rows: scatter them back
+        // to full length so they align with the existing physical columns
+        // (rows outside the selection hold a placeholder).
+        for col in avg_cols {
+            let mut full = vec![Const::int(0); nrows];
+            for (&r, v) in kept.iter().zip(col) {
+                full[r as usize] = v;
+            }
+            self.ground.push_column(full)?;
+            self.view.push(self.ground.arity() - 1);
+        }
+        self.sel = Some(kept);
+        self.schema = schema;
+        Ok(self)
+    }
+}
+
+/// Decides one batched comparison between constants, with exactly the
+/// semantics of [`AggAnnotation::value_cmp`] on `Const`/`Const` pairs:
+/// `=` is structural equality, `≠` is total across types, and ordering
+/// across types is a type error.
+fn const_cmp(lv: &Const, cmp: BatchCmp, rv: &Const) -> Result<bool> {
+    match cmp {
+        BatchCmp::Eq => Ok(lv == rv),
+        BatchCmp::Pred(p) => {
+            let same_type = std::mem::discriminant(lv) == std::mem::discriminant(rv);
+            if !same_type && p != CmpPred::Ne {
+                return Err(RelError::TypeError(format!(
+                    "cannot order {} against {}",
+                    lv.type_name(),
+                    rv.type_name()
+                )));
+            }
+            Ok(p.decide(lv, rv))
+        }
+    }
+}
+
+/// The batched hash equi-join kernel: build a hash index over the right
+/// chunk's join-key columns, probe with the left, and emit a dense output
+/// chunk whose columns are the left's followed by the right's, annotated
+/// with the semiring product. Both chunks must be fringe-free (a symbolic
+/// join key needs the token-weighted nested loop of
+/// [`crate::ops::join_on_opts`]); between constants the §4.3 key tokens
+/// are exactly structural equality, so this is the classical join. An
+/// empty `on` degenerates to the cartesian product.
+pub fn hash_join<A: AggAnnotation>(
+    left: Chunk<A>,
+    right: Chunk<A>,
+    on: &[(usize, usize)],
+    schema: Schema,
+) -> Result<Chunk<A>> {
+    left.require_all_ground("batch hash join")?;
+    right.require_all_ground("batch hash join")?;
+    if schema.arity() != left.schema.arity() + right.schema.arity() {
+        return Err(RelError::ArityMismatch {
+            expected: left.schema.arity() + right.schema.arity(),
+            got: schema.arity(),
+        });
+    }
+    let lsel = left.selected();
+    let rsel = right.selected();
+    // Build (right), probe (left) — the same sides as the row-at-a-time
+    // hash join — collecting matching row pairs first, then gathering the
+    // output column by column (better locality than row-wise assembly;
+    // single-column keys index by `&Const` directly, no per-row key
+    // allocation).
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    if on.is_empty() {
+        for &lr in &lsel {
+            for &rr in &rsel {
+                pairs.push((lr, rr));
+            }
+        }
+    } else if let [(li, ri)] = on {
+        let (lcol, rcol) = (left.col(*li), right.col(*ri));
+        let mut index: HashMap<&Const, Vec<u32>> = HashMap::new();
+        for &rr in &rsel {
+            index.entry(&rcol[rr as usize]).or_default().push(rr);
+        }
+        for &lr in &lsel {
+            if let Some(matches) = index.get(&lcol[lr as usize]) {
+                for &rr in matches {
+                    pairs.push((lr, rr));
+                }
+            }
+        }
+    } else {
+        let mut index: HashMap<Vec<&Const>, Vec<u32>> = HashMap::new();
+        for &rr in &rsel {
+            let key: Vec<&Const> = on
+                .iter()
+                .map(|(_, j)| &right.col(*j)[rr as usize])
+                .collect();
+            index.entry(key).or_default().push(rr);
+        }
+        for &lr in &lsel {
+            let key: Vec<&Const> = on.iter().map(|(i, _)| &left.col(*i)[lr as usize]).collect();
+            if let Some(matches) = index.get(&key) {
+                for &rr in matches {
+                    pairs.push((lr, rr));
+                }
+            }
+        }
+    }
+    let anns: Vec<A> = pairs
+        .iter()
+        .map(|&(lr, rr)| left.ground.anns()[lr as usize].times(&right.ground.anns()[rr as usize]))
+        .collect();
+    let mut cols: Vec<Vec<Const>> = Vec::with_capacity(schema.arity());
+    for i in 0..left.schema.arity() {
+        let src = left.col(i);
+        cols.push(
+            pairs
+                .iter()
+                .map(|&(lr, _)| src[lr as usize].clone())
+                .collect(),
+        );
+    }
+    for j in 0..right.schema.arity() {
+        let src = right.col(j);
+        cols.push(
+            pairs
+                .iter()
+                .map(|&(_, rr)| src[rr as usize].clone())
+                .collect(),
+        );
+    }
+    let ground = ColumnBatch::from_columns(cols, anns)?;
+    Ok(Chunk {
+        schema,
+        view: (0..ground.arity()).collect(),
+        ground,
+        sel: None,
+        fringe: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::km::Km;
+    use crate::ops;
+    use aggprov_algebra::monoid::MonoidKind;
+    use aggprov_algebra::poly::NatPoly;
+    use aggprov_algebra::semiring::CommutativeSemiring;
+    use aggprov_algebra::tensor::Tensor;
+    use aggprov_krel::relation::Relation;
+
+    type P = Km<NatPoly>;
+
+    fn tok(name: &str) -> P {
+        Km::embed(NatPoly::token(name))
+    }
+
+    fn sch(names: &[&str]) -> Schema {
+        Schema::new(names.iter().copied()).unwrap()
+    }
+
+    fn sym(v: i64) -> Value<P> {
+        Value::Agg(
+            MonoidKind::Sum,
+            Tensor::from_terms(&MonoidKind::Sum, [(tok("x"), Const::int(v))]),
+        )
+    }
+
+    fn mixed() -> MKRel<P> {
+        Relation::from_rows(
+            sch(&["a", "b"]),
+            [
+                (vec![Value::int(1), Value::int(10)], tok("p1")),
+                (vec![Value::int(2), Value::int(20)], tok("p2")),
+                (vec![Value::int(2), sym(20)], tok("p3")),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chunk_round_trips() {
+        let rel = mixed();
+        let c = Chunk::from_relation(&rel);
+        assert_eq!(c.ground_len(), 2);
+        assert_eq!(c.fringe().len(), 1);
+        assert_eq!(c.into_relation().unwrap(), rel);
+    }
+
+    #[test]
+    fn filter_matches_select_on_ground_and_fringe() {
+        let rel = mixed();
+        let mut c = Chunk::from_relation(&rel);
+        c.filter(
+            &BatchOperand::Col(0),
+            BatchCmp::Eq,
+            &BatchOperand::Lit(Const::int(2)),
+        )
+        .unwrap();
+        let got = c.into_relation().unwrap();
+        let want = ops::select_eq(&rel, "a", &Value::int(2)).unwrap();
+        assert_eq!(got, want);
+
+        // An order comparison over the symbolic column produces a token on
+        // the fringe row and plain 0/1 on the ground rows.
+        let mut c = Chunk::from_relation(&rel);
+        c.filter(
+            &BatchOperand::Col(1),
+            BatchCmp::Pred(CmpPred::Lt),
+            &BatchOperand::Lit(Const::int(15)),
+        )
+        .unwrap();
+        let got = c.into_relation().unwrap();
+        let want = ops::select_cmp(&rel, "b", CmpPred::Lt, &Value::int(15)).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ordering_across_types_is_a_type_error() {
+        let rel: MKRel<P> =
+            Relation::from_rows(sch(&["a"]), [(vec![Value::str("s")], tok("p1"))]).unwrap();
+        let mut c = Chunk::from_relation(&rel);
+        let err = c
+            .filter(
+                &BatchOperand::Col(0),
+                BatchCmp::Pred(CmpPred::Lt),
+                &BatchOperand::Lit(Const::int(1)),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("cannot order"), "{err}");
+        // ≠ across types is simply true, as on the token path.
+        let mut c = Chunk::from_relation(&rel);
+        c.filter(
+            &BatchOperand::Col(0),
+            BatchCmp::Pred(CmpPred::Ne),
+            &BatchOperand::Lit(Const::int(1)),
+        )
+        .unwrap();
+        assert_eq!(c.ground_len(), 1);
+    }
+
+    #[test]
+    fn project_gathers_and_defers_the_merge() {
+        let rel: MKRel<P> = Relation::from_rows(
+            sch(&["a", "b"]),
+            [
+                (vec![Value::int(1), Value::int(10)], tok("p1")),
+                (vec![Value::int(1), Value::int(20)], tok("p2")),
+            ],
+        )
+        .unwrap();
+        let c = Chunk::from_relation(&rel);
+        let p = c.project(&[0], sch(&["a"])).unwrap();
+        assert_eq!(p.ground_len(), 2, "merge deferred to materialization");
+        let got = p.into_relation().unwrap();
+        let want = ops::project(&rel, &["a"]).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn hash_join_matches_join_on() {
+        let r: MKRel<P> = Relation::from_rows(
+            sch(&["a", "b"]),
+            [
+                (vec![Value::int(1), Value::int(10)], tok("p1")),
+                (vec![Value::int(2), Value::int(20)], tok("p2")),
+            ],
+        )
+        .unwrap();
+        let s: MKRel<P> = Relation::from_rows(
+            sch(&["c", "d"]),
+            [
+                (vec![Value::int(1), Value::int(100)], tok("q1")),
+                (vec![Value::int(1), Value::int(200)], tok("q2")),
+            ],
+        )
+        .unwrap();
+        let schema = sch(&["a", "b", "c", "d"]);
+        let j = hash_join(
+            Chunk::from_relation(&r),
+            Chunk::from_relation(&s),
+            &[(0, 0)],
+            schema.clone(),
+        )
+        .unwrap()
+        .into_relation()
+        .unwrap();
+        let want = ops::join_on(&r, &s, &[("a", "c")]).unwrap();
+        assert_eq!(j, want);
+        // Empty `on` is the cartesian product.
+        let prod = hash_join(
+            Chunk::from_relation(&r),
+            Chunk::from_relation(&s),
+            &[],
+            schema,
+        )
+        .unwrap()
+        .into_relation()
+        .unwrap();
+        assert_eq!(prod, ops::product(&r, &s).unwrap());
+    }
+
+    #[test]
+    fn unit_column_and_avg_divide() {
+        let rel: MKRel<P> = Relation::from_rows(
+            sch(&["s", "n"]),
+            [(vec![Value::int(70), Value::int(3)], P::one())],
+        )
+        .unwrap();
+        let c = Chunk::from_relation(&rel)
+            .add_unit_column(sch(&["s", "n", "one"]))
+            .unwrap();
+        assert_eq!(c.ground_len(), 1);
+        let c = c
+            .avg_divide(&[(0, 1)], false, sch(&["s", "n", "one", "avg"]))
+            .unwrap();
+        let out = c.into_relation().unwrap();
+        let (t, _) = out.iter().next().unwrap();
+        assert_eq!(
+            t.get(3),
+            &Value::Const(Const::Num(aggprov_algebra::num::Num::ratio(70, 3)))
+        );
+    }
+
+    #[test]
+    fn ungrouped_avg_over_zero_count_drops_the_row() {
+        let rel: MKRel<P> = Relation::from_rows(
+            sch(&["s", "n"]),
+            [(vec![Value::int(0), Value::int(0)], P::one())],
+        )
+        .unwrap();
+        let ok = Chunk::from_relation(&rel)
+            .clone()
+            .avg_divide(&[(0, 1)], true, sch(&["s", "n", "avg"]))
+            .unwrap();
+        assert!(ok.into_relation().unwrap().is_empty());
+        let err = Chunk::from_relation(&rel)
+            .avg_divide(&[(0, 1)], false, sch(&["s", "n", "avg"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("empty group"), "{err}");
+    }
+
+    #[test]
+    fn cross_row_kernels_reject_symbolic_fringes() {
+        // Projection, AVG division and hash join are only defined over
+        // ground rows; handing them a chunk with a fringe must be a loud
+        // error (not a debug-only assert), or symbolic provenance would
+        // silently drop in release builds.
+        let rel = mixed();
+        let chunk = Chunk::from_relation(&rel);
+        assert!(chunk.has_fringe());
+        let err = chunk.clone().project(&[0], sch(&["a"])).unwrap_err();
+        assert!(err.to_string().contains("symbolic"), "{err}");
+        assert!(chunk
+            .clone()
+            .avg_divide(&[(0, 1)], false, sch(&["a", "b", "m"]))
+            .is_err());
+        let ground: MKRel<P> =
+            Relation::from_rows(sch(&["c"]), [(vec![Value::int(2)], tok("q"))]).unwrap();
+        assert!(hash_join(
+            Chunk::from_relation(&ground),
+            chunk,
+            &[(0, 0)],
+            sch(&["c", "a", "b"]),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_chunk_kernels_are_total() {
+        let rel: MKRel<P> = Relation::empty(sch(&["a", "b"]));
+        let mut c = Chunk::from_relation(&rel);
+        c.filter(
+            &BatchOperand::Col(0),
+            BatchCmp::Eq,
+            &BatchOperand::Lit(Const::int(1)),
+        )
+        .unwrap();
+        let c = c.project(&[1, 0], sch(&["b", "a"])).unwrap();
+        let c = c.add_unit_column(sch(&["b", "a", "one"])).unwrap();
+        assert!(c.into_relation().unwrap().is_empty());
+    }
+}

@@ -5,6 +5,7 @@ use crate::annot::ParseAnnotation;
 use crate::ast::{ColType, Lit, Stmt};
 use crate::exec::execute_plan;
 use crate::parser::parse_script;
+use crate::phys::PhysNode;
 use crate::plan::{lower_query, Plan};
 use crate::result::ResultSet;
 use aggprov_algebra::domain::Const;
@@ -101,7 +102,7 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
                     }
                     last = Some(execute_plan(
                         self,
-                        &lowered.plan,
+                        &crate::phys::lower(&lowered.plan),
                         &[],
                         0,
                         &ExecOptions::from_env()?,
@@ -119,9 +120,11 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
     pub fn prepare(&self, sql: &str) -> Result<Prepared<'_, A>> {
         let q = crate::parser::parse_query(sql)?;
         let lowered = lower_query(self, &q)?;
+        let phys = crate::phys::lower(&lowered.plan);
         Ok(Prepared {
             db: self,
             plan: Arc::new(lowered.plan),
+            phys: Arc::new(phys),
             param_count: lowered.param_count,
         })
     }
@@ -181,11 +184,12 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
     }
 }
 
-/// A prepared query: the logical plan with all names resolved, bound to
-/// the database it was prepared against.
+/// A prepared query: the logical plan with all names resolved — plus its
+/// lowered physical form — bound to the database it was prepared against.
 ///
-/// Executing a `Prepared` interprets the stored [`Plan`] directly — no
-/// re-parsing, no re-resolution. Because it borrows the database
+/// Executing a `Prepared` drives the physical pipeline lowered from the
+/// stored [`Plan`] at prepare time — no re-parsing, no re-resolution, no
+/// per-execution position lookups. Because it borrows the database
 /// immutably, the catalog cannot change under a live prepared statement
 /// (the borrow checker enforces what other engines need epoch counters
 /// for).
@@ -212,6 +216,7 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
 pub struct Prepared<'db, A: AggAnnotation + ParseAnnotation> {
     db: &'db Database<A>,
     plan: Arc<Plan>,
+    phys: Arc<PhysNode>,
     param_count: usize,
 }
 
@@ -264,7 +269,7 @@ impl<'db, A: AggAnnotation + ParseAnnotation> Prepared<'db, A> {
         }
         Ok(ResultSet::from_relation(execute_plan(
             self.db,
-            &self.plan,
+            &self.phys,
             params,
             self.param_count,
             opts,

@@ -1,46 +1,92 @@
-//! Plan execution: interprets the logical-plan IR of [`crate::plan`]
-//! against annotated relations using the operators of `aggprov-core`.
+//! Physical-plan execution: drives the [`PhysNode`](crate::phys::PhysNode)
+//! pipeline of [`crate::phys`] against annotated relations.
 //!
 //! All parsing, name resolution and validation happened at prepare time
-//! (see [`crate::plan::lower_query`]); this module only moves data. Column
-//! references arrive as positions or resolved internal names, output
-//! naming and set-operation alignment are single schema-level renames
-//! ([`Relation::with_schema`](aggprov_krel::relation::Relation::with_schema)),
-//! and `$n` parameters are bound from the slice passed alongside the plan.
+//! (see [`crate::plan::lower_query`] and [`crate::phys::lower`]); this
+//! module only moves data. Execution streams [`Flow`] values — either a
+//! materialized relation or a columnar [`Chunk`] (ground batch + selection
+//! vector + symbolic fringe) — through the operator tree:
 //!
-//! Join, group-by, union and projection nodes run the partition-parallel
-//! operator variants of `aggprov_core::ops`, sharding their ground
-//! partitions across the worker threads of the [`ExecOptions`] passed down
-//! from [`Prepared::execute_with_opts`](crate::database::Prepared); the
-//! produced relations are identical at every thread count.
+//! * **pipeline segments** (Filter → Project → AddUnitColumn → HashJoin
+//!   over ground data) stay in chunk form, so no `BTreeMap` relation is
+//!   materialized between nodes — filters narrow a selection vector,
+//!   projections gather columns, joins hash build/probe over columns;
+//! * **pipeline breakers** — Aggregate and SetOp — materialize their
+//!   inputs and run the row-at-a-time operators of `aggprov_core::ops`
+//!   (which also carry the partition-parallel sharding of
+//!   [`ExecOptions`]);
+//! * whenever the symbolic fringe forces cross-row token sums (projection
+//!   or join over symbolic values), the affected node falls back to the
+//!   same `ops::*_opts` operators, so results are bit-identical to the
+//!   `specops` reference at every thread count.
 
 use crate::annot::ParseAnnotation;
 use crate::ast::{CmpOp, SetOp};
 use crate::database::Database;
-use crate::plan::{AvgSpec, Plan, PlanOperand, Predicate};
+use crate::phys::PhysNode;
+use crate::plan::{PlanOperand, Predicate};
 use aggprov_algebra::domain::Const;
 use aggprov_core::annotation::AggAnnotation;
+use aggprov_core::km::CmpPred;
+use aggprov_core::ops::batch::{hash_join, BatchCmp, BatchOperand, Chunk};
 use aggprov_core::ops::{self, AggSpec, MKRel};
 use aggprov_core::par::ExecOptions;
 use aggprov_core::{difference, Value};
 use aggprov_krel::error::{RelError, Result};
-use aggprov_krel::relation::Relation;
+use aggprov_krel::relation::{Relation, Tuple};
+use aggprov_krel::schema::Schema;
+use std::collections::BTreeMap;
 
 fn unsup(msg: impl Into<String>) -> RelError {
     RelError::Unsupported(msg.into())
 }
 
-/// Executes a plan against the database with `$n` parameters bound from
-/// `params` (slot `i` holds `$i+1`).
+/// A value mid-pipeline: a materialized relation or a columnar chunk.
+/// Conversions are lazy — a scan stays an `Arc`-shared relation until a
+/// vectorized node actually needs columns.
+enum Flow<A: AggAnnotation> {
+    Rel(MKRel<A>),
+    Chunk(Chunk<A>),
+}
+
+impl<A: AggAnnotation> Flow<A> {
+    /// Materializes (merging any deferred duplicates additively).
+    fn into_rel(self) -> Result<MKRel<A>> {
+        match self {
+            Flow::Rel(r) => Ok(r),
+            Flow::Chunk(c) => c.into_relation(),
+        }
+    }
+
+    /// Moves to columnar form (splitting off the symbolic fringe).
+    fn into_chunk(self) -> Chunk<A> {
+        match self {
+            Flow::Rel(r) => Chunk::from_relation(&r),
+            Flow::Chunk(c) => c,
+        }
+    }
+
+    /// True iff any row carries a symbolic aggregate value — the
+    /// condition that sends cross-row nodes to the token-path fallback.
+    fn has_symbolic(&self) -> bool {
+        match self {
+            Flow::Rel(r) => ops::has_symbolic(r),
+            Flow::Chunk(c) => c.has_fringe(),
+        }
+    }
+}
+
+/// Executes a physical plan against the database with `$n` parameters
+/// bound from `params` (slot `i` holds `$i+1`).
 ///
-/// Crate-private on purpose: plans interpret column references by
-/// position without re-validating them, so the only safe entry points are
-/// the ones that lowered the plan against this database —
+/// Crate-private on purpose: physical plans interpret column references
+/// by position without re-validating them, so the only safe entry points
+/// are the ones that lowered the plan against this database —
 /// [`Prepared`](crate::database::Prepared) and
 /// [`Database::exec`](crate::database::Database::exec).
 pub(crate) fn execute_plan<A>(
     db: &Database<A>,
-    plan: &Plan,
+    phys: &PhysNode,
     params: &[Const],
     param_count: usize,
     opts: &ExecOptions,
@@ -48,47 +94,123 @@ pub(crate) fn execute_plan<A>(
 where
     A: AggAnnotation + ParseAnnotation,
 {
-    match plan {
-        Plan::Scan { table, schema } => db.table(table)?.clone().with_schema(schema.clone()),
-        Plan::Derived { input, schema } => {
-            execute_plan(db, input, params, param_count, opts)?.with_schema(schema.clone())
+    run(db, phys, params, param_count, opts)?.into_rel()
+}
+
+fn run<A>(
+    db: &Database<A>,
+    phys: &PhysNode,
+    params: &[Const],
+    param_count: usize,
+    opts: &ExecOptions,
+) -> Result<Flow<A>>
+where
+    A: AggAnnotation + ParseAnnotation,
+{
+    match phys {
+        PhysNode::Scan { table, schema } => Ok(Flow::Rel(
+            db.table(table)?.clone().with_schema(schema.clone())?,
+        )),
+        PhysNode::Rename { input, schema } => match run(db, input, params, param_count, opts)? {
+            Flow::Rel(r) => Ok(Flow::Rel(r.with_schema(schema.clone())?)),
+            Flow::Chunk(c) => Ok(Flow::Chunk(c.with_schema(schema.clone())?)),
+        },
+        PhysNode::Filter { input, pred } => {
+            let mut chunk = run(db, input, params, param_count, opts)?.into_chunk();
+            let (left, cmp, right) = bind_predicate(pred, params, param_count)?;
+            chunk.filter(&left, cmp, &right)?;
+            Ok(Flow::Chunk(chunk))
         }
-        Plan::Product { left, right, .. } => {
-            let l = execute_plan(db, left, params, param_count, opts)?;
-            let r = execute_plan(db, right, params, param_count, opts)?;
-            ops::product(&l, &r)
+        PhysNode::AddUnitColumn { input, schema } => {
+            let chunk = run(db, input, params, param_count, opts)?.into_chunk();
+            Ok(Flow::Chunk(chunk.add_unit_column(schema.clone())?))
         }
-        Plan::Join {
-            left, right, on, ..
+        PhysNode::Project {
+            input,
+            columns,
+            distinct,
+            expand,
+            identity,
+            schema,
         } => {
-            let l = execute_plan(db, left, params, param_count, opts)?;
-            let r = execute_plan(db, right, params, param_count, opts)?;
-            let pairs: Vec<(&str, &str)> =
-                on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
-            ops::join_on_opts(&l, &r, &pairs, opts)
-        }
-        Plan::Filter { input, pred } => {
-            let rel = execute_plan(db, input, params, param_count, opts)?;
-            apply_predicate(&rel, pred, params, param_count)
-        }
-        Plan::AddUnitColumn { input, schema } => {
-            let rel = execute_plan(db, input, params, param_count, opts)?;
-            let mut out = Relation::empty(schema.clone());
-            for (t, k) in rel.iter() {
-                let mut row = t.values().to_vec();
-                row.push(Value::int(1));
-                out.insert(row, k.clone())?;
+            let flow = run(db, input, params, param_count, opts)?;
+            if flow.has_symbolic() {
+                // Cross-row token sums: the §4.3 projection over the
+                // distinct positions, then positional expansion.
+                let rel = flow.into_rel()?;
+                return Ok(Flow::Rel(project_symbolic(
+                    &rel, distinct, expand, schema, opts,
+                )?));
             }
-            Ok(out)
+            if *identity {
+                // A pure schema rename over symbol-free input: the Arc'd
+                // tuple store (or the columns) stay shared untouched.
+                return match flow {
+                    Flow::Rel(r) => Ok(Flow::Rel(r.with_schema(schema.clone())?)),
+                    Flow::Chunk(c) => Ok(Flow::Chunk(c.with_schema(schema.clone())?)),
+                };
+            }
+            Ok(Flow::Chunk(
+                flow.into_chunk().project(columns, schema.clone())?,
+            ))
         }
-        Plan::Aggregate {
+        PhysNode::Product {
+            left,
+            right,
+            schema,
+        } => {
+            let l = run(db, left, params, param_count, opts)?;
+            let r = run(db, right, params, param_count, opts)?;
+            if !l.has_symbolic() && !r.has_symbolic() {
+                return Ok(Flow::Chunk(hash_join(
+                    l.into_chunk(),
+                    r.into_chunk(),
+                    &[],
+                    schema.clone(),
+                )?));
+            }
+            Ok(Flow::Rel(ops::product(&l.into_rel()?, &r.into_rel()?)?))
+        }
+        PhysNode::HashJoin {
+            left,
+            right,
+            on_idx,
+            on_names,
+            schema,
+        } => {
+            let l = run(db, left, params, param_count, opts)?;
+            let r = run(db, right, params, param_count, opts)?;
+            if !l.has_symbolic() && !r.has_symbolic() {
+                return Ok(Flow::Chunk(hash_join(
+                    l.into_chunk(),
+                    r.into_chunk(),
+                    on_idx,
+                    schema.clone(),
+                )?));
+            }
+            // Symbolic join keys (or values): the token-weighted operator
+            // with its internal ground/symbolic partitioning.
+            let pairs: Vec<(&str, &str)> = on_names
+                .iter()
+                .map(|(a, b)| (a.as_str(), b.as_str()))
+                .collect();
+            Ok(Flow::Rel(ops::join_on_opts(
+                &l.into_rel()?,
+                &r.into_rel()?,
+                &pairs,
+                opts,
+            )?))
+        }
+        PhysNode::Aggregate {
             input,
             group_by,
             aggs,
             avg,
-            ..
+            avg_idx,
+            schema,
         } => {
-            let rel = execute_plan(db, input, params, param_count, opts)?;
+            // Pipeline breaker: aggregation needs the whole input.
+            let rel = run(db, input, params, param_count, opts)?.into_rel()?;
             let specs: Vec<AggSpec<'_>> = aggs
                 .iter()
                 .map(|a| AggSpec {
@@ -98,97 +220,54 @@ where
                 })
                 .collect();
             let group_refs: Vec<&str> = group_by.iter().map(|g| g.as_str()).collect();
-            let grouped = if group_refs.is_empty() {
+            let ungrouped = group_refs.is_empty();
+            let grouped = if ungrouped {
                 ops::agg_all(&rel, &specs)?
             } else {
                 ops::group_by_opts(&rel, &group_refs, &specs, opts)?
             };
             if avg.is_empty() {
-                Ok(grouped)
-            } else {
-                compute_avg_columns(&grouped, avg, group_refs.is_empty())
+                return Ok(Flow::Rel(grouped));
             }
+            if !ops::has_symbolic(&grouped) {
+                // The batched AVG division; the result stays columnar so a
+                // following HAVING filter or projection runs vectorized.
+                let chunk = Chunk::from_relation(&grouped);
+                return Ok(Flow::Chunk(chunk.avg_divide(
+                    avg_idx,
+                    ungrouped,
+                    schema.clone(),
+                )?));
+            }
+            Ok(Flow::Rel(compute_avg_columns(
+                &grouped, avg_idx, schema, ungrouped,
+            )?))
         }
-        Plan::Project {
-            input,
-            columns,
-            schema,
-        } => {
-            let rel = execute_plan(db, input, params, param_count, opts)?;
-            // Project the *distinct* input positions first — the §4.3
-            // symbolic projection (annotation merging under equality
-            // tokens) is defined over a set of attributes — then expand
-            // duplicated select items (`SELECT dept AS a, dept AS b`)
-            // positionally and install the display schema in one
-            // schema-level rename.
-            let mut distinct: Vec<usize> = Vec::new();
-            let expand: Vec<usize> = columns
-                .iter()
-                .map(|i| {
-                    distinct.iter().position(|d| d == i).unwrap_or_else(|| {
-                        distinct.push(*i);
-                        distinct.len() - 1
-                    })
-                })
-                .collect();
-            let names: Vec<&str> = distinct
-                .iter()
-                .map(|i| rel.schema().attrs()[*i].name())
-                .collect();
-            // An identity projection (every input column, in order) over a
-            // symbol-free relation is a pure schema rename: no tuple
-            // rebuild, the Arc'd store stays shared with the input (and,
-            // through a bare scan, with the base table itself). With
-            // symbolic values the §4.3 projection is *not* the identity —
-            // a constant row and an aggregate row can carry a nonzero
-            // equality token, so cross contributions must still be summed.
-            let identity = distinct.len() == rel.schema().arity()
-                && distinct.iter().enumerate().all(|(i, d)| i == *d)
-                && !ops::has_symbolic(&rel);
-            let projected = if identity {
-                rel
-            } else {
-                ops::project_opts(&rel, &names, opts)?
-            };
-            if distinct.len() == columns.len() {
-                return projected.with_schema(schema.clone());
-            }
-            let mut out = Relation::empty(schema.clone());
-            for (t, k) in projected.iter() {
-                let row: Vec<Value<A>> = expand.iter().map(|i| t.get(*i).clone()).collect();
-                out.insert(row, k.clone())?;
-            }
-            Ok(out)
-        }
-        Plan::SetOp {
+        PhysNode::SetOp {
             op,
             left,
             right,
             schema,
         } => {
-            let l = execute_plan(db, left, params, param_count, opts)?;
-            // Align the right side by position, as in SQL: one
-            // schema-level rename instead of a per-column rename loop.
-            let r =
-                execute_plan(db, right, params, param_count, opts)?.with_schema(schema.clone())?;
+            // Pipeline breaker on both inputs. The right side is aligned
+            // by position, as in SQL: one schema-level rename.
+            let l = run(db, left, params, param_count, opts)?.into_rel()?;
+            let r = run(db, right, params, param_count, opts)?
+                .into_rel()?
+                .with_schema(schema.clone())?;
             match op {
-                SetOp::Union => ops::union_opts(&l, &r, opts),
-                SetOp::Except => difference::difference(&l, &r),
+                SetOp::Union => Ok(Flow::Rel(ops::union_opts(&l, &r, opts)?)),
+                SetOp::Except => Ok(Flow::Rel(difference::difference(&l, &r)?)),
             }
         }
     }
 }
 
-/// Binds a resolved operand to a concrete value fetcher.
-enum Fetch {
-    Col(usize),
-    Const(Const),
-}
-
-fn bind_operand(op: &PlanOperand, params: &[Const], param_count: usize) -> Result<Fetch> {
+/// Binds a resolved operand to a batch operand, resolving `$n` slots.
+fn bind_operand(op: &PlanOperand, params: &[Const], param_count: usize) -> Result<BatchOperand> {
     Ok(match op {
-        PlanOperand::Col(i) => Fetch::Col(*i),
-        PlanOperand::Lit(c) => Fetch::Const(c.clone()),
+        PlanOperand::Col(i) => BatchOperand::Col(*i),
+        PlanOperand::Lit(c) => BatchOperand::Lit(c.clone()),
         PlanOperand::Param(slot) => {
             // Defensive re-check of what `Prepared::execute_with` verified
             // up front; both paths raise the same `ParamArity` error.
@@ -196,42 +275,65 @@ fn bind_operand(op: &PlanOperand, params: &[Const], param_count: usize) -> Resul
                 expected: param_count,
                 got: params.len(),
             })?;
-            Fetch::Const(c.clone())
+            BatchOperand::Lit(c.clone())
         }
     })
 }
 
-fn apply_predicate<A: AggAnnotation>(
-    rel: &MKRel<A>,
+/// Binds a predicate for the filter kernel: operands resolved once (a
+/// constant or `$n` parameter is cloned exactly once per execution, never
+/// per tuple), `>`/`≥` normalized by swapping sides.
+fn bind_predicate(
     pred: &Predicate,
     params: &[Const],
     param_count: usize,
-) -> Result<MKRel<A>> {
-    use aggprov_core::km::CmpPred;
+) -> Result<(BatchOperand, BatchCmp, BatchOperand)> {
     let left = bind_operand(&pred.left, params, param_count)?;
     let right = bind_operand(&pred.right, params, param_count)?;
-    ops::select_with_token(rel, move |_, t| {
-        let fetch = |f: &Fetch| -> Value<A> {
-            match f {
-                Fetch::Col(i) => t.get(*i).clone(),
-                Fetch::Const(c) => Value::Const(c.clone()),
-            }
-        };
-        let (lv, rv) = (fetch(&left), fetch(&right));
-        match pred.op {
-            CmpOp::Eq => A::value_eq(&lv, &rv),
-            CmpOp::Ne => A::value_cmp(CmpPred::Ne, &lv, &rv),
-            CmpOp::Lt => A::value_cmp(CmpPred::Lt, &lv, &rv),
-            CmpOp::Le => A::value_cmp(CmpPred::Le, &lv, &rv),
-            CmpOp::Gt => A::value_cmp(CmpPred::Lt, &rv, &lv),
-            CmpOp::Ge => A::value_cmp(CmpPred::Le, &rv, &lv),
-        }
+    Ok(match pred.op {
+        CmpOp::Eq => (left, BatchCmp::Eq, right),
+        CmpOp::Ne => (left, BatchCmp::Pred(CmpPred::Ne), right),
+        CmpOp::Lt => (left, BatchCmp::Pred(CmpPred::Lt), right),
+        CmpOp::Le => (left, BatchCmp::Pred(CmpPred::Le), right),
+        CmpOp::Gt => (right, BatchCmp::Pred(CmpPred::Lt), left),
+        CmpOp::Ge => (right, BatchCmp::Pred(CmpPred::Le), left),
     })
 }
 
-/// Appends `out = sum / cnt` columns; both parts must have resolved
-/// (symbolic AVG would require division in the monoid — compute SUM and
-/// COUNT separately to keep provenance, per paper footnote 6).
+/// The row-at-a-time projection fallback for symbolic inputs: the §4.3
+/// token projection over the distinct positions, then positional
+/// expansion of duplicated select items, built in bulk (one `BTreeMap`
+/// handed to `from_tuple_map`, no per-row `insert`).
+fn project_symbolic<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    distinct: &[usize],
+    expand: &[usize],
+    schema: &Schema,
+    opts: &ExecOptions,
+) -> Result<MKRel<A>> {
+    let names: Vec<&str> = distinct
+        .iter()
+        .map(|i| rel.schema().attrs()[*i].name())
+        .collect();
+    let projected = ops::project_opts(rel, &names, opts)?;
+    if distinct.len() == expand.len() {
+        return projected.with_schema(schema.clone());
+    }
+    // Expansion is injective on rows (every distinct position appears in
+    // `expand`), so the map keys never collide.
+    let mut out = BTreeMap::new();
+    for (t, k) in projected.iter() {
+        let row: Vec<Value<A>> = expand.iter().map(|i| t.get(*i).clone()).collect();
+        out.insert(Tuple::new(row), k.clone());
+    }
+    Relation::from_tuple_map(schema.clone(), out)
+}
+
+/// Appends `out = sum / cnt` columns row-at-a-time — the fallback when the
+/// grouped result carries symbolic values. Both parts of every pair must
+/// have resolved (symbolic AVG would require division in the monoid —
+/// compute SUM and COUNT separately to keep provenance, per paper
+/// footnote 6); other columns (e.g. a symbolic group key) pass through.
 ///
 /// An *ungrouped* AVG over empty input sees the §3.2 identity row
 /// (`sum = 0, cnt = 0`); SQL answers NULL there, and since the engine has
@@ -240,32 +342,14 @@ fn apply_predicate<A: AggAnnotation>(
 /// at least one member — so a zero count there stays an error.
 fn compute_avg_columns<A: AggAnnotation>(
     rel: &MKRel<A>,
-    pairs: &[AvgSpec],
+    pairs: &[(usize, usize)],
+    schema: &Schema,
     ungrouped: bool,
 ) -> Result<MKRel<A>> {
-    let mut names: Vec<String> = rel
-        .schema()
-        .attrs()
-        .iter()
-        .map(|a| a.name().to_string())
-        .collect();
-    for spec in pairs {
-        names.push(spec.out.clone());
-    }
-    let schema = aggprov_krel::schema::Schema::new(names.iter().map(|s| s.as_str()))?;
-    let indices: Vec<(usize, usize)> = pairs
-        .iter()
-        .map(|spec| {
-            Ok((
-                rel.schema().index_of(&spec.sum)?,
-                rel.schema().index_of(&spec.count)?,
-            ))
-        })
-        .collect::<Result<_>>()?;
-    let mut out = Relation::empty(schema);
+    let mut out = BTreeMap::new();
     'rows: for (t, k) in rel.iter() {
         let mut row = t.values().to_vec();
-        for (si, ci) in &indices {
+        for (si, ci) in pairs {
             let sum = t.get(*si).as_const().and_then(Const::as_num);
             let cnt = t.get(*ci).as_const().and_then(Const::as_num);
             let avg = match (sum, cnt) {
@@ -283,7 +367,8 @@ fn compute_avg_columns<A: AggAnnotation>(
             };
             row.push(Value::Const(Const::Num(avg)));
         }
-        out.insert(row, k.clone())?;
+        // Input rows are distinct and only gain columns: no collisions.
+        out.insert(Tuple::new(row), k.clone());
     }
-    Ok(out)
+    Relation::from_tuple_map(schema.clone(), out)
 }

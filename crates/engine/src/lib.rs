@@ -44,6 +44,7 @@ pub mod database;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub(crate) mod phys;
 pub mod plan;
 pub mod result;
 

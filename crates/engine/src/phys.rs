@@ -1,0 +1,356 @@
+//! The physical-plan layer: [`PhysNode`] trees lowered from the logical
+//! [`Plan`] IR at prepare time, driven by the pipeline executor in
+//! [`crate::exec`].
+//!
+//! Where the logical plan says *what* (relational semantics, resolved
+//! names), a physical node says *how*: every per-execution decision that
+//! does not depend on the data — join keys as column positions, the
+//! distinct/expand split of a duplicated projection, the sum/count column
+//! pairs of an `AVG` — is resolved here, once per prepare.
+//!
+//! The executor streams **chunks** (columnar ground batches plus a
+//! row-wise symbolic fringe, [`aggprov_core::ops::batch::Chunk`]) through
+//! Scan → Filter → Project → HashJoin segments; [`PhysNode::Aggregate`]
+//! and [`PhysNode::SetOp`] are the explicit **pipeline breakers** that
+//! materialize a relation (they need the whole input, and their symbolic
+//! semantics sums across rows). Any node whose batch kernel cannot
+//! represent the symbolic fringe falls back to the row-at-a-time
+//! `ops::*_opts` operators, so results are bit-identical to the
+//! `specops` reference either way.
+
+use crate::ast::SetOp;
+use crate::plan::{AvgSpec, Plan, PlanAgg, Predicate};
+use aggprov_krel::schema::Schema;
+
+/// A physical operator. See the module docs for the pipeline/breaker
+/// split; every node carries its output [`Schema`].
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) enum PhysNode {
+    /// A base-table scan (an `Arc` share plus a schema-level rename).
+    Scan {
+        /// The catalog table name.
+        table: String,
+        /// The alias-prefixed output schema.
+        schema: Schema,
+    },
+    /// A pure schema replacement (derived-table re-aliasing).
+    Rename {
+        /// Input node.
+        input: Box<PhysNode>,
+        /// The new schema.
+        schema: Schema,
+    },
+    /// A tokened selection: vectorized over ground columns (selection
+    /// vector), token path over the fringe. Never a breaker.
+    Filter {
+        /// Input node.
+        input: Box<PhysNode>,
+        /// The resolved predicate.
+        pred: Predicate,
+    },
+    /// Appends the constant-1 column for COUNT/AVG (per-row; never a
+    /// breaker).
+    AddUnitColumn {
+        /// Input node.
+        input: Box<PhysNode>,
+        /// The extended schema.
+        schema: Schema,
+    },
+    /// A projection. The batch kernel gathers `columns` directly
+    /// (duplicates and all); the row-at-a-time fallback projects the
+    /// `distinct` positions through the §4.3 token machinery and expands
+    /// duplicates positionally via `expand`.
+    Project {
+        /// Input node.
+        input: Box<PhysNode>,
+        /// Output column positions, in order, duplicates allowed.
+        columns: Vec<usize>,
+        /// The distinct input positions, in first-appearance order.
+        distinct: Vec<usize>,
+        /// Per output column, its index into `distinct`.
+        expand: Vec<usize>,
+        /// True iff `columns` is exactly `0..arity` — over a symbol-free
+        /// input the projection is a pure schema rename (`Arc` share).
+        identity: bool,
+        /// The display schema.
+        schema: Schema,
+    },
+    /// Cartesian product.
+    Product {
+        /// Left input.
+        left: Box<PhysNode>,
+        /// Right input.
+        right: Box<PhysNode>,
+        /// The concatenated schema.
+        schema: Schema,
+    },
+    /// Hash equi-join: build right, probe left. Batched when both sides
+    /// are fully ground, token-weighted `ops::join_on_opts` otherwise.
+    HashJoin {
+        /// Left (probe) input.
+        left: Box<PhysNode>,
+        /// Right (build) input.
+        right: Box<PhysNode>,
+        /// Join-key column positions `(left, right)`.
+        on_idx: Vec<(usize, usize)>,
+        /// The same keys by resolved name, for the row-at-a-time fallback.
+        on_names: Vec<(String, String)>,
+        /// The concatenated schema.
+        schema: Schema,
+    },
+    /// Grouping/aggregation — a pipeline breaker (materializes its
+    /// input). `AVG` outputs divide batched when the grouped result is
+    /// fully ground.
+    Aggregate {
+        /// Input node.
+        input: Box<PhysNode>,
+        /// Resolved grouping column names (empty = whole-relation).
+        group_by: Vec<String>,
+        /// Aggregate computations, in output order.
+        aggs: Vec<PlanAgg>,
+        /// AVG columns derived from SUM/COUNT pairs.
+        avg: Vec<AvgSpec>,
+        /// Per AVG spec, the (sum, count) positions in the grouped output.
+        avg_idx: Vec<(usize, usize)>,
+        /// The output schema (grouped columns ++ avg outputs).
+        schema: Schema,
+    },
+    /// `UNION` / `EXCEPT` — a pipeline breaker on both inputs.
+    SetOp {
+        /// The operation.
+        op: SetOp,
+        /// Left input.
+        left: Box<PhysNode>,
+        /// Right input.
+        right: Box<PhysNode>,
+        /// The output schema (the left input's).
+        schema: Schema,
+    },
+}
+
+/// Lowers a logical plan to its physical form, resolving every
+/// data-independent decision (join-key positions, projection
+/// distinct/expand, AVG column pairs) exactly once.
+pub(crate) fn lower(plan: &Plan) -> PhysNode {
+    match plan {
+        Plan::Scan { table, schema } => PhysNode::Scan {
+            table: table.clone(),
+            schema: schema.clone(),
+        },
+        Plan::Derived { input, schema } => PhysNode::Rename {
+            input: Box::new(lower(input)),
+            schema: schema.clone(),
+        },
+        Plan::Filter { input, pred } => PhysNode::Filter {
+            input: Box::new(lower(input)),
+            pred: pred.clone(),
+        },
+        Plan::AddUnitColumn { input, schema } => PhysNode::AddUnitColumn {
+            input: Box::new(lower(input)),
+            schema: schema.clone(),
+        },
+        Plan::Project {
+            input,
+            columns,
+            schema,
+        } => {
+            // The §4.3 symbolic projection is defined over a *set* of
+            // attributes: split duplicated select items into the distinct
+            // input positions plus a positional expansion, as the
+            // row-at-a-time executor always did — now once, at lower time.
+            let mut distinct: Vec<usize> = Vec::new();
+            let expand: Vec<usize> = columns
+                .iter()
+                .map(|i| {
+                    distinct.iter().position(|d| d == i).unwrap_or_else(|| {
+                        distinct.push(*i);
+                        distinct.len() - 1
+                    })
+                })
+                .collect();
+            let identity = distinct.len() == input.schema().arity()
+                && distinct.iter().enumerate().all(|(i, d)| i == *d)
+                && distinct.len() == columns.len();
+            PhysNode::Project {
+                input: Box::new(lower(input)),
+                columns: columns.clone(),
+                distinct,
+                expand,
+                identity,
+                schema: schema.clone(),
+            }
+        }
+        Plan::Product {
+            left,
+            right,
+            schema,
+        } => PhysNode::Product {
+            left: Box::new(lower(left)),
+            right: Box::new(lower(right)),
+            schema: schema.clone(),
+        },
+        Plan::Join {
+            left,
+            right,
+            on,
+            schema,
+        } => {
+            let on_idx = on
+                .iter()
+                .map(|(l, r)| {
+                    (
+                        left.schema().index_of(l).expect("resolved at lowering"),
+                        right.schema().index_of(r).expect("resolved at lowering"),
+                    )
+                })
+                .collect();
+            PhysNode::HashJoin {
+                left: Box::new(lower(left)),
+                right: Box::new(lower(right)),
+                on_idx,
+                on_names: on.clone(),
+                schema: schema.clone(),
+            }
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            avg,
+            schema,
+        } => {
+            // The grouped output (before AVG columns) is `group_by` then
+            // the aggregate outputs; AVG pairs resolve against it.
+            let grouped: Vec<&str> = group_by
+                .iter()
+                .map(|g| g.as_str())
+                .chain(aggs.iter().map(|a| a.out.as_str()))
+                .collect();
+            let avg_idx = avg
+                .iter()
+                .map(|spec| {
+                    let pos = |name: &str| {
+                        grouped
+                            .iter()
+                            .position(|n| *n == name)
+                            .expect("AVG parts named at lowering")
+                    };
+                    (pos(&spec.sum), pos(&spec.count))
+                })
+                .collect();
+            PhysNode::Aggregate {
+                input: Box::new(lower(input)),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+                avg: avg.clone(),
+                avg_idx,
+                schema: schema.clone(),
+            }
+        }
+        Plan::SetOp {
+            op,
+            left,
+            right,
+            schema,
+        } => PhysNode::SetOp {
+            op: *op,
+            left: Box::new(lower(left)),
+            right: Box::new(lower(right)),
+            schema: schema.clone(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::plan::lower_query;
+    use crate::ProvDb;
+
+    fn db() -> ProvDb {
+        let mut db = ProvDb::new();
+        db.exec(
+            "CREATE TABLE r (emp NUM, dept TEXT, sal NUM);
+             CREATE TABLE heads (dept TEXT, head TEXT);",
+        )
+        .unwrap();
+        db
+    }
+
+    fn phys(db: &ProvDb, sql: &str) -> PhysNode {
+        lower(&lower_query(db, &parse_query(sql).unwrap()).unwrap().plan)
+    }
+
+    #[test]
+    fn join_keys_lower_to_positions() {
+        let db = db();
+        let root = phys(&db, "SELECT r.emp FROM r JOIN heads ON r.dept = heads.dept");
+        let PhysNode::Project { input, .. } = root else {
+            panic!("expected projection root");
+        };
+        let PhysNode::HashJoin {
+            on_idx, on_names, ..
+        } = *input
+        else {
+            panic!("expected a hash join under the projection");
+        };
+        assert_eq!(on_idx, vec![(1, 0)]);
+        assert_eq!(
+            on_names,
+            vec![("r.dept".to_string(), "heads.dept".to_string())]
+        );
+    }
+
+    #[test]
+    fn duplicated_projection_lowers_distinct_and_expand() {
+        let db = db();
+        let root = phys(&db, "SELECT dept AS a, dept AS b, sal FROM r");
+        let PhysNode::Project {
+            columns,
+            distinct,
+            expand,
+            identity,
+            ..
+        } = root
+        else {
+            panic!("expected projection root");
+        };
+        assert_eq!(columns, vec![1, 1, 2]);
+        assert_eq!(distinct, vec![1, 2]);
+        assert_eq!(expand, vec![0, 0, 1]);
+        assert!(!identity);
+    }
+
+    #[test]
+    fn identity_projection_is_marked() {
+        let db = db();
+        let PhysNode::Project { identity, .. } = phys(&db, "SELECT emp, dept, sal FROM r") else {
+            panic!("expected projection root");
+        };
+        assert!(identity);
+        // A permutation is not the identity.
+        let PhysNode::Project { identity, .. } = phys(&db, "SELECT sal, dept, emp FROM r") else {
+            panic!("expected projection root");
+        };
+        assert!(!identity);
+    }
+
+    #[test]
+    fn avg_pairs_lower_to_grouped_positions() {
+        let db = db();
+        let root = phys(&db, "SELECT dept, AVG(sal) AS mean FROM r GROUP BY dept");
+        let PhysNode::Project { input, .. } = root else {
+            panic!("expected projection root");
+        };
+        let PhysNode::Aggregate {
+            avg_idx, schema, ..
+        } = *input
+        else {
+            panic!("expected an aggregate under the projection");
+        };
+        // Grouped output: dept, __avg_sum_1, __avg_cnt_1 (then `mean`).
+        assert_eq!(avg_idx, vec![(1, 2)]);
+        assert_eq!(schema.arity(), 4);
+    }
+}

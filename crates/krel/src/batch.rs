@@ -1,0 +1,396 @@
+//! Columnar batches over the ground partition of a relation.
+//!
+//! The row-at-a-time `BTreeMap` store of [`Relation`] is the right shape
+//! for the §4.3 token semantics — symbolic values force sums over the
+//! whole support — but it is the wrong shape for the ground hot path,
+//! where every equality token is `0`/`1` and execution degenerates to
+//! classical columnar work. A [`ColumnBatch`] holds that ground partition
+//! column-major: one `Vec<Const>` per attribute plus a dense annotation
+//! column, so a filter touches only the compared columns and a projection
+//! is a column remap instead of a per-tuple rebuild.
+//!
+//! [`GroundBatch`] pairs a `ColumnBatch` with the **symbolic fringe** — the
+//! rows that hold a non-constant value somewhere — kept row-wise, exactly
+//! as they came out of the relation. The split is lossless:
+//! [`GroundBatch::from_relation`] followed by [`GroundBatch::into_relation`]
+//! reproduces the input relation bit for bit. The vectorized kernels over
+//! these batches live in `aggprov_core::ops::batch`; this module is only
+//! the container and the conversion.
+
+use crate::error::{RelError, Result};
+use crate::relation::{Relation, Tuple};
+use crate::schema::Schema;
+use aggprov_algebra::domain::Const;
+use aggprov_algebra::semiring::CommutativeSemiring;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A column-major batch of fully ground rows: `arity` parallel
+/// `Vec<Const>` columns plus one dense annotation column. Row `r` is
+/// `(cols[0][r], …, cols[arity-1][r])` annotated `anns[r]`.
+///
+/// A batch is a *bag* of rows — unlike a [`Relation`], equal rows may
+/// appear more than once (a pipeline defers the additive merge to its
+/// next breaker); [`GroundBatch::into_relation`] merges duplicates
+/// additively, which by distributivity agrees with merging eagerly.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ColumnBatch<K> {
+    cols: Vec<Vec<Const>>,
+    anns: Vec<K>,
+}
+
+impl<K: CommutativeSemiring> ColumnBatch<K> {
+    /// An empty batch of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Self::with_capacity(arity, 0)
+    }
+
+    /// An empty batch of the given arity with row capacity pre-reserved.
+    pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        ColumnBatch {
+            cols: (0..arity).map(|_| Vec::with_capacity(rows)).collect(),
+            anns: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Builds a batch from pre-assembled columns. All columns and the
+    /// annotation vector must have the same length.
+    pub fn from_columns(cols: Vec<Vec<Const>>, anns: Vec<K>) -> Result<Self> {
+        if let Some(c) = cols.iter().find(|c| c.len() != anns.len()) {
+            return Err(RelError::ArityMismatch {
+                expected: anns.len(),
+                got: c.len(),
+            });
+        }
+        Ok(ColumnBatch { cols, anns })
+    }
+
+    /// The number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The number of rows.
+    pub fn len(&self) -> usize {
+        self.anns.len()
+    }
+
+    /// True iff the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.anns.is_empty()
+    }
+
+    /// One column, as a dense slice.
+    pub fn col(&self, i: usize) -> &[Const] {
+        &self.cols[i]
+    }
+
+    /// The annotation column.
+    pub fn anns(&self) -> &[K] {
+        &self.anns
+    }
+
+    /// Appends one row. The row's arity must match the batch's.
+    pub fn push_row(&mut self, row: &[Const], ann: K) {
+        debug_assert_eq!(row.len(), self.arity());
+        for (col, v) in self.cols.iter_mut().zip(row) {
+            col.push(v.clone());
+        }
+        self.anns.push(ann);
+    }
+
+    /// Appends a whole column (e.g. the constant-1 column for COUNT/AVG).
+    /// The column must have one value per row.
+    pub fn push_column(&mut self, col: Vec<Const>) -> Result<()> {
+        if col.len() != self.len() {
+            return Err(RelError::ArityMismatch {
+                expected: self.len(),
+                got: col.len(),
+            });
+        }
+        self.cols.push(col);
+        Ok(())
+    }
+
+    /// Decomposes the batch into its columns and annotation vector
+    /// (e.g. to reorder columns wholesale through a projection view).
+    pub fn into_columns(self) -> (Vec<Vec<Const>>, Vec<K>) {
+        (self.cols, self.anns)
+    }
+}
+
+/// A relation split for vectorized execution: the fully ground rows as a
+/// [`ColumnBatch`] plus the symbolic fringe as a row-wise side table, in
+/// support order on both sides.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GroundBatch<K, V> {
+    ground: ColumnBatch<K>,
+    fringe: Vec<(Tuple<V>, K)>,
+}
+
+impl<K, V> GroundBatch<K, V>
+where
+    K: CommutativeSemiring,
+    V: Clone + Ord + Hash + fmt::Debug,
+{
+    /// Splits a relation: rows whose every value reads back as a constant
+    /// through `as_const` fill the columnar ground batch; the rest land on
+    /// the row-wise fringe. Both partitions keep support order, so the
+    /// split (composed with [`GroundBatch::into_relation`]) is lossless.
+    pub fn from_relation(rel: &Relation<K, V>, as_const: impl Fn(&V) -> Option<&Const>) -> Self {
+        let mut ground = ColumnBatch::with_capacity(rel.schema().arity(), rel.len());
+        let mut fringe = Vec::new();
+        for (t, k) in rel.iter() {
+            let vals = t.values();
+            // Groundness check first, then one clone per value straight
+            // into its column — no intermediate row buffer.
+            if vals.iter().any(|v| as_const(v).is_none()) {
+                fringe.push((t.clone(), k.clone()));
+                continue;
+            }
+            for (col, v) in ground.cols.iter_mut().zip(vals) {
+                col.push(as_const(v).expect("checked ground").clone());
+            }
+            ground.anns.push(k.clone());
+        }
+        GroundBatch { ground, fringe }
+    }
+
+    /// Wraps a batch produced by downstream kernels, with a fringe carried
+    /// alongside (possibly empty).
+    pub fn from_parts(ground: ColumnBatch<K>, fringe: Vec<(Tuple<V>, K)>) -> Self {
+        GroundBatch { ground, fringe }
+    }
+
+    /// The columnar ground partition.
+    pub fn ground(&self) -> &ColumnBatch<K> {
+        &self.ground
+    }
+
+    /// The symbolic fringe rows, in support order.
+    pub fn fringe(&self) -> &[(Tuple<V>, K)] {
+        &self.fringe
+    }
+
+    /// True iff no row holds a symbolic value.
+    pub fn is_all_ground(&self) -> bool {
+        self.fringe.is_empty()
+    }
+
+    /// Decomposes into the ground batch and the fringe.
+    pub fn into_parts(self) -> (ColumnBatch<K>, Vec<(Tuple<V>, K)>) {
+        (self.ground, self.fringe)
+    }
+
+    /// Rebuilds a relation under `schema`: ground rows are lifted back
+    /// through `lift` with duplicates merged **additively** (zero sums
+    /// leave the support, as in [`Relation::insert`]); fringe rows merge
+    /// the same way. For a batch straight out of
+    /// [`GroundBatch::from_relation`] there are no duplicates and the round
+    /// trip is the identity; for a kernel output, the additive merge *is*
+    /// the deferred merge of the pipeline.
+    pub fn into_relation(
+        self,
+        schema: Schema,
+        lift: impl Fn(Const) -> V,
+    ) -> Result<Relation<K, V>> {
+        self.into_relation_selected(schema, lift, None)
+    }
+
+    /// [`GroundBatch::into_relation`] restricted to the ground rows named
+    /// by an ascending selection vector (`None` = all rows). Values and
+    /// annotations are **moved** out of the columns — a pipeline's final
+    /// materialization never re-clones what its kernels already built.
+    pub fn into_relation_selected(
+        self,
+        schema: Schema,
+        lift: impl Fn(Const) -> V,
+        sel: Option<&[u32]>,
+    ) -> Result<Relation<K, V>> {
+        if self.ground.arity() != schema.arity() {
+            return Err(RelError::ArityMismatch {
+                expected: schema.arity(),
+                got: self.ground.arity(),
+            });
+        }
+        let mut map: BTreeMap<Tuple<V>, K> = BTreeMap::new();
+        let merge = |map: &mut BTreeMap<Tuple<V>, K>, t: Tuple<V>, k: K| {
+            if k.is_zero() {
+                return;
+            }
+            match map.entry(t) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(k);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let sum = e.get().plus(&k);
+                    if sum.is_zero() {
+                        e.remove();
+                    } else {
+                        *e.get_mut() = sum;
+                    }
+                }
+            }
+        };
+        let nrows = self.ground.len();
+        let mut cols: Vec<std::vec::IntoIter<Const>> =
+            self.ground.cols.into_iter().map(Vec::into_iter).collect();
+        let mut anns = self.ground.anns.into_iter();
+        let mut sel_iter = sel.map(|s| s.iter().copied().peekable());
+        for r in 0..nrows {
+            let keep = match &mut sel_iter {
+                None => true,
+                Some(s) => {
+                    if s.peek() == Some(&(r as u32)) {
+                        s.next();
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if keep {
+                let row: Vec<V> = cols
+                    .iter_mut()
+                    .map(|c| lift(c.next().expect("column length")))
+                    .collect();
+                merge(
+                    &mut map,
+                    Tuple::new(row),
+                    anns.next().expect("annotation length"),
+                );
+            } else {
+                // Skipped rows are consumed (and dropped) to keep the
+                // column iterators aligned.
+                for c in cols.iter_mut() {
+                    c.next();
+                }
+                anns.next();
+            }
+        }
+        for (t, k) in self.fringe {
+            merge(&mut map, t, k);
+        }
+        Relation::from_tuple_map(schema, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggprov_algebra::poly::NatPoly;
+    use aggprov_algebra::semiring::Nat;
+
+    fn s(names: &[&str]) -> Schema {
+        Schema::new(names.iter().copied()).unwrap()
+    }
+
+    /// In these tests the value type is `Const` itself; "symbolic" is
+    /// played by boolean values so the split predicate has something to
+    /// reject.
+    fn as_non_bool(c: &Const) -> Option<&Const> {
+        match c {
+            Const::Bool(_) => None,
+            _ => Some(c),
+        }
+    }
+
+    fn sample() -> Relation<NatPoly, Const> {
+        Relation::from_rows(
+            s(&["a", "b"]),
+            [
+                (vec![Const::int(1), Const::str("x")], NatPoly::token("p1")),
+                (vec![Const::int(2), Const::Bool(true)], NatPoly::token("p2")),
+                (vec![Const::int(3), Const::str("y")], NatPoly::token("p3")),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn split_round_trips_losslessly() {
+        let rel = sample();
+        let batch = GroundBatch::from_relation(&rel, as_non_bool);
+        assert_eq!(batch.ground().len(), 2);
+        assert_eq!(batch.fringe().len(), 1);
+        assert_eq!(batch.ground().col(0), &[Const::int(1), Const::int(3)]);
+        let back = batch.into_relation(rel.schema().clone(), |c| c).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn empty_and_all_fringe_round_trip() {
+        let empty: Relation<Nat, Const> = Relation::empty(s(&["a"]));
+        let b = GroundBatch::from_relation(&empty, |c| Some(c));
+        assert!(b.ground().is_empty() && b.is_all_ground());
+        assert_eq!(b.into_relation(s(&["a"]), |c| c).unwrap(), empty);
+
+        let rel = Relation::from_rows(
+            s(&["a"]),
+            [
+                (vec![Const::Bool(true)], Nat(2)),
+                (vec![Const::Bool(false)], Nat(1)),
+            ],
+        )
+        .unwrap();
+        let b = GroundBatch::from_relation(&rel, as_non_bool);
+        assert!(b.ground().is_empty());
+        assert_eq!(b.fringe().len(), 2);
+        assert_eq!(b.into_relation(s(&["a"]), |c| c).unwrap(), rel);
+    }
+
+    #[test]
+    fn into_relation_merges_duplicates_additively() {
+        let mut ground = ColumnBatch::new(1);
+        ground.push_row(&[Const::int(1)], Nat(2));
+        ground.push_row(&[Const::int(1)], Nat(3));
+        ground.push_row(&[Const::int(2)], Nat(1));
+        let rel = GroundBatch::<Nat, Const>::from_parts(ground, Vec::new())
+            .into_relation(s(&["a"]), |c| c)
+            .unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.annotation(&Tuple::from([Const::int(1)])), Nat(5));
+    }
+
+    #[test]
+    fn selected_materialization_compacts_and_moves() {
+        let rel = sample();
+        let batch = GroundBatch::from_relation(&rel, as_non_bool);
+        // Keep only the second ground row (absolute row index 1).
+        let compacted = batch
+            .into_relation_selected(s(&["a", "b"]), |c| c, Some(&[1]))
+            .unwrap();
+        assert_eq!(compacted.len(), 2, "selected ground row + fringe row");
+        assert_eq!(
+            compacted.annotation(&Tuple::from([Const::int(3), Const::str("y")])),
+            NatPoly::token("p3")
+        );
+    }
+
+    #[test]
+    fn arity_and_length_checks() {
+        assert!(
+            ColumnBatch::<Nat>::from_columns(vec![vec![Const::int(1)], vec![]], vec![Nat(1)])
+                .is_err()
+        );
+        let mut b = ColumnBatch::<Nat>::new(1);
+        b.push_row(&[Const::int(1)], Nat(1));
+        assert!(b.push_column(vec![]).is_err());
+        assert!(b.clone().push_column(vec![Const::int(9)]).is_ok());
+        let gb = GroundBatch::<Nat, Const>::from_parts(b, Vec::new());
+        assert!(gb.into_relation(s(&["a", "b"]), |c| c).is_err());
+    }
+
+    #[test]
+    fn zero_sums_leave_the_support() {
+        use aggprov_algebra::semiring::IntZ;
+        let mut ground = ColumnBatch::new(1);
+        ground.push_row(&[Const::int(1)], IntZ(2));
+        ground.push_row(&[Const::int(1)], IntZ(-2));
+        let rel = GroundBatch::<IntZ, Const>::from_parts(ground, Vec::new())
+            .into_relation(s(&["a"]), |c| c)
+            .unwrap();
+        assert!(rel.is_empty());
+    }
+}

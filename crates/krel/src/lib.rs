@@ -7,6 +7,9 @@
 //! * [`schema`], [`relation`] — named-perspective schemas, tuples, and
 //!   `K`-relations with union / projection / selection / join / product /
 //!   rename and homomorphism application (`h_Rel`);
+//! * [`batch`] — column-major batches over the ground partition
+//!   ([`ColumnBatch`], [`GroundBatch`]) with lossless `Relation ⇄ batch`
+//!   conversion, the substrate of the vectorized execution pipeline;
 //! * [`kset`] — `K`-sets and `SetAgg`;
 //! * [`monus`] — baseline difference semantics (set/bag monus,
 //!   ℤ-difference) used by the paper's §5.2 comparisons;
@@ -16,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod error;
 pub mod kset;
 pub mod monus;
@@ -23,6 +27,7 @@ pub mod reference;
 pub mod relation;
 pub mod schema;
 
+pub use batch::{ColumnBatch, GroundBatch};
 pub use error::{RelError, Result};
 pub use relation::{Relation, ShardView, Tuple};
 pub use schema::{Attr, Schema};
