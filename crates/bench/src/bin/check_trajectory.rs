@@ -21,14 +21,26 @@
 //!   out quick-mode sampling noise but not an order-of-magnitude loss.
 
 use aggprov_bench::trajectory::{
-    checked_in_points, clamp_to_host, compare, fresh_path, parse, BenchFile, MAX_REGRESSION,
+    checked_in_points, clamp_to_host, compare, fresh_path, host_note, parse, BenchFile,
+    MAX_REGRESSION,
 };
-use aggprov_bench::{batchbench, parbench};
+use aggprov_bench::{batchbench, optbench, parbench};
 use criterion::quick_mode_samples;
 
 fn read_bench_file(path: &std::path::Path) -> Option<BenchFile> {
     let text = std::fs::read_to_string(path).ok()?;
     parse(&text)
+}
+
+/// Runs one self-measuring point inline (quick mode) — the gate owns
+/// these measurements, so a bare `cargo run --bin check_trajectory`
+/// always enforces them with no preceding bench step. `detail` goes into
+/// the progress line (e.g. a thread count); `render` measures at the
+/// given sample count and returns the rendered trajectory JSON.
+fn inline_measure(name: &str, detail: &str, render: impl FnOnce(usize) -> String) -> BenchFile {
+    let samples = quick_mode_samples(5);
+    println!("check_trajectory: measuring {name} inline ({samples} samples{detail})");
+    parse(&render(samples)).expect("self-rendered JSON parses")
 }
 
 fn main() {
@@ -46,6 +58,12 @@ fn main() {
             failures.push(format!("{}: unreadable trajectory point", path.display()));
             continue;
         };
+        // A point measured on a different core count is still judged
+        // (algorithmic ratios are scale-free), but say so: a reader
+        // comparing absolute numbers should know the hosts differ.
+        if let Some(note) = host_note(&recorded, parbench::host_cpus()) {
+            println!("{note}");
+        }
         // Thread-scaling ratios do not transfer across core counts: judge
         // them against what this host can physically deliver.
         if clamp_to_host(&mut recorded, parbench::host_cpus()) {
@@ -76,39 +94,30 @@ fn main() {
         };
         let fresh = match fresh {
             Some(f) => f,
-            None if *pr == batchbench::PR => {
-                // The gate owns this measurement too: the batch-pipeline
-                // point re-measures inline so a bare
-                // `cargo run --bin check_trajectory` always enforces the
-                // newest point.
-                let samples = quick_mode_samples(5);
-                println!("check_trajectory: measuring batch_pipeline inline ({samples} samples)");
-                let points = batchbench::measure(samples);
-                parse(&batchbench::render_json(
-                    &points,
+            None if *pr == optbench::PR => inline_measure("opt_pipeline", "", |samples| {
+                optbench::render_json(&optbench::measure(samples), samples, parbench::host_cpus())
+            }),
+            None if *pr == batchbench::PR => inline_measure("batch_pipeline", "", |samples| {
+                batchbench::render_json(
+                    &batchbench::measure(samples),
                     samples,
                     parbench::host_cpus(),
-                ))
-                .expect("self-rendered JSON parses")
-            }
+                )
+            }),
             None if *pr == parbench::PR => {
-                // The gate owns this measurement: run it inline (quick
-                // mode) so a bare `cargo run --bin check_trajectory`
-                // enforces the newest point with no preceding bench step.
-                let samples = quick_mode_samples(5);
                 let threads = recorded.threads.unwrap_or(4);
-                println!(
-                    "check_trajectory: measuring partition_parallel inline \
-                     ({samples} samples, threads = {threads})"
-                );
-                let points = parbench::measure(samples, threads);
-                parse(&parbench::render_json(
-                    &points,
-                    samples,
-                    threads,
-                    parbench::host_cpus(),
-                ))
-                .expect("self-rendered JSON parses")
+                inline_measure(
+                    "partition_parallel",
+                    &format!(", threads = {threads}"),
+                    |samples| {
+                        parbench::render_json(
+                            &parbench::measure(samples, threads),
+                            samples,
+                            threads,
+                            parbench::host_cpus(),
+                        )
+                    },
+                )
             }
             None if *pr == newest_pr => {
                 failures.push(format!(

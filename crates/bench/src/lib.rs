@@ -1,10 +1,12 @@
 //! Shared fixtures for the benchmark harness, the partition-parallel
 //! measurement ([`parbench`]), the batch-pipeline measurement
-//! ([`batchbench`]) and the perf-trajectory tooling behind the enforcing
-//! `check_trajectory` CI gate ([`trajectory`]).
+//! ([`batchbench`]), the plan-optimizer measurement ([`optbench`]) and
+//! the perf-trajectory tooling behind the enforcing `check_trajectory`
+//! CI gate ([`trajectory`]).
 
 pub mod batchbench;
 pub mod fixtures;
+pub mod optbench;
 pub mod parbench;
 pub mod trajectory;
 

@@ -166,6 +166,23 @@ pub fn clamp_to_host(checked: &mut BenchFile, host_cpus: usize) -> bool {
     clamped
 }
 
+/// The one-line informational note printed when a checked-in point was
+/// recorded on a host with a different CPU count than the judging host.
+/// Informational only — algorithmic ratios are scale-free and are still
+/// enforced; the note exists so a reader comparing absolute times knows
+/// the hosts differ. `None` when the counts match or were not recorded.
+pub fn host_note(checked: &BenchFile, judging_cpus: usize) -> Option<String> {
+    let recorded = checked.host_cpus?;
+    if recorded == judging_cpus {
+        return None;
+    }
+    Some(format!(
+        "BENCH_pr{}: note: recorded on a host with {recorded} CPU(s), judging host has \
+         {judging_cpus} — absolute times are not comparable",
+        checked.pr
+    ))
+}
+
 /// Compares a fresh measurement against a recorded point: one failure
 /// line per operator whose ratio regressed more than `max_regression`×,
 /// or which the fresh run did not measure at all.
@@ -274,6 +291,22 @@ mod tests {
         let mut pr2 = parse(pr2).unwrap();
         assert!(!clamp_to_host(&mut pr2, 1));
         assert!((pr2.points[0].speedup - 350.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn host_note_fires_only_across_differing_hosts() {
+        let checked = parse(SAMPLE).unwrap();
+        // Recorded on 8 CPUs, judged on 8: silent.
+        assert_eq!(host_note(&checked, 8), None);
+        // Judged on 1: a one-line note naming both counts, not a failure.
+        let note = host_note(&checked, 1).unwrap();
+        assert!(note.contains("BENCH_pr3"), "{note}");
+        assert!(note.contains("8 CPU(s)"), "{note}");
+        assert!(note.contains('1'), "{note}");
+        assert!(!note.contains('\n'), "one line: {note}");
+        // A point with no host_cpus field stays silent.
+        let bare = parse(r#"{"pr": 2, "results": []}"#).unwrap();
+        assert_eq!(host_note(&bare, 4), None);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::annot::ParseAnnotation;
 use crate::ast::{ColType, Lit, Stmt};
 use crate::exec::execute_plan;
+use crate::opt::{self, Catalog};
 use crate::parser::parse_script;
 use crate::phys::PhysNode;
 use crate::plan::{lower_query, Plan};
@@ -16,8 +17,8 @@ use aggprov_core::Value;
 use aggprov_krel::error::{RelError, Result};
 use aggprov_krel::relation::Relation;
 use aggprov_krel::schema::Schema;
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// A database of `(M, K)`-relations annotated with `A`.
 ///
@@ -25,15 +26,108 @@ use std::sync::Arc;
 /// [`ProvDb`](crate::ProvDb) tracks full aggregate provenance, while
 /// `Database<Nat>` runs plain bag semantics, `Database<Security>` security
 /// clearances, and so on — the factorization property in action.
-#[derive(Clone, Default, Debug)]
+///
+/// Prepared plans are **cached** keyed by SQL text: preparing the same
+/// statement twice returns the same optimized plan without re-parsing,
+/// re-lowering or re-optimizing. Every catalog or data mutation (DDL,
+/// `INSERT`, [`register`](Database::register)) invalidates the whole
+/// cache — the optimizer's rewrites are gated on a snapshot of table
+/// cardinalities and per-column groundness, so a stale plan could be
+/// mis-optimized, not merely slow.
+#[derive(Debug, Default)]
 pub struct Database<A: AggAnnotation + ParseAnnotation> {
     tables: BTreeMap<String, TableEntry<A>>,
+    cache: PlanCache,
+}
+
+impl<A: AggAnnotation + ParseAnnotation> Clone for Database<A> {
+    fn clone(&self) -> Self {
+        Database {
+            tables: self.tables.clone(),
+            // The clone sees identical data, so the cached plans (cheap
+            // `Arc` bumps) remain valid for it.
+            cache: self.cache.clone(),
+        }
+    }
+}
+
+/// One fully prepared statement, as stored in the plan cache.
+#[derive(Clone, Debug)]
+struct CachedStatement {
+    /// The lowered logical plan, pre-optimization.
+    logical: Arc<Plan>,
+    /// The optimized logical plan.
+    optimized: Arc<Plan>,
+    /// The physical plan lowered from the optimized plan.
+    phys: Arc<PhysNode>,
+    /// The number of `$n` slots.
+    param_count: usize,
+}
+
+/// The `Prepared`-plan cache: SQL text → fully lowered statement.
+#[derive(Debug, Default)]
+struct PlanCache {
+    map: Mutex<HashMap<String, CachedStatement>>,
+}
+
+impl Clone for PlanCache {
+    fn clone(&self) -> Self {
+        PlanCache {
+            map: Mutex::new(self.lock().clone()),
+        }
+    }
+}
+
+impl PlanCache {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, CachedStatement>> {
+        // A poisoned lock only means another thread panicked mid-insert;
+        // the map itself is always in a consistent state.
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn get(&self, sql: &str) -> Option<CachedStatement> {
+        self.lock().get(sql).cloned()
+    }
+
+    fn insert(&self, sql: &str, stmt: CachedStatement) {
+        self.lock().insert(sql.to_string(), stmt);
+    }
+
+    fn invalidate(&self) {
+        self.lock().clear();
+    }
+
+    fn len(&self) -> usize {
+        self.lock().len()
+    }
 }
 
 #[derive(Clone, Debug)]
 struct TableEntry<A: AggAnnotation> {
     types: Option<Vec<ColType>>,
     rel: MKRel<A>,
+    /// Per column, `true` iff every value is a ground constant —
+    /// maintained incrementally (SQL `INSERT` only adds constants;
+    /// [`Database::register`] scans once), so a catalog snapshot is
+    /// `O(columns)`, never a per-prepare pass over the rows.
+    ground_cols: Vec<bool>,
+}
+
+/// One pass over a relation for its per-column groundness, stopping
+/// early once every column is flagged symbolic.
+fn scan_ground_cols<A: AggAnnotation>(rel: &MKRel<A>) -> Vec<bool> {
+    let mut ground = vec![true; rel.schema().arity()];
+    for (t, _) in rel.iter() {
+        for (i, v) in t.values().iter().enumerate() {
+            if v.is_agg() {
+                ground[i] = false;
+            }
+        }
+        if ground.iter().all(|g| !g) {
+            break;
+        }
+    }
+    ground
 }
 
 impl<A: AggAnnotation + ParseAnnotation> Database<A> {
@@ -41,6 +135,7 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
     pub fn new() -> Self {
         Database {
             tables: BTreeMap::new(),
+            cache: PlanCache::default(),
         }
     }
 
@@ -52,10 +147,28 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
             .ok_or_else(|| RelError::UnknownAttr(format!("table `{name}`")))
     }
 
-    /// Registers (or replaces) a table built programmatically.
+    /// Registers (or replaces) a table built programmatically. Invalidates
+    /// the prepared-plan cache.
     pub fn register(&mut self, name: &str, rel: MKRel<A>) {
-        self.tables
-            .insert(name.to_string(), TableEntry { types: None, rel });
+        let ground_cols = scan_ground_cols(&rel);
+        self.tables.insert(
+            name.to_string(),
+            TableEntry {
+                types: None,
+                rel,
+                ground_cols,
+            },
+        );
+        self.cache.invalidate();
+    }
+
+    /// The optimizer-facing statistics of one table: tuple count plus the
+    /// incrementally maintained per-column groundness. `O(columns)`.
+    pub(crate) fn table_stats(&self, name: &str) -> Option<crate::opt::TableStats> {
+        self.tables.get(name).map(|e| crate::opt::TableStats {
+            rows: e.rel.len(),
+            ground_cols: e.ground_cols.clone(),
+        })
     }
 
     /// The table names.
@@ -64,7 +177,9 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
     }
 
     /// Executes a script of `;`-separated statements. Returns the result of
-    /// the last query in the script, if any.
+    /// the last query in the script, if any. Every DDL/`INSERT` statement
+    /// invalidates the prepared-plan cache (the optimizer's groundness and
+    /// cardinality snapshot is only valid for unchanged data).
     pub fn exec(&mut self, script: &str) -> Result<Option<MKRel<A>>> {
         let stmts = parse_script(script)?;
         let mut last = None;
@@ -75,34 +190,44 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
                         return Err(RelError::DuplicateAttr(format!("table `{name}`")));
                     }
                     let schema = Schema::new(columns.iter().map(|(n, _)| n.as_str()))?;
+                    let ground_cols = vec![true; schema.arity()];
                     self.tables.insert(
                         name,
                         TableEntry {
                             types: Some(columns.into_iter().map(|(_, t)| t).collect()),
                             rel: Relation::empty(schema),
+                            ground_cols,
                         },
                     );
+                    self.cache.invalidate();
                 }
                 Stmt::DropTable { name } => {
                     self.tables
                         .remove(&name)
                         .ok_or_else(|| RelError::UnknownAttr(format!("table `{name}`")))?;
+                    self.cache.invalidate();
                 }
                 Stmt::Insert {
                     table,
                     values,
                     provenance,
-                } => self.insert_row(&table, &values, provenance.as_deref())?,
+                } => {
+                    self.insert_row(&table, &values, provenance.as_deref())?;
+                    self.cache.invalidate();
+                }
                 Stmt::Query(q) => {
-                    let lowered = lower_query(self, &q)?;
-                    if lowered.param_count > 0 {
+                    // The same lower→optimize→phys pipeline as prepare()
+                    // (scripts have no SQL-text key per statement, so the
+                    // plan cache does not apply here).
+                    let stmt = self.plan_query(&q)?;
+                    if stmt.param_count > 0 {
                         return Err(RelError::Unsupported(
                             "`$n` parameters require prepare()/execute_with()".into(),
                         ));
                     }
                     last = Some(execute_plan(
                         self,
-                        &crate::phys::lower(&lowered.plan),
+                        &stmt.phys,
                         &[],
                         0,
                         &ExecOptions::from_env()?,
@@ -114,19 +239,69 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
     }
 
     /// Prepares a query: parses, lowers to the logical-plan IR, resolves
-    /// and validates every name — once. The returned [`Prepared`] can be
-    /// executed any number of times (with different `$n` parameters)
-    /// without re-parsing or re-resolving.
+    /// and validates every name, runs the semiring-sound optimizer
+    /// ([`crate::opt`]) against a snapshot of the current catalog, and
+    /// lowers the optimized plan to its physical form — once. The
+    /// returned [`Prepared`] can be executed any number of times (with
+    /// different `$n` parameters) without re-parsing or re-resolving.
+    ///
+    /// Plans are cached by SQL text: preparing the same statement again
+    /// (before any catalog/data mutation) is a lookup, not a re-plan.
     pub fn prepare(&self, sql: &str) -> Result<Prepared<'_, A>> {
+        if let Some(stmt) = self.cache.get(sql) {
+            return Ok(Prepared { db: self, stmt });
+        }
         let q = crate::parser::parse_query(sql)?;
-        let lowered = lower_query(self, &q)?;
-        let phys = crate::phys::lower(&lowered.plan);
-        Ok(Prepared {
-            db: self,
-            plan: Arc::new(lowered.plan),
+        let stmt = self.plan_query(&q)?;
+        self.cache.insert(sql, stmt.clone());
+        Ok(Prepared { db: self, stmt })
+    }
+
+    /// The shared planning pipeline behind [`prepare`](Database::prepare)
+    /// and [`exec`](Database::exec): lower, optimize against the
+    /// plan-restricted catalog snapshot, lower to physical form.
+    fn plan_query(&self, q: &crate::ast::Query) -> Result<CachedStatement> {
+        let lowered = lower_query(self, q)?;
+        let optimized = opt::optimize(&lowered.plan, &Catalog::of_plan(self, &lowered.plan));
+        let phys = crate::phys::lower(&optimized)?;
+        Ok(CachedStatement {
+            logical: Arc::new(lowered.plan),
+            optimized: Arc::new(optimized),
             phys: Arc::new(phys),
             param_count: lowered.param_count,
         })
+    }
+
+    /// Prepares a query with the optimizer switched off — the literal
+    /// lowered plan shape, bypassing (and not populating) the plan cache.
+    /// The execution-equivalence oracle for the optimizer's property
+    /// tests, and a debugging aid next to
+    /// [`plan_display`](Prepared::plan_display).
+    pub fn prepare_unoptimized(&self, sql: &str) -> Result<Prepared<'_, A>> {
+        let q = crate::parser::parse_query(sql)?;
+        let lowered = lower_query(self, &q)?;
+        let phys = crate::phys::lower(&lowered.plan)?;
+        let logical = Arc::new(lowered.plan);
+        Ok(Prepared {
+            db: self,
+            stmt: CachedStatement {
+                optimized: logical.clone(),
+                logical,
+                phys: Arc::new(phys),
+                param_count: lowered.param_count,
+            },
+        })
+    }
+
+    /// How many prepared plans the cache currently holds (diagnostic).
+    pub fn cached_plan_count(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Snapshots the optimizer's base-table catalog (cardinalities and
+    /// per-column groundness) for the database's current state.
+    pub fn catalog(&self) -> Catalog {
+        Catalog::of(self)
     }
 
     /// Runs a single query (read-only). Equivalent to
@@ -170,6 +345,8 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
                 }
             }
         }
+        // Literal rows hold only constants, so the entry's incremental
+        // `ground_cols` stays valid without rescanning.
         let row: Vec<Value<A>> = values
             .iter()
             .map(|l| {
@@ -215,25 +392,47 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
 #[derive(Clone, Debug)]
 pub struct Prepared<'db, A: AggAnnotation + ParseAnnotation> {
     db: &'db Database<A>,
-    plan: Arc<Plan>,
-    phys: Arc<PhysNode>,
-    param_count: usize,
+    stmt: CachedStatement,
 }
 
 impl<'db, A: AggAnnotation + ParseAnnotation> Prepared<'db, A> {
-    /// The logical plan this statement executes.
+    /// The logical plan as lowered from the SQL, before optimization.
     pub fn plan(&self) -> &Plan {
-        &self.plan
+        &self.stmt.logical
+    }
+
+    /// The optimized logical plan — what actually executes (identical to
+    /// [`plan`](Prepared::plan) when no rewrite fired).
+    pub fn optimized_plan(&self) -> &Plan {
+        &self.stmt.optimized
+    }
+
+    /// `EXPLAIN`-style introspection: the pre-optimization and
+    /// post-optimization operator trees, rendered for humans.
+    ///
+    /// ```
+    /// use aggprov_engine::ProvDb;
+    /// let mut db = ProvDb::new();
+    /// db.exec("CREATE TABLE r (a NUM, b NUM)").unwrap();
+    /// let stmt = db.prepare("SELECT a FROM r WHERE b = 1").unwrap();
+    /// assert!(stmt.plan_display().contains("Filter r.b = 1"));
+    /// ```
+    pub fn plan_display(&self) -> String {
+        format!(
+            "logical plan (as lowered):\n{}optimized plan:\n{}",
+            opt::render_plan(&self.stmt.logical),
+            opt::render_plan(&self.stmt.optimized),
+        )
     }
 
     /// How many `$n` parameters the query expects.
     pub fn param_count(&self) -> usize {
-        self.param_count
+        self.stmt.param_count
     }
 
     /// The result schema (known without executing).
     pub fn schema(&self) -> &Schema {
-        self.plan.schema()
+        self.stmt.logical.schema()
     }
 
     /// Executes the plan. Fails if the query has `$n` placeholders (use
@@ -261,17 +460,17 @@ impl<'db, A: AggAnnotation + ParseAnnotation> Prepared<'db, A> {
     /// path, `ExecOptions::with_threads(n)` shards ground partitions across
     /// `n` scoped worker threads.
     pub fn execute_with_opts(&self, params: &[Const], opts: &ExecOptions) -> Result<ResultSet<A>> {
-        if params.len() != self.param_count {
+        if params.len() != self.stmt.param_count {
             return Err(RelError::ParamArity {
-                expected: self.param_count,
+                expected: self.stmt.param_count,
                 got: params.len(),
             });
         }
         Ok(ResultSet::from_relation(execute_plan(
             self.db,
-            &self.phys,
+            &self.stmt.phys,
             params,
-            self.param_count,
+            self.stmt.param_count,
             opts,
         )?))
     }

@@ -115,10 +115,15 @@ where
             Flow::Rel(r) => Ok(Flow::Rel(r.with_schema(schema.clone())?)),
             Flow::Chunk(c) => Ok(Flow::Chunk(c.with_schema(schema.clone())?)),
         },
-        PhysNode::Filter { input, pred } => {
+        PhysNode::Filter { input, preds } => {
+            // Fused conjuncts narrow one selection vector in sequence
+            // (innermost conjunct first, exactly as the unfused pipeline
+            // applied them).
             let mut chunk = run(db, input, params, param_count, opts)?.into_chunk();
-            let (left, cmp, right) = bind_predicate(pred, params, param_count)?;
-            chunk.filter(&left, cmp, &right)?;
+            for pred in preds {
+                let (left, cmp, right) = bind_predicate(pred, params, param_count)?;
+                chunk.filter(&left, cmp, &right)?;
+            }
             Ok(Flow::Chunk(chunk))
         }
         PhysNode::AddUnitColumn { input, schema } => {

@@ -65,17 +65,28 @@ impl fmt::Display for Token {
     }
 }
 
-fn err(msg: String) -> RelError {
-    RelError::Unsupported(format!("syntax error: {msg}"))
+fn err_at(pos: usize, msg: String) -> RelError {
+    RelError::Parse {
+        pos,
+        msg: format!("syntax error: {msg}"),
+    }
 }
 
-/// Tokenizes an input string. `--` starts a line comment.
+/// Tokenizes an input string. `--` starts a line comment. Convenience
+/// wrapper over [`lex_spanned`] for callers that do not need positions.
 pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
+    Ok(lex_spanned(input)?.into_iter().map(|(t, _)| t).collect())
+}
+
+/// Tokenizes an input string, returning each token with the byte offset
+/// it starts at — the positions carried by [`RelError::Parse`].
+pub fn lex_spanned(input: &str) -> Result<Vec<(Token, usize)>, RelError> {
     let mut out = Vec::new();
     let bytes = input.as_bytes();
     let mut i = 0;
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let tok_start = i;
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '-' if bytes.get(i + 1) == Some(&b'-') => {
@@ -84,55 +95,55 @@ pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
                 }
             }
             '(' => {
-                out.push(Token::LParen);
+                out.push((Token::LParen, tok_start));
                 i += 1;
             }
             ')' => {
-                out.push(Token::RParen);
+                out.push((Token::RParen, tok_start));
                 i += 1;
             }
             ',' => {
-                out.push(Token::Comma);
+                out.push((Token::Comma, tok_start));
                 i += 1;
             }
             ';' => {
-                out.push(Token::Semi);
+                out.push((Token::Semi, tok_start));
                 i += 1;
             }
             '.' => {
-                out.push(Token::Dot);
+                out.push((Token::Dot, tok_start));
                 i += 1;
             }
             '*' => {
-                out.push(Token::Star);
+                out.push((Token::Star, tok_start));
                 i += 1;
             }
             '=' => {
-                out.push(Token::Eq);
+                out.push((Token::Eq, tok_start));
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                out.push(Token::Ne);
+                out.push((Token::Ne, tok_start));
                 i += 2;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Token::Ne);
+                    out.push((Token::Ne, tok_start));
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token::Le);
+                    out.push((Token::Le, tok_start));
                     i += 2;
                 } else {
-                    out.push(Token::Lt);
+                    out.push((Token::Lt, tok_start));
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token::Ge);
+                    out.push((Token::Ge, tok_start));
                     i += 2;
                 } else {
-                    out.push(Token::Gt);
+                    out.push((Token::Gt, tok_start));
                     i += 1;
                 }
             }
@@ -143,15 +154,21 @@ pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
                     j += 1;
                 }
                 if j == start {
-                    return Err(err("expected a parameter number after `$`".into()));
+                    return Err(err_at(
+                        tok_start,
+                        "expected a parameter number after `$`".into(),
+                    ));
                 }
-                let n: u32 = input[start..j]
-                    .parse()
-                    .map_err(|_| err(format!("parameter `${}` out of range", &input[start..j])))?;
+                let n: u32 = input[start..j].parse().map_err(|_| {
+                    err_at(
+                        tok_start,
+                        format!("parameter `${}` out of range", &input[start..j]),
+                    )
+                })?;
                 if n == 0 {
-                    return Err(err("parameters are numbered from $1".into()));
+                    return Err(err_at(tok_start, "parameters are numbered from $1".into()));
                 }
-                out.push(Token::Param(n));
+                out.push((Token::Param(n), tok_start));
                 i = j;
             }
             '\'' => {
@@ -161,9 +178,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
                     j += 1;
                 }
                 if j >= bytes.len() {
-                    return Err(err("unterminated string literal".into()));
+                    return Err(err_at(tok_start, "unterminated string literal".into()));
                 }
-                out.push(Token::Str(input[start..j].to_string()));
+                out.push((Token::Str(input[start..j].to_string()), tok_start));
                 i = j + 1;
             }
             '0'..='9' => {
@@ -182,8 +199,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
                     j += 1;
                 }
                 let text = &input[start..j];
-                let n = Num::parse(text).ok_or_else(|| err(format!("invalid number `{text}`")))?;
-                out.push(Token::Number(n));
+                let n = Num::parse(text)
+                    .ok_or_else(|| err_at(tok_start, format!("invalid number `{text}`")))?;
+                out.push((Token::Number(n), tok_start));
                 i = j;
             }
             '-' => {
@@ -197,7 +215,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
                 }
                 let digits_start = j;
                 if !bytes.get(j).is_some_and(|b| (*b as char).is_ascii_digit()) {
-                    return Err(err("stray `-`".into()));
+                    return Err(err_at(tok_start, "stray `-`".into()));
                 }
                 while j < bytes.len() && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.') {
                     if bytes[j] == b'.'
@@ -210,8 +228,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
                     j += 1;
                 }
                 let text = format!("-{}", &input[digits_start..j]);
-                let n = Num::parse(&text).ok_or_else(|| err(format!("invalid number `{text}`")))?;
-                out.push(Token::Number(n));
+                let n = Num::parse(&text)
+                    .ok_or_else(|| err_at(tok_start, format!("invalid number `{text}`")))?;
+                out.push((Token::Number(n), tok_start));
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -222,10 +241,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
                 {
                     j += 1;
                 }
-                out.push(Token::Ident(input[start..j].to_string()));
+                out.push((Token::Ident(input[start..j].to_string()), tok_start));
                 i = j;
             }
-            other => return Err(err(format!("unexpected character `{other}`"))),
+            other => return Err(err_at(tok_start, format!("unexpected character `{other}`"))),
         }
     }
     Ok(out)
@@ -285,6 +304,27 @@ mod tests {
         assert_eq!(lex("-- hi\nx").unwrap(), vec![Token::Ident("x".into())]);
         assert!(lex("'unterminated").is_err());
         assert!(lex("@").is_err());
+    }
+
+    #[test]
+    fn spans_point_at_token_starts() {
+        let toks = lex_spanned("ab  <= 'str' $3").unwrap();
+        let spans: Vec<usize> = toks.iter().map(|(_, p)| *p).collect();
+        assert_eq!(spans, vec![0, 4, 7, 13]);
+    }
+
+    #[test]
+    fn lex_errors_are_parse_errors_with_positions() {
+        let err = lex("ab @").unwrap_err();
+        let RelError::Parse { pos, msg } = &err else {
+            panic!("expected RelError::Parse, got {err:?}");
+        };
+        assert_eq!(*pos, 3);
+        assert!(msg.contains("unexpected character"), "{msg}");
+        assert!(err.to_string().contains("at byte 3"), "{err}");
+        // An unterminated string points at its opening quote.
+        let err = lex("x = 'oops").unwrap_err();
+        assert!(matches!(err, RelError::Parse { pos: 4, .. }), "{err:?}");
     }
 
     #[test]

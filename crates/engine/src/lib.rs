@@ -43,6 +43,7 @@ pub mod ast;
 pub mod database;
 pub mod exec;
 pub mod lexer;
+pub mod opt;
 pub mod parser;
 pub(crate) mod phys;
 pub mod plan;

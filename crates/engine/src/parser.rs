@@ -24,19 +24,21 @@
 //! ```
 
 use crate::ast::*;
-use crate::lexer::{lex, Token};
+use crate::lexer::{lex_spanned, Token};
 use aggprov_krel::error::RelError;
 
 type Result<T> = std::result::Result<T, RelError>;
 
-fn err(msg: impl Into<String>) -> RelError {
-    RelError::Unsupported(format!("parse error: {}", msg.into()))
-}
-
 /// Parses a script of one or more statements.
 pub fn parse_script(input: &str) -> Result<Vec<Stmt>> {
-    let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let spanned = lex_spanned(input)?;
+    let (tokens, spans): (Vec<Token>, Vec<usize>) = spanned.into_iter().unzip();
+    let mut p = Parser {
+        tokens,
+        spans,
+        end_pos: input.len(),
+        pos: 0,
+    };
     let mut stmts = Vec::new();
     loop {
         while p.eat(&Token::Semi) {}
@@ -45,27 +47,71 @@ pub fn parse_script(input: &str) -> Result<Vec<Stmt>> {
         }
         stmts.push(p.statement()?);
         if !p.at_end() && !p.eat(&Token::Semi) {
-            return Err(err(format!("expected `;`, found `{}`", p.peek_text())));
+            return Err(p.err(format!("expected `;`, found `{}`", p.peek_text())));
         }
     }
     Ok(stmts)
 }
 
-/// Parses a single query.
+/// Parses a single query. The "exactly one query" errors anchor at the
+/// offending spot: the start of a surplus second statement, or the start
+/// of a non-query statement.
 pub fn parse_query(input: &str) -> Result<Query> {
-    let mut stmts = parse_script(input)?;
-    match (stmts.len(), stmts.pop()) {
-        (1, Some(Stmt::Query(q))) => Ok(q),
-        _ => Err(err("expected exactly one query")),
+    let spanned = lex_spanned(input)?;
+    let (tokens, spans): (Vec<Token>, Vec<usize>) = spanned.into_iter().unzip();
+    let mut p = Parser {
+        tokens,
+        spans,
+        end_pos: input.len(),
+        pos: 0,
+    };
+    while p.eat(&Token::Semi) {}
+    let start = p.spans.get(p.pos).copied().unwrap_or(0);
+    let stmt = p.statement()?;
+    while p.eat(&Token::Semi) {}
+    if !p.at_end() {
+        return Err(p.err("expected exactly one query"));
+    }
+    match stmt {
+        Stmt::Query(q) => Ok(q),
+        _ => Err(RelError::Parse {
+            pos: start,
+            msg: "expected exactly one query".into(),
+        }),
     }
 }
 
 struct Parser {
     tokens: Vec<Token>,
+    /// Byte offset of each token's start in the input text.
+    spans: Vec<usize>,
+    /// The input length — the position errors at end of input point at.
+    end_pos: usize,
     pos: usize,
 }
 
 impl Parser {
+    /// A parse error anchored at the current token (or end of input).
+    fn err(&self, msg: impl Into<String>) -> RelError {
+        RelError::Parse {
+            pos: self.spans.get(self.pos).copied().unwrap_or(self.end_pos),
+            msg: msg.into(),
+        }
+    }
+
+    /// A parse error anchored at the token just consumed — for call
+    /// sites that `next()` first and reject what they got.
+    fn err_prev(&self, msg: impl Into<String>) -> RelError {
+        RelError::Parse {
+            pos: self
+                .spans
+                .get(self.pos.saturating_sub(1))
+                .copied()
+                .unwrap_or(self.end_pos),
+            msg: msg.into(),
+        }
+    }
+
     fn at_end(&self) -> bool {
         self.pos >= self.tokens.len()
     }
@@ -101,7 +147,7 @@ impl Parser {
         if self.eat(t) {
             Ok(())
         } else {
-            Err(err(format!("expected `{t}`, found `{}`", self.peek_text())))
+            Err(self.err(format!("expected `{t}`, found `{}`", self.peek_text())))
         }
     }
 
@@ -123,22 +169,15 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(err(format!(
-                "expected `{kw}`, found `{}`",
-                self.peek_text()
-            )))
+            Err(self.err(format!("expected `{kw}`, found `{}`", self.peek_text())))
         }
     }
 
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(err(format!(
-                "expected identifier, found `{}`",
-                other
-                    .map(|t| t.to_string())
-                    .unwrap_or_else(|| "end of input".into())
-            ))),
+            Some(other) => Err(self.err_prev(format!("expected identifier, found `{other}`"))),
+            None => Err(self.err("expected identifier, found `end of input`")),
         }
     }
 
@@ -156,7 +195,7 @@ impl Parser {
         } else if self.at_kw("SELECT") {
             Ok(Stmt::Query(self.query()?))
         } else {
-            Err(err(format!("unexpected `{}`", self.peek_text())))
+            Err(self.err(format!("unexpected `{}`", self.peek_text())))
         }
     }
 
@@ -173,7 +212,7 @@ impl Parser {
                 "TEXT" => ColType::Text,
                 "NUM" | "INT" | "NUMERIC" => ColType::Num,
                 "BOOL" | "BOOLEAN" => ColType::Bool,
-                other => return Err(err(format!("unknown column type `{other}`"))),
+                other => return Err(self.err_prev(format!("unknown column type `{other}`"))),
             };
             columns.push((col, ty));
             if !self.eat(&Token::Comma) {
@@ -202,11 +241,15 @@ impl Parser {
             Some(match self.next() {
                 Some(Token::Ident(s)) => s,
                 Some(Token::Number(n)) => n.to_string(),
-                other => {
-                    return Err(err(format!(
-                        "expected annotation after PROVENANCE, found `{}`",
-                        other.map(|t| t.to_string()).unwrap_or_default()
+                Some(other) => {
+                    return Err(self.err_prev(format!(
+                        "expected annotation after PROVENANCE, found `{other}`"
                     )))
+                }
+                None => {
+                    return Err(
+                        self.err("expected annotation after PROVENANCE, found `end of input`")
+                    )
                 }
             })
         } else {
@@ -225,12 +268,8 @@ impl Parser {
             Some(Token::Str(s)) => Ok(Lit::Str(s)),
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case("TRUE") => Ok(Lit::Bool(true)),
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case("FALSE") => Ok(Lit::Bool(false)),
-            other => Err(err(format!(
-                "expected literal, found `{}`",
-                other
-                    .map(|t| t.to_string())
-                    .unwrap_or_else(|| "end of input".into())
-            ))),
+            Some(other) => Err(self.err_prev(format!("expected literal, found `{other}`"))),
+            None => Err(self.err("expected literal, found `end of input`")),
         }
     }
 
@@ -355,7 +394,7 @@ impl Parser {
             } else if let Some(Token::Ident(_)) = self.peek() {
                 self.ident()?
             } else {
-                return Err(err("a subquery in FROM needs an alias"));
+                return Err(self.err("a subquery in FROM needs an alias"));
             };
             return Ok(TableRef {
                 source: TableSource::Subquery(Box::new(q)),
@@ -421,14 +460,10 @@ impl Parser {
             Some(Token::Le) => CmpOp::Le,
             Some(Token::Gt) => CmpOp::Gt,
             Some(Token::Ge) => CmpOp::Ge,
-            other => {
-                return Err(err(format!(
-                    "expected comparison operator, found `{}`",
-                    other
-                        .map(|t| t.to_string())
-                        .unwrap_or_else(|| "end of input".into())
-                )))
+            Some(other) => {
+                return Err(self.err_prev(format!("expected comparison operator, found `{other}`")))
             }
+            None => return Err(self.err("expected comparison operator, found `end of input`")),
         };
         let right = self.operand()?;
         Ok(Condition { left, op, right })
@@ -541,5 +576,37 @@ mod tests {
         assert!(parse_script("CREATE TABLE t (a WAT)").is_err());
         assert!(parse_script("INSERT INTO t VALUES (").is_err());
         assert!(parse_query("SELECT a FROM r; SELECT b FROM s").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_the_offending_token_position() {
+        // `FRM` starts at byte 9: the missing-FROM error points there.
+        let err = parse_script("SELECT a FRM r").unwrap_err();
+        let RelError::Parse { pos, msg } = &err else {
+            panic!("expected RelError::Parse, got {err:?}");
+        };
+        assert_eq!(*pos, 9, "{msg}");
+        assert!(msg.contains("expected `FROM`"), "{msg}");
+        // The Display rendering keeps the `parse error:` prefix and names
+        // the byte offset.
+        assert!(err.to_string().starts_with("parse error:"), "{err}");
+        assert!(err.to_string().contains("at byte 9"), "{err}");
+
+        // Errors at end of input point one past the last byte.
+        let err = parse_script("SELECT a FROM").unwrap_err();
+        assert!(matches!(err, RelError::Parse { pos: 13, .. }), "{err:?}");
+
+        // A rejected consumed token (unknown column type) is still the
+        // anchor, not the token after it.
+        let err = parse_script("CREATE TABLE t (a WAT)").unwrap_err();
+        assert!(matches!(err, RelError::Parse { pos: 18, .. }), "{err:?}");
+
+        // parse_query's "exactly one" errors anchor at the surplus
+        // second statement (byte 17), not at the valid first query.
+        let err = parse_query("SELECT a FROM r; SELECT b FROM s").unwrap_err();
+        assert!(matches!(err, RelError::Parse { pos: 17, .. }), "{err:?}");
+        // …and at the start of a non-query statement.
+        let err = parse_query("DROP TABLE t").unwrap_err();
+        assert!(matches!(err, RelError::Parse { pos: 0, .. }), "{err:?}");
     }
 }

@@ -20,6 +20,7 @@
 
 use crate::ast::SetOp;
 use crate::plan::{AvgSpec, Plan, PlanAgg, Predicate};
+use aggprov_krel::error::{RelError, Result};
 use aggprov_krel::schema::Schema;
 
 /// A physical operator. See the module docs for the pipeline/breaker
@@ -42,11 +43,17 @@ pub(crate) enum PhysNode {
     },
     /// A tokened selection: vectorized over ground columns (selection
     /// vector), token path over the fringe. Never a breaker.
+    ///
+    /// Stacked logical `Filter` nodes (one per `WHERE`/`HAVING` conjunct)
+    /// are **fused** into a single physical node at lower time: the
+    /// predicates narrow one selection vector in sequence, with no
+    /// per-conjunct node dispatch.
     Filter {
         /// Input node.
         input: Box<PhysNode>,
-        /// The resolved predicate.
-        pred: Predicate,
+        /// The resolved predicates, in application order (innermost
+        /// conjunct first).
+        preds: Vec<Predicate>,
     },
     /// Appends the constant-1 column for COUNT/AVG (per-row; never a
     /// breaker).
@@ -128,25 +135,48 @@ pub(crate) enum PhysNode {
     },
 }
 
+/// An internal-invariant failure: the plan handed to [`lower`] references
+/// something its input schemas do not have. Never raised for plans built
+/// by [`crate::plan::lower_query`].
+fn internal(msg: impl Into<String>) -> RelError {
+    RelError::Internal(msg.into())
+}
+
 /// Lowers a logical plan to its physical form, resolving every
 /// data-independent decision (join-key positions, projection
 /// distinct/expand, AVG column pairs) exactly once.
-pub(crate) fn lower(plan: &Plan) -> PhysNode {
-    match plan {
+///
+/// A malformed plan (a join key or AVG part missing from its input
+/// schema) returns [`RelError::Internal`] instead of panicking — plans
+/// from `lower_query` are well-formed by construction, but a hand-built
+/// or future-optimizer plan must fail loudly *as an error*.
+pub(crate) fn lower(plan: &Plan) -> Result<PhysNode> {
+    Ok(match plan {
         Plan::Scan { table, schema } => PhysNode::Scan {
             table: table.clone(),
             schema: schema.clone(),
         },
         Plan::Derived { input, schema } => PhysNode::Rename {
-            input: Box::new(lower(input)),
+            input: Box::new(lower(input)?),
             schema: schema.clone(),
         },
-        Plan::Filter { input, pred } => PhysNode::Filter {
-            input: Box::new(lower(input)),
-            pred: pred.clone(),
-        },
+        Plan::Filter { input, pred } => {
+            // Filter fusion: walk the stacked logical filters once and
+            // emit one physical node applying them innermost-first.
+            let mut preds = vec![pred.clone()];
+            let mut below = input.as_ref();
+            while let Plan::Filter { input, pred } = below {
+                preds.push(pred.clone());
+                below = input.as_ref();
+            }
+            preds.reverse();
+            PhysNode::Filter {
+                input: Box::new(lower(below)?),
+                preds,
+            }
+        }
         Plan::AddUnitColumn { input, schema } => PhysNode::AddUnitColumn {
-            input: Box::new(lower(input)),
+            input: Box::new(lower(input)?),
             schema: schema.clone(),
         },
         Plan::Project {
@@ -172,7 +202,7 @@ pub(crate) fn lower(plan: &Plan) -> PhysNode {
                 && distinct.iter().enumerate().all(|(i, d)| i == *d)
                 && distinct.len() == columns.len();
             PhysNode::Project {
-                input: Box::new(lower(input)),
+                input: Box::new(lower(input)?),
                 columns: columns.clone(),
                 distinct,
                 expand,
@@ -185,8 +215,8 @@ pub(crate) fn lower(plan: &Plan) -> PhysNode {
             right,
             schema,
         } => PhysNode::Product {
-            left: Box::new(lower(left)),
-            right: Box::new(lower(right)),
+            left: Box::new(lower(left)?),
+            right: Box::new(lower(right)?),
             schema: schema.clone(),
         },
         Plan::Join {
@@ -198,15 +228,20 @@ pub(crate) fn lower(plan: &Plan) -> PhysNode {
             let on_idx = on
                 .iter()
                 .map(|(l, r)| {
-                    (
-                        left.schema().index_of(l).expect("resolved at lowering"),
-                        right.schema().index_of(r).expect("resolved at lowering"),
-                    )
+                    let li = left.schema().index_of(l).map_err(|_| {
+                        internal(format!("join key `{l}` missing from the left input schema"))
+                    })?;
+                    let ri = right.schema().index_of(r).map_err(|_| {
+                        internal(format!(
+                            "join key `{r}` missing from the right input schema"
+                        ))
+                    })?;
+                    Ok((li, ri))
                 })
-                .collect();
+                .collect::<Result<_>>()?;
             PhysNode::HashJoin {
-                left: Box::new(lower(left)),
-                right: Box::new(lower(right)),
+                left: Box::new(lower(left)?),
+                right: Box::new(lower(right)?),
                 on_idx,
                 on_names: on.clone(),
                 schema: schema.clone(),
@@ -230,16 +265,15 @@ pub(crate) fn lower(plan: &Plan) -> PhysNode {
                 .iter()
                 .map(|spec| {
                     let pos = |name: &str| {
-                        grouped
-                            .iter()
-                            .position(|n| *n == name)
-                            .expect("AVG parts named at lowering")
+                        grouped.iter().position(|n| *n == name).ok_or_else(|| {
+                            internal(format!("AVG part `{name}` missing from the grouped output"))
+                        })
                     };
-                    (pos(&spec.sum), pos(&spec.count))
+                    Ok((pos(&spec.sum)?, pos(&spec.count)?))
                 })
-                .collect();
+                .collect::<Result<_>>()?;
             PhysNode::Aggregate {
-                input: Box::new(lower(input)),
+                input: Box::new(lower(input)?),
                 group_by: group_by.clone(),
                 aggs: aggs.clone(),
                 avg: avg.clone(),
@@ -254,11 +288,11 @@ pub(crate) fn lower(plan: &Plan) -> PhysNode {
             schema,
         } => PhysNode::SetOp {
             op: *op,
-            left: Box::new(lower(left)),
-            right: Box::new(lower(right)),
+            left: Box::new(lower(left)?),
+            right: Box::new(lower(right)?),
             schema: schema.clone(),
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -279,7 +313,7 @@ mod tests {
     }
 
     fn phys(db: &ProvDb, sql: &str) -> PhysNode {
-        lower(&lower_query(db, &parse_query(sql).unwrap()).unwrap().plan)
+        lower(&lower_query(db, &parse_query(sql).unwrap()).unwrap().plan).unwrap()
     }
 
     #[test]
@@ -334,6 +368,66 @@ mod tests {
             panic!("expected projection root");
         };
         assert!(!identity);
+    }
+
+    #[test]
+    fn stacked_filters_fuse_into_one_physical_node() {
+        let db = db();
+        let root = phys(&db, "SELECT emp FROM r WHERE sal > 10 AND dept = 'd1'");
+        let PhysNode::Project { input, .. } = root else {
+            panic!("expected projection root");
+        };
+        let PhysNode::Filter { preds, input } = *input else {
+            panic!("expected a fused filter under the projection");
+        };
+        assert_eq!(preds.len(), 2, "both WHERE conjuncts in one node");
+        // Innermost conjunct first: `sal > 10` was lowered first.
+        assert_eq!(preds[0].left, crate::plan::PlanOperand::Col(2));
+        assert!(matches!(*input, PhysNode::Scan { .. }));
+    }
+
+    #[test]
+    fn malformed_plans_lower_to_internal_errors_not_panics() {
+        use aggprov_krel::error::RelError;
+        let db = db();
+        let lowered = lower_query(
+            &db,
+            &parse_query("SELECT r.emp FROM r JOIN heads ON r.dept = heads.dept").unwrap(),
+        )
+        .unwrap();
+        // Corrupt the join key under the projection: a future hand-built
+        // (or buggy-optimizer) plan must surface as RelError::Internal on
+        // the lowering path, not abort the process.
+        let Plan::Project {
+            input,
+            columns,
+            schema,
+        } = lowered.plan
+        else {
+            panic!("expected projection root");
+        };
+        let Plan::Join {
+            left,
+            right,
+            schema: jschema,
+            ..
+        } = *input
+        else {
+            panic!("expected join");
+        };
+        let bad = Plan::Project {
+            input: Box::new(Plan::Join {
+                left,
+                right,
+                on: vec![("nope.nope".into(), "heads.dept".into())],
+                schema: jschema,
+            }),
+            columns,
+            schema,
+        };
+        let err = lower(&bad).unwrap_err();
+        assert!(matches!(err, RelError::Internal(_)), "{err:?}");
+        assert!(err.to_string().contains("join key"), "{err}");
     }
 
     #[test]

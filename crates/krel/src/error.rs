@@ -40,6 +40,22 @@ pub enum RelError {
     /// The annotation semiring cannot express an operation (e.g. comparing
     /// symbolic aggregates without the `K^M` extension, paper §4.1).
     Unsupported(String),
+    /// The input text could not be lexed or parsed. `pos` is the byte
+    /// offset of the offending token (or of the end of input), so tooling
+    /// can point at the exact spot; `Display` keeps the familiar
+    /// `parse error: …` rendering.
+    Parse {
+        /// Byte offset of the offending token in the input text.
+        pos: usize,
+        /// What went wrong, in the parser's words.
+        msg: String,
+    },
+    /// An internal invariant was violated on the execute path — e.g. a
+    /// physical plan referenced a column its input schema does not have.
+    /// Well-formed plans produced by `lower_query` never raise this; it
+    /// exists so a malformed or future hand-built plan surfaces as an
+    /// error instead of a panic in the middle of execution.
+    Internal(String),
     /// An environment variable held a value the engine cannot use. Raised
     /// loudly (naming both the variable and the offending value) instead of
     /// silently falling back to a default — a typo in `AGGPROV_THREADS`
@@ -77,6 +93,8 @@ impl fmt::Display for RelError {
                 )
             }
             RelError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            RelError::Parse { pos, msg } => write!(f, "parse error: {msg} (at byte {pos})"),
+            RelError::Internal(msg) => write!(f, "internal error: {msg}"),
             RelError::InvalidEnv {
                 var,
                 value,

@@ -333,6 +333,34 @@ fn param_arity_errors_are_a_dedicated_variant_on_both_paths() {
 }
 
 #[test]
+fn parse_errors_are_a_dedicated_variant_with_positions() {
+    use aggprov_krel::error::RelError;
+    let db = figure_1_db();
+
+    // A parser error carries the byte offset of the offending token
+    // (`FRM` starts at byte 11) in a dedicated variant…
+    let err = db.prepare("SELECT emp FRM r").unwrap_err();
+    let RelError::Parse { pos, msg } = &err else {
+        panic!("expected RelError::Parse, got {err:?}");
+    };
+    assert_eq!(*pos, 11);
+    assert!(msg.contains("expected `FROM`"), "{msg}");
+    // …with the familiar `parse error:` rendering kept compatible.
+    assert!(err.to_string().starts_with("parse error:"), "{err}");
+    assert!(err.to_string().contains("at byte 11"), "{err}");
+    assert!(!matches!(err, RelError::Unsupported(_)));
+
+    // Lexer errors are the same variant (position of the bad character).
+    let err = db.prepare("SELECT emp FROM r WHERE sal = $0").unwrap_err();
+    assert!(matches!(err, RelError::Parse { pos: 30, .. }), "{err:?}");
+
+    // Name-resolution failures are *not* parse errors: the taxonomy
+    // separates "bad text" from "unknown name".
+    let err = db.prepare("SELECT nope FROM r").unwrap_err();
+    assert!(!matches!(err, RelError::Parse { .. }), "{err:?}");
+}
+
+#[test]
 fn ungrouped_avg_over_empty_input_returns_no_rows() {
     let mut db = ProvDb::new();
     db.exec("CREATE TABLE t (x NUM);").unwrap();
