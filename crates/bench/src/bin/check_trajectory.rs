@@ -24,7 +24,7 @@ use aggprov_bench::trajectory::{
     checked_in_points, clamp_to_host, compare, fresh_path, host_note, parse, BenchFile,
     MAX_REGRESSION,
 };
-use aggprov_bench::{batchbench, optbench, parbench};
+use aggprov_bench::{batchbench, optbench, parbench, serverbench};
 use criterion::quick_mode_samples;
 
 fn read_bench_file(path: &std::path::Path) -> Option<BenchFile> {
@@ -104,6 +104,17 @@ fn main() {
                     parbench::host_cpus(),
                 )
             }),
+            None if *pr == serverbench::PR => inline_measure(
+                "server_saturation",
+                &format!(", clients = {:?}", serverbench::CLIENT_COUNTS),
+                |samples| {
+                    serverbench::render_json(
+                        &serverbench::measure(samples),
+                        samples,
+                        parbench::host_cpus(),
+                    )
+                },
+            ),
             None if *pr == parbench::PR => {
                 let threads = recorded.threads.unwrap_or(4);
                 inline_measure(

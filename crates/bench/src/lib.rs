@@ -8,6 +8,7 @@ pub mod batchbench;
 pub mod fixtures;
 pub mod optbench;
 pub mod parbench;
+pub mod serverbench;
 pub mod trajectory;
 
 use aggprov_algebra::num::Num;

@@ -1,5 +1,21 @@
 //! The annotated database: catalog, DDL/DML execution, prepared
-//! statements, and queries.
+//! statements, epoch snapshots, and queries.
+//!
+//! ## Epochs and snapshots
+//!
+//! The table map lives behind an [`Arc`]: every mutation goes through
+//! [`Arc::make_mut`], so a mutation either edits the map in place (no
+//! snapshot outstanding) or copies it out first — whole-database
+//! copy-on-write, the same discipline [`Relation`]'s tuple store already
+//! uses one level down (and the per-table copies are themselves `Arc`
+//! bumps, so "copying the map" never duplicates tuple data).
+//! [`Database::snapshot`] clones the `Arc` — an immutable **epoch** any
+//! number of reader threads can prepare and execute against with no
+//! locks, while the single writer (`&mut self` — Rust enforces the
+//! single-writer discipline at compile time) installs the next epoch
+//! atomically. A server wraps the writer in one `RwLock` whose read
+//! critical section is just the `Arc` bump; execution itself never holds
+//! a lock.
 
 use crate::annot::ParseAnnotation;
 use crate::ast::{ColType, Lit, Stmt};
@@ -18,7 +34,25 @@ use aggprov_krel::error::{RelError, Result};
 use aggprov_krel::relation::Relation;
 use aggprov_krel::schema::Schema;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// The process-wide version clock behind table versions and epoch ids.
+///
+/// Versions must be unique across *diverged* databases (clones that
+/// mutated independently share one plan cache lineage through snapshots),
+/// so the clock is global, not per-database: two different states of a
+/// table can never carry the same version, and a cached plan's
+/// `(table, version)` dependencies identify exactly one table state.
+static VERSION_CLOCK: AtomicU64 = AtomicU64::new(1);
+
+fn next_version() -> u64 {
+    VERSION_CLOCK.fetch_add(1, Ordering::Relaxed)
+}
+
+/// How many prepared plans the cache keeps by default before evicting the
+/// least-recently-used entry.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
 
 /// A database of `(M, K)`-relations annotated with `A`.
 ///
@@ -27,27 +61,57 @@ use std::sync::{Arc, Mutex};
 /// `Database<Nat>` runs plain bag semantics, `Database<Security>` security
 /// clearances, and so on — the factorization property in action.
 ///
-/// Prepared plans are **cached** keyed by SQL text: preparing the same
-/// statement twice returns the same optimized plan without re-parsing,
-/// re-lowering or re-optimizing. Every catalog or data mutation (DDL,
-/// `INSERT`, [`register`](Database::register)) invalidates the whole
-/// cache — the optimizer's rewrites are gated on a snapshot of table
-/// cardinalities and per-column groundness, so a stale plan could be
-/// mis-optimized, not merely slow.
-#[derive(Debug, Default)]
+/// Prepared plans are **cached** keyed by SQL text, with per-table
+/// dependency tracking: every cached plan records the `(table, version)`
+/// pairs it was optimized against, a mutation of one table (DDL, `INSERT`,
+/// [`register`](Database::register)) invalidates only the entries that
+/// scan it, and the cache holds at most
+/// [`DEFAULT_PLAN_CACHE_CAPACITY`] entries (least-recently-used eviction;
+/// see [`set_plan_cache_capacity`](Database::set_plan_cache_capacity)).
+/// The version check makes the cache safe to share between the live
+/// database and its [snapshots](Database::snapshot): an entry is served
+/// only to a reader whose epoch holds exactly the table states the plan
+/// was optimized for — the optimizer's rewrites are gated on cardinality
+/// and groundness, so a stale plan could be mis-optimized, not merely
+/// slow.
+#[derive(Debug)]
 pub struct Database<A: AggAnnotation + ParseAnnotation> {
-    tables: BTreeMap<String, TableEntry<A>>,
-    cache: PlanCache,
+    epoch: Arc<EpochTables<A>>,
+    epoch_id: u64,
+    cache: Arc<PlanCache>,
+}
+
+impl<A: AggAnnotation + ParseAnnotation> Default for Database<A> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<A: AggAnnotation + ParseAnnotation> Clone for Database<A> {
     fn clone(&self) -> Self {
         Database {
-            tables: self.tables.clone(),
-            // The clone sees identical data, so the cached plans (cheap
-            // `Arc` bumps) remain valid for it.
-            cache: self.cache.clone(),
+            // An Arc bump: the clone and the original copy-on-write away
+            // from each other on the first mutation of either.
+            epoch: self.epoch.clone(),
+            epoch_id: self.epoch_id,
+            // The clone gets its own cache holding the same entries
+            // (cheap `Arc` bumps); version dependencies keep every entry
+            // safe even after the two databases diverge.
+            cache: Arc::new(self.cache.duplicate()),
         }
+    }
+}
+
+/// The frozen table map of one epoch. Immutable once published: mutation
+/// goes through `Arc::make_mut` on the owning [`Database`].
+#[derive(Clone, Debug)]
+struct EpochTables<A: AggAnnotation> {
+    tables: BTreeMap<String, TableEntry<A>>,
+}
+
+impl<A: AggAnnotation> EpochTables<A> {
+    fn table_version(&self, name: &str) -> Option<u64> {
+        self.tables.get(name).map(|e| e.version)
     }
 }
 
@@ -62,43 +126,154 @@ struct CachedStatement {
     phys: Arc<PhysNode>,
     /// The number of `$n` slots.
     param_count: usize,
+    /// The `(table, version)` states the optimizer snapshot was taken
+    /// against — the cache serves this statement only to epochs holding
+    /// exactly these table states.
+    deps: Arc<[(String, u64)]>,
 }
 
-/// The `Prepared`-plan cache: SQL text → fully lowered statement.
-#[derive(Debug, Default)]
+/// One cache slot: the statement plus its LRU recency stamp. The stamp is
+/// atomic so a cache *hit* (under the shared read lock) can refresh
+/// recency without taking the write lock.
+#[derive(Debug)]
+struct CacheEntry {
+    stmt: CachedStatement,
+    stamp: AtomicU64,
+}
+
+impl CacheEntry {
+    fn duplicate(&self) -> CacheEntry {
+        CacheEntry {
+            stmt: self.stmt.clone(),
+            stamp: AtomicU64::new(self.stamp.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// The `Prepared`-plan cache: SQL text → fully lowered statement, bounded
+/// LRU, per-table invalidation, readers share an [`RwLock`] read guard (a
+/// hit never serializes concurrent preparers on a write lock).
+#[derive(Debug)]
 struct PlanCache {
-    map: Mutex<HashMap<String, CachedStatement>>,
+    inner: RwLock<CacheInner>,
+    /// The LRU clock: bumped on every hit and insert.
+    clock: AtomicU64,
 }
 
-impl Clone for PlanCache {
-    fn clone(&self) -> Self {
+#[derive(Debug)]
+struct CacheInner {
+    map: HashMap<String, CacheEntry>,
+    capacity: usize,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
         PlanCache {
-            map: Mutex::new(self.lock().clone()),
+            inner: RwLock::new(CacheInner {
+                map: HashMap::new(),
+                capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            }),
+            clock: AtomicU64::new(1),
         }
     }
 }
 
 impl PlanCache {
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, CachedStatement>> {
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, CacheInner> {
         // A poisoned lock only means another thread panicked mid-insert;
         // the map itself is always in a consistent state.
-        self.map.lock().unwrap_or_else(|e| e.into_inner())
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn get(&self, sql: &str) -> Option<CachedStatement> {
-        self.lock().get(sql).cloned()
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, CacheInner> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
     }
 
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Looks `sql` up, serving the entry only if every table dependency
+    /// still has the version the plan was optimized against in the
+    /// caller's epoch. A hit refreshes the LRU stamp under the read lock.
+    fn get<A: AggAnnotation>(&self, sql: &str, epoch: &EpochTables<A>) -> Option<CachedStatement> {
+        let inner = self.read();
+        let entry = inner.map.get(sql)?;
+        if !entry
+            .stmt
+            .deps
+            .iter()
+            .all(|(table, version)| epoch.table_version(table) == Some(*version))
+        {
+            return None;
+        }
+        entry.stamp.store(self.tick(), Ordering::Relaxed);
+        Some(entry.stmt.clone())
+    }
+
+    /// Inserts a statement, evicting the least-recently-used entry when
+    /// the cache is full.
     fn insert(&self, sql: &str, stmt: CachedStatement) {
-        self.lock().insert(sql.to_string(), stmt);
+        let mut inner = self.write();
+        while inner.map.len() >= inner.capacity && !inner.map.contains_key(sql) {
+            let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
+                .map(|(sql, _)| sql.clone())
+            else {
+                break;
+            };
+            inner.map.remove(&lru);
+        }
+        let stamp = AtomicU64::new(self.tick());
+        inner
+            .map
+            .insert(sql.to_string(), CacheEntry { stmt, stamp });
     }
 
-    fn invalidate(&self) {
-        self.lock().clear();
+    /// Drops every entry whose plan depends on `table` — the per-table
+    /// invalidation run by `INSERT`/DDL/`register`.
+    fn invalidate_table(&self, table: &str) {
+        self.write()
+            .map
+            .retain(|_, e| !e.stmt.deps.iter().any(|(t, _)| t == table));
     }
 
     fn len(&self) -> usize {
-        self.lock().len()
+        self.read().map.len()
+    }
+
+    fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.write();
+        inner.capacity = capacity.max(1);
+        while inner.map.len() > inner.capacity {
+            let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
+                .map(|(sql, _)| sql.clone())
+            else {
+                break;
+            };
+            inner.map.remove(&lru);
+        }
+    }
+
+    /// An independent cache holding the same entries (for `Clone`).
+    fn duplicate(&self) -> PlanCache {
+        let inner = self.read();
+        PlanCache {
+            inner: RwLock::new(CacheInner {
+                map: inner
+                    .map
+                    .iter()
+                    .map(|(sql, e)| (sql.clone(), e.duplicate()))
+                    .collect(),
+                capacity: inner.capacity,
+            }),
+            clock: AtomicU64::new(self.clock.load(Ordering::Relaxed)),
+        }
     }
 }
 
@@ -111,6 +286,10 @@ struct TableEntry<A: AggAnnotation> {
     /// [`Database::register`] scans once), so a catalog snapshot is
     /// `O(columns)`, never a per-prepare pass over the rows.
     ground_cols: Vec<bool>,
+    /// The globally unique version of this table state; reassigned on
+    /// every mutation. Cached plans pin the versions they planned
+    /// against.
+    version: u64,
 }
 
 /// One pass over a relation for its per-column groundness, stopping
@@ -134,38 +313,52 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
     /// An empty database.
     pub fn new() -> Self {
         Database {
-            tables: BTreeMap::new(),
-            cache: PlanCache::default(),
+            epoch: Arc::new(EpochTables {
+                tables: BTreeMap::new(),
+            }),
+            epoch_id: next_version(),
+            cache: Arc::new(PlanCache::default()),
         }
+    }
+
+    /// The mutable table map: copies the epoch out if a snapshot still
+    /// holds it, and stamps the database with a fresh epoch id — every
+    /// caller is a mutation about to happen.
+    fn tables_mut(&mut self) -> &mut BTreeMap<String, TableEntry<A>> {
+        self.epoch_id = next_version();
+        &mut Arc::make_mut(&mut self.epoch).tables
     }
 
     /// Looks a table up.
     pub fn table(&self, name: &str) -> Result<&MKRel<A>> {
-        self.tables
+        self.epoch
+            .tables
             .get(name)
             .map(|t| &t.rel)
             .ok_or_else(|| RelError::UnknownAttr(format!("table `{name}`")))
     }
 
     /// Registers (or replaces) a table built programmatically. Invalidates
-    /// the prepared-plan cache.
+    /// the cached plans that scan this table.
     pub fn register(&mut self, name: &str, rel: MKRel<A>) {
         let ground_cols = scan_ground_cols(&rel);
-        self.tables.insert(
+        let version = next_version();
+        self.tables_mut().insert(
             name.to_string(),
             TableEntry {
                 types: None,
                 rel,
                 ground_cols,
+                version,
             },
         );
-        self.cache.invalidate();
+        self.cache.invalidate_table(name);
     }
 
     /// The optimizer-facing statistics of one table: tuple count plus the
     /// incrementally maintained per-column groundness. `O(columns)`.
     pub(crate) fn table_stats(&self, name: &str) -> Option<crate::opt::TableStats> {
-        self.tables.get(name).map(|e| crate::opt::TableStats {
+        self.epoch.tables.get(name).map(|e| crate::opt::TableStats {
             rows: e.rel.len(),
             ground_cols: e.ground_cols.clone(),
         })
@@ -173,39 +366,72 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
 
     /// The table names.
     pub fn table_names(&self) -> impl Iterator<Item = &str> {
-        self.tables.keys().map(|s| s.as_str())
+        self.epoch.tables.keys().map(|s| s.as_str())
+    }
+
+    /// The id of the current epoch: globally unique, reassigned by every
+    /// mutation. Two databases (or a database and a snapshot) with the
+    /// same epoch id hold identical data.
+    pub fn epoch(&self) -> u64 {
+        self.epoch_id
+    }
+
+    /// An immutable whole-database snapshot of the current epoch.
+    ///
+    /// The snapshot is an `Arc` bump — no tuple is copied — and is
+    /// [`Send`] + [`Sync`] + `'static`: any number of reader threads can
+    /// [`prepare`](DbSnapshot::prepare) and execute against it with no
+    /// locks while the writer keeps mutating the live database
+    /// (copy-on-write publishes each new epoch without disturbing
+    /// readers). The snapshot shares the live database's plan cache;
+    /// version-stamped dependencies keep entries planned for different
+    /// epochs apart.
+    pub fn snapshot(&self) -> DbSnapshot<A> {
+        DbSnapshot {
+            db: Arc::new(Database {
+                epoch: self.epoch.clone(),
+                epoch_id: self.epoch_id,
+                cache: self.cache.clone(),
+            }),
+        }
     }
 
     /// Executes a script of `;`-separated statements. Returns the result of
     /// the last query in the script, if any. Every DDL/`INSERT` statement
-    /// invalidates the prepared-plan cache (the optimizer's groundness and
-    /// cardinality snapshot is only valid for unchanged data).
+    /// invalidates the cached plans scanning the affected table (the
+    /// optimizer's groundness and cardinality snapshot is only valid for
+    /// unchanged data) and publishes a fresh epoch.
     pub fn exec(&mut self, script: &str) -> Result<Option<MKRel<A>>> {
         let stmts = parse_script(script)?;
         let mut last = None;
         for stmt in stmts {
             match stmt {
                 Stmt::CreateTable { name, columns } => {
-                    if self.tables.contains_key(&name) {
+                    if self.epoch.tables.contains_key(&name) {
                         return Err(RelError::DuplicateAttr(format!("table `{name}`")));
                     }
                     let schema = Schema::new(columns.iter().map(|(n, _)| n.as_str()))?;
                     let ground_cols = vec![true; schema.arity()];
-                    self.tables.insert(
+                    let version = next_version();
+                    // A table that never existed cannot appear in any
+                    // cached plan's dependencies, but invalidate anyway:
+                    // it is cheap and keeps CREATE/DROP/CREATE symmetric.
+                    self.cache.invalidate_table(&name);
+                    self.tables_mut().insert(
                         name,
                         TableEntry {
                             types: Some(columns.into_iter().map(|(_, t)| t).collect()),
                             rel: Relation::empty(schema),
                             ground_cols,
+                            version,
                         },
                     );
-                    self.cache.invalidate();
                 }
                 Stmt::DropTable { name } => {
-                    self.tables
+                    self.tables_mut()
                         .remove(&name)
                         .ok_or_else(|| RelError::UnknownAttr(format!("table `{name}`")))?;
-                    self.cache.invalidate();
+                    self.cache.invalidate_table(&name);
                 }
                 Stmt::Insert {
                     table,
@@ -213,7 +439,7 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
                     provenance,
                 } => {
                     self.insert_row(&table, &values, provenance.as_deref())?;
-                    self.cache.invalidate();
+                    self.cache.invalidate_table(&table);
                 }
                 Stmt::Query(q) => {
                     // The same lower→optimize→phys pipeline as prepare()
@@ -246,15 +472,23 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
     /// different `$n` parameters) without re-parsing or re-resolving.
     ///
     /// Plans are cached by SQL text: preparing the same statement again
-    /// (before any catalog/data mutation) is a lookup, not a re-plan.
+    /// (before a mutation of any table it scans) is a lookup, not a
+    /// re-plan.
     pub fn prepare(&self, sql: &str) -> Result<Prepared<'_, A>> {
-        if let Some(stmt) = self.cache.get(sql) {
-            return Ok(Prepared { db: self, stmt });
+        let stmt = self.cached_statement(sql)?;
+        Ok(Prepared { db: self, stmt })
+    }
+
+    /// The cache-aware planning entry shared by [`Database::prepare`] and
+    /// [`DbSnapshot::prepare`].
+    fn cached_statement(&self, sql: &str) -> Result<CachedStatement> {
+        if let Some(stmt) = self.cache.get(sql, &self.epoch) {
+            return Ok(stmt);
         }
         let q = crate::parser::parse_query(sql)?;
         let stmt = self.plan_query(&q)?;
         self.cache.insert(sql, stmt.clone());
-        Ok(Prepared { db: self, stmt })
+        Ok(stmt)
     }
 
     /// The shared planning pipeline behind [`prepare`](Database::prepare)
@@ -264,11 +498,18 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
         let lowered = lower_query(self, q)?;
         let optimized = opt::optimize(&lowered.plan, &Catalog::of_plan(self, &lowered.plan));
         let phys = crate::phys::lower(&optimized)?;
+        let deps: Vec<(String, u64)> = lowered
+            .plan
+            .scanned_tables()
+            .into_iter()
+            .filter_map(|t| self.epoch.table_version(&t).map(|v| (t, v)))
+            .collect();
         Ok(CachedStatement {
             logical: Arc::new(lowered.plan),
             optimized: Arc::new(optimized),
             phys: Arc::new(phys),
             param_count: lowered.param_count,
+            deps: deps.into(),
         })
     }
 
@@ -289,13 +530,22 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
                 logical,
                 phys: Arc::new(phys),
                 param_count: lowered.param_count,
+                deps: Arc::from(Vec::new()),
             },
         })
     }
 
     /// How many prepared plans the cache currently holds (diagnostic).
+    /// Accurate under concurrent readers: the count is taken under the
+    /// cache's shared lock.
     pub fn cached_plan_count(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Caps the plan cache at `capacity` entries (at least 1), evicting
+    /// least-recently-used entries immediately if it is over.
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        self.cache.set_capacity(capacity);
     }
 
     /// Snapshots the optimizer's base-table catalog (cardinalities and
@@ -320,9 +570,12 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
                 ))
             })?,
         };
+        // Validate against the *current* epoch before touching anything:
+        // a failed INSERT must not publish a new epoch.
         let entry = self
+            .epoch
             .tables
-            .get_mut(table)
+            .get(table)
             .ok_or_else(|| RelError::UnknownAttr(format!("table `{table}`")))?;
         if let Some(types) = &entry.types {
             if types.len() != values.len() {
@@ -357,6 +610,12 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
                 })
             })
             .collect();
+        let version = next_version();
+        let entry = self
+            .tables_mut()
+            .get_mut(table)
+            .expect("existence checked above");
+        entry.version = version;
         entry.rel.insert(row, ann)
     }
 }
@@ -369,7 +628,8 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
 /// per-execution position lookups. Because it borrows the database
 /// immutably, the catalog cannot change under a live prepared statement
 /// (the borrow checker enforces what other engines need epoch counters
-/// for).
+/// for). For an owned handle that outlives the borrow — the serving
+/// layer's session model — see [`DbSnapshot::prepare`].
 ///
 /// ```
 /// use aggprov_engine::ProvDb;
@@ -393,6 +653,29 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
 pub struct Prepared<'db, A: AggAnnotation + ParseAnnotation> {
     db: &'db Database<A>,
     stmt: CachedStatement,
+}
+
+/// Executes a cached statement against a database state — the shared body
+/// of [`Prepared`] and [`SnapPrepared`].
+fn execute_stmt<A: AggAnnotation + ParseAnnotation>(
+    db: &Database<A>,
+    stmt: &CachedStatement,
+    params: &[Const],
+    opts: &ExecOptions,
+) -> Result<ResultSet<A>> {
+    if params.len() != stmt.param_count {
+        return Err(RelError::ParamArity {
+            expected: stmt.param_count,
+            got: params.len(),
+        });
+    }
+    Ok(ResultSet::from_relation(execute_plan(
+        db,
+        &stmt.phys,
+        params,
+        stmt.param_count,
+        opts,
+    )?))
 }
 
 impl<'db, A: AggAnnotation + ParseAnnotation> Prepared<'db, A> {
@@ -460,18 +743,109 @@ impl<'db, A: AggAnnotation + ParseAnnotation> Prepared<'db, A> {
     /// path, `ExecOptions::with_threads(n)` shards ground partitions across
     /// `n` scoped worker threads.
     pub fn execute_with_opts(&self, params: &[Const], opts: &ExecOptions) -> Result<ResultSet<A>> {
-        if params.len() != self.stmt.param_count {
-            return Err(RelError::ParamArity {
-                expected: self.stmt.param_count,
-                got: params.len(),
-            });
-        }
-        Ok(ResultSet::from_relation(execute_plan(
-            self.db,
-            &self.stmt.phys,
-            params,
-            self.stmt.param_count,
-            opts,
-        )?))
+        execute_stmt(self.db, &self.stmt, params, opts)
+    }
+}
+
+/// An immutable whole-database snapshot: one frozen epoch plus the shared
+/// plan cache (see [`Database::snapshot`]).
+///
+/// A snapshot is cheap to clone (`Arc` bumps), is `Send + Sync +
+/// 'static`, and never changes: queries prepared and executed against it
+/// see exactly the data of the epoch it was taken from, no matter what
+/// the live database does concurrently. This is the reader half of the
+/// serving layer's single-writer/many-readers model.
+#[derive(Clone, Debug)]
+pub struct DbSnapshot<A: AggAnnotation + ParseAnnotation> {
+    db: Arc<Database<A>>,
+}
+
+impl<A: AggAnnotation + ParseAnnotation> DbSnapshot<A> {
+    /// The epoch this snapshot froze (see [`Database::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.db.epoch_id
+    }
+
+    /// Looks a table up in the frozen epoch.
+    pub fn table(&self, name: &str) -> Result<&MKRel<A>> {
+        self.db.table(name)
+    }
+
+    /// The table names of the frozen epoch.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.db.table_names()
+    }
+
+    /// Prepares a query against the frozen epoch, returning an **owned**
+    /// [`SnapPrepared`] handle: it keeps the epoch alive, can move across
+    /// threads, and executes with no locks. Cached plans are shared with
+    /// the live database where the table versions agree.
+    pub fn prepare(&self, sql: &str) -> Result<SnapPrepared<A>> {
+        let stmt = self.db.cached_statement(sql)?;
+        Ok(SnapPrepared {
+            db: self.db.clone(),
+            stmt,
+        })
+    }
+
+    /// Runs a single query against the frozen epoch (the one-shot
+    /// convenience wrapper, as [`Database::query`]).
+    pub fn query(&self, sql: &str) -> Result<MKRel<A>> {
+        self.db.query(sql)
+    }
+}
+
+/// An owned prepared statement bound to a [`DbSnapshot`]'s frozen epoch.
+///
+/// Unlike [`Prepared`] this does not borrow the database: sessions can
+/// hold it across requests, hand it to worker threads, and execute it
+/// concurrently — every execution sees the same frozen epoch.
+#[derive(Clone, Debug)]
+pub struct SnapPrepared<A: AggAnnotation + ParseAnnotation> {
+    db: Arc<Database<A>>,
+    stmt: CachedStatement,
+}
+
+impl<A: AggAnnotation + ParseAnnotation> SnapPrepared<A> {
+    /// The logical plan as lowered from the SQL, before optimization.
+    pub fn plan(&self) -> &Plan {
+        &self.stmt.logical
+    }
+
+    /// The optimized logical plan — what actually executes.
+    pub fn optimized_plan(&self) -> &Plan {
+        &self.stmt.optimized
+    }
+
+    /// How many `$n` parameters the query expects.
+    pub fn param_count(&self) -> usize {
+        self.stmt.param_count
+    }
+
+    /// The result schema (known without executing).
+    pub fn schema(&self) -> &Schema {
+        self.stmt.logical.schema()
+    }
+
+    /// The epoch this statement executes against.
+    pub fn epoch(&self) -> u64 {
+        self.db.epoch_id
+    }
+
+    /// Executes the plan (no `$n` placeholders; see
+    /// [`execute_with`](SnapPrepared::execute_with)).
+    pub fn execute(&self) -> Result<ResultSet<A>> {
+        self.execute_with(&[])
+    }
+
+    /// Executes with `$1, $2, …` bound to `params`, using the
+    /// environment's thread count.
+    pub fn execute_with(&self, params: &[Const]) -> Result<ResultSet<A>> {
+        self.execute_with_opts(params, &ExecOptions::from_env()?)
+    }
+
+    /// Executes with explicit [`ExecOptions`].
+    pub fn execute_with_opts(&self, params: &[Const], opts: &ExecOptions) -> Result<ResultSet<A>> {
+        execute_stmt(&self.db, &self.stmt, params, opts)
     }
 }

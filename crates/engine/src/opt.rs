@@ -94,9 +94,7 @@ impl Catalog {
     /// planning one query never pays a groundness pass over unrelated
     /// tables.
     pub fn of_plan<A: AggAnnotation + ParseAnnotation>(db: &Database<A>, plan: &Plan) -> Catalog {
-        let mut names = std::collections::BTreeSet::new();
-        scanned_tables(plan, &mut names);
-        Self::snapshot(db, names)
+        Self::snapshot(db, plan.scanned_tables())
     }
 
     fn snapshot<A: AggAnnotation + ParseAnnotation>(
@@ -119,26 +117,6 @@ impl Catalog {
     /// The stats for one table, if known.
     pub fn table(&self, name: &str) -> Option<&TableStats> {
         self.tables.get(name)
-    }
-}
-
-/// Collects the base-table names a plan scans.
-fn scanned_tables(plan: &Plan, out: &mut std::collections::BTreeSet<String>) {
-    match plan {
-        Plan::Scan { table, .. } => {
-            out.insert(table.clone());
-        }
-        Plan::Derived { input, .. }
-        | Plan::Filter { input, .. }
-        | Plan::AddUnitColumn { input, .. }
-        | Plan::Aggregate { input, .. }
-        | Plan::Project { input, .. } => scanned_tables(input, out),
-        Plan::Product { left, right, .. }
-        | Plan::Join { left, right, .. }
-        | Plan::SetOp { left, right, .. } => {
-            scanned_tables(left, out);
-            scanned_tables(right, out);
-        }
     }
 }
 

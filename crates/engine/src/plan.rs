@@ -215,6 +215,33 @@ impl Plan {
         }
     }
 
+    /// The base-table names this plan scans, deduplicated. The plan
+    /// cache keys its per-table invalidation and version dependencies on
+    /// this set; the optimizer restricts its catalog snapshot to it.
+    pub fn scanned_tables(&self) -> std::collections::BTreeSet<String> {
+        fn walk(plan: &Plan, out: &mut std::collections::BTreeSet<String>) {
+            match plan {
+                Plan::Scan { table, .. } => {
+                    out.insert(table.clone());
+                }
+                Plan::Derived { input, .. }
+                | Plan::Filter { input, .. }
+                | Plan::AddUnitColumn { input, .. }
+                | Plan::Aggregate { input, .. }
+                | Plan::Project { input, .. } => walk(input, out),
+                Plan::Product { left, right, .. }
+                | Plan::Join { left, right, .. }
+                | Plan::SetOp { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+            }
+        }
+        let mut names = std::collections::BTreeSet::new();
+        walk(self, &mut names);
+        names
+    }
+
     /// The number of nodes that shard their ground partition across worker
     /// threads at execution (join, grouped aggregation, projection,
     /// `UNION`) — `EXPLAIN`-style introspection for sizing

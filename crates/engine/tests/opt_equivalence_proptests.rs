@@ -303,27 +303,36 @@ fn prepare_hits_the_plan_cache_until_invalidated() {
     db.prepare_unoptimized(sql).unwrap();
     assert_eq!(db.cached_plan_count(), 2);
 
-    // INSERT invalidates: cardinalities (and potentially groundness)
-    // changed, so cached optimization choices are stale.
+    // INSERT invalidates the entries scanning the mutated table:
+    // cardinalities (and potentially groundness) changed, so cached
+    // optimization choices are stale. Both cached statements scan `t`.
     let before = db.prepare(sql).unwrap().plan() as *const _;
     db.exec("INSERT INTO t VALUES (3, 4)").unwrap();
     assert_eq!(db.cached_plan_count(), 0);
     let after = db.prepare(sql).unwrap();
     assert!(!std::ptr::eq(before, after.plan()));
 
-    // DDL invalidates.
+    // Invalidation is per-table: DDL on an unrelated table leaves the
+    // cached `t` statements alone...
     db.exec("CREATE TABLE u (x NUM)").unwrap();
-    assert_eq!(db.cached_plan_count(), 0);
-    db.prepare(sql).unwrap();
     assert_eq!(db.cached_plan_count(), 1);
+    db.prepare("SELECT x FROM u").unwrap();
+    assert_eq!(db.cached_plan_count(), 2);
+    // ...and dropping `u` kills exactly the `u`-scanning entry.
     db.exec("DROP TABLE u").unwrap();
+    assert_eq!(db.cached_plan_count(), 1);
+    db.exec("INSERT INTO t VALUES (5, 6)").unwrap();
     assert_eq!(db.cached_plan_count(), 0);
 
-    // register() invalidates.
+    // register() invalidates only the registered table's entries.
     db.prepare(sql).unwrap();
     let rel: MKRel<P> = Relation::empty(Schema::new(["y"]).unwrap());
+    db.register("v", rel.clone());
+    assert_eq!(db.cached_plan_count(), 1);
+    db.prepare("SELECT y FROM v").unwrap();
+    assert_eq!(db.cached_plan_count(), 2);
     db.register("v", rel);
-    assert_eq!(db.cached_plan_count(), 0);
+    assert_eq!(db.cached_plan_count(), 1);
 }
 
 #[test]

@@ -1,0 +1,334 @@
+//! Snapshot isolation and plan-cache behavior under a concurrent writer.
+//!
+//! The serving layer's contract: readers holding a [`DbSnapshot`] of
+//! epoch `E` see **bit-identical** results — support, values, every
+//! annotation, at every thread count — to the literal §4.3 `specops`
+//! oracle evaluated over the frozen epoch-`E` relations, no matter how
+//! many new epochs a concurrent writer publishes meanwhile. The plan
+//! cache is shared between the live database and its snapshots, so a
+//! second battery pins the version-dependency check: an entry optimized
+//! for a *newer* table state must never be served to an older epoch
+//! (groundness gates differ → a stale plan could be mis-optimized, not
+//! merely slow).
+
+use aggprov_algebra::domain::Const;
+use aggprov_algebra::monoid::MonoidKind;
+use aggprov_algebra::poly::NatPoly;
+use aggprov_algebra::tensor::Tensor;
+use aggprov_core::km::{CmpPred, Km};
+use aggprov_core::ops::{AggSpec, MKRel};
+use aggprov_core::{specops, ExecOptions, Value};
+use aggprov_engine::{Database, DbSnapshot, ProvDb, ResultSet, SnapPrepared};
+use aggprov_krel::relation::Relation;
+use aggprov_krel::schema::Schema;
+use proptest::prelude::*;
+
+type P = Km<NatPoly>;
+
+fn tok(name: &str) -> P {
+    Km::embed(NatPoly::token(name))
+}
+
+const VARS: [&str; 4] = ["x", "y", "z", "w"];
+
+/// One generated cell, as in the PR 2–5 suites (≈1/3 symbolic). Numeric
+/// or symbolic only — these columns sit under comparisons/aggregation.
+type RawVal = (u8, usize, i64);
+
+fn decode_num_val(raw: RawVal) -> Value<P> {
+    let (kind, vi, n) = raw;
+    if kind <= 3 {
+        Value::int(n)
+    } else {
+        Value::agg_normalized(
+            MonoidKind::Sum,
+            Tensor::from_terms(&MonoidKind::Sum, [(tok(VARS[vi]), Const::int(n))]),
+        )
+    }
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(RawVal, RawVal)>> {
+    prop::collection::vec(
+        (
+            ((0u8..6), (0usize..4), (-3i64..6)),
+            ((0u8..6), (0usize..4), (-3i64..6)),
+        ),
+        0..10,
+    )
+}
+
+fn rel2(prefix: &str, rows: Vec<(RawVal, RawVal)>) -> MKRel<P> {
+    Relation::from_rows(
+        Schema::new(["a", "b"]).unwrap(),
+        rows.into_iter().enumerate().map(|(i, (x, y))| {
+            (
+                vec![decode_num_val(x), decode_num_val(y)],
+                tok(&format!("{prefix}{i}")),
+            )
+        }),
+    )
+    .unwrap()
+}
+
+/// The specops oracle for `SELECT a FROM r WHERE b < v` over the frozen
+/// relation.
+fn filter_oracle(frozen: &MKRel<P>, v: i64) -> MKRel<P> {
+    let f = aggprov_core::ops::select_cmp(frozen, "b", CmpPred::Lt, &Value::int(v)).unwrap();
+    specops::project(&f, &["a"]).unwrap()
+}
+
+/// The specops oracle for `SELECT a, SUM(b) AS s FROM r GROUP BY a`.
+fn group_oracle(frozen: &MKRel<P>) -> MKRel<P> {
+    let grouped = specops::group_by(
+        frozen,
+        &["a"],
+        &[AggSpec {
+            kind: MonoidKind::Sum,
+            attr: "b",
+            out: "s",
+        }],
+    )
+    .unwrap();
+    // The trailing SELECT-list projection is identity on attributes but
+    // not on annotations: §4.3 projection re-runs the symbolic tuple
+    // dedup, exactly as the engine's Project above the Aggregate does.
+    specops::project(&grouped, &["a", "s"]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Readers on epoch `E` (at threads 1 and 4) are bit-identical to the
+    /// specops oracle over the frozen relations while a writer inserts
+    /// rows and publishes epoch after epoch concurrently.
+    #[test]
+    fn readers_match_specops_while_writer_publishes(
+        rows in arb_rows(),
+        v in -2i64..5,
+    ) {
+        let frozen = rel2("r", rows);
+        let mut db = ProvDb::new();
+        db.register("r", frozen.clone());
+
+        let snap = db.snapshot();
+        let epoch = snap.epoch();
+        let filter_sql = format!("SELECT a FROM r WHERE b < {v}");
+        let filter_stmt = snap.prepare(&filter_sql).unwrap();
+        let group_stmt = snap.prepare("SELECT a, SUM(b) AS s FROM r GROUP BY a").unwrap();
+        let want_filter = filter_oracle(&frozen, v);
+        let want_group = group_oracle(&frozen);
+
+        std::thread::scope(|scope| {
+            // The single writer: keeps inserting ground rows, each insert
+            // publishing a fresh epoch (copy-on-write away from `snap`).
+            let writer = scope.spawn(|| {
+                for i in 0..16 {
+                    db.exec(&format!("INSERT INTO r VALUES ({i}, {i}) PROVENANCE n{i}"))
+                        .unwrap();
+                    std::thread::yield_now();
+                }
+                db
+            });
+            // Readers: re-execute against the frozen epoch, serial and
+            // 4-way sharded, and demand the oracle bit for bit.
+            let mut readers = Vec::new();
+            for threads in [1usize, 4] {
+                let filter_stmt = filter_stmt.clone();
+                let group_stmt = group_stmt.clone();
+                let (want_filter, want_group) = (want_filter.clone(), want_group.clone());
+                readers.push(scope.spawn(move || {
+                    let opts = ExecOptions::with_threads(threads);
+                    for _ in 0..8 {
+                        let got = filter_stmt.execute_with_opts(&[], &opts).unwrap();
+                        assert_eq!(got.relation(), &want_filter, "filter, threads={threads}");
+                        let got = group_stmt.execute_with_opts(&[], &opts).unwrap();
+                        assert_eq!(got.relation(), &want_group, "group, threads={threads}");
+                        std::thread::yield_now();
+                    }
+                }));
+            }
+            for r in readers {
+                r.join().unwrap();
+            }
+            let db = writer.join().unwrap();
+            // The writer published new epochs; the snapshot still serves
+            // the old one, and a fresh snapshot sees the inserted rows.
+            prop_assert!(db.epoch() != epoch);
+            prop_assert_eq!(snap.epoch(), epoch);
+            prop_assert_eq!(snap.table("r").unwrap(), &frozen);
+            prop_assert_eq!(db.table("r").unwrap().len() >= frozen.len(), true);
+            let refreshed = db.snapshot();
+            prop_assert_eq!(refreshed.table("r").unwrap(), db.table("r").unwrap());
+        });
+    }
+
+    /// The shared plan cache never serves a plan across epochs whose
+    /// table versions differ: a snapshot taken while the table was fully
+    /// ground keeps optimizer-gated rewrites valid for *its* data even
+    /// after the live table turns symbolic (and vice versa).
+    #[test]
+    fn shared_cache_is_version_safe_across_epochs(
+        ground_rows in arb_rows(),
+        mixed_rows in arb_rows(),
+        v in -2i64..5,
+    ) {
+        // Ground epoch: every optimizer gate opens.
+        let ground: MKRel<P> = Relation::from_rows(
+            Schema::new(["a", "b"]).unwrap(),
+            ground_rows.iter().enumerate().map(|(i, ((_, _, x), (_, _, y)))| {
+                (vec![Value::int(*x), Value::int(*y)], tok(&format!("g{i}")))
+            }),
+        )
+        .unwrap();
+        let mixed = rel2("m", mixed_rows);
+
+        let mut db = ProvDb::new();
+        db.register("r", ground.clone());
+        let sql = format!("SELECT a FROM r WHERE b < {v}");
+
+        // Cache the statement against the ground epoch, then snapshot it.
+        let snap_ground = db.snapshot();
+        let stmt_ground = snap_ground.prepare(&sql).unwrap();
+
+        // The live table turns (potentially) symbolic; the live prepare
+        // caches a new entry planned for the new version.
+        db.register("r", mixed.clone());
+        let live = db.prepare(&sql).unwrap().execute_with_opts(
+            &[], &ExecOptions::serial(),
+        ).unwrap();
+        prop_assert_eq!(live.relation(), &filter_oracle(&mixed, v));
+
+        // The ground snapshot — whose epoch no longer matches the cached
+        // entry's versions — must still produce its own frozen answer,
+        // both through the held statement and through a fresh prepare.
+        let got = stmt_ground.execute_with_opts(&[], &ExecOptions::serial()).unwrap();
+        prop_assert_eq!(got.relation(), &filter_oracle(&ground, v));
+        let reprepared = snap_ground.prepare(&sql).unwrap();
+        let got = reprepared.execute_with_opts(&[], &ExecOptions::serial()).unwrap();
+        prop_assert_eq!(got.relation(), &filter_oracle(&ground, v));
+    }
+}
+
+// ------------------------------------------------------------- unit tests
+
+#[test]
+fn snapshot_is_frozen_while_live_database_moves_on() {
+    let mut db = ProvDb::new();
+    db.exec("CREATE TABLE t (a NUM); INSERT INTO t VALUES (1) PROVENANCE p1")
+        .unwrap();
+    let snap = db.snapshot();
+    let epoch = snap.epoch();
+    assert_eq!(db.epoch(), epoch, "snapshot freezes the current epoch");
+
+    db.exec("INSERT INTO t VALUES (2) PROVENANCE p2").unwrap();
+    assert_ne!(db.epoch(), epoch, "every mutation publishes a new epoch");
+    assert_eq!(snap.epoch(), epoch);
+    assert_eq!(snap.table("t").unwrap().len(), 1, "snapshot is frozen");
+    assert_eq!(db.table("t").unwrap().len(), 2);
+
+    // Queries against the snapshot see the frozen support.
+    let out = snap.query("SELECT a FROM t").unwrap();
+    assert_eq!(out.len(), 1);
+    // DDL is invisible to the snapshot too.
+    db.exec("CREATE TABLE u (x NUM)").unwrap();
+    assert!(snap.table("u").is_err());
+    assert!(snap.query("SELECT x FROM u").is_err());
+    assert_eq!(
+        snap.table_names().collect::<Vec<_>>(),
+        vec!["t"],
+        "frozen catalog"
+    );
+}
+
+#[test]
+fn snap_prepared_is_owned_and_parameterized() {
+    let mut db = ProvDb::new();
+    db.exec(
+        "CREATE TABLE r (dept TEXT, sal NUM);
+         INSERT INTO r VALUES ('d1', 20) PROVENANCE p1;
+         INSERT INTO r VALUES ('d2', 30) PROVENANCE p2;",
+    )
+    .unwrap();
+    let stmt = {
+        // The snapshot (and the database borrow) can die; the statement
+        // lives on, owning its epoch.
+        let snap = db.snapshot();
+        snap.prepare("SELECT sal FROM r WHERE dept = $1").unwrap()
+    };
+    drop(db);
+    assert_eq!(stmt.param_count(), 1);
+    assert_eq!(stmt.schema().to_string(), "sal");
+    let d1 = stmt.execute_with(&[Const::str("d1")]).unwrap();
+    assert_eq!(d1.len(), 1);
+    // Wrong arity is the usual loud error.
+    assert!(stmt.execute().is_err());
+}
+
+#[test]
+fn plan_cache_lru_capacity_is_enforced() {
+    let mut db = ProvDb::new();
+    db.exec("CREATE TABLE t (a NUM, b NUM); INSERT INTO t VALUES (1, 2)")
+        .unwrap();
+    db.set_plan_cache_capacity(2);
+    db.prepare("SELECT a FROM t").unwrap();
+    db.prepare("SELECT b FROM t").unwrap();
+    assert_eq!(db.cached_plan_count(), 2);
+
+    // Touch the first entry so the second is the LRU victim.
+    db.prepare("SELECT a FROM t").unwrap();
+    db.prepare("SELECT a, b FROM t").unwrap();
+    assert_eq!(db.cached_plan_count(), 2, "capacity bound holds");
+
+    // The evicted statement still prepares fine (a re-plan, not an error).
+    let out = db
+        .prepare("SELECT b FROM t")
+        .unwrap()
+        .execute()
+        .unwrap()
+        .into_relation();
+    assert_eq!(out.len(), 1);
+    assert_eq!(db.cached_plan_count(), 2);
+
+    // Shrinking the capacity evicts immediately.
+    db.set_plan_cache_capacity(1);
+    assert_eq!(db.cached_plan_count(), 1);
+}
+
+#[test]
+fn concurrent_snapshot_prepares_share_the_cache() {
+    let mut db = ProvDb::new();
+    db.exec("CREATE TABLE t (a NUM); INSERT INTO t VALUES (1)")
+        .unwrap();
+    let snap = db.snapshot();
+    // Many reader threads prepare the same statements concurrently; the
+    // cache must stay consistent and the count accurate.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let snap = snap.clone();
+            scope.spawn(move || {
+                for _ in 0..16 {
+                    let stmt = snap.prepare("SELECT a FROM t").unwrap();
+                    assert_eq!(stmt.execute().unwrap().len(), 1);
+                    snap.prepare("SELECT a FROM t WHERE a = 1").unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(db.cached_plan_count(), 2);
+    // The live database hits the same entries (same epoch, same versions).
+    db.prepare("SELECT a FROM t").unwrap();
+    assert_eq!(db.cached_plan_count(), 2);
+}
+
+/// The serving layer's Send/Sync audit, enforced at compile time: every
+/// handle a session holds across threads must be `Send + Sync`.
+#[test]
+fn serving_handles_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ProvDb>();
+    assert_send_sync::<Database<aggprov_algebra::semiring::Nat>>();
+    assert_send_sync::<DbSnapshot<aggprov_core::Prov>>();
+    assert_send_sync::<SnapPrepared<aggprov_core::Prov>>();
+    assert_send_sync::<ResultSet<aggprov_core::Prov>>();
+    assert_send_sync::<ExecOptions>();
+}

@@ -176,6 +176,18 @@ where
         Arc::ptr_eq(&self.tuples, &other.tuples)
     }
 
+    /// True iff another handle (a snapshot, a cached plan input, a reader
+    /// thread) aliases this tuple store, i.e. the next mutation through
+    /// this handle will copy the store out instead of editing in place.
+    ///
+    /// Epoch-snapshot diagnostics for the serving layer: a freshly
+    /// published epoch whose tables all report `false` proves the writer
+    /// holds the only reference and mutations stay O(log n); `true` means
+    /// some reader still pins the previous epoch's storage.
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.tuples) > 1
+    }
+
     /// Splits the support into `n` hash-disjoint [`ShardView`]s over the
     /// `Arc`'d tuple store — the seam for partition-parallel execution.
     ///
@@ -622,6 +634,35 @@ mod tests {
         assert!(!snapshot.shares_tuples_with(&r));
         assert_eq!(snapshot.len(), 5);
         assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn is_shared_tracks_outstanding_snapshots() {
+        let mut r = figure_1a();
+        assert!(!r.is_shared(), "sole handle owns its store");
+        let snapshot = r.clone();
+        assert!(r.is_shared());
+        assert!(snapshot.is_shared());
+        // The CoW insert diverges the stores: both ends become sole owners.
+        r.insert(
+            [Const::int(6), Const::str("d3"), Const::int(5)],
+            NatPoly::token("q1"),
+        )
+        .unwrap();
+        assert!(!r.is_shared());
+        assert!(!snapshot.is_shared());
+        drop(snapshot);
+        assert!(!r.is_shared());
+    }
+
+    /// The serving layer hands relations and shard views across threads;
+    /// keep that a compile-time guarantee.
+    #[test]
+    fn stores_and_views_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Relation<NatPoly, Const>>();
+        assert_send_sync::<Tuple<Const>>();
+        assert_send_sync::<ShardView<'static, NatPoly, Const>>();
     }
 
     #[test]

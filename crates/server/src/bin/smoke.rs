@@ -1,0 +1,103 @@
+//! End-to-end smoke test against a **running** server (CI drives this
+//! against the release binary): seeds a table, queries it from three
+//! concurrent clients, interrogates provenance over the wire, and shuts
+//! the server down.
+//!
+//! ```text
+//! smoke ADDR
+//! ```
+//!
+//! Exits 0 iff every step (including the shutdown handshake) succeeds.
+
+use aggprov_server::{Client, Json};
+use std::process::ExitCode;
+
+fn run(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let mut admin = Client::connect(addr)?;
+    admin.ping()?;
+    admin.sql(
+        "CREATE TABLE emp (dept TEXT, sal NUM);
+         INSERT INTO emp VALUES ('d1', 20) PROVENANCE p1;
+         INSERT INTO emp VALUES ('d1', 10) PROVENANCE p2;
+         INSERT INTO emp VALUES ('d2', 15) PROVENANCE p3;",
+    )?;
+    admin.refresh()?;
+
+    // A bad statement is an error response, not a dead connection.
+    assert!(admin.sql("SELEKT nonsense").is_err());
+    admin.ping()?;
+
+    // Three clients, each preparing and executing against its own
+    // pinned snapshot.
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        handles.push(std::thread::spawn({
+            let addr = addr.to_string();
+            move || -> Result<String, String> {
+                let mut c = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+                let stmt = c
+                    .prepare("SELECT dept, SUM(sal) AS total FROM emp GROUP BY dept")
+                    .map_err(|e| e.to_string())?;
+                let out = c.execute(stmt, vec![]).map_err(|e| e.to_string())?;
+                Ok(out.get("rows").map(Json::to_string).unwrap_or_default())
+            }
+        }));
+    }
+    let mut renders = Vec::new();
+    for h in handles {
+        renders.push(h.join().expect("client thread")?);
+    }
+    assert!(
+        renders.windows(2).all(|w| w[0] == w[1]),
+        "clients disagreed: {renders:?}"
+    );
+
+    // Provenance interrogation over the wire: store, then delete p2.
+    let stored = admin.request(Json::obj([
+        ("op", Json::str("query")),
+        (
+            "sql",
+            Json::str("SELECT dept, SUM(sal) AS total FROM emp GROUP BY dept"),
+        ),
+        ("store", Json::Bool(true)),
+    ]))?;
+    let result = stored
+        .get("result")
+        .and_then(Json::as_int)
+        .ok_or("no result handle")?;
+    let valuated = admin.request(Json::obj([
+        ("op", Json::str("valuate")),
+        ("result", Json::Int(result)),
+        ("bindings", Json::obj([("p2", Json::Int(0))])),
+    ]))?;
+    assert_eq!(
+        valuated.get("collapsed"),
+        Some(&Json::Bool(true)),
+        "ground valuation must collapse"
+    );
+    admin.request(Json::obj([
+        ("op", Json::str("delete_tokens")),
+        ("result", Json::Int(result)),
+        ("tokens", Json::Arr(vec![Json::str("p2")])),
+    ]))?;
+
+    admin.shutdown()?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let Some(addr) = std::env::args().nth(1) else {
+        eprintln!("usage: smoke ADDR");
+        return ExitCode::FAILURE;
+    };
+    match run(&addr) {
+        Ok(()) => {
+            println!("smoke: ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("smoke failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! A small blocking client for the wire protocol, used by the REPL's
+//! `\connect` mode, the saturation benchmark, the smoke binary and the
+//! integration tests.
+
+use crate::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected protocol client. One request in flight at a time.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: i64,
+}
+
+/// A client-side protocol failure: transport errors, or a well-formed
+/// `{"ok":false}` response (the server-reported message is carried).
+#[derive(Debug)]
+pub struct ClientError(pub String);
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError(format!("i/o: {e}"))
+    }
+}
+
+/// Client-call result.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            reader,
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request object (an `id` is added) and reads the
+    /// response. Error responses (`"ok": false`) become `Err`, so callers
+    /// can `?` their way through a protocol script.
+    pub fn request(&mut self, mut req: Json) -> Result<Json> {
+        let id = self.next_id;
+        self.next_id += 1;
+        if let Json::Obj(map) = &mut req {
+            map.insert("id".into(), Json::Int(id));
+        }
+        writeln!(self.writer, "{req}")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError("server closed the connection".into()));
+            }
+            if !line.trim().is_empty() {
+                break;
+            }
+        }
+        let response =
+            Json::parse(line.trim()).map_err(|e| ClientError(format!("bad response: {e}")))?;
+        if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(response)
+        } else {
+            let message = response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown server error");
+            Err(ClientError(message.to_string()))
+        }
+    }
+
+    /// `ping`, returning the session's pinned epoch.
+    pub fn ping(&mut self) -> Result<i64> {
+        let r = self.request(Json::obj([("op", Json::str("ping"))]))?;
+        Ok(r.get("epoch").and_then(Json::as_int).unwrap_or(0))
+    }
+
+    /// Runs a SQL script on the live database (the write path).
+    pub fn sql(&mut self, script: &str) -> Result<Json> {
+        self.request(Json::obj([
+            ("op", Json::str("sql")),
+            ("sql", Json::str(script)),
+        ]))
+    }
+
+    /// Re-pins the session snapshot to the newest epoch.
+    pub fn refresh(&mut self) -> Result<Json> {
+        self.request(Json::obj([("op", Json::str("refresh"))]))
+    }
+
+    /// One-shot query against the pinned snapshot.
+    pub fn query(&mut self, sql: &str) -> Result<Json> {
+        self.request(Json::obj([
+            ("op", Json::str("query")),
+            ("sql", Json::str(sql)),
+        ]))
+    }
+
+    /// Prepares a statement, returning its handle.
+    pub fn prepare(&mut self, sql: &str) -> Result<i64> {
+        let r = self.request(Json::obj([
+            ("op", Json::str("prepare")),
+            ("sql", Json::str(sql)),
+        ]))?;
+        r.get("stmt")
+            .and_then(Json::as_int)
+            .ok_or_else(|| ClientError("prepare: no stmt handle in response".into()))
+    }
+
+    /// Executes a prepared statement with positional args.
+    pub fn execute(&mut self, stmt: i64, args: Vec<Json>) -> Result<Json> {
+        self.request(Json::obj([
+            ("op", Json::str("execute")),
+            ("stmt", Json::Int(stmt)),
+            ("args", Json::Arr(args)),
+        ]))
+    }
+
+    /// Lists the snapshot's tables.
+    pub fn tables(&mut self) -> Result<Vec<String>> {
+        let r = self.request(Json::obj([("op", Json::str("tables"))]))?;
+        Ok(r.get("tables")
+            .and_then(Json::as_arr)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|t| t.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default())
+    }
+
+    /// Asks the server to stop (drains and exits).
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.request(Json::obj([("op", Json::str("shutdown"))]))?;
+        Ok(())
+    }
+}

@@ -1,0 +1,172 @@
+//! The TCP accept loop: thread-per-connection sessions over one shared
+//! database, with a graceful shutdown path.
+//!
+//! Concurrency model (the epoch-snapshot contract):
+//!
+//! - each connection pins a [`DbSnapshot`](aggprov_engine::DbSnapshot)
+//!   at session start — readers prepare and execute entirely against
+//!   that frozen epoch, **lock-free**;
+//! - the only lock is a [`RwLock`] around the live database whose read
+//!   critical section is a single `Arc` bump (`snapshot()`), and whose
+//!   write section is the single writer's copy-on-write mutation;
+//! - `shutdown` flips a flag, wakes the blocking accept loop with a
+//!   self-connection, shuts down every open socket (readers see EOF),
+//!   and joins all session threads before returning.
+
+use crate::session::{Control, Session};
+use aggprov_engine::ProvDb;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::thread::JoinHandle;
+
+/// A running server bound to a local address.
+pub struct Server {
+    listener: TcpListener,
+    db: Arc<RwLock<ProvDb>>,
+    stop: Arc<AtomicBool>,
+    /// Live connection sockets, shut down on stop so blocked readers
+    /// wake with EOF instead of hanging the drain.
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 to let the OS pick) over a fresh
+    /// provenance database.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        Server::bind_with(addr, ProvDb::new())
+    }
+
+    /// Binds to `addr` over a pre-loaded database.
+    pub fn bind_with(addr: impl ToSocketAddrs, db: ProvDb) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            db: Arc::new(RwLock::new(db)),
+            stop: Arc::new(AtomicBool::new(false)),
+            conns: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// The bound address (for port-0 binds).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.listener.local_addr().ok(),
+            conns: Arc::clone(&self.conns),
+        }
+    }
+
+    /// Serves until `shutdown` (an op or a [`ShutdownHandle`]) stops the
+    /// loop, then drains: no new connections, open sockets shut down,
+    /// all session threads joined.
+    pub fn serve(self) -> std::io::Result<()> {
+        let shutdown = self.shutdown_handle();
+        let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+        for incoming in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match incoming {
+                Ok(stream) => stream,
+                // A refused/reset handshake is the peer's problem.
+                Err(_) => continue,
+            };
+            if let Ok(clone) = stream.try_clone() {
+                self.conns
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(clone);
+            }
+            let db = Arc::clone(&self.db);
+            let shutdown = shutdown.clone();
+            sessions.push(std::thread::spawn(move || {
+                serve_connection(stream, db, shutdown);
+            }));
+            sessions.retain(|handle| !handle.is_finished());
+        }
+        shutdown.stop();
+        for handle in sessions {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// Stops a [`Server`] from outside its accept loop.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    stop: Arc<AtomicBool>,
+    addr: Option<std::net::SocketAddr>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl ShutdownHandle {
+    /// Flips the stop flag, wakes the accept loop, and unblocks every
+    /// open session socket. Idempotent.
+    pub fn stop(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in `incoming()`; a throwaway connection
+        // wakes it so it can observe the flag.
+        if let Some(addr) = self.addr {
+            let _ = TcpStream::connect(addr);
+        }
+        for conn in self
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+        {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// True once `stop` has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// One connection's loop: read a line, handle, write a line. Request
+/// failures become error responses; I/O failures close the connection;
+/// nothing here can take the process down.
+fn serve_connection(stream: TcpStream, db: Arc<RwLock<ProvDb>>, shutdown: ShutdownHandle) {
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let mut session = Session::new(db);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, control) = session.handle_line(&line);
+        if writeln!(writer, "{response}")
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        match control {
+            Control::Continue => {}
+            Control::Close => break,
+            Control::Shutdown => {
+                shutdown.stop();
+                break;
+            }
+        }
+    }
+    let _ = writer.shutdown(std::net::Shutdown::Both);
+}

@@ -1,0 +1,458 @@
+//! One client's session: a pinned epoch snapshot, prepared-statement and
+//! result handles, and the op dispatcher.
+//!
+//! Every read op (`prepare`, `execute`, `query`, and the provenance
+//! interrogation ops) runs against the session's pinned [`DbSnapshot`] —
+//! a frozen epoch the writer can never disturb — so execution takes no
+//! lock at all. Only `sql` (the write path) takes the database write
+//! lock, and `refresh` briefly takes the read lock to pin the newest
+//! epoch. Handles are plain integers scoped to the session; closing the
+//! connection drops everything.
+
+use crate::json::Json;
+use aggprov_algebra::domain::Const;
+use aggprov_algebra::hom::Valuation;
+use aggprov_algebra::semiring::{CommutativeSemiring, Nat, Security};
+use aggprov_core::{Prov, Value};
+use aggprov_engine::{DbSnapshot, ParseAnnotation, ProvDb, ResultSet, SnapPrepared};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// What the connection loop should do after a response is sent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Control {
+    /// Keep reading requests.
+    Continue,
+    /// Close this connection (client said goodbye).
+    Close,
+    /// Stop the whole server (drain, then exit).
+    Shutdown,
+}
+
+/// Per-session handle budget: statements and stored results each.
+/// A session trying to hoard more gets an error, not an OOM.
+pub const MAX_HANDLES: usize = 1024;
+
+/// One connected client's state.
+pub struct Session {
+    db: Arc<RwLock<ProvDb>>,
+    snap: DbSnapshot<Prov>,
+    stmts: HashMap<i64, (String, SnapPrepared<Prov>)>,
+    results: HashMap<i64, ResultSet<Prov>>,
+    next_handle: i64,
+}
+
+impl Session {
+    /// Opens a session, pinning the database's current epoch.
+    ///
+    /// Lock poisoning is deliberately shrugged off everywhere in this
+    /// module: a panicking writer must not brick the server, and every
+    /// published epoch is a consistent database (mutations validate
+    /// before they publish), so recovering the inner value is safe.
+    pub fn new(db: Arc<RwLock<ProvDb>>) -> Session {
+        let snap = db
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .snapshot();
+        Session {
+            db,
+            snap,
+            stmts: HashMap::new(),
+            results: HashMap::new(),
+            next_handle: 1,
+        }
+    }
+
+    /// Handles one request line, returning the response and what the
+    /// connection should do next. Never panics on bad input: every
+    /// failure becomes an `{"ok":false,"error":…}` response so one
+    /// misbehaving request can't take the connection (or the process)
+    /// down.
+    pub fn handle_line(&mut self, line: &str) -> (Json, Control) {
+        let req = match Json::parse(line) {
+            Ok(req) => req,
+            Err(e) => {
+                return (
+                    error_response(Json::Null, &format!("bad json: {e}")),
+                    Control::Continue,
+                )
+            }
+        };
+        let id = req.get("id").cloned().unwrap_or(Json::Null);
+        let op = match req.get("op").and_then(Json::as_str) {
+            Some(op) => op.to_string(),
+            None => return (error_response(id, "missing \"op\""), Control::Continue),
+        };
+        match self.dispatch(&op, &req) {
+            Ok((mut body, control)) => {
+                if let Json::Obj(map) = &mut body {
+                    map.insert("id".into(), id);
+                    map.insert("ok".into(), Json::Bool(true));
+                }
+                (body, control)
+            }
+            Err(e) => (error_response(id, &e), Control::Continue),
+        }
+    }
+
+    fn dispatch(&mut self, op: &str, req: &Json) -> Result<(Json, Control), String> {
+        match op {
+            "ping" => Ok((
+                Json::obj([
+                    ("pong", Json::Bool(true)),
+                    ("epoch", Json::Int(self.snap.epoch() as i64)),
+                ]),
+                Control::Continue,
+            )),
+            "tables" => {
+                let tables = self.snap.table_names().map(Json::str).collect::<Vec<_>>();
+                Ok((
+                    Json::obj([
+                        ("tables", Json::Arr(tables)),
+                        ("epoch", Json::Int(self.snap.epoch() as i64)),
+                    ]),
+                    Control::Continue,
+                ))
+            }
+            "sql" => self.op_sql(req),
+            "refresh" => self.op_refresh(),
+            "prepare" => self.op_prepare(req),
+            "execute" => self.op_execute(req),
+            "query" => self.op_query(req),
+            "valuate" => self.op_valuate(req),
+            "delete_tokens" => self.op_delete_tokens(req),
+            "clearance" => self.op_clearance(req),
+            "close" => self.op_close(req),
+            "bye" => Ok((Json::obj([]), Control::Close)),
+            "shutdown" => Ok((Json::obj([]), Control::Shutdown)),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    /// The write path: executes a SQL script on the **live** database
+    /// under the write lock. The session's snapshot stays pinned — call
+    /// `refresh` to observe the new epoch.
+    fn op_sql(&mut self, req: &Json) -> Result<(Json, Control), String> {
+        let script = req
+            .get("sql")
+            .and_then(Json::as_str)
+            .ok_or("sql: missing \"sql\"")?;
+        let mut db = self
+            .db
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let out = db.exec(script).map_err(|e| e.to_string())?;
+        let mut body = vec![("epoch", Json::Int(db.epoch() as i64))];
+        drop(db);
+        if let Some(rel) = out {
+            let rendered = render_relation_body(&ResultSet::from_relation(rel));
+            body.extend(rendered);
+        }
+        Ok((Json::obj(body), Control::Continue))
+    }
+
+    /// Re-pins the session to the newest published epoch and re-prepares
+    /// every held statement against it. Statements whose SQL no longer
+    /// plans (a dropped table, say) are closed and reported.
+    fn op_refresh(&mut self) -> Result<(Json, Control), String> {
+        self.snap = self
+            .db
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .snapshot();
+        let mut invalidated = Vec::new();
+        let handles: Vec<i64> = self.stmts.keys().copied().collect();
+        for handle in handles {
+            let sql = self.stmts[&handle].0.clone();
+            match self.snap.prepare(&sql) {
+                Ok(stmt) => {
+                    self.stmts.insert(handle, (sql, stmt));
+                }
+                Err(_) => {
+                    self.stmts.remove(&handle);
+                    invalidated.push(Json::Int(handle));
+                }
+            }
+        }
+        Ok((
+            Json::obj([
+                ("epoch", Json::Int(self.snap.epoch() as i64)),
+                ("invalidated", Json::Arr(invalidated)),
+            ]),
+            Control::Continue,
+        ))
+    }
+
+    fn op_prepare(&mut self, req: &Json) -> Result<(Json, Control), String> {
+        let sql = req
+            .get("sql")
+            .and_then(Json::as_str)
+            .ok_or("prepare: missing \"sql\"")?;
+        if self.stmts.len() >= MAX_HANDLES {
+            return Err(format!("prepare: session holds {MAX_HANDLES} statements"));
+        }
+        let stmt = self.snap.prepare(sql).map_err(|e| e.to_string())?;
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        let columns = schema_columns(stmt.schema());
+        let body = Json::obj([
+            ("stmt", Json::Int(handle)),
+            ("params", Json::Int(stmt.param_count() as i64)),
+            ("columns", columns),
+            ("epoch", Json::Int(stmt.epoch() as i64)),
+        ]);
+        self.stmts.insert(handle, (sql.to_string(), stmt));
+        Ok((body, Control::Continue))
+    }
+
+    fn op_execute(&mut self, req: &Json) -> Result<(Json, Control), String> {
+        let handle = req
+            .get("stmt")
+            .and_then(Json::as_int)
+            .ok_or("execute: missing \"stmt\"")?;
+        let (_, stmt) = self
+            .stmts
+            .get(&handle)
+            .ok_or_else(|| format!("execute: unknown stmt {handle}"))?;
+        let params = parse_params(req.get("args"))?;
+        let out = stmt.execute_with(&params).map_err(|e| e.to_string())?;
+        self.respond_with_result(req, out)
+    }
+
+    /// One-shot prepare + execute against the pinned snapshot, without
+    /// taking a statement handle.
+    fn op_query(&mut self, req: &Json) -> Result<(Json, Control), String> {
+        let sql = req
+            .get("sql")
+            .and_then(Json::as_str)
+            .ok_or("query: missing \"sql\"")?;
+        let stmt = self.snap.prepare(sql).map_err(|e| e.to_string())?;
+        let params = parse_params(req.get("args"))?;
+        let out = stmt.execute_with(&params).map_err(|e| e.to_string())?;
+        self.respond_with_result(req, out)
+    }
+
+    /// Renders an execution result; `"store": true` additionally parks
+    /// the `ResultSet` under a result handle for later interrogation.
+    fn respond_with_result(
+        &mut self,
+        req: &Json,
+        out: ResultSet<Prov>,
+    ) -> Result<(Json, Control), String> {
+        let mut body = render_relation_body(&out);
+        if req.get("store").and_then(Json::as_bool) == Some(true) {
+            if self.results.len() >= MAX_HANDLES {
+                return Err(format!("store: session holds {MAX_HANDLES} results"));
+            }
+            let handle = self.next_handle;
+            self.next_handle += 1;
+            self.results.insert(handle, out);
+            body.push(("result", Json::Int(handle)));
+        }
+        Ok((Json::obj(body), Control::Continue))
+    }
+
+    fn stored(&self, req: &Json, op: &str) -> Result<&ResultSet<Prov>, String> {
+        let handle = req
+            .get("result")
+            .and_then(Json::as_int)
+            .ok_or_else(|| format!("{op}: missing \"result\""))?;
+        self.results
+            .get(&handle)
+            .ok_or_else(|| format!("{op}: unknown result {handle}"))
+    }
+
+    /// Token valuation into ℕ (deletion propagation, bag multiplicities):
+    /// `bindings` maps token names to naturals, everything else gets
+    /// `default` (1 when omitted). This interrogates the **stored**
+    /// symbolic result — the query is not re-evaluated.
+    fn op_valuate(&mut self, req: &Json) -> Result<(Json, Control), String> {
+        let out = self.stored(req, "valuate")?;
+        let default = match req.get("default") {
+            None => Nat(1),
+            Some(v) => Nat(nat_binding(v, "default")?),
+        };
+        let mut val = Valuation::<Nat>::with_default(default);
+        if let Some(bindings) = req.get("bindings") {
+            let map = bindings
+                .as_obj()
+                .ok_or("valuate: \"bindings\" must be an object")?;
+            for (token, v) in map {
+                val = val.set(token.as_str(), Nat(nat_binding(v, token)?));
+            }
+        }
+        let valuated = out.valuate(&val);
+        render_km_result(&valuated)
+    }
+
+    /// Deletion propagation: zeroes the given tokens, keeps the rest
+    /// symbolic. `"store": true` parks the shrunken (still symbolic)
+    /// result under a fresh handle so interrogation can continue.
+    fn op_delete_tokens(&mut self, req: &Json) -> Result<(Json, Control), String> {
+        let out = self.stored(req, "delete_tokens")?;
+        let tokens = req
+            .get("tokens")
+            .and_then(Json::as_arr)
+            .ok_or("delete_tokens: missing \"tokens\" array")?;
+        let names: Vec<&str> = tokens
+            .iter()
+            .map(|t| t.as_str().ok_or("delete_tokens: tokens must be strings"))
+            .collect::<Result<_, _>>()?;
+        let deleted = out.delete_tokens(names);
+        let mut body = render_relation_body(&deleted);
+        if req.get("store").and_then(Json::as_bool) == Some(true) {
+            if self.results.len() >= MAX_HANDLES {
+                return Err(format!("store: session holds {MAX_HANDLES} results"));
+            }
+            let handle = self.next_handle;
+            self.next_handle += 1;
+            self.results.insert(handle, deleted);
+            body.push(("result", Json::Int(handle)));
+        }
+        Ok((Json::obj(body), Control::Continue))
+    }
+
+    /// Security reading (paper Example 3.5): `levels` maps tokens to
+    /// clearance levels (`PUBLIC`/`C`/`S`/`T`/`NEVER`), `cred` is the
+    /// principal's credential; tuples and aggregate contributions visible
+    /// at that clearance survive, the rest vanish.
+    fn op_clearance(&mut self, req: &Json) -> Result<(Json, Control), String> {
+        let out = self.stored(req, "clearance")?;
+        let cred = req
+            .get("cred")
+            .and_then(Json::as_str)
+            .ok_or("clearance: missing \"cred\"")?;
+        let cred = parse_level(cred)?;
+        let default = match req.get("default_level").and_then(Json::as_str) {
+            None => Security::Public,
+            Some(text) => parse_level(text)?,
+        };
+        let mut val = Valuation::<Security>::with_default(default);
+        if let Some(levels) = req.get("levels") {
+            let map = levels
+                .as_obj()
+                .ok_or("clearance: \"levels\" must be an object")?;
+            for (token, v) in map {
+                let text = v
+                    .as_str()
+                    .ok_or_else(|| format!("clearance: level for {token:?} must be a string"))?;
+                val = val.set(token.as_str(), parse_level(text)?);
+            }
+        }
+        let view = out.valuate(&val).clearance(cred);
+        render_km_result(&view)
+    }
+
+    fn op_close(&mut self, req: &Json) -> Result<(Json, Control), String> {
+        if let Some(handle) = req.get("stmt").and_then(Json::as_int) {
+            self.stmts
+                .remove(&handle)
+                .ok_or_else(|| format!("close: unknown stmt {handle}"))?;
+            return Ok((Json::obj([]), Control::Continue));
+        }
+        if let Some(handle) = req.get("result").and_then(Json::as_int) {
+            self.results
+                .remove(&handle)
+                .ok_or_else(|| format!("close: unknown result {handle}"))?;
+            return Ok((Json::obj([]), Control::Continue));
+        }
+        Err("close: pass \"stmt\" or \"result\"".into())
+    }
+}
+
+fn error_response(id: Json, message: &str) -> Json {
+    Json::obj([
+        ("id", id),
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(message)),
+    ])
+}
+
+fn parse_level(text: &str) -> Result<Security, String> {
+    <Security as ParseAnnotation>::parse_annotation(text)
+        .ok_or_else(|| format!("unknown security level {text:?}"))
+}
+
+fn nat_binding(v: &Json, token: &str) -> Result<u64, String> {
+    v.as_int()
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| format!("binding for {token:?} must be a non-negative integer"))
+}
+
+/// Typed JSON statement parameters → SQL constants.
+fn parse_params(args: Option<&Json>) -> Result<Vec<Const>, String> {
+    let Some(args) = args else {
+        return Ok(Vec::new());
+    };
+    let items = args.as_arr().ok_or("\"args\" must be an array")?;
+    items
+        .iter()
+        .map(|v| match v {
+            Json::Int(n) => Ok(Const::int(*n)),
+            Json::Str(s) => Ok(Const::str(s)),
+            Json::Bool(b) => Ok(Const::Bool(*b)),
+            other => Err(format!("unsupported parameter {other}")),
+        })
+        .collect()
+}
+
+fn schema_columns(schema: &aggprov_krel::schema::Schema) -> Json {
+    Json::Arr(schema.attrs().iter().map(|a| Json::str(a.name())).collect())
+}
+
+/// Renders a result as response fields: column names, then one
+/// `{"values": […], "annotation": "…"}` object per row (support order).
+/// Cells and annotations go over the wire in their `Display` form — the
+/// same renderings every example and doctest in this repo asserts on.
+fn render_relation_body<A>(out: &ResultSet<A>) -> Vec<(&'static str, Json)>
+where
+    A: CommutativeSemiring + fmt::Display,
+    Value<A>: fmt::Display,
+{
+    let rows: Vec<Json> = out
+        .rows()
+        .map(|row| {
+            let values: Vec<Json> = (0..out.schema().arity())
+                .map(|i| Json::str(row.at(i).to_string()))
+                .collect();
+            let mut obj = BTreeMap::new();
+            obj.insert("values".to_string(), Json::Arr(values));
+            obj.insert(
+                "annotation".to_string(),
+                Json::str(row.annotation().to_string()),
+            );
+            Json::Obj(obj)
+        })
+        .collect();
+    vec![
+        ("columns", schema_columns(out.schema())),
+        ("count", Json::Int(out.len() as i64)),
+        ("rows", Json::Arr(rows)),
+    ]
+}
+
+/// Renders a valuated `Km<K>` result, collapsing to the base semiring
+/// when every symbolic atom has resolved (`"collapsed": true`) and
+/// falling back to the symbolic rendering otherwise.
+fn render_km_result<K>(out: &ResultSet<aggprov_core::Km<K>>) -> Result<(Json, Control), String>
+where
+    K: CommutativeSemiring + fmt::Display,
+    Value<K>: fmt::Display,
+    Value<aggprov_core::Km<K>>: fmt::Display,
+    aggprov_core::Km<K>: CommutativeSemiring + fmt::Display,
+{
+    let body = match out.collapse() {
+        Ok(collapsed) => {
+            let mut body = render_relation_body(&collapsed);
+            body.push(("collapsed", Json::Bool(true)));
+            body
+        }
+        Err(_) => {
+            let mut body = render_relation_body(out);
+            body.push(("collapsed", Json::Bool(false)));
+            body
+        }
+    };
+    Ok((Json::obj(body), Control::Continue))
+}

@@ -1,0 +1,261 @@
+//! In-process integration tests: a real server on a real socket, real
+//! clients on real threads.
+
+use aggprov_engine::ProvDb;
+use aggprov_server::{Client, Json, Server};
+use std::thread::JoinHandle;
+
+/// Spawns a server on an OS-assigned port over a seeded database,
+/// returning its address and the serve-thread handle.
+fn spawn_server(seed_sql: &str) -> (String, JoinHandle<()>) {
+    let mut db = ProvDb::new();
+    if !seed_sql.is_empty() {
+        db.exec(seed_sql).expect("seed");
+    }
+    let server = Server::bind_with("127.0.0.1:0", db).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || {
+        server.serve().expect("serve");
+    });
+    (addr, handle)
+}
+
+const SEED: &str = "CREATE TABLE emp (dept TEXT, sal NUM);
+    INSERT INTO emp VALUES ('d1', 20) PROVENANCE p1;
+    INSERT INTO emp VALUES ('d1', 10) PROVENANCE p2;
+    INSERT INTO emp VALUES ('d2', 15) PROVENANCE p3;";
+
+const GROUPED: &str = "SELECT dept, SUM(sal) AS total FROM emp GROUP BY dept";
+
+#[test]
+fn multi_client_smoke() {
+    let (addr, server) = spawn_server(SEED);
+
+    // Eight concurrent clients: prepare, execute, parameterized execute.
+    let mut clients = Vec::new();
+    for _ in 0..8 {
+        let addr = addr.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr.as_str()).expect("connect");
+            c.ping().expect("ping");
+            let stmt = c.prepare(GROUPED).expect("prepare");
+            let grouped = c.execute(stmt, vec![]).expect("execute");
+            assert_eq!(grouped.get("count"), Some(&Json::Int(2)));
+            let by_dept = c
+                .prepare("SELECT sal FROM emp WHERE dept = $1")
+                .expect("prepare param");
+            let d1 = c
+                .execute(by_dept, vec![Json::str("d1")])
+                .expect("execute param");
+            assert_eq!(d1.get("count"), Some(&Json::Int(2)));
+            let d2 = c
+                .execute(by_dept, vec![Json::str("d2")])
+                .expect("execute param");
+            assert_eq!(d2.get("count"), Some(&Json::Int(1)));
+            grouped.get("rows").cloned().expect("rows")
+        }));
+    }
+    let renders: Vec<Json> = clients
+        .into_iter()
+        .map(|h| h.join().expect("client"))
+        .collect();
+    assert!(
+        renders.windows(2).all(|w| w[0] == w[1]),
+        "every client must see the identical grouped result"
+    );
+
+    let mut admin = Client::connect(addr.as_str()).expect("connect");
+    admin.shutdown().expect("shutdown");
+    server.join().expect("serve thread");
+}
+
+#[test]
+fn errors_never_kill_the_connection_or_the_server() {
+    let (addr, server) = spawn_server(SEED);
+    let mut c = Client::connect(addr.as_str()).expect("connect");
+
+    // Parse error, unknown op, bad SQL, bad handle, bad params: each is
+    // an error *response*; the session keeps serving afterwards.
+    let (bad_json, _) = raw_roundtrip(&addr, "{not json");
+    assert_eq!(bad_json.get("ok"), Some(&Json::Bool(false)));
+    assert!(c
+        .request(Json::obj([("op", Json::str("frobnicate"))]))
+        .is_err());
+    assert!(c.sql("SELEKT 1").is_err());
+    assert!(c.query("SELECT missing FROM emp").is_err());
+    assert!(c.execute(999, vec![]).is_err());
+    let stmt = c
+        .prepare("SELECT sal FROM emp WHERE dept = $1")
+        .expect("prepare");
+    assert!(c.execute(stmt, vec![]).is_err(), "missing arg");
+    assert!(
+        c.execute(stmt, vec![Json::Float(1.5)]).is_err(),
+        "unsupported param type"
+    );
+
+    // The same session still works.
+    let ok = c.execute(stmt, vec![Json::str("d1")]).expect("recovered");
+    assert_eq!(ok.get("count"), Some(&Json::Int(2)));
+
+    c.shutdown().expect("shutdown");
+    server.join().expect("serve thread");
+}
+
+/// Sends one raw line (bypassing the client's JSON encoding) and reads
+/// one response line.
+fn raw_roundtrip(addr: &str, line: &str) -> (Json, std::net::TcpStream) {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    writeln!(stream, "{line}").expect("write");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read");
+    (Json::parse(response.trim()).expect("parse"), stream)
+}
+
+#[test]
+fn sessions_pin_epochs_until_refresh() {
+    let (addr, server) = spawn_server(SEED);
+
+    let mut reader = Client::connect(addr.as_str()).expect("connect reader");
+    let stmt = reader.prepare(GROUPED).expect("prepare");
+    let before = reader.execute(stmt, vec![]).expect("execute");
+
+    // A second connection plays writer and publishes a new epoch.
+    let mut writer = Client::connect(addr.as_str()).expect("connect writer");
+    writer
+        .sql("INSERT INTO emp VALUES ('d3', 99) PROVENANCE p4")
+        .expect("insert");
+
+    // The reader's pinned snapshot is bit-identical to before the write.
+    let after = reader.execute(stmt, vec![]).expect("execute again");
+    assert_eq!(before.get("rows"), after.get("rows"));
+    assert_eq!(before.get("epoch"), after.get("epoch"));
+
+    // After refresh, the same statement handle sees the new epoch.
+    let refreshed = reader.refresh().expect("refresh");
+    assert_eq!(
+        refreshed.get("invalidated"),
+        Some(&Json::Arr(vec![])),
+        "statement re-prepares cleanly"
+    );
+    let now = reader.execute(stmt, vec![]).expect("execute refreshed");
+    assert_eq!(now.get("count"), Some(&Json::Int(3)));
+
+    // DDL that drops a scanned table invalidates the handle on refresh.
+    writer.sql("DROP TABLE emp").expect("drop");
+    let refreshed = reader.refresh().expect("refresh after drop");
+    assert_eq!(
+        refreshed.get("invalidated"),
+        Some(&Json::Arr(vec![Json::Int(stmt)])),
+        "dropped table invalidates the statement"
+    );
+    assert!(reader.execute(stmt, vec![]).is_err());
+
+    writer.shutdown().expect("shutdown");
+    server.join().expect("serve thread");
+}
+
+#[test]
+fn provenance_interrogation_over_the_wire() {
+    let (addr, server) = spawn_server(SEED);
+    let mut c = Client::connect(addr.as_str()).expect("connect");
+
+    let stored = c
+        .request(Json::obj([
+            ("op", Json::str("query")),
+            ("sql", Json::str(GROUPED)),
+            ("store", Json::Bool(true)),
+        ]))
+        .expect("store");
+    let result = stored.get("result").and_then(Json::as_int).expect("handle");
+
+    // Valuating everything to 1 collapses to the plain bag answer.
+    let plain = c
+        .request(Json::obj([
+            ("op", Json::str("valuate")),
+            ("result", Json::Int(result)),
+        ]))
+        .expect("valuate");
+    assert_eq!(plain.get("collapsed"), Some(&Json::Bool(true)));
+    assert_eq!(plain.get("count"), Some(&Json::Int(2)));
+    let rendered = plain.get("rows").map(Json::to_string).unwrap_or_default();
+    assert!(rendered.contains("30"), "d1 total: {rendered}");
+
+    // Deleting p2 shrinks d1's sum to 20 (deletion propagation without
+    // re-running the query).
+    let deleted = c
+        .request(Json::obj([
+            ("op", Json::str("delete_tokens")),
+            ("result", Json::Int(result)),
+            ("tokens", Json::Arr(vec![Json::str("p2")])),
+            ("store", Json::Bool(true)),
+        ]))
+        .expect("delete");
+    let shrunk = deleted
+        .get("result")
+        .and_then(Json::as_int)
+        .expect("handle");
+    let plain = c
+        .request(Json::obj([
+            ("op", Json::str("valuate")),
+            ("result", Json::Int(shrunk)),
+        ]))
+        .expect("valuate shrunk");
+    let rendered = plain.get("rows").map(Json::to_string).unwrap_or_default();
+    assert!(rendered.contains("20"), "after deletion: {rendered}");
+    assert!(!rendered.contains("30"), "after deletion: {rendered}");
+
+    // Security reading: p1/p2 confidential, p3 secret; a C-cleared
+    // principal sees d1's total but not d2's.
+    let view = c
+        .request(Json::obj([
+            ("op", Json::str("clearance")),
+            ("result", Json::Int(result)),
+            (
+                "levels",
+                Json::obj([
+                    ("p1", Json::str("C")),
+                    ("p2", Json::str("C")),
+                    ("p3", Json::str("S")),
+                ]),
+            ),
+            ("cred", Json::str("C")),
+        ]))
+        .expect("clearance");
+    let rendered = view.to_string();
+    assert!(rendered.contains("d1"), "C sees d1: {rendered}");
+
+    // Handles close; closing twice is an error.
+    c.request(Json::obj([
+        ("op", Json::str("close")),
+        ("result", Json::Int(result)),
+    ]))
+    .expect("close");
+    assert!(c
+        .request(Json::obj([
+            ("op", Json::str("close")),
+            ("result", Json::Int(result))
+        ]))
+        .is_err());
+
+    c.shutdown().expect("shutdown");
+    server.join().expect("serve thread");
+}
+
+#[test]
+fn graceful_shutdown_wakes_idle_connections() {
+    let (addr, server) = spawn_server("");
+    // An idle connection sits blocked in read; shutdown must unblock it.
+    let idle = std::net::TcpStream::connect(addr.as_str()).expect("idle connect");
+    let mut admin = Client::connect(addr.as_str()).expect("connect");
+    admin.sql("CREATE TABLE t (x NUM)").expect("ddl");
+    admin.shutdown().expect("shutdown");
+    server.join().expect("serve thread drains");
+    // The idle socket is shut down by the server: reads see EOF.
+    use std::io::Read;
+    let mut buf = [0u8; 8];
+    let n = (&idle).read(&mut buf).expect("read after shutdown");
+    assert_eq!(n, 0, "idle connection sees EOF");
+}

@@ -1,25 +1,154 @@
-//! An interactive SQL shell over a provenance-annotated database.
+//! An interactive SQL shell over a provenance-annotated database —
+//! embedded by default, or speaking the wire protocol to a running
+//! `aggprov-server` after `\connect`.
 //!
 //! ```text
 //! cargo run --example sql_repl
 //! sql> CREATE TABLE r (dept TEXT, sal NUM);
 //! sql> INSERT INTO r VALUES ('d1', 20) PROVENANCE p1;
 //! sql> SELECT dept, SUM(sal) AS mass FROM r GROUP BY dept;
+//! sql> \connect 127.0.0.1:7878
+//! remote> SELECT dept, SUM(sal) AS mass FROM r GROUP BY dept;
 //! ```
 //!
-//! Statements end with `;`. `\q` quits, `\tables` lists tables.
+//! Statements end with `;`. `\q` quits, `\tables` lists tables,
+//! `\connect host:port` switches to a server (queries then run against
+//! the session's epoch snapshot, refreshed before each SELECT), and
+//! `\local` switches back to the embedded database.
 
 use aggprov::engine::ProvDb;
+use aggprov_server::{Client, Json};
 use std::io::{self, BufRead, Write};
 
+enum Mode {
+    Local(Box<ProvDb>),
+    Remote(Client),
+}
+
+impl Mode {
+    fn prompt(&self) -> &'static str {
+        match self {
+            Mode::Local(_) => "sql> ",
+            Mode::Remote(_) => "remote> ",
+        }
+    }
+}
+
+/// Prints a wire result in the local `Relation` display style.
+fn print_remote_rows(response: &Json) {
+    let columns = response.get("columns").and_then(Json::as_arr).map(|cols| {
+        cols.iter()
+            .filter_map(Json::as_str)
+            .collect::<Vec<_>>()
+            .join(", ")
+    });
+    let Some(columns) = columns else {
+        println!("ok (epoch {})", epoch_of(response));
+        return;
+    };
+    println!("[{columns}]");
+    if let Some(rows) = response.get("rows").and_then(Json::as_arr) {
+        for row in rows {
+            let values = row
+                .get("values")
+                .and_then(Json::as_arr)
+                .map(|vs| {
+                    vs.iter()
+                        .filter_map(Json::as_str)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                })
+                .unwrap_or_default();
+            let annotation = row
+                .get("annotation")
+                .and_then(Json::as_str)
+                .unwrap_or_default();
+            println!("  ({values})  @ {annotation}");
+        }
+    }
+}
+
+fn epoch_of(response: &Json) -> i64 {
+    response.get("epoch").and_then(Json::as_int).unwrap_or(0)
+}
+
+/// Runs one `;`-terminated statement buffer in the current mode.
+fn run_statement(mode: &mut Mode, script: &str) {
+    match mode {
+        Mode::Local(db) => match db.exec(script) {
+            Ok(Some(result)) => println!("{result}"),
+            Ok(None) => println!("ok"),
+            Err(e) => println!("error: {e}"),
+        },
+        Mode::Remote(client) => {
+            // SELECTs take the read path: re-pin the snapshot, then run
+            // against it lock-free. Everything else is the write path.
+            let is_select = script
+                .trim_start()
+                .to_ascii_uppercase()
+                .starts_with("SELECT");
+            let outcome = if is_select {
+                client
+                    .refresh()
+                    .and_then(|_| client.query(script.trim().trim_end_matches(';')))
+            } else {
+                client.sql(script)
+            };
+            match outcome {
+                Ok(response) => print_remote_rows(&response),
+                Err(e) => println!("error: {e}"),
+            }
+        }
+    }
+}
+
+fn run_command(mode: &mut Mode, command: &str) -> bool {
+    match command.split_whitespace().collect::<Vec<_>>().as_slice() {
+        ["\\q"] => return false,
+        ["\\tables"] => match mode {
+            Mode::Local(db) => {
+                for name in db.table_names() {
+                    println!("{name}");
+                }
+            }
+            Mode::Remote(client) => match client.tables() {
+                Ok(tables) => {
+                    for name in tables {
+                        println!("{name}");
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+        },
+        ["\\connect", addr] => match Client::connect(*addr) {
+            Ok(mut client) => match client.ping() {
+                Ok(epoch) => {
+                    println!("connected to {addr} (epoch {epoch})");
+                    *mode = Mode::Remote(client);
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            Err(e) => println!("error: cannot connect to {addr}: {e}"),
+        },
+        ["\\local"] => {
+            println!("back to the embedded database");
+            *mode = Mode::Local(Box::new(ProvDb::new()));
+        }
+        _ => println!("commands: \\q  \\tables  \\connect host:port  \\local"),
+    }
+    true
+}
+
 fn main() {
-    let mut db = ProvDb::new();
+    let mut mode = Mode::Local(Box::new(ProvDb::new()));
     let stdin = io::stdin();
     let mut buffer = String::new();
 
     println!("aggprov SQL shell — provenance-annotated aggregation (PODS'11)");
-    println!("statements end with `;`; \\q quits, \\tables lists tables");
-    print!("sql> ");
+    println!(
+        "statements end with `;`; \\q quits, \\tables lists tables, \\connect host:port goes remote"
+    );
+    print!("{}", mode.prompt());
     io::stdout().flush().ok();
 
     for line in stdin.lock().lines() {
@@ -28,14 +157,11 @@ fn main() {
             Err(_) => break,
         };
         let trimmed = line.trim();
-        if trimmed == "\\q" {
-            break;
-        }
-        if trimmed == "\\tables" {
-            for name in db.table_names() {
-                println!("{name}");
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            if !run_command(&mut mode, trimmed) {
+                break;
             }
-            print!("sql> ");
+            print!("{}", mode.prompt());
             io::stdout().flush().ok();
             continue;
         }
@@ -46,13 +172,9 @@ fn main() {
             io::stdout().flush().ok();
             continue;
         }
-        match db.exec(&buffer) {
-            Ok(Some(result)) => println!("{result}"),
-            Ok(None) => println!("ok"),
-            Err(e) => println!("error: {e}"),
-        }
+        run_statement(&mut mode, &buffer);
         buffer.clear();
-        print!("sql> ");
+        print!("{}", mode.prompt());
         io::stdout().flush().ok();
     }
 }
