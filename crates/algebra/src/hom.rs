@@ -26,6 +26,12 @@ pub trait SemiringHom<A: CommutativeSemiring, B: CommutativeSemiring> {
 /// homomorphism; the law checkers can verify on samples.
 pub struct FnHom<F>(pub F);
 
+impl<F> std::fmt::Debug for FnHom<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnHom").finish_non_exhaustive()
+    }
+}
+
 impl<A, B, F> SemiringHom<A, B> for FnHom<F>
 where
     A: CommutativeSemiring,

@@ -24,6 +24,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(missing_debug_implementations)]
 
 pub mod boolexpr;
 pub mod domain;

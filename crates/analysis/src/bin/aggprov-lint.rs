@@ -1,0 +1,58 @@
+//! `aggprov-lint` — the workspace invariant linter.
+//!
+//! Usage: `cargo run -p analysis --bin aggprov-lint -- --workspace`
+//! (run from anywhere inside the repository; `--root <dir>` overrides
+//! discovery). Prints `path:line: [rule] message` per finding, sorted,
+//! and exits nonzero if any remain after waivers.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use analysis::rules::run_all;
+use analysis::walk::{find_root, load_workspace};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => {}
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "aggprov-lint: project-invariant static analysis\n\n\
+                     USAGE: aggprov-lint [--workspace] [--root <dir>]\n\n\
+                     Rules: groundness, panic, index, lock, oracle, env, waiver\n\
+                     Waive a finding with: // lint:allow(<rule>, reason = \"...\")"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("aggprov-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(|d| find_root(&d))) {
+        Some(r) => r,
+        None => {
+            eprintln!("aggprov-lint: no workspace root found (pass --root <dir>)");
+            return ExitCode::from(2);
+        }
+    };
+    let ws = load_workspace(&root);
+    let diags = run_all(&ws);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!(
+            "aggprov-lint: clean ({} files, 7 rule kinds, 0 findings)",
+            ws.files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("aggprov-lint: {} finding(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

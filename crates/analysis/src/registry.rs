@@ -1,0 +1,52 @@
+//! The single declared registry of `AGGPROV_*` environment variables.
+//!
+//! The `env` rule cross-checks every `AGGPROV_*` string literal in the
+//! workspace against this table, and every entry here against the
+//! README. Adding a new knob means adding it in three places — the code
+//! that reads it, this registry, and the README — and the lint fails
+//! until all three agree. This extends the loud-env-validation work from
+//! the parallel pipeline (PR 3): unknown knobs are rejected at runtime
+//! there, and unregistered knobs are rejected at lint time here.
+
+/// Every environment variable the workspace reads, with a one-line
+/// purpose. Keep sorted.
+pub const ENV_REGISTRY: &[(&str, &str)] = &[
+    (
+        "AGGPROV_BENCH_COMMIT",
+        "commit id stamped into benchmark trajectory records",
+    ),
+    (
+        "AGGPROV_BENCH_SAMPLES",
+        "sample-count override for the benchmark harness",
+    ),
+    (
+        "AGGPROV_THREADS",
+        "worker-thread count for the parallel ground-partition pipeline",
+    ),
+];
+
+/// Looks up a variable's description.
+pub fn lookup(name: &str) -> Option<&'static str> {
+    ENV_REGISTRY
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, d)| *d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        for w in ENV_REGISTRY.windows(2) {
+            assert!(w[0].0 < w[1].0, "{} !< {}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn lookup_finds_threads() {
+        assert!(lookup("AGGPROV_THREADS").is_some());
+        assert!(lookup("AGGPROV_NO_SUCH").is_none());
+    }
+}

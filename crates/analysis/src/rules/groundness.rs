@@ -1,0 +1,387 @@
+//! Rule `groundness`: two-sided gates on ground/symbolic fast paths.
+//!
+//! The §5 fast paths are only sound when *every* relational operand of a
+//! binary operator is known ground: PR 4 shipped `annotation_at` gating
+//! on `!has_symbolic(rel)` alone, silently dropping the `[S(t) ⊗ ⊤ = 0]`
+//! guard when the *probe tuple* carried a symbolic aggregation value.
+//! This rule detects that bug class statically: in any operator function
+//! with two or more relational parameters, an `if` condition that
+//! applies a groundness predicate to some relational parameter but not
+//! all of them is flagged.
+//!
+//! The analysis is a token-level heuristic tuned to this repository's
+//! idioms: predicates are `is_ground` / `is_ground_at` / `has_symbolic`
+//! / `is_agg`, relational types are `MKRel` / `Relation` / `Tuple` /
+//! `Chunk`, and predicate *subjects* are recovered by walking method
+//! chains back to their root (so `t.values().iter().any(Value::is_agg)`
+//! is understood to check `t`). Predicates applied to loop-local
+//! variables don't count for or against — per-tuple checks inside the
+//! general path are fine.
+
+use crate::lexer::Tok;
+use crate::{Diagnostic, SourceFile};
+
+/// Predicates that witness groundness (or its negation) of a value.
+const PREDICATES: &[&str] = &["is_ground", "is_ground_at", "has_symbolic", "is_agg"];
+
+/// Types whose parameters count as relational operands.
+const REL_TYPES: &[&str] = &["MKRel", "Relation", "Tuple", "Chunk"];
+
+/// Scans one operator module for one-sided groundness gates.
+pub fn check(f: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &f.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].tok.is_ident("fn") || f.in_test(i) {
+            i += 1;
+            continue;
+        }
+        let Some(sig) = parse_signature(f, i) else {
+            i += 1;
+            continue;
+        };
+        if sig.rel_params.len() >= 2 {
+            check_body(f, &sig, &mut out);
+        }
+        i = sig.body_end.max(i + 1);
+    }
+    out
+}
+
+/// A parsed `fn` header: its relational parameter names and body span.
+struct Signature {
+    name: String,
+    rel_params: Vec<String>,
+    body_start: usize,
+    body_end: usize,
+}
+
+/// Parses the `fn` at token index `at` (pointing at the `fn` ident).
+fn parse_signature(f: &SourceFile, at: usize) -> Option<Signature> {
+    let toks = &f.tokens;
+    let name = toks.get(at + 1)?.tok.ident()?.to_string();
+    let mut j = at + 2;
+    // Skip generics `<...>`, guarding against `->` inside bounds.
+    if toks.get(j)?.tok.is(b'<') {
+        let mut depth = 1i32;
+        j += 1;
+        while j < toks.len() && depth > 0 {
+            if toks[j].tok.is(b'<') {
+                depth += 1;
+            } else if toks[j].tok.is(b'>') && !toks[j - 1].tok.is(b'-') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+    }
+    if !toks.get(j)?.tok.is(b'(') {
+        return None;
+    }
+    let params_close = *f.matches.get(j)?;
+    if params_close == usize::MAX {
+        return None;
+    }
+    let rel_params = parse_params(f, j + 1, params_close);
+    // Find the body `{`; a trait method decl ends in `;` instead.
+    let mut k = params_close + 1;
+    while k < toks.len() && !toks[k].tok.is(b'{') {
+        if toks[k].tok.is(b';') {
+            return None;
+        }
+        k += 1;
+    }
+    let body_close = *f.matches.get(k)?;
+    if body_close == usize::MAX {
+        return None;
+    }
+    Some(Signature {
+        name,
+        rel_params,
+        body_start: k,
+        body_end: body_close,
+    })
+}
+
+/// Extracts the names of relational parameters from a parameter list.
+fn parse_params(f: &SourceFile, start: usize, end: usize) -> Vec<String> {
+    let toks = &f.tokens;
+    let mut out = Vec::new();
+    let mut seg_start = start;
+    let mut j = start;
+    let mut angle = 0i32;
+    while j <= end {
+        let at_end = j == end;
+        let top_comma = !at_end && angle == 0 && toks[j].tok.is(b',');
+        if at_end || top_comma {
+            if let Some(p) = parse_one_param(f, seg_start, j) {
+                out.push(p);
+            }
+            seg_start = j + 1;
+            j += 1;
+            continue;
+        }
+        match &toks[j].tok {
+            Tok::Punct(b'<') => angle += 1,
+            Tok::Punct(b'>') if !toks[j - 1].tok.is(b'-') => angle -= 1,
+            Tok::Punct(b'(' | b'[') => {
+                let m = f.matches[j];
+                if m != usize::MAX && m <= end {
+                    j = m;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    out
+}
+
+/// One parameter segment: returns its name iff its type is relational.
+fn parse_one_param(f: &SourceFile, start: usize, end: usize) -> Option<String> {
+    let toks = &f.tokens;
+    let colon = (start..end).find(|&j| toks[j].tok.is(b':'))?;
+    let name = (start..colon)
+        .rev()
+        .find_map(|j| toks[j].tok.ident())
+        .filter(|n| *n != "mut")?
+        .to_string();
+    let relational =
+        (colon + 1..end).any(|j| toks[j].tok.ident().is_some_and(|n| REL_TYPES.contains(&n)));
+    relational.then_some(name)
+}
+
+/// Walks the `if` conditions in a binary operator's body.
+fn check_body(f: &SourceFile, sig: &Signature, out: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    let mut i = sig.body_start + 1;
+    while i < sig.body_end {
+        if !toks[i].tok.is_ident("if") {
+            i += 1;
+            continue;
+        }
+        // The condition runs from after `if` to the block `{` at nesting
+        // depth zero (struct literals are illegal in conditions, so the
+        // first top-level `{` is the branch body).
+        let mut j = i + 1;
+        let cond_start = j;
+        while j < sig.body_end && !toks[j].tok.is(b'{') {
+            if (toks[j].tok.is(b'(') || toks[j].tok.is(b'[')) && f.matches[j] != usize::MAX {
+                j = f.matches[j];
+            }
+            j += 1;
+        }
+        let cond_end = j;
+        let mut subjects: Vec<String> = Vec::new();
+        for (k, t) in toks.iter().enumerate().take(cond_end).skip(cond_start) {
+            let is_pred = t.tok.ident().is_some_and(|n| PREDICATES.contains(&n));
+            if is_pred {
+                if let Some(s) = subject_of(f, cond_start, k) {
+                    if !subjects.contains(&s) {
+                        subjects.push(s);
+                    }
+                }
+            }
+        }
+        let checked: Vec<&String> = sig
+            .rel_params
+            .iter()
+            .filter(|p| subjects.contains(p))
+            .collect();
+        if !checked.is_empty() && checked.len() < sig.rel_params.len() {
+            let missing: Vec<&str> = sig
+                .rel_params
+                .iter()
+                .filter(|p| !subjects.contains(p))
+                .map(String::as_str)
+                .collect();
+            out.push(Diagnostic {
+                path: f.path.clone(),
+                line: toks[i].line,
+                rule: "groundness",
+                message: format!(
+                    "one-sided groundness gate in `{}`: condition checks {} but \
+                     not {} — a fast path must gate on every relational operand",
+                    sig.name,
+                    join_names(&checked.iter().map(|s| s.as_str()).collect::<Vec<_>>()),
+                    join_names(&missing),
+                ),
+            });
+        }
+        i = cond_end + 1;
+    }
+}
+
+/// Recovers the root variable a predicate occurrence is applied to.
+fn subject_of(f: &SourceFile, cond_start: usize, k: usize) -> Option<String> {
+    let toks = &f.tokens;
+    // Free-function form: `has_symbolic(rel)`, `is_ground_at(t, &pos)` —
+    // the subject is the first identifier of the first argument.
+    let free_call = toks.get(k + 1).is_some_and(|t| t.tok.is(b'('))
+        && (k == 0 || !(toks[k - 1].tok.is(b'.') || toks[k - 1].tok.is(b':')));
+    if free_call {
+        let close = f.matches[k + 1];
+        if close != usize::MAX {
+            return first_ident(f, k + 2, close);
+        }
+        return None;
+    }
+    // Method/path form: walk the chain back to its root.
+    let root = chain_root(f, cond_start, k)?;
+    let name = toks[root].tok.ident()?.to_string();
+    if name.starts_with(|c: char| c.is_ascii_uppercase()) {
+        // A path like `Value::is_agg` passed as a closure to an adapter:
+        // the real subject is the root of the enclosing call chain
+        // (`t.values().iter().any(Value::is_agg)` → `t`).
+        let open = (cond_start..k)
+            .filter(|&o| toks[o].tok.is(b'(') && f.matches[o] != usize::MAX && f.matches[o] > k)
+            .max()?;
+        if open > cond_start && toks[open - 1].tok.ident().is_some() {
+            let r = chain_root(f, cond_start, open - 1)?;
+            return toks[r].tok.ident().map(str::to_string);
+        }
+        return None;
+    }
+    Some(name)
+}
+
+/// Walks a method chain backward from token `k` to its root identifier.
+fn chain_root(f: &SourceFile, cond_start: usize, k: usize) -> Option<usize> {
+    let toks = &f.tokens;
+    let mut p = k;
+    while p > cond_start {
+        if toks[p - 1].tok.is(b'.') {
+            if p < 2 {
+                break;
+            }
+            let mut q = p - 2;
+            if toks[q].tok.is(b')') || toks[q].tok.is(b']') {
+                let o = f.matches[q];
+                if o == usize::MAX {
+                    return None;
+                }
+                q = o;
+                // A call's opener is preceded by the method name; a bare
+                // parenthesized expression is not — give up on those.
+                if q == 0 || toks[q - 1].tok.ident().is_none() {
+                    return None;
+                }
+                q -= 1;
+            }
+            match toks[q].tok {
+                Tok::Ident(_) | Tok::Num => p = q,
+                _ => break,
+            }
+        } else if toks[p - 1].tok.is(b':') {
+            if p >= 3 && toks[p - 2].tok.is(b':') && toks[p - 3].tok.ident().is_some() {
+                p -= 3;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    Some(p)
+}
+
+/// First identifier in a token range, skipping `&`/`*`/`mut`.
+fn first_ident(f: &SourceFile, start: usize, end: usize) -> Option<String> {
+    (start..end).find_map(|j| {
+        f.tokens[j]
+            .tok
+            .ident()
+            .filter(|n| *n != "mut")
+            .map(str::to_string)
+    })
+}
+
+/// Renders `` `a` ``, `` `a`/`b` ``.
+fn join_names(names: &[&str]) -> String {
+    names
+        .iter()
+        .map(|n| format!("`{n}`"))
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        check(&SourceFile::new("crates/core/src/ops.rs", src))
+    }
+
+    const ONE_SIDED: &str = "\
+pub fn annotation_at<A: AggAnnotation>(rel: &MKRel<A>, t: &Tuple<Value<A>>) -> Result<A> {
+    if !has_symbolic(rel) {
+        return Ok(rel.get(t).cloned().unwrap_or_else(A::zero));
+    }
+    general_path(rel, t)
+}
+";
+
+    #[test]
+    fn flags_the_pr4_one_sided_gate() {
+        let d = diags(ONE_SIDED);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "groundness");
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("`t`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn accepts_the_two_sided_gate() {
+        let src = "\
+pub fn annotation_at<A: AggAnnotation>(rel: &MKRel<A>, t: &Tuple<Value<A>>) -> Result<A> {
+    if !has_symbolic(rel) && !t.values().iter().any(Value::is_agg) {
+        return Ok(rel.get(t).cloned().unwrap_or_else(A::zero));
+    }
+    general_path(rel, t)
+}
+";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn loop_local_predicates_do_not_count() {
+        let src = "\
+pub fn union<A>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> {
+    for (t, k) in r1.iter() {
+        if is_ground_at(t, &positions) {
+            fast(t, k);
+        }
+    }
+    slow(r1, r2)
+}
+";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn unary_operators_are_exempt() {
+        let src = "\
+pub fn project<A>(rel: &MKRel<A>, attrs: &[&str]) -> Result<MKRel<A>> {
+    if rel.iter().all(|(t, _)| is_ground_at(t, &positions)) {
+        return fast(rel);
+    }
+    slow(rel)
+}
+";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn both_sides_by_free_calls_accepted() {
+        let src = "\
+pub fn union<A>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> {
+    if !has_symbolic(r1) && !has_symbolic(r2) {
+        return fast(r1, r2);
+    }
+    slow(r1, r2)
+}
+";
+        assert!(diags(src).is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Rule `lock`: guard discipline on the serving path.
+//!
+//! Two deadlock/stall classes for the epoch-publish vs. plan-cache
+//! `RwLock` pair and the session table `Mutex`:
+//!
+//! 1. **Nested acquisition** — taking `.lock()` / `.read()` /
+//!    `.write()` while another guard is live in the same scope. Lock
+//!    ordering is nothing anyone audits; the project rule is simply
+//!    "one guard at a time", with `drop(guard)` to end a guard's life
+//!    early (the `op_sql` idiom in `session.rs`).
+//! 2. **Lock held across socket I/O** — a blocking `TcpStream` read or
+//!    write while a guard is live stalls every other session on that
+//!    lock for as long as the peer cares to dawdle.
+//!
+//! Acquisition is recognized as `.lock()` / `.read()` / `.write()` with
+//! *empty* argument lists (`RwLock`/`Mutex` methods take none), which
+//! cleanly separates them from `io::Read::read(&mut buf)` /
+//! `io::Write::write(&buf)` — those take buffers and count as I/O
+//! instead.
+
+use crate::lexer::Tok;
+use crate::{Diagnostic, SourceFile};
+
+/// Method names that perform (possibly blocking) stream I/O.
+const IO_METHODS: &[&str] = &[
+    "write_all",
+    "read_exact",
+    "read_line",
+    "read_to_end",
+    "read_to_string",
+    "read_until",
+    "flush",
+];
+
+/// A live guard: its binding (if `let`-bound), the brace depth of the
+/// acquisition, and whether it is a temporary dropped at statement end.
+#[derive(Debug)]
+struct Guard {
+    name: Option<String>,
+    depth: i32,
+    line: u32,
+    temporary: bool,
+}
+
+/// Scans one file for nested guards and lock-across-I/O.
+pub fn check(f: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &f.tokens;
+    let mut depth: i32 = 0;
+    let mut live: Vec<Guard> = Vec::new();
+    let mut stmt_start = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        if f.in_test(i) {
+            continue;
+        }
+        match &t.tok {
+            Tok::Punct(b'{') => {
+                depth += 1;
+                stmt_start = i + 1;
+            }
+            Tok::Punct(b'}') => {
+                depth -= 1;
+                live.retain(|g| g.depth <= depth);
+                stmt_start = i + 1;
+            }
+            Tok::Punct(b';') => {
+                live.retain(|g| !(g.temporary && g.depth == depth));
+                stmt_start = i + 1;
+            }
+            Tok::Ident(name)
+                if name == "drop" && toks.get(i + 1).is_some_and(|n| n.tok.is(b'(')) =>
+            {
+                // `drop(guard)` ends the guard's life.
+                if let Some(arg) = toks.get(i + 2).and_then(|a| a.tok.ident()) {
+                    live.retain(|g| g.name.as_deref() != Some(arg));
+                }
+            }
+            Tok::Ident(name)
+                if (name == "lock" || name == "read" || name == "write")
+                    && i > 0
+                    && toks[i - 1].tok.is(b'.')
+                    && toks.get(i + 1).is_some_and(|n| n.tok.is(b'('))
+                    && toks.get(i + 2).is_some_and(|n| n.tok.is(b')')) =>
+            {
+                if let Some(g) = live.first() {
+                    out.push(Diagnostic {
+                        path: f.path.clone(),
+                        line: t.line,
+                        rule: "lock",
+                        message: format!(
+                            "`.{}()` while the guard acquired on line {} is still \
+                             live — drop it first (one guard at a time)",
+                            name, g.line
+                        ),
+                    });
+                }
+                let binding = let_binding(toks, stmt_start, i);
+                live.push(Guard {
+                    temporary: binding.is_none(),
+                    name: binding,
+                    depth,
+                    line: t.line,
+                });
+            }
+            Tok::Ident(name)
+                if i > 0
+                    && toks[i - 1].tok.is(b'.')
+                    && toks.get(i + 1).is_some_and(|n| n.tok.is(b'('))
+                    && is_io(name, toks.get(i + 2).map(|n| &n.tok)) =>
+            {
+                if let Some(g) = &live.first() {
+                    out.push(Diagnostic {
+                        path: f.path.clone(),
+                        line: t.line,
+                        rule: "lock",
+                        message: format!(
+                            "stream I/O (`.{}`) while the guard acquired on line {} \
+                             is still live — a slow peer stalls every session on \
+                             that lock",
+                            name, g.line
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// True iff a `.name(` call is stream I/O: a known I/O method, or
+/// `read`/`write` with a non-empty argument list (the `io` traits take
+/// buffers; the lock methods take nothing).
+fn is_io(name: &str, after_open: Option<&Tok>) -> bool {
+    if IO_METHODS.contains(&name) {
+        return true;
+    }
+    (name == "read" || name == "write") && !after_open.is_some_and(|t| t.is(b')'))
+}
+
+/// If the statement beginning at `stmt_start` is `let [mut] NAME = ...`,
+/// returns NAME.
+fn let_binding(toks: &[crate::lexer::Token], stmt_start: usize, before: usize) -> Option<String> {
+    let mut j = stmt_start;
+    while j < before && !toks[j].tok.is_ident("let") {
+        j += 1;
+    }
+    if j >= before {
+        return None;
+    }
+    let mut k = j + 1;
+    if toks.get(k).is_some_and(|t| t.tok.is_ident("mut")) {
+        k += 1;
+    }
+    toks.get(k).and_then(|t| t.tok.ident()).map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        check(&SourceFile::new("crates/server/src/server.rs", src))
+    }
+
+    #[test]
+    fn nested_guards_are_flagged() {
+        let src = "fn f(&self) {\n\
+                   let db = self.db.read();\n\
+                   let cache = self.cache.lock();\n\
+                   }\n";
+        let d = diags(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].rule, d[0].line), ("lock", 3));
+    }
+
+    #[test]
+    fn drop_ends_the_guard() {
+        let src = "fn f(&self) {\n\
+                   let db = self.db.read();\n\
+                   drop(db);\n\
+                   let cache = self.cache.lock();\n\
+                   }\n";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn scope_close_ends_the_guard() {
+        let src = "fn f(&self) {\n\
+                   { let db = self.db.read(); use_it(&db); }\n\
+                   let cache = self.cache.lock();\n\
+                   }\n";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn io_under_a_guard_is_flagged() {
+        let src = "fn f(&self, w: &mut TcpStream) {\n\
+                   let db = self.db.read();\n\
+                   w.write_all(b\"x\");\n\
+                   }\n";
+        let d = diags(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("stream I/O"));
+    }
+
+    #[test]
+    fn io_read_write_are_not_acquisitions() {
+        let src = "fn f(r: &mut TcpStream) {\n\
+                   let mut buf = [0u8; 4];\n\
+                   r.read(&mut buf);\n\
+                   r.write(&buf);\n\
+                   r.flush();\n\
+                   }\n";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let src = "fn f(&self) {\n\
+                   touch(self.a.lock());\n\
+                   touch(self.b.lock());\n\
+                   }\n";
+        // Neither acquisition is let-bound, so each guard is a
+        // temporary dead at its own `;`.
+        assert!(diags(src).is_empty());
+    }
+}

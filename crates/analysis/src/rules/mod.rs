@@ -1,0 +1,120 @@
+//! The five project-invariant rules and the waiver-aware driver logic.
+//!
+//! Each rule module exposes a `check` function producing raw
+//! [`Diagnostic`]s; [`run_all`] applies the per-rule path scopes, then
+//! settles waivers: a `// lint:allow(<rule>, reason = "...")` comment on
+//! the finding's line (or the line above) suppresses it, a waiver with
+//! no reason is itself reported, and a waiver that suppresses nothing is
+//! reported as unused.
+
+pub mod envreg;
+pub mod groundness;
+pub mod locks;
+pub mod oracle;
+pub mod panic_free;
+
+use crate::{Diagnostic, Workspace};
+
+/// Files subject to the `groundness` rule: the operator modules where
+/// ground/symbolic fast paths live.
+pub fn groundness_scope(path: &str) -> bool {
+    path == "crates/core/src/ops.rs" || path.starts_with("crates/core/src/ops/")
+}
+
+/// Files subject to the `panic` and `index` rules: the designated
+/// execute-path modules. A client request must never be able to take
+/// down the process through these.
+pub fn execute_scope(path: &str) -> bool {
+    groundness_scope(path)
+        || matches!(
+            path,
+            "crates/core/src/par.rs"
+                | "crates/engine/src/exec.rs"
+                | "crates/engine/src/phys.rs"
+                | "crates/engine/src/opt.rs"
+                | "crates/server/src/server.rs"
+                | "crates/server/src/session.rs"
+                | "crates/server/src/json.rs"
+        )
+}
+
+/// Files subject to the `lock` rule: everywhere locks or sockets appear
+/// on the serving path.
+pub fn lock_scope(path: &str) -> bool {
+    execute_scope(path) || path.starts_with("crates/server/src/")
+}
+
+/// Runs the path-scoped and cross-file rules, before waivers.
+fn collect_raw(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for f in &ws.files {
+        if groundness_scope(&f.path) {
+            raw.extend(groundness::check(f));
+        }
+        if execute_scope(&f.path) {
+            raw.extend(panic_free::check(f));
+        }
+        if lock_scope(&f.path) {
+            raw.extend(locks::check(f));
+        }
+    }
+    raw.extend(oracle::check(ws));
+    raw.extend(envreg::check(ws));
+    raw
+}
+
+/// Runs every rule over the workspace and settles waivers. The result is
+/// sorted by path, line, rule.
+pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    let raw = collect_raw(ws);
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    // Suppress findings covered by a waiver (reason-less waivers still
+    // suppress — the missing reason is its own diagnostic below, so one
+    // sloppy comment yields one finding, not two).
+    for d in raw.iter() {
+        let waived = ws.file(&d.path).is_some_and(|f| f.waived(d.rule, d.line));
+        if !waived {
+            out.push(d.clone());
+        }
+    }
+
+    // Waiver hygiene: a reason is mandatory, and so is being
+    // load-bearing — the rules are deterministic, so a waiver is used
+    // iff some raw finding of its rule landed on a line it covers.
+    for f in &ws.files {
+        for w in &f.waivers {
+            if w.reason.is_none() {
+                out.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: w.line,
+                    rule: "waiver",
+                    message: format!(
+                        "lint:allow({}) without a reason — write \
+                         lint:allow({}, reason = \"...\")",
+                        w.rule, w.rule
+                    ),
+                });
+            }
+            let used = raw.iter().any(|d| {
+                d.path == f.path && d.rule == w.rule && (w.line == d.line || w.line + 1 == d.line)
+            });
+            if !used {
+                out.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: w.line,
+                    rule: "waiver",
+                    message: format!(
+                        "unused waiver: no `{}` finding on line {} or {}",
+                        w.rule,
+                        w.line,
+                        w.line + 1
+                    ),
+                });
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}

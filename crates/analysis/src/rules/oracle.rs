@@ -1,0 +1,188 @@
+//! Rule `oracle`: every physical operator has a proptested spec oracle.
+//!
+//! The correctness contract of the whole engine is "bit-identical to the
+//! literal §4.3 / §3.2 specification": every hash-partitioned fast path
+//! in `core::ops` is only trusted because a naive `specops::` twin
+//! exists and a property test compares the two. This rule closes the
+//! gap a new operator could slip through: every public operator
+//! function in `core/src/ops.rs` (an `MKRel`-taking, `Result`-returning
+//! `pub fn`) must have a `specops` function of the same base name
+//! (`_opts` variants share their base's oracle), and that
+//! `specops::<name>` must be referenced from at least one proptest
+//! file.
+
+use crate::lexer::Tok;
+use crate::{Diagnostic, SourceFile, Workspace};
+
+/// Path of the physical operator module.
+pub const OPS_PATH: &str = "crates/core/src/ops.rs";
+/// Path of the specification oracle module.
+pub const SPECOPS_PATH: &str = "crates/core/src/specops.rs";
+
+/// Cross-checks operator exports against oracles and proptest use.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let Some(ops) = ws.file(OPS_PATH) else {
+        return Vec::new();
+    };
+    let spec_fns: Vec<String> = ws.file(SPECOPS_PATH).map(fn_names).unwrap_or_default();
+    let proptests: Vec<&SourceFile> = ws
+        .files
+        .iter()
+        .filter(|f| {
+            f.path.contains("proptest")
+                && (f.path.contains("/tests/") || f.path.ends_with("tests.rs"))
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for (name, line) in operator_exports(ops) {
+        let base = name.strip_suffix("_opts").unwrap_or(&name).to_string();
+        if !spec_fns.contains(&base) {
+            out.push(Diagnostic {
+                path: ops.path.clone(),
+                line,
+                rule: "oracle",
+                message: format!(
+                    "operator `{name}` has no `specops::{base}` oracle — add the \
+                     literal-spec twin before trusting the fast path"
+                ),
+            });
+            continue;
+        }
+        let referenced = proptests.iter().any(|f| references_specops(f, &base));
+        if !referenced {
+            out.push(Diagnostic {
+                path: ops.path.clone(),
+                line,
+                rule: "oracle",
+                message: format!(
+                    "`specops::{base}` exists but no proptest references it — \
+                     operator `{name}` is effectively unoracled"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Public operator exports of `ops.rs`: module-level `pub fn`s that take
+/// a relational argument and return `Result`, with the line of the `fn`.
+pub fn operator_exports(f: &SourceFile) -> Vec<(String, u32)> {
+    let toks = &f.tokens;
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct(b'{') => depth += 1,
+            Tok::Punct(b'}') => depth -= 1,
+            Tok::Ident(kw)
+                if kw == "pub"
+                    && depth == 0
+                    && !f.in_test(i)
+                    && toks.get(i + 1).is_some_and(|t| t.tok.is_ident("fn")) =>
+            {
+                if let Some(name) = toks.get(i + 2).and_then(|t| t.tok.ident()) {
+                    // The signature runs to the body `{`; relational +
+                    // Result detection is a token scan over it.
+                    let mut j = i + 3;
+                    let mut relational = false;
+                    let mut fallible = false;
+                    while j < toks.len() && !toks[j].tok.is(b'{') && !toks[j].tok.is(b';') {
+                        if let Some(id) = toks[j].tok.ident() {
+                            relational |= id == "MKRel";
+                            fallible |= id == "Result";
+                        }
+                        j += 1;
+                    }
+                    if relational && fallible {
+                        out.push((name.to_string(), toks[i].line));
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// All `fn` names declared in a file (any visibility, any depth).
+fn fn_names(f: &SourceFile) -> Vec<String> {
+    let toks = &f.tokens;
+    (0..toks.len())
+        .filter(|&i| toks[i].tok.is_ident("fn"))
+        .filter_map(|i| {
+            toks.get(i + 1)
+                .and_then(|t| t.tok.ident())
+                .map(str::to_string)
+        })
+        .collect()
+}
+
+/// True iff the file contains a `specops::<name>` token sequence.
+fn references_specops(f: &SourceFile, name: &str) -> bool {
+    let toks = &f.tokens;
+    (0..toks.len().saturating_sub(3)).any(|i| {
+        toks[i].tok.is_ident("specops")
+            && toks[i + 1].tok.is(b':')
+            && toks[i + 2].tok.is(b':')
+            && toks[i + 3].tok.is_ident(name)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(ops: &str, spec: &str, prop: &str) -> Workspace {
+        Workspace {
+            files: vec![
+                SourceFile::new(OPS_PATH, ops),
+                SourceFile::new(SPECOPS_PATH, spec),
+                SourceFile::new("crates/core/tests/hash_vs_spec_proptests.rs", prop),
+            ],
+            readme: String::new(),
+        }
+    }
+
+    const OPS: &str = "\
+pub fn union<A>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> { todo() }
+pub fn union_opts<A>(r1: &MKRel<A>, r2: &MKRel<A>, o: Opts) -> Result<MKRel<A>> { todo() }
+pub fn has_symbolic<A>(rel: &MKRel<A>) -> bool { false }
+";
+
+    #[test]
+    fn covered_operator_passes() {
+        let w = ws(
+            OPS,
+            "pub fn union<A>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> { todo() }",
+            "fn t() { let _ = specops::union(&a, &b); }",
+        );
+        assert!(check(&w).is_empty());
+    }
+
+    #[test]
+    fn missing_oracle_is_flagged_once_per_export() {
+        let w = ws(OPS, "", "");
+        let d = check(&w);
+        // `union` and `union_opts` both fail (same base); the bool-
+        // returning predicate is not an operator export.
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|x| x.rule == "oracle"));
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[1].line, 2);
+    }
+
+    #[test]
+    fn unreferenced_oracle_is_flagged() {
+        let w = ws(
+            OPS,
+            "pub fn union<A>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> { todo() }",
+            "fn t() {}",
+        );
+        let d = check(&w);
+        assert_eq!(d.len(), 2);
+        assert!(d[0].message.contains("no proptest references"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Rules `panic` and `index`: panic-freedom on the execute path.
+//!
+//! In the designated execute-path modules a malformed query, frame, or
+//! plan must surface as a `RelError`, never a panic: these threads serve
+//! client sessions, and a panic tears the session down (PR 5 swept
+//! `expect()` out of `phys::lower` for exactly this reason). The rule
+//! denies `.unwrap()` / `.expect(...)`, the `panic!` / `unreachable!` /
+//! `todo!` / `unimplemented!` macros, and bare slice indexing `x[i]`
+//! (including range slicing, which panics just the same).
+//!
+//! Invariant-bound hot-loop indexing that would cost a branch per tuple
+//! can be waived with `// lint:allow(index, reason = "...")`.
+
+use crate::lexer::Tok;
+use crate::{Diagnostic, SourceFile};
+
+/// Macros that abort the thread.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords (and keyword-like idents) after which a `[` is a pattern,
+/// array literal, or type — not an index expression.
+const NON_INDEX_PREFIX: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
+    "yield",
+];
+
+/// Scans one execute-path file for panic sites and bare indexing.
+pub fn check(f: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &f.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if f.in_test(i) {
+            continue;
+        }
+        match &t.tok {
+            Tok::Ident(name) if name == "unwrap" || name == "expect" => {
+                let method = i > 0 && toks[i - 1].tok.is(b'.');
+                let called = toks.get(i + 1).is_some_and(|n| n.tok.is(b'('));
+                if method && called {
+                    out.push(Diagnostic {
+                        path: f.path.clone(),
+                        line: t.line,
+                        rule: "panic",
+                        message: format!(
+                            "`.{name}(...)` on the execute path — return a RelError \
+                             (or waive with lint:allow(panic, reason = \"...\"))"
+                        ),
+                    });
+                }
+            }
+            Tok::Ident(name)
+                if PANIC_MACROS.contains(&name.as_str())
+                    && toks.get(i + 1).is_some_and(|n| n.tok.is(b'!')) =>
+            {
+                out.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: t.line,
+                    rule: "panic",
+                    message: format!(
+                        "`{name}!` on the execute path — return a RelError \
+                         (or waive with lint:allow(panic, reason = \"...\"))"
+                    ),
+                });
+            }
+            Tok::Punct(b'[') if i > 0 => {
+                let indexes = match &toks[i - 1].tok {
+                    Tok::Ident(prev) => !NON_INDEX_PREFIX.contains(&prev.as_str()),
+                    Tok::Punct(b')' | b']') => true,
+                    Tok::Num => true,
+                    _ => false,
+                };
+                if indexes {
+                    out.push(Diagnostic {
+                        path: f.path.clone(),
+                        line: t.line,
+                        rule: "index",
+                        message: "bare slice indexing on the execute path — use .get() \
+                                  (or waive with lint:allow(index, reason = \"...\"))"
+                            .to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines_of(src: &str, rule: &str) -> Vec<u32> {
+        let f = SourceFile::new("x.rs", src);
+        check(&f)
+            .into_iter()
+            .filter(|d| d.rule == rule)
+            .map(|d| d.line)
+            .collect()
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let src = "fn f() {\n\
+                   x.unwrap();\n\
+                   y.expect(\"msg\");\n\
+                   unreachable!(\"no\");\n\
+                   }\n";
+        assert_eq!(lines_of(src, "panic"), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn spares_unwrap_or_and_option_combinators() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(p); z.expect_err(\"e\"); }";
+        assert!(lines_of(src, "panic").is_empty());
+    }
+
+    #[test]
+    fn flags_bare_indexing_but_not_types_or_literals() {
+        let src = "fn f(a: &[u8], m: [u8; 2]) {\n\
+                   let v = vec![1, 2];\n\
+                   let w = [3, 4];\n\
+                   let x = a[0];\n\
+                   let y = t.0[1];\n\
+                   }\n";
+        assert_eq!(lines_of(src, "index"), vec![4, 5]);
+    }
+
+    #[test]
+    fn skips_cfg_test_blocks() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\n";
+        assert!(lines_of(src, "panic").is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! End-to-end fixture tests: each rule fires at a pinned `file:line` on
+//! its violation fixture, and a `lint:allow(<rule>, reason = "...")`
+//! comment suppresses exactly the covered finding.
+//!
+//! Fixtures live in `tests/fixtures/` and are *excluded* from the real
+//! workspace walk — they exist only to be loaded here under in-scope
+//! pseudo-paths.
+
+use analysis::rules::run_all;
+use analysis::{Diagnostic, SourceFile, Workspace};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn ws(files: Vec<(&str, String)>) -> Workspace {
+    Workspace {
+        files: files
+            .into_iter()
+            .map(|(p, text)| SourceFile::new(p, text))
+            .collect(),
+        readme: String::new(),
+    }
+}
+
+fn of_rule<'a>(d: &'a [Diagnostic], rule: &str) -> Vec<&'a Diagnostic> {
+    d.iter().filter(|x| x.rule == rule).collect()
+}
+
+#[test]
+fn groundness_fires_on_the_pr4_one_sided_gate() {
+    let w = ws(vec![(
+        "crates/core/src/ops.rs",
+        fixture("groundness_one_sided.rs"),
+    )]);
+    let d = run_all(&w);
+    let g = of_rule(&d, "groundness");
+    assert_eq!(g.len(), 1, "{d:?}");
+    assert_eq!(
+        (g[0].path.as_str(), g[0].line),
+        ("crates/core/src/ops.rs", 8)
+    );
+    assert!(g[0].message.contains("annotation_at"), "{}", g[0].message);
+    assert!(g[0].message.contains("`t`"), "{}", g[0].message);
+}
+
+#[test]
+fn panic_and_index_fire_at_pinned_lines() {
+    let w = ws(vec![(
+        "crates/engine/src/exec.rs",
+        fixture("panic_index.rs"),
+    )]);
+    let d = run_all(&w);
+    let panics: Vec<u32> = of_rule(&d, "panic").iter().map(|x| x.line).collect();
+    assert_eq!(panics, vec![5, 6, 8], "{d:?}");
+    let indexes: Vec<u32> = of_rule(&d, "index").iter().map(|x| x.line).collect();
+    assert_eq!(indexes, vec![10], "{d:?}");
+}
+
+#[test]
+fn lint_allow_with_reason_suppresses_without_waiver_noise() {
+    let w = ws(vec![(
+        "crates/engine/src/exec.rs",
+        fixture("panic_index.rs"),
+    )]);
+    let d = run_all(&w);
+    // Line 12 is indexed but waived on line 11 — no finding, and the
+    // waiver itself is silent (it has a reason and is load-bearing).
+    assert!(
+        !d.iter().any(|x| x.rule == "index" && x.line == 12),
+        "{d:?}"
+    );
+    assert!(of_rule(&d, "waiver").is_empty(), "{d:?}");
+}
+
+#[test]
+fn reasonless_and_unused_waivers_are_reported() {
+    let src = "pub fn f(xs: &[u32]) -> u32 {\n\
+               // lint:allow(index)\n\
+               xs[0]\n\
+               }\n\
+               // lint:allow(panic, reason = \"nothing panics here\")\n";
+    let w = ws(vec![("crates/engine/src/exec.rs", src.to_string())]);
+    let d = run_all(&w);
+    let waiver_lines: Vec<u32> = of_rule(&d, "waiver").iter().map(|x| x.line).collect();
+    assert_eq!(waiver_lines, vec![2, 5], "{d:?}");
+    // The reason-less waiver still suppresses the indexing on line 3.
+    assert!(of_rule(&d, "index").is_empty(), "{d:?}");
+}
+
+#[test]
+fn lock_rule_fires_on_nesting_and_io_at_pinned_lines() {
+    let w = ws(vec![(
+        "crates/server/src/stream.rs",
+        fixture("lock_discipline.rs"),
+    )]);
+    let d = run_all(&w);
+    let locks = of_rule(&d, "lock");
+    assert_eq!(
+        locks.iter().map(|x| x.line).collect::<Vec<_>>(),
+        vec![6, 12],
+        "{d:?}"
+    );
+    assert!(locks[0].message.contains("line 5"), "{}", locks[0].message);
+    assert!(
+        locks[1].message.contains("stream I/O"),
+        "{}",
+        locks[1].message
+    );
+    assert!(locks[1].message.contains("line 11"), "{}", locks[1].message);
+}
+
+#[test]
+fn env_rule_flags_unregistered_knob_at_pinned_line() {
+    let w = ws(vec![(
+        "crates/workloads/src/knob.rs",
+        fixture("env_knob.rs"),
+    )]);
+    let d = run_all(&w);
+    let hit = of_rule(&d, "env")
+        .into_iter()
+        .find(|x| x.message.contains("AGGPROV_FIXTURE_KNOB"))
+        .unwrap_or_else(|| panic!("no env finding: {d:?}"));
+    assert_eq!(
+        (hit.path.as_str(), hit.line),
+        ("crates/workloads/src/knob.rs", 4)
+    );
+}
+
+#[test]
+fn oracle_rule_flags_missing_and_unreferenced_twins() {
+    let w = ws(vec![
+        ("crates/core/src/ops.rs", fixture("oracle_ops.rs")),
+        ("crates/core/src/specops.rs", fixture("oracle_specops.rs")),
+    ]);
+    let d = run_all(&w);
+    let o = of_rule(&d, "oracle");
+    assert_eq!(o.len(), 2, "{d:?}");
+    assert_eq!(o[0].line, 4);
+    assert!(
+        o[0].message.contains("no `specops::frobnicate` oracle"),
+        "{}",
+        o[0].message
+    );
+    assert_eq!(o[1].line, 8);
+    assert!(
+        o[1].message.contains("no proptest references"),
+        "{}",
+        o[1].message
+    );
+}
+
+#[test]
+fn oracle_rule_is_satisfied_by_a_referencing_proptest() {
+    let proptest = "#[test]\n\
+                    fn orphaned_matches() { let s = specops::orphaned(&r).unwrap(); }\n";
+    let w = ws(vec![
+        ("crates/core/src/ops.rs", fixture("oracle_specops.rs")),
+        ("crates/core/src/specops.rs", fixture("oracle_specops.rs")),
+        ("crates/core/tests/x_proptests.rs", proptest.to_string()),
+    ]);
+    let d = run_all(&w);
+    assert!(of_rule(&d, "oracle").is_empty(), "{d:?}");
+}

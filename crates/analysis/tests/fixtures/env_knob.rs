@@ -1,0 +1,5 @@
+//! Fixture: an environment knob read without being registered.
+
+pub fn fixture_knob() -> Option<String> {
+    std::env::var("AGGPROV_FIXTURE_KNOB").ok()
+}

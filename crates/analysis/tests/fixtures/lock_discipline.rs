@@ -1,0 +1,14 @@
+//! Fixture: nested guard acquisition and a guard held across stream
+//! I/O.
+
+pub fn nested(s: &S) -> u32 {
+    let x = s.a.lock().unwrap_or_else(recover);
+    let y = s.b.lock().unwrap_or_else(recover);
+    *x + *y
+}
+
+pub fn across_io(s: &S, sock: &mut TcpStream) {
+    let g = s.a.lock().unwrap_or_else(recover);
+    let _ = sock.write_all(b"hi");
+    drop(g);
+}

@@ -1,0 +1,10 @@
+//! Fixture: physical operators for the oracle rule — one with no spec
+//! twin, one whose twin exists but is unreferenced by any proptest.
+
+pub fn frobnicate<A: AggAnnotation>(rel: &MKRel<A>) -> Result<MKRel<A>> {
+    twin_free(rel)
+}
+
+pub fn orphaned<A: AggAnnotation>(rel: &MKRel<A>) -> Result<MKRel<A>> {
+    has_twin(rel)
+}

@@ -1,0 +1,6 @@
+//! Fixture: the spec side — `orphaned` exists here, but no proptest
+//! references `specops::orphaned`; `frobnicate` is missing entirely.
+
+pub fn orphaned<A: AggAnnotation>(rel: &MKRel<A>) -> Result<MKRel<A>> {
+    has_twin(rel)
+}

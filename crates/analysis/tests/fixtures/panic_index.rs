@@ -1,0 +1,14 @@
+//! Fixture: panic-family calls and bare slice indexing on the execute
+//! path, plus one properly waived line.
+
+pub fn run(xs: &[u32], i: usize) -> u32 {
+    let a = *xs.first().unwrap();
+    let b = xs.get(i).copied().expect("in range");
+    if i > xs.len() {
+        panic!("out of range");
+    }
+    let c = xs[i];
+    // lint:allow(index, reason = "i is validated by the caller above")
+    let d = xs[i + 1];
+    a + b + c + d
+}

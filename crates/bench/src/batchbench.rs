@@ -41,6 +41,7 @@ const DEPT_CUT: i64 = 400;
 
 /// One measured pipeline shape: mean wall-clock on the tuple-at-a-time
 /// path and on the batched path.
+#[derive(Debug)]
 pub struct BatchPoint {
     /// Pipeline name (stable across trajectory points).
     pub op: &'static str,

@@ -4,6 +4,9 @@
 //! the perf-trajectory tooling behind the enforcing `check_trajectory`
 //! CI gate ([`trajectory`]).
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod batchbench;
 pub mod fixtures;
 pub mod optbench;

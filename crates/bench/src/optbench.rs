@@ -30,6 +30,7 @@ pub const EMP_ROWS: usize = 10_000;
 
 /// One measured query: mean wall-clock on the literal lowered plan and
 /// on the optimized plan.
+#[derive(Debug)]
 pub struct OptPoint {
     /// Query name (stable across trajectory points).
     pub op: &'static str,

@@ -18,6 +18,7 @@ pub const PR: u32 = 3;
 
 /// One measured operator: mean wall-clock at `threads = 1` and at the
 /// configured thread count.
+#[derive(Debug)]
 pub struct ParPoint {
     /// Operator name (stable across trajectory points).
     pub op: &'static str,

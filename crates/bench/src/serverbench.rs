@@ -31,6 +31,7 @@ pub const CLIENT_COUNTS: [usize; 3] = [1, 4, 16];
 pub const ROWS: usize = 2_000;
 
 /// One client-count measurement.
+#[derive(Debug)]
 pub struct SaturationPoint {
     /// Concurrent client connections.
     pub clients: usize,

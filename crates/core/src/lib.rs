@@ -31,6 +31,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(missing_debug_implementations)]
 
 pub mod annotation;
 pub mod difference;

@@ -137,9 +137,10 @@ pub(crate) fn insert_distinct<A: AggAnnotation>(
 pub(crate) fn from_map<A: AggAnnotation>(
     schema: Schema,
     map: BTreeMap<Tuple<Value<A>>, A>,
-) -> MKRel<A> {
-    // Keys are distinct by construction, so the map *is* the tuple store.
-    Relation::from_tuple_map(schema, map).expect("arity preserved")
+) -> Result<MKRel<A>> {
+    // Keys are distinct by construction, so the map *is* the tuple store;
+    // an arity mismatch surfaces as an error rather than a panic.
+    Relation::from_tuple_map(schema, map)
 }
 
 /// The extended annotation lookup, i.e. the §4.3 reading of `R(t)` on
@@ -170,9 +171,6 @@ pub fn annotation_at<A: AggAnnotation>(rel: &MKRel<A>, t: &Tuple<Value<A>>) -> R
 /// size 1 costs O(n log n) rather than the O(n²) of a left fold (each
 /// `plus` clones its left operand).
 pub(crate) fn sum_many<A: AggAnnotation>(mut items: Vec<A>) -> A {
-    if items.is_empty() {
-        return A::zero();
-    }
     while items.len() > 1 {
         let mut next = Vec::with_capacity(items.len().div_ceil(2));
         let mut iter = items.into_iter();
@@ -184,7 +182,7 @@ pub(crate) fn sum_many<A: AggAnnotation>(mut items: Vec<A>) -> A {
         }
         items = next;
     }
-    items.pop().expect("non-empty")
+    items.pop().unwrap_or_else(A::zero)
 }
 
 /// Pushes `k ∗ tv`'s simple tensors onto an accumulator without
@@ -201,6 +199,23 @@ pub(crate) fn accumulate_scaled<A: AggAnnotation>(
             acc.push((prod, e.clone()));
         }
     }
+}
+
+/// Accumulates one tuple's per-spec aggregate contributions scaled by
+/// `k`: `terms[i] += k ∗ t(sidx[i])` for each spec, walked as one zip so
+/// no position is ever out of bounds.
+pub(crate) fn accumulate_specs<A: AggAnnotation>(
+    t: &Tuple<Value<A>>,
+    specs: &[AggSpec<'_>],
+    sidx: &[usize],
+    terms: &mut [Vec<(A, Const)>],
+    k: &A,
+) -> Result<()> {
+    for ((spec, si), acc) in specs.iter().zip(sidx).zip(terms.iter_mut()) {
+        let tv = t.get(*si).to_tensor(spec.kind)?;
+        accumulate_scaled(acc, &tv, k);
+    }
+    Ok(())
 }
 
 /// The product of per-attribute equality tokens `Π_u [t'(u) = t(u)]`.
@@ -282,7 +297,7 @@ pub fn union_opts<A: AggAnnotation>(
                 insert_distinct(&mut out, t.clone(), k);
             }
         }
-        return Ok(from_map(r1.schema().clone(), out));
+        return from_map(r1.schema().clone(), out);
     }
     let all_positions: Vec<usize> = (0..r1.schema().arity()).collect();
     // Partition: ground tuples merge additively (token 1 exactly on
@@ -369,7 +384,7 @@ pub fn union_opts<A: AggAnnotation>(
         }
         insert_distinct(&mut out, (*t).clone(), sum_many(parts));
     }
-    Ok(from_map(r1.schema().clone(), out))
+    from_map(r1.schema().clone(), out)
 }
 
 /// Projection `Π_{U'}`. With symbolic values, annotations sum over all
@@ -408,6 +423,7 @@ pub fn project_opts<A: AggAnnotation>(
         let mut shards: Vec<KeyedShard<'_, A>> = (0..nshards).map(|_| Vec::new()).collect();
         for (t, k) in rel.iter() {
             let proj = t.project(&positions);
+            // lint:allow(index, reason = "shard_index is hash % nshards and shards has nshards slots")
             shards[shard_index(&proj, nshards)].push((proj, k));
         }
         let maps = fan_out(shards, |entries| {
@@ -425,7 +441,7 @@ pub fn project_opts<A: AggAnnotation>(
                 insert_distinct(&mut out, t, k);
             }
         }
-        return Ok(from_map(schema, out));
+        return from_map(schema, out);
     }
     // Partition by groundness of the projected key (projected once here,
     // carried through shard assignment and the per-shard merge).
@@ -442,6 +458,7 @@ pub fn project_opts<A: AggAnnotation>(
     let nshards = plan_shards(opts, ground_entries.len());
     let mut shards: Vec<KeyedShard<'_, A>> = (0..nshards).map(|_| Vec::new()).collect();
     for (proj, k) in ground_entries {
+        // lint:allow(index, reason = "shard_index is hash % nshards and shards has nshards slots")
         shards[shard_index(&proj, nshards)].push((proj, k));
     }
     let sym_ref = &sym;
@@ -510,7 +527,7 @@ pub fn project_opts<A: AggAnnotation>(
         }
         insert_distinct(&mut out, p.clone(), sum_many(parts));
     }
-    Ok(from_map(schema, out))
+    from_map(schema, out)
 }
 
 // ---------------------------------------------------------------------------
@@ -530,7 +547,7 @@ pub fn select_eq<A: AggAnnotation>(
         let tok = A::value_eq(t.get(idx), value)?;
         insert_distinct(&mut out, t.clone(), k.times(&tok));
     }
-    Ok(from_map(rel.schema().clone(), out))
+    from_map(rel.schema().clone(), out)
 }
 
 /// Selection `σ_{u1 = u2}` comparing two attributes of the same relation.
@@ -546,7 +563,7 @@ pub fn select_attrs_eq<A: AggAnnotation>(
         let tok = A::value_eq(t.get(i), t.get(j))?;
         insert_distinct(&mut out, t.clone(), k.times(&tok));
     }
-    Ok(from_map(rel.schema().clone(), out))
+    from_map(rel.schema().clone(), out)
 }
 
 /// Generic tokened selection: multiplies each tuple's annotation by a
@@ -573,7 +590,7 @@ pub fn select_with_token<A: AggAnnotation>(
         };
         insert_distinct(&mut out, t.clone(), ann);
     }
-    Ok(from_map(rel.schema().clone(), out))
+    from_map(rel.schema().clone(), out)
 }
 
 /// Selection `σ_{u ⋈ v}` with an order/inequality predicate against a
@@ -613,7 +630,7 @@ pub fn select_where<A: AggAnnotation>(
             insert_distinct(&mut out, t.clone(), k.clone());
         }
     }
-    Ok(from_map(rel.schema().clone(), out))
+    from_map(rel.schema().clone(), out)
 }
 
 /// Value-based join on attribute pairs (schemas must be disjoint):
@@ -752,7 +769,7 @@ pub fn join_on_opts<A: AggAnnotation>(
             }
         }
     }
-    Ok(from_map(schema, out))
+    from_map(schema, out)
 }
 
 /// Cartesian product (join with no comparisons).
@@ -774,11 +791,10 @@ pub fn natural_join<A: AggAnnotation>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MK
             .map(|a| rel.schema().index_of(a.name()))
             .collect::<Result<_>>()?;
         for (t, _) in rel.iter() {
-            if let Some(p) = idx.iter().position(|i| t.get(*i).is_agg()) {
+            if let Some((_, a)) = idx.iter().zip(&shared).find(|(i, _)| t.get(**i).is_agg()) {
                 return Err(RelError::Unsupported(format!(
-                    "natural join on symbolic aggregate column `{}`; \
-                     rename and use join_on",
-                    shared[p]
+                    "natural join on symbolic aggregate column `{a}`; \
+                     rename and use join_on"
                 )));
             }
         }
@@ -807,10 +823,7 @@ pub fn agg_all<A: AggAnnotation>(rel: &MKRel<A>, specs: &[AggSpec<'_>]) -> Resul
         .collect::<Result<_>>()?;
     let mut terms: Vec<Vec<(A, Const)>> = vec![Vec::new(); specs.len()];
     for (t, k) in rel.iter() {
-        for (si, spec) in specs.iter().enumerate() {
-            let tv = t.get(sidx[si]).to_tensor(spec.kind)?;
-            accumulate_scaled(&mut terms[si], &tv, k);
-        }
+        accumulate_specs(t, specs, &sidx, &mut terms, k)?;
     }
     let tensors: Vec<Tensor<A, Const>> = specs
         .iter()
@@ -846,8 +859,8 @@ pub(crate) fn group_by_layout<A: AggAnnotation>(
         .iter()
         .map(|s| rel.schema().index_of(s.attr))
         .collect::<Result<_>>()?;
-    for (i, s) in specs.iter().enumerate() {
-        if group_attrs.contains(&s.attr) || gidx.contains(&sidx[i]) {
+    for (s, si) in specs.iter().zip(&sidx) {
+        if group_attrs.contains(&s.attr) || gidx.contains(si) {
             return Err(RelError::Unsupported(format!(
                 "attribute `{}` cannot be both grouped and aggregated",
                 s.attr
@@ -881,10 +894,7 @@ fn ground_group_row<A: AggAnnotation>(
     let mut terms: Vec<Vec<(A, Const)>> = vec![Vec::new(); specs.len()];
     for (t, k) in members {
         anns.push((*k).clone());
-        for (si, spec) in specs.iter().enumerate() {
-            let tv = t.get(sidx[si]).to_tensor(spec.kind)?;
-            accumulate_scaled(&mut terms[si], &tv, k);
-        }
+        accumulate_specs(t, specs, sidx, &mut terms, k)?;
     }
     for (key, t2, k2) in sym {
         let tok = tuple_eq_token(key, g, all)?;
@@ -895,10 +905,7 @@ fn ground_group_row<A: AggAnnotation>(
         if coeff.is_zero() {
             continue;
         }
-        for (si, spec) in specs.iter().enumerate() {
-            let tv = t2.get(sidx[si]).to_tensor(spec.kind)?;
-            accumulate_scaled(&mut terms[si], &tv, &coeff);
-        }
+        accumulate_specs(t2, specs, sidx, &mut terms, &coeff)?;
         anns.push(coeff);
     }
     let total = sum_many(anns);
@@ -964,6 +971,7 @@ pub fn group_by_opts<A: AggAnnotation>(
     let mut shards: Vec<Vec<SymEntry<'_, A>>> = (0..nshards).map(|_| Vec::new()).collect();
     for (g, t, k) in ground {
         let shard = shard_index(&g, nshards);
+        // lint:allow(index, reason = "shard_index is hash % nshards and shards has nshards slots")
         shards[shard].push((g, t, k));
     }
 
@@ -1013,10 +1021,7 @@ pub fn group_by_opts<A: AggAnnotation>(
                     if coeff.is_zero() {
                         continue;
                     }
-                    for (si, spec) in specs.iter().enumerate() {
-                        let tv = t.get(sidx[si]).to_tensor(spec.kind)?;
-                        accumulate_scaled(&mut terms[si], &tv, &coeff);
-                    }
+                    accumulate_specs(t, specs, &sidx, &mut terms, &coeff)?;
                     anns.push(coeff);
                 }
             }
@@ -1030,10 +1035,7 @@ pub fn group_by_opts<A: AggAnnotation>(
             if coeff.is_zero() {
                 continue;
             }
-            for (si, spec) in specs.iter().enumerate() {
-                let tv = t2.get(sidx[si]).to_tensor(spec.kind)?;
-                accumulate_scaled(&mut terms[si], &tv, &coeff);
-            }
+            accumulate_specs(t2, specs, &sidx, &mut terms, &coeff)?;
             anns.push(coeff);
         }
         let total = sum_many(anns);
@@ -1046,7 +1048,7 @@ pub fn group_by_opts<A: AggAnnotation>(
         }
         insert_distinct(&mut out, Tuple::new(row), total.delta());
     }
-    Ok(from_map(schema, out))
+    from_map(schema, out)
 }
 
 #[cfg(test)]

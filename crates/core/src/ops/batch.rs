@@ -102,21 +102,32 @@ impl<A: AggAnnotation> Chunk<A> {
         // column viewed more than once (duplicate select items) is cloned.
         let mut uses = vec![0usize; phys.len()];
         for &p in &self.view {
-            uses[p] += 1;
+            if let Some(u) = uses.get_mut(p) {
+                *u += 1;
+            }
         }
         let mut slots: Vec<Option<Vec<Const>>> = phys.into_iter().map(Some).collect();
-        let logical: Vec<Vec<Const>> = self
-            .view
-            .iter()
-            .map(|&p| {
-                uses[p] -= 1;
-                if uses[p] == 0 {
-                    slots[p].take().expect("each physical column taken once")
-                } else {
-                    slots[p].clone().expect("column still present")
+        let mut logical: Vec<Vec<Const>> = Vec::with_capacity(self.view.len());
+        for &p in &self.view {
+            let col = match uses.get_mut(p).zip(slots.get_mut(p)) {
+                Some((u, slot)) => {
+                    *u -= 1;
+                    if *u == 0 {
+                        slot.take()
+                    } else {
+                        slot.clone()
+                    }
                 }
-            })
-            .collect();
+                None => None,
+            };
+            let Some(col) = col else {
+                return Err(RelError::Internal(format!(
+                    "chunk view references physical column {p} out of {}",
+                    uses.len()
+                )));
+            };
+            logical.push(col);
+        }
         let ground = ColumnBatch::from_columns(logical, anns)?;
         GroundBatch::from_parts(ground, self.fringe).into_relation_selected(
             self.schema,
@@ -170,9 +181,24 @@ impl<A: AggAnnotation> Chunk<A> {
         }
     }
 
-    /// The physical column backing logical position `i`.
-    fn col(&self, i: usize) -> &[Const] {
-        self.ground.col(self.view[i])
+    /// The physical column backing logical position `i`. A logical
+    /// position outside the view (a planner bug) is an error, not a
+    /// panic — these kernels sit on the serving path.
+    fn col(&self, i: usize) -> Result<&[Const]> {
+        let p = self.view.get(i).copied().ok_or_else(|| {
+            RelError::Internal(format!(
+                "logical column {i} out of range for a {}-column chunk",
+                self.view.len()
+            ))
+        })?;
+        Ok(self.ground.col(p))
+    }
+
+    /// The value at logical column `i`, selected row `r`.
+    fn at(&self, i: usize, r: u32) -> Result<&Const> {
+        self.col(i)?.get(r as usize).ok_or_else(|| {
+            RelError::Internal(format!("ground row {r} out of range in chunk column {i}"))
+        })
     }
 
     /// Errors unless the chunk is fringe-free. The cross-row kernels
@@ -212,15 +238,17 @@ impl<A: AggAnnotation> Chunk<A> {
         // else takes the general form.
         let mut kept: Vec<u32> = Vec::new();
         if let (BatchOperand::Col(i), BatchOperand::Lit(c)) = (left, right) {
-            let col = self.col(*i);
+            let col = self.col(*i)?;
             for r in self.selected() {
+                // lint:allow(index, reason = "selected() rows are < ground.len() by construction")
                 if const_cmp(&col[r as usize], cmp, c)? {
                     kept.push(r);
                 }
             }
         } else if let (BatchOperand::Lit(c), BatchOperand::Col(i)) = (left, right) {
-            let col = self.col(*i);
+            let col = self.col(*i)?;
             for r in self.selected() {
+                // lint:allow(index, reason = "selected() rows are < ground.len() by construction")
                 if const_cmp(c, cmp, &col[r as usize])? {
                     kept.push(r);
                 }
@@ -228,11 +256,11 @@ impl<A: AggAnnotation> Chunk<A> {
         } else {
             for r in self.selected() {
                 let lv: &Const = match left {
-                    BatchOperand::Col(i) => &self.col(*i)[r as usize],
+                    BatchOperand::Col(i) => self.at(*i, r)?,
                     BatchOperand::Lit(c) => c,
                 };
                 let rv: &Const = match right {
-                    BatchOperand::Col(i) => &self.col(*i)[r as usize],
+                    BatchOperand::Col(i) => self.at(*i, r)?,
                     BatchOperand::Lit(c) => c,
                 };
                 if const_cmp(lv, cmp, rv)? {
@@ -257,12 +285,20 @@ impl<A: AggAnnotation> Chunk<A> {
                 let lv: &Value<A> = match (left, &lconst) {
                     (BatchOperand::Col(i), _) => t.get(*i),
                     (_, Some(v)) => v,
-                    _ => unreachable!("non-column operand lifted above"),
+                    (BatchOperand::Lit(_), None) => {
+                        return Err(RelError::Internal(
+                            "literal operand not lifted before the fringe loop".into(),
+                        ))
+                    }
                 };
                 let rv: &Value<A> = match (right, &rconst) {
                     (BatchOperand::Col(i), _) => t.get(*i),
                     (_, Some(v)) => v,
-                    _ => unreachable!("non-column operand lifted above"),
+                    (BatchOperand::Lit(_), None) => {
+                        return Err(RelError::Internal(
+                            "literal operand not lifted before the fringe loop".into(),
+                        ))
+                    }
                 };
                 let tok = match cmp {
                     BatchCmp::Eq => A::value_eq(lv, rv)?,
@@ -295,7 +331,17 @@ impl<A: AggAnnotation> Chunk<A> {
                 got: schema.arity(),
             });
         }
-        let view = columns.iter().map(|&c| self.view[c]).collect();
+        let view = columns
+            .iter()
+            .map(|&c| {
+                self.view.get(c).copied().ok_or_else(|| {
+                    RelError::Internal(format!(
+                        "projection column {c} out of range for a {}-column chunk",
+                        self.view.len()
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?;
         Ok(Chunk {
             schema,
             ground: self.ground,
@@ -354,8 +400,8 @@ impl<A: AggAnnotation> Chunk<A> {
         'rows: for r in self.selected() {
             let mut avgs: Vec<Const> = Vec::with_capacity(pairs.len());
             for (si, ci) in pairs {
-                let sum = self.col(*si)[r as usize].as_num();
-                let cnt = self.col(*ci)[r as usize].as_num();
+                let sum = self.at(*si, r)?.as_num();
+                let cnt = self.at(*ci, r)?.as_num();
                 let avg = match (sum, cnt) {
                     (Some(s), Some(c)) => match s.checked_div(&c) {
                         Some(avg) => avg,
@@ -385,6 +431,7 @@ impl<A: AggAnnotation> Chunk<A> {
         for col in avg_cols {
             let mut full = vec![Const::int(0); nrows];
             for (&r, v) in kept.iter().zip(col) {
+                // lint:allow(index, reason = "kept rows come from selected() and are < nrows")
                 full[r as usize] = v;
             }
             self.ground.push_column(full)?;
@@ -454,12 +501,14 @@ pub fn hash_join<A: AggAnnotation>(
             }
         }
     } else if let [(li, ri)] = on {
-        let (lcol, rcol) = (left.col(*li), right.col(*ri));
+        let (lcol, rcol) = (left.col(*li)?, right.col(*ri)?);
         let mut index: HashMap<&Const, Vec<u32>> = HashMap::new();
         for &rr in &rsel {
+            // lint:allow(index, reason = "selected() rows are < ground.len() by construction")
             index.entry(&rcol[rr as usize]).or_default().push(rr);
         }
         for &lr in &lsel {
+            // lint:allow(index, reason = "selected() rows are < ground.len() by construction")
             if let Some(matches) = index.get(&lcol[lr as usize]) {
                 for &rr in matches {
                     pairs.push((lr, rr));
@@ -467,16 +516,24 @@ pub fn hash_join<A: AggAnnotation>(
             }
         }
     } else {
+        // Resolve the key columns once, outside the row loops.
+        let rcols: Vec<&[Const]> = on
+            .iter()
+            .map(|(_, j)| right.col(*j))
+            .collect::<Result<_>>()?;
+        let lcols: Vec<&[Const]> = on
+            .iter()
+            .map(|(i, _)| left.col(*i))
+            .collect::<Result<_>>()?;
         let mut index: HashMap<Vec<&Const>, Vec<u32>> = HashMap::new();
         for &rr in &rsel {
-            let key: Vec<&Const> = on
-                .iter()
-                .map(|(_, j)| &right.col(*j)[rr as usize])
-                .collect();
+            // lint:allow(index, reason = "selected() rows are < ground.len() by construction")
+            let key: Vec<&Const> = rcols.iter().map(|c| &c[rr as usize]).collect();
             index.entry(key).or_default().push(rr);
         }
         for &lr in &lsel {
-            let key: Vec<&Const> = on.iter().map(|(i, _)| &left.col(*i)[lr as usize]).collect();
+            // lint:allow(index, reason = "selected() rows are < ground.len() by construction")
+            let key: Vec<&Const> = lcols.iter().map(|c| &c[lr as usize]).collect();
             if let Some(matches) = index.get(&key) {
                 for &rr in matches {
                     pairs.push((lr, rr));
@@ -486,23 +543,26 @@ pub fn hash_join<A: AggAnnotation>(
     }
     let anns: Vec<A> = pairs
         .iter()
+        // lint:allow(index, reason = "pair rows come from selected() and are < ground.len()")
         .map(|&(lr, rr)| left.ground.anns()[lr as usize].times(&right.ground.anns()[rr as usize]))
         .collect();
     let mut cols: Vec<Vec<Const>> = Vec::with_capacity(schema.arity());
     for i in 0..left.schema.arity() {
-        let src = left.col(i);
+        let src = left.col(i)?;
         cols.push(
             pairs
                 .iter()
+                // lint:allow(index, reason = "pair rows come from selected() and are < ground.len()")
                 .map(|&(lr, _)| src[lr as usize].clone())
                 .collect(),
         );
     }
     for j in 0..right.schema.arity() {
-        let src = right.col(j);
+        let src = right.col(j)?;
         cols.push(
             pairs
                 .iter()
+                // lint:allow(index, reason = "pair rows come from selected() and are < ground.len()")
                 .map(|&(_, rr)| src[rr as usize].clone())
                 .collect(),
         );

@@ -12,14 +12,33 @@
 //! relations.
 
 use crate::annotation::AggAnnotation;
+use crate::km::CmpPred;
 use crate::ops::{
-    accumulate_scaled, from_map, insert_distinct, sum_many, tuple_eq_token, AggSpec, MKRel,
+    accumulate_specs, from_map, insert_distinct, sum_many, tuple_eq_token, AggSpec, MKRel,
 };
 use crate::value::Value;
 use aggprov_algebra::tensor::Tensor;
 use aggprov_krel::error::{RelError, Result};
 use aggprov_krel::relation::Tuple;
+use aggprov_krel::schema::Schema;
 use std::collections::BTreeMap;
+
+/// The extended annotation lookup `R(t)` by the literal §4.3 rule:
+/// `Σ_{t' ∈ supp(R)} R(t') · Π_u [t'(u) = t(u)]` — the token-weighted sum
+/// over *all* support tuples, with no structural fast path for the
+/// all-ground case.
+pub fn annotation_at<A: AggAnnotation>(rel: &MKRel<A>, t: &Tuple<Value<A>>) -> Result<A> {
+    let positions: Vec<usize> = (0..rel.schema().arity()).collect();
+    let mut parts = Vec::new();
+    for (t2, k2) in rel.iter() {
+        let tok = tuple_eq_token(t2, t, &positions)?;
+        let part = k2.times(&tok);
+        if !part.is_zero() {
+            parts.push(part);
+        }
+    }
+    Ok(sum_many(parts))
+}
 
 /// Union by the literal §4.3 rule: every output tuple sums contributions
 /// from *all* input tuples weighted by equality tokens.
@@ -50,7 +69,7 @@ pub fn union<A: AggAnnotation>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>>
         }
         insert_distinct(&mut out, t.clone(), sum_many(parts));
     }
-    Ok(from_map(r1.schema().clone(), out))
+    from_map(r1.schema().clone(), out)
 }
 
 /// Projection `Π_{U'}` by the literal §4.3 rule: annotations sum over all
@@ -78,7 +97,7 @@ pub fn project<A: AggAnnotation>(rel: &MKRel<A>, attrs: &[&str]) -> Result<MKRel
         }
         insert_distinct(&mut out, proj, sum_many(parts));
     }
-    Ok(from_map(schema, out))
+    from_map(schema, out)
 }
 
 /// Value-based join on attribute pairs by the literal §4.3 rule: a full
@@ -120,7 +139,162 @@ pub fn join_on<A: AggAnnotation>(
             insert_distinct(&mut out, t1.concat(t2.values()), k1.times(k2).times(&tok));
         }
     }
-    Ok(from_map(schema, out))
+    from_map(schema, out)
+}
+
+/// Generic tokened selection by the literal §4.3 rule: every tuple's
+/// annotation is multiplied by its token, with no `0`/`1` shortcuts.
+pub fn select_with_token<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    token: impl Fn(&Schema, &Tuple<Value<A>>) -> Result<A>,
+) -> Result<MKRel<A>> {
+    let mut out = BTreeMap::new();
+    for (t, k) in rel.iter() {
+        let tok = token(rel.schema(), t)?;
+        insert_distinct(&mut out, t.clone(), k.times(&tok));
+    }
+    from_map(rel.schema().clone(), out)
+}
+
+/// Selection `σ_{u = v}` by the literal §4.3 rule:
+/// `(σ R)(t) = R(t) · [t(u) = v]`.
+pub fn select_eq<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    attr: &str,
+    value: &Value<A>,
+) -> Result<MKRel<A>> {
+    let idx = rel.schema().index_of(attr)?;
+    select_with_token(rel, |_, t| A::value_eq(t.get(idx), value))
+}
+
+/// Selection `σ_{u1 = u2}` between two attributes by the literal §4.3
+/// rule.
+pub fn select_attrs_eq<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    attr1: &str,
+    attr2: &str,
+) -> Result<MKRel<A>> {
+    let i = rel.schema().index_of(attr1)?;
+    let j = rel.schema().index_of(attr2)?;
+    select_with_token(rel, |_, t| A::value_eq(t.get(i), t.get(j)))
+}
+
+/// Selection `σ_{u ⋈ v}` against a value with an order/inequality
+/// predicate, by the literal comparison-token rule.
+pub fn select_cmp<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    attr: &str,
+    pred: CmpPred,
+    value: &Value<A>,
+) -> Result<MKRel<A>> {
+    let idx = rel.schema().index_of(attr)?;
+    select_with_token(rel, |_, t| A::value_cmp(pred, t.get(idx), value))
+}
+
+/// Selection `σ_{u1 ⋈ u2}` between two attributes with an
+/// order/inequality predicate, by the literal comparison-token rule.
+pub fn select_attrs_cmp<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    attr1: &str,
+    pred: CmpPred,
+    attr2: &str,
+) -> Result<MKRel<A>> {
+    let i = rel.schema().index_of(attr1)?;
+    let j = rel.schema().index_of(attr2)?;
+    select_with_token(rel, |_, t| A::value_cmp(pred, t.get(i), t.get(j)))
+}
+
+/// Classical selection `σ_P` over constant attributes: keep or drop per
+/// tuple. Fails, like the physical operator, if the predicate must
+/// inspect a symbolic aggregate.
+pub fn select_where<A: AggAnnotation>(
+    rel: &MKRel<A>,
+    pred: impl Fn(&Schema, &Tuple<Value<A>>) -> Result<bool>,
+) -> Result<MKRel<A>> {
+    let mut out = BTreeMap::new();
+    for (t, k) in rel.iter() {
+        if pred(rel.schema(), t)? {
+            insert_distinct(&mut out, t.clone(), k.clone());
+        }
+    }
+    from_map(rel.schema().clone(), out)
+}
+
+/// Cartesian product — [`join_on`] with no comparison pairs (the token
+/// product over an empty set is `1`).
+pub fn product<A: AggAnnotation>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> {
+    join_on(r1, r2, &[])
+}
+
+/// Natural join on the shared attributes by the literal rule: a full
+/// nested loop multiplying equality tokens on every shared column, the
+/// right side's shared columns dropped from the output. Shares the
+/// physical operator's domain: shared columns must be constant-valued
+/// (rename and use [`join_on`] for symbolic join keys).
+pub fn natural_join<A: AggAnnotation>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> {
+    let shared = r1.schema().shared_with(r2.schema());
+    let i1: Vec<usize> = shared
+        .iter()
+        .map(|a| r1.schema().index_of(a.name()))
+        .collect::<Result<_>>()?;
+    let i2: Vec<usize> = shared
+        .iter()
+        .map(|a| r2.schema().index_of(a.name()))
+        .collect::<Result<_>>()?;
+    for (rel, idx) in [(r1, &i1), (r2, &i2)] {
+        for (t, _) in rel.iter() {
+            if let Some((_, a)) = idx.iter().zip(&shared).find(|(i, _)| t.get(**i).is_agg()) {
+                return Err(RelError::Unsupported(format!(
+                    "natural join on symbolic aggregate column `{a}`; \
+                     rename and use join_on"
+                )));
+            }
+        }
+    }
+    let keep2: Vec<usize> = (0..r2.schema().arity())
+        .filter(|j| !i2.contains(j))
+        .collect();
+    let mut names: Vec<&str> = r1.schema().attrs().iter().map(|a| a.name()).collect();
+    names.extend(
+        r2.schema()
+            .attrs()
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| keep2.contains(j))
+            .map(|(_, a)| a.name()),
+    );
+    let schema = Schema::new(names)?;
+    let mut out = BTreeMap::new();
+    for (t1, k1) in r1.iter() {
+        for (t2, k2) in r2.iter() {
+            let mut tok = A::one();
+            for (i, j) in i1.iter().zip(&i2) {
+                if tok.is_zero() {
+                    break;
+                }
+                tok = tok.times(&A::value_eq(t1.get(*i), t2.get(*j))?);
+            }
+            if tok.is_zero() {
+                continue;
+            }
+            let mut row: Vec<Value<A>> = t1.values().to_vec();
+            row.extend(
+                t2.values()
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| keep2.contains(j))
+                    .map(|(_, v)| v.clone()),
+            );
+            insert_distinct(&mut out, Tuple::new(row), k1.times(k2).times(&tok));
+        }
+    }
+    from_map(schema, out)
+}
+
+/// Single-spec whole-relation aggregation — [`agg_all`] with one spec
+/// (§3.2 states a single linear rule, so spec and physical coincide).
+pub fn agg<A: AggAnnotation>(rel: &MKRel<A>, spec: AggSpec<'_>) -> Result<MKRel<A>> {
+    agg_all(rel, &[spec])
 }
 
 /// Whole-relation aggregation by the literal §3.2 rule: one output tuple,
@@ -161,10 +335,7 @@ pub fn group_by<A: AggAnnotation>(
             if coeff.is_zero() {
                 continue;
             }
-            for (si, spec) in specs.iter().enumerate() {
-                let tv = t2.get(sidx[si]).to_tensor(spec.kind)?;
-                accumulate_scaled(&mut terms[si], &tv, &coeff);
-            }
+            accumulate_specs(t2, specs, &sidx, &mut terms, &coeff)?;
             anns.push(coeff);
         }
         let total = sum_many(anns);
@@ -177,5 +348,5 @@ pub fn group_by<A: AggAnnotation>(
         }
         insert_distinct(&mut out, Tuple::new(row), total.delta());
     }
-    Ok(from_map(schema, out))
+    from_map(schema, out)
 }

@@ -318,8 +318,14 @@ fn project_symbolic<A: AggAnnotation>(
 ) -> Result<MKRel<A>> {
     let names: Vec<&str> = distinct
         .iter()
-        .map(|i| rel.schema().attrs()[*i].name())
-        .collect();
+        .map(|i| {
+            rel.schema()
+                .attrs()
+                .get(*i)
+                .map(|a| a.name())
+                .ok_or_else(|| RelError::Internal(format!("projection position {i} out of range")))
+        })
+        .collect::<Result<_>>()?;
     let projected = ops::project_opts(rel, &names, opts)?;
     if distinct.len() == expand.len() {
         return projected.with_schema(schema.clone());

@@ -37,6 +37,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(missing_debug_implementations)]
 
 pub mod annot;
 pub mod ast;

@@ -63,7 +63,7 @@ use crate::ast::{CmpOp, SetOp};
 use crate::database::Database;
 use crate::plan::{Plan, PlanOperand, Predicate};
 use aggprov_core::annotation::AggAnnotation;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Statistics for one base table, snapshotted at prepare time.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -174,7 +174,11 @@ fn symbolic_cols(plan: &Plan, catalog: &Catalog) -> Vec<bool> {
             let inner = symbolic_cols(input, catalog);
             let mut flags = Vec::with_capacity(schema.arity());
             for g in group_by {
-                let flag = input.schema().index_of(g).map(|i| inner[i]).unwrap_or(true);
+                let flag = input
+                    .schema()
+                    .index_of(g)
+                    .map(|i| inner.get(i).copied().unwrap_or(true))
+                    .unwrap_or(true);
                 flags.push(flag);
             }
             flags.resize(schema.arity(), true);
@@ -333,13 +337,32 @@ fn push_into(input: Plan, pred: Predicate, catalog: &Catalog) -> Plan {
             schema,
         },
         // Through a projection: output position `i` reads input position
-        // `columns[i]`.
+        // `columns[i]`. A predicate column outside the view (a planner
+        // bug) stops the push instead of panicking.
         Plan::Project {
             input: inner,
             columns,
             schema,
         } => {
-            let remapped = remap_pred(&pred, |i| columns[i]);
+            let col_of = |op: &PlanOperand| match op {
+                PlanOperand::Col(i) => Some(*i),
+                _ => None,
+            };
+            let out_of_range = [&pred.left, &pred.right]
+                .into_iter()
+                .filter_map(col_of)
+                .any(|i| i >= columns.len());
+            if out_of_range {
+                return Plan::Filter {
+                    input: Box::new(Plan::Project {
+                        input: inner,
+                        columns,
+                        schema,
+                    }),
+                    pred,
+                };
+            }
+            let remapped = remap_pred(&pred, |i| columns.get(i).copied().unwrap_or(i));
             Plan::Project {
                 input: Box::new(push_into(*inner, remapped, catalog)),
                 columns,
@@ -597,10 +620,13 @@ fn reorder_chain(plan: Plan, catalog: &Catalog) -> Plan {
     // *connected* to the accumulated set (a cross product only when no
     // connected leaf remains). Deterministic: ties break on leaf index.
     let n = leaves.len();
-    let mut used = vec![false; n];
+    let mut used: BTreeSet<usize> = BTreeSet::new();
     let better = |a: usize, b: Option<usize>| match b {
         None => true,
-        Some(b) => ests[a] < ests[b] || (ests[a] == ests[b] && a < b),
+        Some(b) => {
+            let (ea, eb) = (ests.get(a), ests.get(b));
+            ea < eb || (ea == eb && a < b)
+        }
     };
     let mut first: Option<usize> = None;
     for i in 0..n {
@@ -608,19 +634,21 @@ fn reorder_chain(plan: Plan, catalog: &Catalog) -> Plan {
             first = Some(i);
         }
     }
-    let first = first.expect("n >= 2");
+    let Some(first) = first else {
+        return descend_original(fallback, catalog);
+    };
     let mut order = vec![first];
-    used[first] = true;
+    used.insert(first);
     while order.len() < n {
         let connected = |i: usize| {
             pair_leaves
                 .iter()
-                .any(|(x, y)| (*x == i && used[*y]) || (*y == i && used[*x]))
+                .any(|&(x, y)| (x == i && used.contains(&y)) || (y == i && used.contains(&x)))
         };
         let mut pick: Option<usize> = None;
         let mut pick_connected = false;
-        for (i, &in_use) in used.iter().enumerate() {
-            if in_use {
+        for i in 0..n {
+            if used.contains(&i) {
                 continue;
             }
             let c = connected(i);
@@ -629,8 +657,10 @@ fn reorder_chain(plan: Plan, catalog: &Catalog) -> Plan {
                 pick_connected = c;
             }
         }
-        let pick = pick.expect("unused leaf remains");
-        used[pick] = true;
+        let Some(pick) = pick else {
+            return descend_original(fallback, catalog);
+        };
+        used.insert(pick);
         order.push(pick);
     }
 
@@ -644,16 +674,24 @@ fn reorder_chain(plan: Plan, catalog: &Catalog) -> Plan {
     // that brings its second leaf in. Pair orientation follows the tree:
     // accumulated side first.
     let mut leaf_slots: Vec<Option<Plan>> = leaves.into_iter().map(Some).collect();
-    let mut in_acc = vec![false; n];
-    let mut acc = leaf_slots[order[0]].take().expect("first leaf");
-    in_acc[order[0]] = true;
-    for &idx in &order[1..] {
-        let leaf = leaf_slots[idx].take().expect("each leaf used once");
+    let mut in_acc: BTreeSet<usize> = BTreeSet::new();
+    let mut order_iter = order.iter().copied();
+    let first_leaf = order_iter
+        .next()
+        .and_then(|i| leaf_slots.get_mut(i).and_then(Option::take).map(|l| (i, l)));
+    let Some((first_idx, mut acc)) = first_leaf else {
+        return descend_original(fallback, catalog);
+    };
+    in_acc.insert(first_idx);
+    for idx in order_iter {
+        let Some(leaf) = leaf_slots.get_mut(idx).and_then(Option::take) else {
+            return descend_original(fallback, catalog);
+        };
         let mut on: Vec<(String, String)> = Vec::new();
-        for ((a, b), (x, y)) in pairs.iter().zip(&pair_leaves) {
-            if *x == idx && in_acc[*y] {
+        for ((a, b), &(x, y)) in pairs.iter().zip(&pair_leaves) {
+            if x == idx && in_acc.contains(&y) {
                 on.push((b.clone(), a.clone()));
-            } else if *y == idx && in_acc[*x] {
+            } else if y == idx && in_acc.contains(&x) {
                 on.push((a.clone(), b.clone()));
             }
         }
@@ -675,7 +713,7 @@ fn reorder_chain(plan: Plan, catalog: &Catalog) -> Plan {
                 schema,
             }
         };
-        in_acc[idx] = true;
+        in_acc.insert(idx);
     }
 
     // Compensating projection: restore the original column order (over

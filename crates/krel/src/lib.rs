@@ -18,6 +18,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(missing_debug_implementations)]
 
 pub mod batch;
 pub mod error;

@@ -180,7 +180,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn eat(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -190,7 +190,8 @@ impl Parser<'_> {
     }
 
     fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
+        if rest.starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
@@ -212,7 +213,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -235,7 +236,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.eat(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -246,7 +247,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.eat(b':')?;
             self.skip_ws();
             let value = self.value()?;
             map.insert(key, value);
@@ -263,10 +264,10 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.eat(b'"')?;
         let mut out = String::new();
         loop {
-            let rest = &self.bytes[self.pos..];
+            let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
             let Some(&b) = rest.first() else {
                 return Err("unterminated string".into());
             };
@@ -302,8 +303,8 @@ impl Parser<'_> {
                                     .bytes
                                     .get(self.pos..self.pos + 6)
                                     .and_then(|h| std::str::from_utf8(h).ok())
-                                    .filter(|h| h.starts_with("\\u"))
-                                    .and_then(|h| u32::from_str_radix(&h[2..], 16).ok())
+                                    .and_then(|h| h.strip_prefix("\\u"))
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
                                     .ok_or("unpaired surrogate")?;
                                 self.pos += 6;
                                 let joined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
@@ -319,7 +320,7 @@ impl Parser<'_> {
                 _ => {
                     // Consume one UTF-8 scalar, however many bytes long.
                     let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
-                    let c = s.chars().next().expect("non-empty");
+                    let c = s.chars().next().ok_or("unterminated string")?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -343,8 +344,8 @@ impl Parser<'_> {
                 _ => break,
             }
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "invalid number")?;
+        let digits = self.bytes.get(start..self.pos).unwrap_or(&[]);
+        let text = std::str::from_utf8(digits).map_err(|_| "invalid number")?;
         if !is_float {
             if let Ok(n) = text.parse::<i64>() {
                 return Ok(Json::Int(n));

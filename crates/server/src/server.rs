@@ -31,6 +31,14 @@ pub struct Server {
     conns: Arc<Mutex<Vec<TcpStream>>>,
 }
 
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Server {
     /// Binds to `addr` (use port 0 to let the OS pick) over a fresh
     /// provenance database.
@@ -99,7 +107,7 @@ impl Server {
 }
 
 /// Stops a [`Server`] from outside its accept loop.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct ShutdownHandle {
     stop: Arc<AtomicBool>,
     addr: Option<std::net::SocketAddr>,

@@ -43,6 +43,16 @@ pub struct Session {
     next_handle: i64,
 }
 
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("epoch", &self.snap.epoch())
+            .field("stmts", &self.stmts.len())
+            .field("results", &self.results.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Session {
     /// Opens a session, pinning the database's current epoch.
     ///
@@ -164,7 +174,10 @@ impl Session {
         let mut invalidated = Vec::new();
         let handles: Vec<i64> = self.stmts.keys().copied().collect();
         for handle in handles {
-            let sql = self.stmts[&handle].0.clone();
+            let Some((sql, _)) = self.stmts.get(&handle) else {
+                continue;
+            };
+            let sql = sql.clone();
             match self.snap.prepare(&sql) {
                 Ok(stmt) => {
                     self.stmts.insert(handle, (sql, stmt));
