@@ -49,4 +49,31 @@ mod tests {
         assert!(lookup("AGGPROV_THREADS").is_some());
         assert!(lookup("AGGPROV_NO_SUCH").is_none());
     }
+
+    /// The README's environment-variable table must match this registry
+    /// *exactly* — same variables, same one-line purposes. The `env`
+    /// lint rule already checks mention; this pins the table itself so
+    /// the two can't drift apart in wording either.
+    #[test]
+    fn readme_env_table_matches_registry() {
+        let readme = include_str!("../../../README.md");
+        for (name, desc) in ENV_REGISTRY {
+            let row = format!("| `{name}` | {desc} |");
+            assert!(
+                readme.contains(&row),
+                "README env table drifted from the registry: expected the row {row:?}"
+            );
+        }
+        for line in readme.lines().filter(|l| l.starts_with("| `AGGPROV_")) {
+            let name = line
+                .trim_start_matches("| `")
+                .split('`')
+                .next()
+                .unwrap_or_default();
+            assert!(
+                lookup(name).is_some(),
+                "README env table documents `{name}`, which is not in ENV_REGISTRY"
+            );
+        }
+    }
 }

@@ -32,6 +32,7 @@ pub fn execute_scope(path: &str) -> bool {
                 | "crates/engine/src/exec.rs"
                 | "crates/engine/src/phys.rs"
                 | "crates/engine/src/opt.rs"
+                | "crates/engine/src/view.rs"
                 | "crates/server/src/server.rs"
                 | "crates/server/src/session.rs"
                 | "crates/server/src/json.rs"

@@ -4,7 +4,7 @@
 //! Compares fresh quick-mode bench results against the checked-in
 //! `BENCH_pr<N>.json` trajectory points and **fails** (exit code 1) when
 //! any recorded speedup ratio regressed by more than
-//! [`MAX_REGRESSION`](aggprov_bench::trajectory::MAX_REGRESSION)× —
+//! [`MAX_REGRESSION`]× —
 //! replacing the old `git diff --stat … || true` no-op.
 //!
 //! Protocol:
@@ -24,7 +24,7 @@ use aggprov_bench::trajectory::{
     checked_in_points, clamp_to_host, compare, fresh_path, host_note, parse, BenchFile,
     MAX_REGRESSION,
 };
-use aggprov_bench::{batchbench, optbench, parbench, serverbench};
+use aggprov_bench::{batchbench, optbench, parbench, serverbench, viewbench};
 use criterion::quick_mode_samples;
 
 fn read_bench_file(path: &std::path::Path) -> Option<BenchFile> {
@@ -96,6 +96,9 @@ fn main() {
             Some(f) => f,
             None if *pr == optbench::PR => inline_measure("opt_pipeline", "", |samples| {
                 optbench::render_json(&optbench::measure(samples), samples, parbench::host_cpus())
+            }),
+            None if *pr == viewbench::PR => inline_measure("view_maintenance", "", |samples| {
+                viewbench::render_json(&viewbench::measure(samples), samples, parbench::host_cpus())
             }),
             None if *pr == batchbench::PR => inline_measure("batch_pipeline", "", |samples| {
                 batchbench::render_json(

@@ -6,6 +6,7 @@
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
 
 pub mod batchbench;
 pub mod fixtures;
@@ -13,6 +14,7 @@ pub mod optbench;
 pub mod parbench;
 pub mod serverbench;
 pub mod trajectory;
+pub mod viewbench;
 
 use aggprov_algebra::num::Num;
 use aggprov_algebra::poly::Var;

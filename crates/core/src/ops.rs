@@ -59,7 +59,7 @@
 //! same (fully cross-weighted) annotation, so on collision we keep one copy
 //! — the paper's "duplicates are ignored" (appendix, commutation proof).
 //! This is different from the additive merge of `K`-relations, which is why
-//! output maps are built with [`insert_distinct`].
+//! output maps are built with `insert_distinct`.
 
 pub mod batch;
 
@@ -1049,6 +1049,134 @@ pub fn group_by_opts<A: AggAnnotation>(
         insert_distinct(&mut out, Tuple::new(row), total.delta());
     }
     from_map(schema, out)
+}
+
+// ---------------------------------------------------------------------------
+// Incremental grouping deltas (view maintenance)
+// ---------------------------------------------------------------------------
+
+/// Folds a delta relation into a **group state** — the pre-δ accumulator
+/// behind an incrementally maintained `GROUP BY`.
+///
+/// A group state for `(group_attrs, specs)` has the same schema as the
+/// [`group_by`] output (`group_attrs ++ [spec.out, …]`), but keeps the
+/// *raw* accumulators instead of the rendered result: every aggregate
+/// cell is the un-normalized tensor `Σ_{t' ∈ group} R(t') ∗ t'(attr)`
+/// (never collapsed to a constant) and every annotation is the pre-δ
+/// membership sum `Σ_{t' ∈ group} R(t')`. [`delta_collapse`] renders a
+/// state into the exact [`group_by`] output.
+///
+/// Because tensors and annotations are kept in canonical normal form
+/// (sums merge and re-sort; zero coefficients drop), folding a relation
+/// in *any* batch decomposition yields bit-identical state:
+/// `fold(update, empty, batches(R)) = update(empty, R)` — the law the
+/// `delta_kernel` proptests pin against [`crate::specops`].
+///
+/// Only ground group keys are supported (an insertion stream into an
+/// incrementally maintained view flows through the ground partition);
+/// a symbolic key in the delta is an error, because a token-weighted
+/// candidate group cannot be attributed to a single state row.
+pub fn group_state_update<A: AggAnnotation>(
+    state: MKRel<A>,
+    delta: &MKRel<A>,
+    group_attrs: &[&str],
+    specs: &[AggSpec<'_>],
+) -> Result<MKRel<A>> {
+    let (gidx, sidx, schema) = group_by_layout(delta, group_attrs, specs)?;
+    if state.schema() != &schema {
+        return Err(RelError::SchemaMismatch {
+            left: state.schema().to_string(),
+            right: schema.to_string(),
+            op: "group_state_update",
+        });
+    }
+    let all: Vec<usize> = (0..gidx.len()).collect();
+    let key_positions: Vec<usize> = (0..group_attrs.len()).collect();
+
+    // Accumulate the delta per ground group key in one pass.
+    type GroupAcc<A> = (Vec<A>, Vec<Vec<(A, Const)>>);
+    let mut touched: BTreeMap<Tuple<Value<A>>, GroupAcc<A>> = BTreeMap::new();
+    for (t, k) in delta.iter() {
+        let g = t.project(&gidx);
+        if !is_ground_at(&g, &all) {
+            return Err(RelError::Unsupported(
+                "group_state_update: symbolic group key in delta — incremental \
+                 grouping is defined on ground keys only"
+                    .to_string(),
+            ));
+        }
+        let (anns, terms) = touched
+            .entry(g)
+            .or_insert_with(|| (Vec::new(), vec![Vec::new(); specs.len()]));
+        accumulate_specs(t, specs, &sidx, terms, k)?;
+        anns.push(k.clone());
+    }
+
+    // One pass over the state finds the touched rows (clones are `Arc`
+    // bumps); untouched groups are never visited again.
+    let mut old_rows: BTreeMap<Tuple<Value<A>>, Tuple<Value<A>>> = BTreeMap::new();
+    for (t, _) in state.iter() {
+        let key = t.project(&key_positions);
+        if touched.contains_key(&key) {
+            old_rows.insert(key, t.clone());
+        }
+    }
+
+    let n_keys = group_attrs.len();
+    let mut out = state;
+    for (g, (anns, terms)) in touched {
+        let mut row: Vec<Value<A>> = g.values().to_vec();
+        let ann = match old_rows.get(&g) {
+            Some(old_t) => {
+                // Taking the old row out returns its annotation owned — no
+                // deep clone of the accumulated sum.
+                let old_ann = out.remove(old_t).unwrap_or_else(A::zero);
+                for ((spec, cell), ts) in specs
+                    .iter()
+                    .zip(old_t.values().iter().skip(n_keys))
+                    .zip(terms)
+                {
+                    let merged = cell
+                        .to_tensor(spec.kind)?
+                        .add(&Tensor::from_terms(&spec.kind, ts), &spec.kind);
+                    row.push(Value::Agg(spec.kind, merged));
+                }
+                old_ann.plus(&sum_many(anns))
+            }
+            None => {
+                for (spec, ts) in specs.iter().zip(terms) {
+                    row.push(Value::Agg(spec.kind, Tensor::from_terms(&spec.kind, ts)));
+                }
+                sum_many(anns)
+            }
+        };
+        // `add` drops zero annotations, so a group whose membership sum
+        // cancels leaves the state — matching from-scratch recomputation.
+        out.add(Tuple::new(row), ann)?;
+    }
+    Ok(out)
+}
+
+/// Renders a group state (see [`group_state_update`]) into the exact
+/// [`group_by`] output: every aggregate cell re-normalizes through
+/// [`Value::agg_normalized`] (a resolved tensor collapses to its
+/// constant) and every annotation takes its δ. Rows whose δ is zero
+/// (an empty membership sum) leave the result, exactly as an empty
+/// candidate group never appears in [`group_by`].
+pub fn delta_collapse<A: AggAnnotation>(state: &MKRel<A>) -> Result<MKRel<A>> {
+    let mut out = BTreeMap::new();
+    for (t, k) in state.iter() {
+        let row: Vec<Value<A>> = t
+            .values()
+            .iter()
+            .map(|v| match v {
+                Value::Agg(kind, tv) => Value::agg_normalized(*kind, tv.clone()),
+                Value::Const(c) => Value::Const(c.clone()),
+            })
+            .collect();
+        insert_distinct(&mut out, Tuple::new(row), k.delta());
+    }
+    from_map(state.schema().clone(), out)
 }
 
 #[cfg(test)]

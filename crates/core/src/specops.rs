@@ -17,6 +17,7 @@ use crate::ops::{
     accumulate_specs, from_map, insert_distinct, sum_many, tuple_eq_token, AggSpec, MKRel,
 };
 use crate::value::Value;
+use aggprov_algebra::domain::Const;
 use aggprov_algebra::tensor::Tensor;
 use aggprov_krel::error::{RelError, Result};
 use aggprov_krel::relation::Tuple;
@@ -349,4 +350,77 @@ pub fn group_by<A: AggAnnotation>(
         insert_distinct(&mut out, Tuple::new(row), total.delta());
     }
     from_map(schema, out)
+}
+
+/// Incremental group-state fold by the literal one-tuple-at-a-time rule:
+/// each delta tuple is folded individually, the touched state row found by
+/// a linear scan — no per-group batching, no hash or map lookups. The
+/// physical [`crate::ops::group_state_update`] must agree bit for bit
+/// under any batch decomposition (accumulators stay in canonical normal
+/// form, so summation order cannot show).
+pub fn group_state_update<A: AggAnnotation>(
+    state: &MKRel<A>,
+    delta: &MKRel<A>,
+    group_attrs: &[&str],
+    specs: &[AggSpec<'_>],
+) -> Result<MKRel<A>> {
+    let (gidx, sidx, schema) = crate::ops::group_by_layout(delta, group_attrs, specs)?;
+    if state.schema() != &schema {
+        return Err(RelError::SchemaMismatch {
+            left: state.schema().to_string(),
+            right: schema.to_string(),
+            op: "group_state_update",
+        });
+    }
+    let key_positions: Vec<usize> = (0..group_attrs.len()).collect();
+    let n_keys = group_attrs.len();
+    let mut out = state.clone();
+    for (t, k) in delta.iter() {
+        let g = t.project(&gidx);
+        if g.values().iter().any(Value::is_agg) {
+            return Err(RelError::Unsupported(
+                "group_state_update: symbolic group key in delta — incremental \
+                 grouping is defined on ground keys only"
+                    .to_string(),
+            ));
+        }
+        let mut terms: Vec<Vec<(A, Const)>> = vec![Vec::new(); specs.len()];
+        accumulate_specs(t, specs, &sidx, &mut terms, k)?;
+        let old = out
+            .iter()
+            .find(|(t2, _)| t2.project(&key_positions) == g)
+            .map(|(t2, _)| t2.clone());
+        let mut row: Vec<Value<A>> = g.values().to_vec();
+        let ann = match old {
+            Some(old_t) => {
+                let old_ann = out.remove(&old_t).unwrap_or_else(A::zero);
+                for ((spec, cell), ts) in specs
+                    .iter()
+                    .zip(old_t.values().iter().skip(n_keys))
+                    .zip(terms)
+                {
+                    let merged = cell
+                        .to_tensor(spec.kind)?
+                        .add(&Tensor::from_terms(&spec.kind, ts), &spec.kind);
+                    row.push(Value::Agg(spec.kind, merged));
+                }
+                old_ann.plus(k)
+            }
+            None => {
+                for (spec, ts) in specs.iter().zip(terms) {
+                    row.push(Value::Agg(spec.kind, Tensor::from_terms(&spec.kind, ts)));
+                }
+                k.clone()
+            }
+        };
+        out.add(Tuple::new(row), ann)?;
+    }
+    Ok(out)
+}
+
+/// Group-state rendering — already a literal per-row map in the physical
+/// layer (δ on the annotation, re-normalization on every aggregate cell),
+/// so spec and physical paths coincide, like [`agg_all`].
+pub fn delta_collapse<A: AggAnnotation>(state: &MKRel<A>) -> Result<MKRel<A>> {
+    crate::ops::delta_collapse(state)
 }

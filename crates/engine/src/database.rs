@@ -31,11 +31,14 @@ use aggprov_core::ops::MKRel;
 use aggprov_core::par::ExecOptions;
 use aggprov_core::Value;
 use aggprov_krel::error::{RelError, Result};
-use aggprov_krel::relation::Relation;
+use aggprov_krel::relation::{Relation, Tuple};
 use aggprov_krel::schema::Schema;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+#[path = "view.rs"]
+pub mod view;
 
 /// The process-wide version clock behind table versions and epoch ids.
 ///
@@ -107,6 +110,9 @@ impl<A: AggAnnotation + ParseAnnotation> Clone for Database<A> {
 #[derive(Clone, Debug)]
 struct EpochTables<A: AggAnnotation> {
     tables: BTreeMap<String, TableEntry<A>>,
+    /// Materialized views, maintained by [`view`]'s delta machinery.
+    /// Part of the epoch: a snapshot freezes views and tables together.
+    views: BTreeMap<String, view::ViewEntry<A>>,
 }
 
 impl<A: AggAnnotation> EpochTables<A> {
@@ -315,18 +321,24 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
         Database {
             epoch: Arc::new(EpochTables {
                 tables: BTreeMap::new(),
+                views: BTreeMap::new(),
             }),
             epoch_id: next_version(),
             cache: Arc::new(PlanCache::default()),
         }
     }
 
-    /// The mutable table map: copies the epoch out if a snapshot still
-    /// holds it, and stamps the database with a fresh epoch id — every
-    /// caller is a mutation about to happen.
-    fn tables_mut(&mut self) -> &mut BTreeMap<String, TableEntry<A>> {
+    /// The mutable epoch (tables *and* views): copies the epoch out if a
+    /// snapshot still holds it, and stamps the database with a fresh epoch
+    /// id — every caller is a mutation about to happen.
+    fn epoch_mut(&mut self) -> &mut EpochTables<A> {
         self.epoch_id = next_version();
-        &mut Arc::make_mut(&mut self.epoch).tables
+        Arc::make_mut(&mut self.epoch)
+    }
+
+    /// The mutable table map (see [`epoch_mut`](Database::epoch_mut)).
+    fn tables_mut(&mut self) -> &mut BTreeMap<String, TableEntry<A>> {
+        &mut self.epoch_mut().tables
     }
 
     /// Looks a table up.
@@ -339,7 +351,8 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
     }
 
     /// Registers (or replaces) a table built programmatically. Invalidates
-    /// the cached plans that scan this table.
+    /// the cached plans that scan this table and re-materializes the
+    /// views that depend on it (a wholesale replacement has no delta).
     pub fn register(&mut self, name: &str, rel: MKRel<A>) {
         let ground_cols = scan_ground_cols(&rel);
         let version = next_version();
@@ -353,6 +366,7 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
             },
         );
         self.cache.invalidate_table(name);
+        view::refresh_dependents(self, name);
     }
 
     /// The optimizer-facing statistics of one table: tuple count plus the
@@ -432,14 +446,16 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
                         .remove(&name)
                         .ok_or_else(|| RelError::UnknownAttr(format!("table `{name}`")))?;
                     self.cache.invalidate_table(&name);
+                    view::break_dependents(self, &name, "base table dropped");
                 }
                 Stmt::Insert {
                     table,
                     values,
                     provenance,
                 } => {
-                    self.insert_row(&table, &values, provenance.as_deref())?;
+                    let (row, ann) = self.insert_row(&table, &values, provenance.as_deref())?;
                     self.cache.invalidate_table(&table);
+                    view::maintain_after_insert(self, &table, row, ann)?;
                 }
                 Stmt::Query(q) => {
                     // The same lower→optimize→phys pipeline as prepare()
@@ -561,7 +577,14 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
         Ok(self.prepare(sql)?.execute()?.into_relation())
     }
 
-    fn insert_row(&mut self, table: &str, values: &[Lit], provenance: Option<&str>) -> Result<()> {
+    /// Inserts one literal row, returning the inserted tuple and its
+    /// annotation — the delta the view-maintenance hook propagates.
+    fn insert_row(
+        &mut self,
+        table: &str,
+        values: &[Lit],
+        provenance: Option<&str>,
+    ) -> Result<(Tuple<Value<A>>, A)> {
         let ann = match provenance {
             None => A::one(),
             Some(text) => A::parse_annotation(text).ok_or_else(|| {
@@ -616,7 +639,9 @@ impl<A: AggAnnotation + ParseAnnotation> Database<A> {
             .get_mut(table)
             .expect("existence checked above");
         entry.version = version;
-        entry.rel.insert(row, ann)
+        let t = Tuple::new(row);
+        entry.rel.add(t.clone(), ann.clone())?;
+        Ok((t, ann))
     }
 }
 

@@ -1,9 +1,9 @@
-//! Physical-plan execution: drives the [`PhysNode`](crate::phys::PhysNode)
-//! pipeline of [`crate::phys`] against annotated relations.
+//! Physical-plan execution: drives the `PhysNode`
+//! pipeline of `crate::phys` against annotated relations.
 //!
 //! All parsing, name resolution and validation happened at prepare time
-//! (see [`crate::plan::lower_query`] and [`crate::phys::lower`]); this
-//! module only moves data. Execution streams [`Flow`] values — either a
+//! (see [`crate::plan::lower_query`] and `crate::phys::lower`); this
+//! module only moves data. Execution streams `Flow` values — either a
 //! materialized relation or a columnar [`Chunk`] (ground batch + selection
 //! vector + symbolic fringe) — through the operator tree:
 //!

@@ -51,6 +51,7 @@ pub mod plan;
 pub mod result;
 
 pub use annot::ParseAnnotation;
+pub use database::view::MaintenanceStrategy;
 pub use database::{Database, DbSnapshot, Prepared, SnapPrepared, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use plan::Plan;
 pub use result::{ResultSet, Row};

@@ -27,7 +27,7 @@
 //!
 //! ## Rules
 //!
-//! * **Predicate pushdown** ([`push_filters`]): a `Filter` whose column
+//! * **Predicate pushdown** (`push_filters`): a `Filter` whose column
 //!   operands are all statically ground moves through `Derived` renames,
 //!   `Project` (operand positions remapped across the projection map),
 //!   other `Filter`s, and into the matching side of `Product`/`Join`.
@@ -38,7 +38,7 @@
 //!   columns (e.g. a `HAVING` over an aggregate output) never move —
 //!   their tokens multiply into annotations and multiplication order is
 //!   part of the recorded provenance expression.
-//! * **Join/product reordering** ([`reorder_joins`]): a maximal
+//! * **Join/product reordering** (`reorder_joins`): a maximal
 //!   `Join`/`Product` chain whose every input is statically fully ground
 //!   is re-sequenced greedily by estimated cardinality (smallest
 //!   estimated input first, then the cheapest *connected* input, products

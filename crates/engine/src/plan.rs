@@ -136,7 +136,7 @@ pub enum Plan {
     AddUnitColumn {
         /// Input plan.
         input: Box<Plan>,
-        /// The input schema extended with [`ONE_COL`].
+        /// The input schema extended with `ONE_COL`.
         schema: Schema,
     },
     /// Grouping/aggregation (`GROUP BY` + aggregate select items, or

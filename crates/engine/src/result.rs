@@ -203,7 +203,7 @@ impl ResultSet<Km<NatPoly>> {
 
     /// Deletion propagation: substitutes the given tokens by `0` and keeps
     /// every other token symbolic (`x ↦ x`), so further interrogation —
-    /// more deletions, trust readings, a final [`valuate`] — can continue
+    /// more deletions, trust readings, a final [`valuate`](ResultSet::valuate) — can continue
     /// on the smaller result. `delete_tokens(ts).valuate(&v)` equals
     /// valuating with `v` extended by `ts ↦ 0` directly.
     pub fn delete_tokens<I, S>(&self, tokens: I) -> ResultSet<Km<NatPoly>>

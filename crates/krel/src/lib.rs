@@ -13,7 +13,7 @@
 //! * [`kset`] — `K`-sets and `SetAgg`;
 //! * [`monus`] — baseline difference semantics (set/bag monus,
 //!   ℤ-difference) used by the paper's §5.2 comparisons;
-//! * [`reference`] — an independent, annotation-free bag/set evaluator used
+//! * [`mod@reference`] — an independent, annotation-free bag/set evaluator used
 //!   as the differential-testing oracle for set/bag compatibility.
 
 #![forbid(unsafe_code)]

@@ -130,6 +130,34 @@ where
         Ok(())
     }
 
+    /// Adds `k` to the annotation of an existing [`Tuple`] (the same
+    /// `R(t) += k` update as [`insert`](Relation::insert), without
+    /// rebuilding the tuple from a row vector). Rows whose annotation
+    /// becomes `0` leave the support.
+    pub fn add(&mut self, t: Tuple<V>, k: K) -> Result<()> {
+        if t.arity() != self.schema.arity() {
+            return Err(RelError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: t.arity(),
+            });
+        }
+        self.add_tuple(t, k);
+        Ok(())
+    }
+
+    /// Removes a tuple from the support entirely, returning its annotation
+    /// (`None` if it was not present). This is *not* a semiring operation —
+    /// semirings have no subtraction — but the primitive that lets a
+    /// maintained materialization replace a stale row with its re-collapsed
+    /// form.
+    pub fn remove(&mut self, t: &Tuple<V>) -> Option<K> {
+        if !self.tuples.contains_key(t) {
+            // Avoid cloning a shared store just to remove nothing.
+            return None;
+        }
+        Arc::make_mut(&mut self.tuples).remove(t)
+    }
+
     fn add_tuple(&mut self, t: Tuple<V>, k: K) {
         if k.is_zero() {
             return;

@@ -143,6 +143,62 @@ impl Client {
             .unwrap_or_default())
     }
 
+    /// Materializes a view on the live database, returning the server's
+    /// chosen maintenance strategy (`"incremental"` or `"recompute"`).
+    pub fn materialize(&mut self, name: &str, sql: &str) -> Result<String> {
+        let r = self.request(Json::obj([
+            ("op", Json::str("materialize")),
+            ("name", Json::str(name)),
+            ("sql", Json::str(sql)),
+        ]))?;
+        Ok(r.get("strategy")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string())
+    }
+
+    /// Reads a maintained view from the pinned snapshot.
+    pub fn view(&mut self, name: &str) -> Result<Json> {
+        self.request(Json::obj([
+            ("op", Json::str("view")),
+            ("name", Json::str(name)),
+        ]))
+    }
+
+    /// Lists the snapshot's materialized views.
+    pub fn views(&mut self) -> Result<Vec<String>> {
+        let r = self.request(Json::obj([("op", Json::str("views"))]))?;
+        Ok(r.get("views")
+            .and_then(Json::as_arr)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|t| t.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default())
+    }
+
+    /// Drops a materialized view on the live database.
+    pub fn drop_view(&mut self, name: &str) -> Result<Json> {
+        self.request(Json::obj([
+            ("op", Json::str("drop_view")),
+            ("name", Json::str(name)),
+        ]))
+    }
+
+    /// Database-level deletion propagation: zeroes the tokens in every
+    /// base table and maintains every materialized view.
+    pub fn db_delete_tokens(&mut self, tokens: &[&str]) -> Result<Json> {
+        self.request(Json::obj([
+            ("op", Json::str("db_delete_tokens")),
+            (
+                "tokens",
+                Json::Arr(tokens.iter().map(|t| Json::str(*t)).collect()),
+            ),
+        ]))
+    }
+
     /// Asks the server to stop (drains and exits).
     pub fn shutdown(&mut self) -> Result<()> {
         self.request(Json::obj([("op", Json::str("shutdown"))]))?;

@@ -14,7 +14,9 @@ use aggprov_algebra::domain::Const;
 use aggprov_algebra::hom::Valuation;
 use aggprov_algebra::semiring::{CommutativeSemiring, Nat, Security};
 use aggprov_core::{Prov, Value};
-use aggprov_engine::{DbSnapshot, ParseAnnotation, ProvDb, ResultSet, SnapPrepared};
+use aggprov_engine::{
+    DbSnapshot, MaintenanceStrategy, ParseAnnotation, ProvDb, ResultSet, SnapPrepared,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::{Arc, RwLock};
@@ -125,7 +127,21 @@ impl Session {
                     Control::Continue,
                 ))
             }
+            "views" => {
+                let views = self.snap.view_names().map(Json::str).collect::<Vec<_>>();
+                Ok((
+                    Json::obj([
+                        ("views", Json::Arr(views)),
+                        ("epoch", Json::Int(self.snap.epoch() as i64)),
+                    ]),
+                    Control::Continue,
+                ))
+            }
             "sql" => self.op_sql(req),
+            "materialize" => self.op_materialize(req),
+            "view" => self.op_view(req),
+            "drop_view" => self.op_drop_view(req),
+            "db_delete_tokens" => self.op_db_delete_tokens(req),
             "refresh" => self.op_refresh(),
             "prepare" => self.op_prepare(req),
             "execute" => self.op_execute(req),
@@ -160,6 +176,111 @@ impl Session {
             body.extend(rendered);
         }
         Ok((Json::obj(body), Control::Continue))
+    }
+
+    /// Materializes a view on the **live** database under the write lock:
+    /// the SQL is evaluated once and the annotated result is retained and
+    /// delta-maintained from then on. Like `sql`, the session's own
+    /// snapshot stays pinned — `refresh` to observe the view.
+    fn op_materialize(&mut self, req: &Json) -> Result<(Json, Control), String> {
+        let name = req
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("materialize: missing \"name\"")?;
+        let sql = req
+            .get("sql")
+            .and_then(Json::as_str)
+            .ok_or("materialize: missing \"sql\"")?;
+        let mut db = self
+            .db
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        db.materialize(name, sql).map_err(|e| e.to_string())?;
+        let strategy = db.view_strategy(name).map_err(|e| e.to_string())?;
+        let epoch = db.epoch();
+        drop(db);
+        Ok((
+            Json::obj([
+                ("epoch", Json::Int(epoch as i64)),
+                ("strategy", Json::str(strategy_name(strategy))),
+            ]),
+            Control::Continue,
+        ))
+    }
+
+    /// Reads a maintained view from the session's **pinned snapshot** —
+    /// no lock, no re-evaluation; the rows are whatever the view held
+    /// when this epoch was published. `"store": true` parks the view's
+    /// annotated relation under a result handle so the provenance
+    /// interrogation ops (`valuate`, `delete_tokens`, `clearance`) can
+    /// run against it.
+    fn op_view(&mut self, req: &Json) -> Result<(Json, Control), String> {
+        let name = req
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("view: missing \"name\"")?;
+        let rel = self.snap.view(name).map_err(|e| e.to_string())?.clone();
+        let strategy = self.snap.view_strategy(name).map_err(|e| e.to_string())?;
+        let out = ResultSet::from_relation(rel);
+        let mut body = render_relation_body(&out);
+        body.push(("strategy", Json::str(strategy_name(strategy))));
+        body.push(("epoch", Json::Int(self.snap.epoch() as i64)));
+        if req.get("store").and_then(Json::as_bool) == Some(true) {
+            if self.results.len() >= MAX_HANDLES {
+                return Err(format!("store: session holds {MAX_HANDLES} results"));
+            }
+            let handle = self.next_handle;
+            self.next_handle += 1;
+            self.results.insert(handle, out);
+            body.push(("result", Json::Int(handle)));
+        }
+        Ok((Json::obj(body), Control::Continue))
+    }
+
+    /// Drops a materialized view on the live database.
+    fn op_drop_view(&mut self, req: &Json) -> Result<(Json, Control), String> {
+        let name = req
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("drop_view: missing \"name\"")?;
+        let mut db = self
+            .db
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        db.drop_view(name).map_err(|e| e.to_string())?;
+        let epoch = db.epoch();
+        drop(db);
+        Ok((
+            Json::obj([("epoch", Json::Int(epoch as i64))]),
+            Control::Continue,
+        ))
+    }
+
+    /// Database-level deletion propagation: zeroes the tokens in every
+    /// base table and delta-propagates into every materialized view, on
+    /// the **live** database under the write lock. (Contrast with
+    /// `delete_tokens`, which rewrites one stored result and leaves the
+    /// database alone.)
+    fn op_db_delete_tokens(&mut self, req: &Json) -> Result<(Json, Control), String> {
+        let tokens = req
+            .get("tokens")
+            .and_then(Json::as_arr)
+            .ok_or("db_delete_tokens: missing \"tokens\" array")?;
+        let names: Vec<&str> = tokens
+            .iter()
+            .map(|t| t.as_str().ok_or("db_delete_tokens: tokens must be strings"))
+            .collect::<Result<_, _>>()?;
+        let mut db = self
+            .db
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        db.delete_tokens(names).map_err(|e| e.to_string())?;
+        let epoch = db.epoch();
+        drop(db);
+        Ok((
+            Json::obj([("epoch", Json::Int(epoch as i64))]),
+            Control::Continue,
+        ))
     }
 
     /// Re-pins the session to the newest published epoch and re-prepares
@@ -371,6 +492,14 @@ impl Session {
             return Ok((Json::obj([]), Control::Continue));
         }
         Err("close: pass \"stmt\" or \"result\"".into())
+    }
+}
+
+/// Wire rendering of a view's maintenance strategy.
+fn strategy_name(strategy: MaintenanceStrategy) -> &'static str {
+    match strategy {
+        MaintenanceStrategy::Incremental => "incremental",
+        MaintenanceStrategy::Recompute => "recompute",
     }
 }
 

@@ -245,6 +245,87 @@ fn provenance_interrogation_over_the_wire() {
 }
 
 #[test]
+fn materialized_views_over_the_wire() {
+    let (addr, server) = spawn_server(SEED);
+    let mut writer = Client::connect(addr.as_str()).expect("connect writer");
+
+    // Materialize on the live database; the server reports the chosen
+    // maintenance strategy.
+    let strategy = writer.materialize("mass", GROUPED).expect("materialize");
+    assert_eq!(strategy, "incremental");
+
+    // The writer's own snapshot predates the view: reads fail until the
+    // session re-pins.
+    assert!(writer.view("mass").is_err());
+    writer.refresh().expect("refresh");
+    let mass = writer.view("mass").expect("view");
+    assert_eq!(mass.get("count"), Some(&Json::Int(2)));
+    assert_eq!(mass.get("strategy"), Some(&Json::str("incremental")));
+    assert_eq!(writer.views().expect("views"), vec!["mass".to_string()]);
+
+    // A reader pins the epoch, the writer mutates: the reader's view is
+    // frozen until refresh, then shows the *maintained* (not re-run) rows.
+    let mut reader = Client::connect(addr.as_str()).expect("connect reader");
+    writer
+        .sql("INSERT INTO emp VALUES ('d3', 99) PROVENANCE p4")
+        .expect("insert");
+    let frozen = reader.view("mass").expect("frozen view");
+    assert_eq!(frozen.get("count"), Some(&Json::Int(2)));
+    reader.refresh().expect("refresh");
+    let maintained = reader.view("mass").expect("maintained view");
+    assert_eq!(maintained.get("count"), Some(&Json::Int(3)));
+    let rendered = maintained
+        .get("rows")
+        .map(Json::to_string)
+        .unwrap_or_default();
+    assert!(rendered.contains("d3"), "maintained view: {rendered}");
+
+    // Database-level deletion propagation flows into the view: firing p2
+    // shrinks d1's total from 30 to 20.
+    writer.db_delete_tokens(&["p2"]).expect("db_delete_tokens");
+    reader.refresh().expect("refresh");
+    let shrunk = reader.view("mass").expect("view after deletion");
+    let rendered = shrunk.get("rows").map(Json::to_string).unwrap_or_default();
+    assert!(rendered.contains("20"), "after deletion: {rendered}");
+    assert!(!rendered.contains("30"), "after deletion: {rendered}");
+
+    // `"store": true` parks the view's annotated relation under a result
+    // handle, so the interrogation ops compose with views.
+    let stored = reader
+        .request(Json::obj([
+            ("op", Json::str("view")),
+            ("name", Json::str("mass")),
+            ("store", Json::Bool(true)),
+        ]))
+        .expect("store view");
+    let handle = stored.get("result").and_then(Json::as_int).expect("handle");
+    let plain = reader
+        .request(Json::obj([
+            ("op", Json::str("valuate")),
+            ("result", Json::Int(handle)),
+        ]))
+        .expect("valuate view");
+    assert_eq!(plain.get("collapsed"), Some(&Json::Bool(true)));
+
+    // Dropping the base table breaks the dependent view loudly.
+    writer.sql("DROP TABLE emp").expect("drop");
+    writer.refresh().expect("refresh");
+    let err = writer.view("mass").expect_err("broken view").to_string();
+    assert!(err.contains("broken"), "unexpected error: {err}");
+
+    // drop_view removes it; unknown views stay errors.
+    writer.drop_view("mass").expect("drop_view");
+    writer.refresh().expect("refresh");
+    assert!(writer.views().expect("views").is_empty());
+    assert!(writer.view("mass").is_err());
+    assert!(writer.drop_view("nope").is_err());
+    assert!(writer.materialize("bad", "SELECT x FROM nope").is_err());
+
+    writer.shutdown().expect("shutdown");
+    server.join().expect("serve thread");
+}
+
+#[test]
 fn graceful_shutdown_wakes_idle_connections() {
     let (addr, server) = spawn_server("");
     // An idle connection sits blocked in read; shutdown must unblock it.
