@@ -22,10 +22,20 @@ use crate::lexer::Tok;
 use crate::{Diagnostic, SourceFile};
 
 /// Predicates that witness groundness (or its negation) of a value.
-const PREDICATES: &[&str] = &["is_ground", "is_ground_at", "has_symbolic", "is_agg"];
+/// `has_fringe`/`is_all_ground` are the chunk/batch forms: a typed
+/// columnar fast path is sound only over the ground partition, so gating
+/// one operand's fringe but not the other's is the same bug class.
+const PREDICATES: &[&str] = &[
+    "is_ground",
+    "is_ground_at",
+    "has_symbolic",
+    "is_agg",
+    "has_fringe",
+    "is_all_ground",
+];
 
 /// Types whose parameters count as relational operands.
-const REL_TYPES: &[&str] = &["MKRel", "Relation", "Tuple", "Chunk"];
+const REL_TYPES: &[&str] = &["MKRel", "Relation", "Tuple", "Chunk", "GroundBatch"];
 
 /// Scans one operator module for one-sided groundness gates.
 pub fn check(f: &SourceFile) -> Vec<Diagnostic> {

@@ -16,9 +16,17 @@ pub mod panic_free;
 use crate::{Diagnostic, Workspace};
 
 /// Files subject to the `groundness` rule: the operator modules where
-/// ground/symbolic fast paths live.
+/// ground/symbolic fast paths live — the row-at-a-time operators, the
+/// vectorized batch/typed kernels under `ops/`, and the typed columnar
+/// storage those kernels run on (whose fast paths are gated on the
+/// ground partition, via `has_fringe`/`is_all_ground`).
 pub fn groundness_scope(path: &str) -> bool {
-    path == "crates/core/src/ops.rs" || path.starts_with("crates/core/src/ops/")
+    path == "crates/core/src/ops.rs"
+        || path.starts_with("crates/core/src/ops/")
+        || matches!(
+            path,
+            "crates/krel/src/batch.rs" | "crates/krel/src/typed.rs"
+        )
 }
 
 /// Files subject to the `panic` and `index` rules: the designated

@@ -49,6 +49,26 @@ fn groundness_fires_on_the_pr4_one_sided_gate() {
 }
 
 #[test]
+fn groundness_fires_on_an_unguarded_typed_fast_path() {
+    // The typed-kernel modules in krel are in scope, and the chunk-level
+    // predicates (`has_fringe`) count: a typed fast path gating only one
+    // of two chunk operands is the PR 4 bug class in columnar clothing.
+    let w = ws(vec![(
+        "crates/krel/src/typed.rs",
+        fixture("typed_one_sided.rs"),
+    )]);
+    let d = run_all(&w);
+    let g = of_rule(&d, "groundness");
+    assert_eq!(g.len(), 1, "{d:?}");
+    assert_eq!(
+        (g[0].path.as_str(), g[0].line),
+        ("crates/krel/src/typed.rs", 6)
+    );
+    assert!(g[0].message.contains("join_typed"), "{}", g[0].message);
+    assert!(g[0].message.contains("`right`"), "{}", g[0].message);
+}
+
+#[test]
 fn panic_and_index_fire_at_pinned_lines() {
     let w = ws(vec![(
         "crates/engine/src/exec.rs",

@@ -1,0 +1,10 @@
+//! Fixture: a typed-kernel fast path gated on one chunk's fringe only.
+//! The unboxed/dictionary kernels are sound over ground rows alone, so a
+//! binary kernel must check *both* operands before taking the fast path
+//! (here `right` could carry symbolic rows straight into the typed loop).
+pub fn join_typed<A: AggAnnotation>(left: &Chunk<A>, right: &Chunk<A>) -> Result<MKRel<A>> {
+    if !left.has_fringe() {
+        return typed_fast_path(left, right);
+    }
+    token_path(left, right)
+}

@@ -93,6 +93,7 @@ fn batch_pipeline(emp: &MKRel<Prov>, dim: &MKRel<Prov>) -> MKRel<Prov> {
             &BatchOperand::Col(2),
             BatchCmp::Pred(CmpPred::Lt),
             &BatchOperand::Lit(Const::int(SAL_CUT)),
+            &ExecOptions::serial(),
         )
         .expect("filter");
     chunk
@@ -100,6 +101,7 @@ fn batch_pipeline(emp: &MKRel<Prov>, dim: &MKRel<Prov>) -> MKRel<Prov> {
             &BatchOperand::Col(1),
             BatchCmp::Pred(CmpPred::Lt),
             &BatchOperand::Lit(Const::int(DEPT_CUT)),
+            &ExecOptions::serial(),
         )
         .expect("filter");
     let projected = chunk
@@ -110,6 +112,7 @@ fn batch_pipeline(emp: &MKRel<Prov>, dim: &MKRel<Prov>) -> MKRel<Prov> {
         Chunk::from_relation(dim),
         &[(1, 0)],
         Schema::new(["emp", "dept", "dept2", "region"]).expect("schema"),
+        &ExecOptions::serial(),
     )
     .expect("join")
     .into_relation()
@@ -132,6 +135,7 @@ fn batch_filter_project(emp: &MKRel<Prov>) -> MKRel<Prov> {
             &BatchOperand::Col(2),
             BatchCmp::Pred(CmpPred::Lt),
             &BatchOperand::Lit(Const::int(SAL_CUT)),
+            &ExecOptions::serial(),
         )
         .expect("filter");
     chunk

@@ -24,7 +24,7 @@ use aggprov_bench::trajectory::{
     checked_in_points, clamp_to_host, compare, fresh_path, host_note, parse, BenchFile,
     MAX_REGRESSION,
 };
-use aggprov_bench::{batchbench, optbench, parbench, serverbench, viewbench};
+use aggprov_bench::{batchbench, optbench, parbench, serverbench, typedbench, viewbench};
 use criterion::quick_mode_samples;
 
 fn read_bench_file(path: &std::path::Path) -> Option<BenchFile> {
@@ -100,6 +100,17 @@ fn main() {
             None if *pr == viewbench::PR => inline_measure("view_maintenance", "", |samples| {
                 viewbench::render_json(&viewbench::measure(samples), samples, parbench::host_cpus())
             }),
+            None if *pr == typedbench::PR => inline_measure(
+                "typed_kernels",
+                &format!(", shard threads = {}", typedbench::shard_threads()),
+                |samples| {
+                    typedbench::render_json(
+                        &typedbench::measure(samples),
+                        samples,
+                        parbench::host_cpus(),
+                    )
+                },
+            ),
             None if *pr == batchbench::PR => inline_measure("batch_pipeline", "", |samples| {
                 batchbench::render_json(
                     &batchbench::measure(samples),

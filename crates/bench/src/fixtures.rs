@@ -62,6 +62,51 @@ pub fn dept_table() -> MKRel<Prov> {
     rel
 }
 
+/// The distinct region-string count in [`emp_str_table`] — small enough
+/// that the dictionary-encoded column pays off, large enough that a
+/// filter or join still discriminates.
+pub const REGIONS: i64 = 24;
+
+/// `emp_str(emp, region, sal)`: like [`emp_table`] but the middle column
+/// is a string key drawn from [`REGIONS`] distinct region names, so a
+/// typed batch dictionary-encodes it (deterministic LCG, comparable
+/// across runs).
+pub fn emp_str_table(n: usize) -> MKRel<Prov> {
+    let mut rel = Relation::empty(schema(&["emp", "region", "sal"]));
+    let mut state: u64 = 0x9E37_79B9;
+    for i in 0..n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let region = (state >> 33) as i64 % REGIONS;
+        let sal = 10 + (state >> 17) as i64 % 190;
+        rel.insert(
+            vec![
+                Value::int(i as i64),
+                Value::str(&format!("r{region}")),
+                Value::int(sal),
+            ],
+            tok(&format!("p{i}")),
+        )
+        .expect("insert");
+    }
+    rel
+}
+
+/// `reg(region2, zone)`: one row per region string key — the dimension
+/// side of the dictionary-encoded join.
+pub fn region_table() -> MKRel<Prov> {
+    let mut rel = Relation::empty(schema(&["region2", "zone"]));
+    for r in 0..REGIONS {
+        rel.insert(
+            vec![Value::str(&format!("r{r}")), Value::int(r % 5)],
+            tok(&format!("g{r}")),
+        )
+        .expect("insert");
+    }
+    rel
+}
+
 /// The union workload: the same `n` tuples on both sides but with a
 /// disjoint token space on the right, so every key collides and the merge
 /// pays a polynomial `plus` per tuple.

@@ -1,8 +1,9 @@
 //! Shared fixtures for the benchmark harness, the partition-parallel
 //! measurement ([`parbench`]), the batch-pipeline measurement
-//! ([`batchbench`]), the plan-optimizer measurement ([`optbench`]) and
-//! the perf-trajectory tooling behind the enforcing `check_trajectory`
-//! CI gate ([`trajectory`]).
+//! ([`batchbench`]), the plan-optimizer measurement ([`optbench`]), the
+//! typed-kernel measurement ([`typedbench`]) and the perf-trajectory
+//! tooling behind the enforcing `check_trajectory` CI gate
+//! ([`trajectory`]).
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
@@ -14,6 +15,7 @@ pub mod optbench;
 pub mod parbench;
 pub mod serverbench;
 pub mod trajectory;
+pub mod typedbench;
 pub mod viewbench;
 
 use aggprov_algebra::num::Num;

@@ -34,6 +34,13 @@ pub struct Point {
     pub op: String,
     /// The recorded speedup ratio.
     pub speedup: f64,
+    /// The thread count this ratio was measured at — a per-point
+    /// `"threads"` field, or the file-level one when the point records
+    /// none. `None` marks an algorithmic ratio (hash vs naive, typed vs
+    /// boxed), which is scale-free and never clamped; `Some` marks a
+    /// thread-scaling ratio, clamped to the judging host's CPUs by
+    /// [`clamp_to_host`]. A file may mix both kinds (PR 9 does).
+    pub threads: Option<usize>,
 }
 
 /// A parsed trajectory file.
@@ -73,17 +80,33 @@ fn scan_string(s: &str, key: &str, from: usize) -> Option<(String, usize)> {
 }
 
 /// Parses a trajectory file. Unknown fields are ignored; `op`/`speedup`
-/// pairs are read in document order.
+/// pairs are read in document order. File-level metadata (`threads`,
+/// `host_cpus`) is read from the prefix before the `results` array; a
+/// per-point `"threads"` (written after the point's `"op"`, inside the
+/// same object) overrides — or, for a file with no file-level count,
+/// introduces — the thread count of that one point.
 pub fn parse(json: &str) -> Option<BenchFile> {
     let pr = scan_number(json, "pr", 0)?.0 as u32;
-    let threads = scan_number(json, "threads", 0).map(|(v, _)| v as usize);
-    let host_cpus = scan_number(json, "host_cpus", 0).map(|(v, _)| v as usize);
+    let head = &json[..json.find("\"results\"").unwrap_or(json.len())];
+    let threads = scan_number(head, "threads", 0).map(|(v, _)| v as usize);
+    let host_cpus = scan_number(head, "host_cpus", 0).map(|(v, _)| v as usize);
     let mut points = Vec::new();
     let mut pos = 0;
     while let Some((op, after_op)) = scan_string(json, "op", pos) {
-        let (speedup, after) = scan_number(json, "speedup", after_op)?;
-        points.push(Point { op, speedup });
-        pos = after;
+        // Per-point fields live between this `"op"` and the object's
+        // closing brace; scanning past it would steal the next point's.
+        let obj_end = json[after_op..]
+            .find('}')
+            .map_or(json.len(), |i| after_op + i);
+        let obj = &json[..obj_end];
+        let point_threads = scan_number(obj, "threads", after_op).map(|(v, _)| v as usize);
+        let (speedup, after) = scan_number(obj, "speedup", after_op)?;
+        points.push(Point {
+            op,
+            speedup,
+            threads: point_threads.or(threads),
+        });
+        pos = after.max(obj_end);
     }
     Some(BenchFile {
         pr,
@@ -149,16 +172,15 @@ pub fn checked_in_points() -> Vec<(u32, PathBuf)> {
 /// scaling is the hard ceiling), so an honestly recorded multi-core point
 /// does not permanently fail CI on a smaller runner — and a single-core
 /// recording (ratio ≈ 1) still guards against catastrophic parallel
-/// slowdowns everywhere. Points without a `threads` field (algorithmic
-/// ratios, e.g. hash vs naive) are left untouched.
+/// slowdowns everywhere. The decision is per point: only points carrying
+/// a thread count (their own `"threads"` field, or the file-level one)
+/// clamp; algorithmic ratios in the same file (e.g. hash vs naive, typed
+/// vs boxed) are left untouched.
 pub fn clamp_to_host(checked: &mut BenchFile, host_cpus: usize) -> bool {
-    if checked.threads.is_none() {
-        return false;
-    }
     let ceiling = host_cpus.max(1) as f64;
     let mut clamped = false;
     for p in &mut checked.points {
-        if p.speedup > ceiling {
+        if p.threads.is_some() && p.speedup > ceiling {
             p.speedup = ceiling;
             clamped = true;
         }
@@ -231,6 +253,33 @@ mod tests {
         assert_eq!(f.points[0].op, "join_on");
         assert!((f.points[0].speedup - 2.5).abs() < 1e-9);
         assert!((f.points[1].speedup - 3.0).abs() < 1e-9);
+        // The file-level thread count flows into every point.
+        assert_eq!(f.points[0].threads, Some(4));
+        assert_eq!(f.points[1].threads, Some(4));
+    }
+
+    #[test]
+    fn per_point_threads_mark_only_their_own_point() {
+        // The PR 9 shape: algorithmic typed-vs-boxed ratios (no file-level
+        // `threads`) alongside one sharding point with a per-point count.
+        let pr9 = r#"{"bench": "typed_kernels", "pr": 9, "host_cpus": 1,
+  "results": [
+    {"op": "filter_num", "rows": 10000, "baseline_ns": 90, "typed_ns": 10, "speedup": 9.00},
+    {"op": "shard_filter_num", "rows": 200000, "threads": 4, "baseline_ns": 50, "typed_ns": 40, "speedup": 1.25},
+    {"op": "join_num", "rows": 10000, "baseline_ns": 80, "typed_ns": 20, "speedup": 4.00}
+  ]}"#;
+        let mut f = parse(pr9).unwrap();
+        assert_eq!(f.pr, 9);
+        assert_eq!(f.threads, None, "no file-level thread count");
+        assert_eq!(f.points[0].threads, None);
+        assert_eq!(f.points[1].threads, Some(4));
+        assert_eq!(f.points[2].threads, None, "per-point count must not leak");
+        // Clamping on a single-core host touches only the sharding point;
+        // the algorithmic 9x / 4x expectations survive untouched.
+        assert!(clamp_to_host(&mut f, 1));
+        assert!((f.points[0].speedup - 9.0).abs() < 1e-9);
+        assert!((f.points[1].speedup - 1.0).abs() < 1e-9);
+        assert!((f.points[2].speedup - 4.0).abs() < 1e-9);
     }
 
     #[test]
@@ -326,5 +375,37 @@ mod tests {
         assert_eq!(parsed.host_cpus, Some(8));
         assert_eq!(parsed.points.len(), 1);
         assert!((parsed.points[0].speedup - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typed_render_and_parse_round_trip() {
+        use crate::typedbench::{render_json, TypedPoint};
+        use std::time::Duration;
+        let points = vec![
+            TypedPoint {
+                op: "filter_num",
+                rows: 10_000,
+                baseline: Duration::from_nanos(900),
+                typed: Duration::from_nanos(100),
+                threads: None,
+            },
+            TypedPoint {
+                op: "shard_filter_num",
+                rows: 200_000,
+                baseline: Duration::from_nanos(500),
+                typed: Duration::from_nanos(400),
+                threads: Some(4),
+            },
+        ];
+        let json = render_json(&points, 5, 1);
+        let parsed = parse(&json).unwrap();
+        assert_eq!(parsed.pr, crate::typedbench::PR);
+        assert_eq!(parsed.threads, None, "mixed file: no file-level count");
+        assert_eq!(parsed.host_cpus, Some(1));
+        assert_eq!(parsed.points.len(), 2);
+        assert_eq!(parsed.points[0].threads, None);
+        assert_eq!(parsed.points[1].threads, Some(4));
+        assert!((parsed.points[0].speedup - 9.0).abs() < 1e-9);
+        assert!((parsed.points[1].speedup - 1.25).abs() < 1e-9);
     }
 }

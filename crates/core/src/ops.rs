@@ -62,6 +62,7 @@
 //! output maps are built with `insert_distinct`.
 
 pub mod batch;
+pub(crate) mod typed;
 
 use crate::annotation::AggAnnotation;
 use crate::par::{fan_out, plan_shards, split_by, ExecOptions};

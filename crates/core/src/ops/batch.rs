@@ -2,15 +2,27 @@
 //! execution layer behind the engine's physical-plan pipeline.
 //!
 //! A [`Chunk`] is a relation mid-pipeline: the fully ground rows live
-//! column-major in a [`ColumnBatch`] (plus a live selection vector, so a
-//! filter never moves data), and the symbolic fringe rides alongside
-//! row-wise, exactly as [`GroundBatch`] splits it. The kernels here —
+//! column-major in a [`ColumnBatch`] of typed columns (unboxed `Vec<i64>`
+//! runs, dictionary-encoded strings, boxed fallback — see
+//! [`aggprov_krel::typed`]), plus a live selection vector, so a filter
+//! never moves data, and the symbolic fringe rides alongside row-wise,
+//! exactly as [`GroundBatch`] splits it. The kernels here —
 //! [`Chunk::filter`], [`Chunk::project`], [`Chunk::add_unit_column`],
 //! [`Chunk::avg_divide`], [`hash_join`] — run classical columnar
 //! algorithms over the ground batch: between constants every §4.3
 //! equality token is `0`/`1`, so the token machinery degenerates to plain
 //! comparisons and a filter→project→join chain never materializes a
 //! `BTreeMap` between nodes.
+//!
+//! Over typed columns, filtering and join-key probing take the
+//! monomorphic fast paths of `ops::typed`: the literal operand
+//! is compiled once per kernel invocation (a `i64` threshold, a
+//! dictionary code, or a per-dictionary-entry decision table), the row
+//! loop compacts the selection vector branchlessly, and large kernels
+//! shard the selection across the `par::fan_out` workers in
+//! contiguous ranges — bit-identical to the serial loop, including which
+//! row raises a type error first. Boxed columns keep the `Const` row
+//! loop below as their (and the `AGGPROV_TYPED=0` baseline's) path.
 //!
 //! Division of labour with the row-at-a-time operators of [`crate::ops`]:
 //!
@@ -31,13 +43,17 @@
 
 use crate::annotation::AggAnnotation;
 use crate::km::CmpPred;
+use crate::ops::typed;
 use crate::ops::MKRel;
+use crate::par::ExecOptions;
 use crate::value::Value;
 use aggprov_algebra::domain::Const;
 use aggprov_krel::batch::{ColumnBatch, GroundBatch};
 use aggprov_krel::error::{RelError, Result};
 use aggprov_krel::relation::Tuple;
 use aggprov_krel::schema::Schema;
+use aggprov_krel::typed::{ColumnLayout, TypedColumn};
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// One side of a batched comparison: a column of the chunk or a constant
@@ -75,13 +91,25 @@ pub struct Chunk<A: AggAnnotation> {
     /// Selected ground-row indices, ascending; `None` = all rows.
     sel: Option<Vec<u32>>,
     fringe: Vec<(Tuple<Value<A>>, A)>,
+    /// True iff this chunk was built under a forced-boxed layout
+    /// (`AGGPROV_TYPED=0`): columns it appends stay boxed too, so the
+    /// baseline never silently re-enters a typed path.
+    boxed: bool,
 }
 
 impl<A: AggAnnotation> Chunk<A> {
-    /// Splits a relation into a chunk (ground columns + symbolic fringe),
-    /// preserving support order in both partitions.
+    /// Splits a relation into a chunk with the default probing column
+    /// layout; see [`Chunk::from_relation_with`].
     pub fn from_relation(rel: &MKRel<A>) -> Self {
-        let batch = GroundBatch::from_relation(rel, Value::as_const);
+        Self::from_relation_with(rel, &ColumnLayout::typed())
+    }
+
+    /// Splits a relation into a chunk (ground columns + symbolic fringe),
+    /// preserving support order in both partitions. Ground columns are
+    /// shaped by `layout`: typed with per-column variant probing (and
+    /// optional catalog hints), or forced boxed.
+    pub fn from_relation_with(rel: &MKRel<A>, layout: &ColumnLayout) -> Self {
+        let batch = GroundBatch::from_relation_with(rel, Value::as_const, layout);
         let (ground, fringe) = batch.into_parts();
         Chunk {
             schema: rel.schema().clone(),
@@ -89,6 +117,7 @@ impl<A: AggAnnotation> Chunk<A> {
             ground,
             sel: None,
             fringe,
+            boxed: layout.is_boxed(),
         }
     }
 
@@ -106,8 +135,8 @@ impl<A: AggAnnotation> Chunk<A> {
                 *u += 1;
             }
         }
-        let mut slots: Vec<Option<Vec<Const>>> = phys.into_iter().map(Some).collect();
-        let mut logical: Vec<Vec<Const>> = Vec::with_capacity(self.view.len());
+        let mut slots: Vec<Option<TypedColumn>> = phys.into_iter().map(Some).collect();
+        let mut logical: Vec<TypedColumn> = Vec::with_capacity(self.view.len());
         for &p in &self.view {
             let col = match uses.get_mut(p).zip(slots.get_mut(p)) {
                 Some((u, slot)) => {
@@ -184,18 +213,23 @@ impl<A: AggAnnotation> Chunk<A> {
     /// The physical column backing logical position `i`. A logical
     /// position outside the view (a planner bug) is an error, not a
     /// panic — these kernels sit on the serving path.
-    fn col(&self, i: usize) -> Result<&[Const]> {
+    fn col(&self, i: usize) -> Result<&TypedColumn> {
         let p = self.view.get(i).copied().ok_or_else(|| {
             RelError::Internal(format!(
                 "logical column {i} out of range for a {}-column chunk",
                 self.view.len()
             ))
         })?;
-        Ok(self.ground.col(p))
+        self.ground.col(p).ok_or_else(|| {
+            RelError::Internal(format!(
+                "chunk view maps logical column {i} to missing physical column {p}"
+            ))
+        })
     }
 
-    /// The value at logical column `i`, selected row `r`.
-    fn at(&self, i: usize, r: u32) -> Result<&Const> {
+    /// The value at logical column `i`, selected row `r`, re-materialized
+    /// (an `Arc` bump for dictionary strings).
+    fn at(&self, i: usize, r: u32) -> Result<Const> {
         self.col(i)?.get(r as usize).ok_or_else(|| {
             RelError::Internal(format!("ground row {r} out of range in chunk column {i}"))
         })
@@ -223,51 +257,51 @@ impl<A: AggAnnotation> Chunk<A> {
     /// the §4.3 token path over the fringe rows (annotation × token).
     /// `>`/`≥` callers pass swapped operands with `Pred(Lt)`/`Pred(Le)`.
     ///
-    /// Matches [`crate::ops::select_with_token`] row for row, including
-    /// the type errors ordering comparisons raise across value types.
+    /// Typed columns compared against a literal take the monomorphic
+    /// branchless kernels of `ops::typed` (sharded across
+    /// `opts`' workers when large); boxed columns keep the `Const` row
+    /// loop. Matches [`crate::ops::select_with_token`] row for row,
+    /// including the type errors ordering comparisons raise across value
+    /// types.
     pub fn filter(
         &mut self,
         left: &BatchOperand,
         cmp: BatchCmp,
         right: &BatchOperand,
+        opts: &ExecOptions,
     ) -> Result<()> {
-        // Ground rows: compare Const columns directly. The common
-        // column-vs-literal shapes (either orientation — `>`/`≥` arrive
-        // with the literal on the left after operand swapping) get
-        // dedicated loops with no per-row operand dispatch; everything
-        // else takes the general form.
-        let mut kept: Vec<u32> = Vec::new();
-        if let (BatchOperand::Col(i), BatchOperand::Lit(c)) = (left, right) {
-            let col = self.col(*i)?;
-            for r in self.selected() {
-                // lint:allow(index, reason = "selected() rows are < ground.len() by construction")
-                if const_cmp(&col[r as usize], cmp, c)? {
-                    kept.push(r);
+        let kept: Vec<u32> = match (left, right) {
+            // The common column-vs-literal shapes (either orientation —
+            // `>`/`≥` arrive with the literal on the left after operand
+            // swapping): the literal is bound/encoded once per kernel
+            // invocation, never touched per row.
+            (BatchOperand::Col(i), BatchOperand::Lit(c)) => {
+                self.filter_col_lit(*i, cmp, c, false, opts)?
+            }
+            (BatchOperand::Lit(c), BatchOperand::Col(i)) => {
+                self.filter_col_lit(*i, cmp, c, true, opts)?
+            }
+            (BatchOperand::Col(li), BatchOperand::Col(ri)) => {
+                let mut kept = Vec::new();
+                for r in self.selected() {
+                    if const_cmp(&self.at(*li, r)?, cmp, &self.at(*ri, r)?)? {
+                        kept.push(r);
+                    }
+                }
+                kept
+            }
+            (BatchOperand::Lit(lc), BatchOperand::Lit(rc)) => {
+                // Row-independent: decide once. An empty selection never
+                // reaches the comparison (so it cannot raise), exactly as
+                // the row loop behaves.
+                let sel = self.selected();
+                if sel.is_empty() || const_cmp(lc, cmp, rc)? {
+                    sel
+                } else {
+                    Vec::new()
                 }
             }
-        } else if let (BatchOperand::Lit(c), BatchOperand::Col(i)) = (left, right) {
-            let col = self.col(*i)?;
-            for r in self.selected() {
-                // lint:allow(index, reason = "selected() rows are < ground.len() by construction")
-                if const_cmp(c, cmp, &col[r as usize])? {
-                    kept.push(r);
-                }
-            }
-        } else {
-            for r in self.selected() {
-                let lv: &Const = match left {
-                    BatchOperand::Col(i) => self.at(*i, r)?,
-                    BatchOperand::Lit(c) => c,
-                };
-                let rv: &Const = match right {
-                    BatchOperand::Col(i) => self.at(*i, r)?,
-                    BatchOperand::Lit(c) => c,
-                };
-                if const_cmp(lv, cmp, rv)? {
-                    kept.push(r);
-                }
-            }
-        }
+        };
         self.sel = Some(kept);
         // Fringe rows: genuine §4.3 tokens. The constant operand (literal
         // or bound `$n` parameter) is lifted to a `Value` once, outside
@@ -315,6 +349,43 @@ impl<A: AggAnnotation> Chunk<A> {
         Ok(())
     }
 
+    /// One column-vs-literal filter pass over the ground rows: typed
+    /// columns compile the literal once and run the branchless kernels;
+    /// boxed columns run the `Const` comparison loop (the literal still
+    /// bound once — it is borrowed, never cloned, per row).
+    fn filter_col_lit(
+        &self,
+        i: usize,
+        cmp: BatchCmp,
+        lit: &Const,
+        lit_on_left: bool,
+        opts: &ExecOptions,
+    ) -> Result<Vec<u32>> {
+        let col = self.col(i)?;
+        if let Some(test) = typed::compile_lit_test(col, cmp, lit, lit_on_left) {
+            return typed::run_filter(col, self.sel.as_deref(), &test, opts);
+        }
+        let TypedColumn::Boxed(vals) = col else {
+            return Err(RelError::Internal(
+                "typed column declined literal-test compilation".into(),
+            ));
+        };
+        let mut kept = Vec::new();
+        for r in self.selected() {
+            // lint:allow(index, reason = "selected() rows are < ground.len() by construction")
+            let v = &vals[r as usize];
+            let keep = if lit_on_left {
+                const_cmp(lit, cmp, v)?
+            } else {
+                const_cmp(v, cmp, lit)?
+            };
+            if keep {
+                kept.push(r);
+            }
+        }
+        Ok(kept)
+    }
+
     /// The projection kernel: remaps the view to the requested columns
     /// (indices may repeat — duplicate select items view one physical
     /// column twice). No values move, no selection is lost; duplicate
@@ -348,12 +419,14 @@ impl<A: AggAnnotation> Chunk<A> {
             view,
             sel: self.sel,
             fringe: self.fringe,
+            boxed: self.boxed,
         })
     }
 
     /// The unit-column kernel: appends the constant-1 column COUNT/AVG
     /// aggregate over (`ι(1)` per row). Per-row on both partitions, so
-    /// the fringe stays in the chunk.
+    /// the fringe stays in the chunk. The appended column is an unboxed
+    /// `i64` run — unless the chunk is in forced-boxed baseline mode.
     pub fn add_unit_column(mut self, schema: Schema) -> Result<Chunk<A>> {
         if schema.arity() != self.schema.arity() + 1 {
             return Err(RelError::ArityMismatch {
@@ -361,8 +434,13 @@ impl<A: AggAnnotation> Chunk<A> {
                 got: schema.arity(),
             });
         }
-        self.ground
-            .push_column(vec![Const::int(1); self.ground.len()])?;
+        let n = self.ground.len();
+        let ones = if self.boxed {
+            TypedColumn::Boxed(vec![Const::int(1); n])
+        } else {
+            TypedColumn::Num(vec![1i64; n])
+        };
+        self.ground.push_typed_column(ones)?;
         self.view.push(self.ground.arity() - 1);
         for (t, _) in &mut self.fringe {
             let mut row = t.values().to_vec();
@@ -434,7 +512,12 @@ impl<A: AggAnnotation> Chunk<A> {
                 // lint:allow(index, reason = "kept rows come from selected() and are < nrows")
                 full[r as usize] = v;
             }
-            self.ground.push_column(full)?;
+            let full = if self.boxed {
+                TypedColumn::Boxed(full)
+            } else {
+                TypedColumn::from_consts(full)
+            };
+            self.ground.push_typed_column(full)?;
             self.view.push(self.ground.arity() - 1);
         }
         self.sel = Some(kept);
@@ -447,7 +530,7 @@ impl<A: AggAnnotation> Chunk<A> {
 /// semantics of [`AggAnnotation::value_cmp`] on `Const`/`Const` pairs:
 /// `=` is structural equality, `≠` is total across types, and ordering
 /// across types is a type error.
-fn const_cmp(lv: &Const, cmp: BatchCmp, rv: &Const) -> Result<bool> {
+pub(crate) fn const_cmp(lv: &Const, cmp: BatchCmp, rv: &Const) -> Result<bool> {
     match cmp {
         BatchCmp::Eq => Ok(lv == rv),
         BatchCmp::Pred(p) => {
@@ -464,6 +547,15 @@ fn const_cmp(lv: &Const, cmp: BatchCmp, rv: &Const) -> Result<bool> {
     }
 }
 
+/// A join-key column in probe-ready form: typed columns borrow their
+/// unboxed storage; everything else re-materializes once per kernel.
+fn key_consts(col: &TypedColumn) -> Cow<'_, [Const]> {
+    match col {
+        TypedColumn::Boxed(v) => Cow::Borrowed(v.as_slice()),
+        other => Cow::Owned(other.to_consts()),
+    }
+}
+
 /// The batched hash equi-join kernel: build a hash index over the right
 /// chunk's join-key columns, probe with the left, and emit a dense output
 /// chunk whose columns are the left's followed by the right's, annotated
@@ -472,11 +564,19 @@ fn const_cmp(lv: &Const, cmp: BatchCmp, rv: &Const) -> Result<bool> {
 /// [`crate::ops::join_on_opts`]); between constants the §4.3 key tokens
 /// are exactly structural equality, so this is the classical join. An
 /// empty `on` degenerates to the cartesian product.
+///
+/// Single-column keys dispatch on the typed variants: two unboxed `i64`
+/// columns build an integer-hashed index, two dictionary-encoded columns
+/// probe through a dictionary translation table (see
+/// `ops::typed`), with the probe loop sharded across `opts`'
+/// workers; mixed or boxed keys fall back to the `Const` index below.
+/// Output columns gather monomorphically per variant either way.
 pub fn hash_join<A: AggAnnotation>(
     left: Chunk<A>,
     right: Chunk<A>,
     on: &[(usize, usize)],
     schema: Schema,
+    opts: &ExecOptions,
 ) -> Result<Chunk<A>> {
     left.require_all_ground("batch hash join")?;
     right.require_all_ground("batch hash join")?;
@@ -490,9 +590,7 @@ pub fn hash_join<A: AggAnnotation>(
     let rsel = right.selected();
     // Build (right), probe (left) — the same sides as the row-at-a-time
     // hash join — collecting matching row pairs first, then gathering the
-    // output column by column (better locality than row-wise assembly;
-    // single-column keys index by `&Const` directly, no per-row key
-    // allocation).
+    // output column by column (better locality than row-wise assembly).
     let mut pairs: Vec<(u32, u32)> = Vec::new();
     if on.is_empty() {
         for &lr in &lsel {
@@ -501,29 +599,45 @@ pub fn hash_join<A: AggAnnotation>(
             }
         }
     } else if let [(li, ri)] = on {
-        let (lcol, rcol) = (left.col(*li)?, right.col(*ri)?);
-        let mut index: HashMap<&Const, Vec<u32>> = HashMap::new();
-        for &rr in &rsel {
-            // lint:allow(index, reason = "selected() rows are < ground.len() by construction")
-            index.entry(&rcol[rr as usize]).or_default().push(rr);
-        }
-        for &lr in &lsel {
-            // lint:allow(index, reason = "selected() rows are < ground.len() by construction")
-            if let Some(matches) = index.get(&lcol[lr as usize]) {
-                for &rr in matches {
-                    pairs.push((lr, rr));
+        match (left.col(*li)?, right.col(*ri)?) {
+            (TypedColumn::Num(l), TypedColumn::Num(r)) => {
+                pairs = typed::join_pairs_num(l, r, &lsel, &rsel, opts)?;
+            }
+            (TypedColumn::Str(l), TypedColumn::Str(r)) => {
+                pairs = typed::join_pairs_str(l, r, &lsel, &rsel, opts)?;
+            }
+            (lcol, rcol) => {
+                // Mixed variants (including the forced-boxed baseline):
+                // structural `Const` equality over owned-or-borrowed key
+                // columns. Cross-variant keys simply never match typed
+                // storage of the other type, which is exactly structural
+                // equality's answer.
+                let (lkeys, rkeys) = (key_consts(lcol), key_consts(rcol));
+                let mut index: HashMap<&Const, Vec<u32>> = HashMap::new();
+                for &rr in &rsel {
+                    // lint:allow(index, reason = "selected() rows are < ground.len() by construction")
+                    index.entry(&rkeys[rr as usize]).or_default().push(rr);
+                }
+                for &lr in &lsel {
+                    // lint:allow(index, reason = "selected() rows are < ground.len() by construction")
+                    if let Some(matches) = index.get(&lkeys[lr as usize]) {
+                        for &rr in matches {
+                            pairs.push((lr, rr));
+                        }
+                    }
                 }
             }
         }
     } else {
-        // Resolve the key columns once, outside the row loops.
-        let rcols: Vec<&[Const]> = on
+        // Multi-column keys: resolve the key columns once, outside the
+        // row loops, and index by borrowed key vectors.
+        let rcols: Vec<Cow<'_, [Const]>> = on
             .iter()
-            .map(|(_, j)| right.col(*j))
+            .map(|(_, j)| right.col(*j).map(key_consts))
             .collect::<Result<_>>()?;
-        let lcols: Vec<&[Const]> = on
+        let lcols: Vec<Cow<'_, [Const]>> = on
             .iter()
-            .map(|(i, _)| left.col(*i))
+            .map(|(i, _)| left.col(*i).map(key_consts))
             .collect::<Result<_>>()?;
         let mut index: HashMap<Vec<&Const>, Vec<u32>> = HashMap::new();
         for &rr in &rsel {
@@ -546,26 +660,19 @@ pub fn hash_join<A: AggAnnotation>(
         // lint:allow(index, reason = "pair rows come from selected() and are < ground.len()")
         .map(|&(lr, rr)| left.ground.anns()[lr as usize].times(&right.ground.anns()[rr as usize]))
         .collect();
-    let mut cols: Vec<Vec<Const>> = Vec::with_capacity(schema.arity());
+    // Gather the output columns monomorphically per variant: an i64 run
+    // copies machine words, a dictionary column copies codes and shares
+    // its dictionary, boxed values clone.
+    let lrows: Vec<u32> = pairs.iter().map(|&(lr, _)| lr).collect();
+    let rrows: Vec<u32> = pairs.iter().map(|&(_, rr)| rr).collect();
+    let gather_oob =
+        || RelError::Internal("join output gather referenced a row out of range".into());
+    let mut cols: Vec<TypedColumn> = Vec::with_capacity(schema.arity());
     for i in 0..left.schema.arity() {
-        let src = left.col(i)?;
-        cols.push(
-            pairs
-                .iter()
-                // lint:allow(index, reason = "pair rows come from selected() and are < ground.len()")
-                .map(|&(lr, _)| src[lr as usize].clone())
-                .collect(),
-        );
+        cols.push(left.col(i)?.gather(&lrows).ok_or_else(gather_oob)?);
     }
     for j in 0..right.schema.arity() {
-        let src = right.col(j)?;
-        cols.push(
-            pairs
-                .iter()
-                // lint:allow(index, reason = "pair rows come from selected() and are < ground.len()")
-                .map(|&(_, rr)| src[rr as usize].clone())
-                .collect(),
-        );
+        cols.push(right.col(j)?.gather(&rrows).ok_or_else(gather_oob)?);
     }
     let ground = ColumnBatch::from_columns(cols, anns)?;
     Ok(Chunk {
@@ -574,6 +681,7 @@ pub fn hash_join<A: AggAnnotation>(
         ground,
         sel: None,
         fringe: Vec::new(),
+        boxed: left.boxed || right.boxed,
     })
 }
 
@@ -596,6 +704,10 @@ mod tests {
 
     fn sch(names: &[&str]) -> Schema {
         Schema::new(names.iter().copied()).unwrap()
+    }
+
+    fn serial() -> ExecOptions {
+        ExecOptions::serial()
     }
 
     fn sym(v: i64) -> Value<P> {
@@ -629,53 +741,84 @@ mod tests {
     #[test]
     fn filter_matches_select_on_ground_and_fringe() {
         let rel = mixed();
-        let mut c = Chunk::from_relation(&rel);
-        c.filter(
-            &BatchOperand::Col(0),
-            BatchCmp::Eq,
-            &BatchOperand::Lit(Const::int(2)),
-        )
-        .unwrap();
-        let got = c.into_relation().unwrap();
-        let want = ops::select_eq(&rel, "a", &Value::int(2)).unwrap();
-        assert_eq!(got, want);
+        for layout in [ColumnLayout::typed(), ColumnLayout::boxed()] {
+            let mut c = Chunk::from_relation_with(&rel, &layout);
+            c.filter(
+                &BatchOperand::Col(0),
+                BatchCmp::Eq,
+                &BatchOperand::Lit(Const::int(2)),
+                &serial(),
+            )
+            .unwrap();
+            let got = c.into_relation().unwrap();
+            let want = ops::select_eq(&rel, "a", &Value::int(2)).unwrap();
+            assert_eq!(got, want);
 
-        // An order comparison over the symbolic column produces a token on
-        // the fringe row and plain 0/1 on the ground rows.
-        let mut c = Chunk::from_relation(&rel);
-        c.filter(
-            &BatchOperand::Col(1),
-            BatchCmp::Pred(CmpPred::Lt),
-            &BatchOperand::Lit(Const::int(15)),
-        )
-        .unwrap();
-        let got = c.into_relation().unwrap();
-        let want = ops::select_cmp(&rel, "b", CmpPred::Lt, &Value::int(15)).unwrap();
-        assert_eq!(got, want);
+            // An order comparison over the symbolic column produces a
+            // token on the fringe row and plain 0/1 on the ground rows.
+            let mut c = Chunk::from_relation_with(&rel, &layout);
+            c.filter(
+                &BatchOperand::Col(1),
+                BatchCmp::Pred(CmpPred::Lt),
+                &BatchOperand::Lit(Const::int(15)),
+                &serial(),
+            )
+            .unwrap();
+            let got = c.into_relation().unwrap();
+            let want = ops::select_cmp(&rel, "b", CmpPred::Lt, &Value::int(15)).unwrap();
+            assert_eq!(got, want);
+        }
     }
 
     #[test]
     fn ordering_across_types_is_a_type_error() {
         let rel: MKRel<P> =
             Relation::from_rows(sch(&["a"]), [(vec![Value::str("s")], tok("p1"))]).unwrap();
-        let mut c = Chunk::from_relation(&rel);
-        let err = c
-            .filter(
+        for layout in [ColumnLayout::typed(), ColumnLayout::boxed()] {
+            let mut c = Chunk::from_relation_with(&rel, &layout);
+            let err = c
+                .filter(
+                    &BatchOperand::Col(0),
+                    BatchCmp::Pred(CmpPred::Lt),
+                    &BatchOperand::Lit(Const::int(1)),
+                    &serial(),
+                )
+                .unwrap_err();
+            assert!(err.to_string().contains("cannot order"), "{err}");
+            // ≠ across types is simply true, as on the token path.
+            let mut c = Chunk::from_relation_with(&rel, &layout);
+            c.filter(
                 &BatchOperand::Col(0),
-                BatchCmp::Pred(CmpPred::Lt),
+                BatchCmp::Pred(CmpPred::Ne),
                 &BatchOperand::Lit(Const::int(1)),
+                &serial(),
             )
-            .unwrap_err();
-        assert!(err.to_string().contains("cannot order"), "{err}");
-        // ≠ across types is simply true, as on the token path.
+            .unwrap();
+            assert_eq!(c.ground_len(), 1);
+        }
+    }
+
+    #[test]
+    fn literal_only_predicates_decide_once() {
+        let rel = mixed();
         let mut c = Chunk::from_relation(&rel);
         c.filter(
-            &BatchOperand::Col(0),
-            BatchCmp::Pred(CmpPred::Ne),
             &BatchOperand::Lit(Const::int(1)),
+            BatchCmp::Pred(CmpPred::Lt),
+            &BatchOperand::Lit(Const::int(2)),
+            &serial(),
         )
         .unwrap();
-        assert_eq!(c.ground_len(), 1);
+        assert_eq!(c.ground_len(), 2, "true literal predicate keeps all rows");
+        let mut c = Chunk::from_relation(&rel);
+        c.filter(
+            &BatchOperand::Lit(Const::int(2)),
+            BatchCmp::Eq,
+            &BatchOperand::Lit(Const::int(1)),
+            &serial(),
+        )
+        .unwrap();
+        assert_eq!(c.ground_len(), 0, "false literal predicate drops all rows");
     }
 
     #[test]
@@ -715,28 +858,77 @@ mod tests {
         )
         .unwrap();
         let schema = sch(&["a", "b", "c", "d"]);
-        let j = hash_join(
+        let want = ops::join_on(&r, &s, &[("a", "c")]).unwrap();
+        for layout in [ColumnLayout::typed(), ColumnLayout::boxed()] {
+            let j = hash_join(
+                Chunk::from_relation_with(&r, &layout),
+                Chunk::from_relation_with(&s, &layout),
+                &[(0, 0)],
+                schema.clone(),
+                &serial(),
+            )
+            .unwrap()
+            .into_relation()
+            .unwrap();
+            assert_eq!(j, want);
+            // Empty `on` is the cartesian product.
+            let prod = hash_join(
+                Chunk::from_relation_with(&r, &layout),
+                Chunk::from_relation_with(&s, &layout),
+                &[],
+                schema.clone(),
+                &serial(),
+            )
+            .unwrap()
+            .into_relation()
+            .unwrap();
+            assert_eq!(prod, ops::product(&r, &s).unwrap());
+        }
+    }
+
+    #[test]
+    fn hash_join_dictionary_keys_match_boxed() {
+        let r: MKRel<P> = Relation::from_rows(
+            sch(&["k", "v"]),
+            [
+                (vec![Value::str("x"), Value::int(1)], tok("p1")),
+                (vec![Value::str("y"), Value::int(2)], tok("p2")),
+                (vec![Value::str("z"), Value::int(3)], tok("p3")),
+            ],
+        )
+        .unwrap();
+        let s: MKRel<P> = Relation::from_rows(
+            sch(&["k2", "w"]),
+            [
+                (vec![Value::str("y"), Value::int(10)], tok("q1")),
+                (vec![Value::str("x"), Value::int(20)], tok("q2")),
+                (vec![Value::str("w"), Value::int(30)], tok("q3")),
+            ],
+        )
+        .unwrap();
+        let schema = sch(&["k", "v", "k2", "w"]);
+        let typed = hash_join(
             Chunk::from_relation(&r),
             Chunk::from_relation(&s),
             &[(0, 0)],
             schema.clone(),
+            &serial(),
         )
         .unwrap()
         .into_relation()
         .unwrap();
-        let want = ops::join_on(&r, &s, &[("a", "c")]).unwrap();
-        assert_eq!(j, want);
-        // Empty `on` is the cartesian product.
-        let prod = hash_join(
-            Chunk::from_relation(&r),
-            Chunk::from_relation(&s),
-            &[],
+        let boxed = hash_join(
+            Chunk::from_relation_with(&r, &ColumnLayout::boxed()),
+            Chunk::from_relation_with(&s, &ColumnLayout::boxed()),
+            &[(0, 0)],
             schema,
+            &serial(),
         )
         .unwrap()
         .into_relation()
         .unwrap();
-        assert_eq!(prod, ops::product(&r, &s).unwrap());
+        assert_eq!(typed, boxed);
+        assert_eq!(typed, ops::join_on(&r, &s, &[("k", "k2")]).unwrap());
     }
 
     #[test]
@@ -801,6 +993,7 @@ mod tests {
             chunk,
             &[(0, 0)],
             sch(&["c", "a", "b"]),
+            &serial(),
         )
         .is_err());
     }
@@ -813,6 +1006,7 @@ mod tests {
             &BatchOperand::Col(0),
             BatchCmp::Eq,
             &BatchOperand::Lit(Const::int(1)),
+            &serial(),
         )
         .unwrap();
         let c = c.project(&[1, 0], sch(&["b", "a"])).unwrap();

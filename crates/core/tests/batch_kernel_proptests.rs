@@ -19,6 +19,7 @@ use aggprov_algebra::tensor::Tensor;
 use aggprov_core::km::{CmpPred, Km};
 use aggprov_core::ops::batch::{hash_join, BatchCmp, BatchOperand, Chunk};
 use aggprov_core::ops::{self, MKRel};
+use aggprov_core::par::ExecOptions;
 use aggprov_core::{specops, Value};
 use aggprov_krel::relation::Relation;
 use aggprov_krel::schema::Schema;
@@ -141,7 +142,7 @@ proptest! {
             Value::Const(c) => {
                 let mut chunk = Chunk::from_relation(&rel);
                 chunk
-                    .filter(&BatchOperand::Col(0), BatchCmp::Eq, &BatchOperand::Lit(c.clone()))
+                    .filter(&BatchOperand::Col(0), BatchCmp::Eq, &BatchOperand::Lit(c.clone()), &ExecOptions::serial())
                     .unwrap();
                 chunk.into_relation().unwrap()
             }
@@ -161,7 +162,7 @@ proptest! {
         let want = ops::select_attrs_cmp(&rel, "a", pred, "b");
         let mut chunk = Chunk::from_relation(&rel);
         let got = chunk
-            .filter(&BatchOperand::Col(0), BatchCmp::Pred(pred), &BatchOperand::Col(1))
+            .filter(&BatchOperand::Col(0), BatchCmp::Pred(pred), &BatchOperand::Col(1), &ExecOptions::serial())
             .map(|()| chunk.into_relation().unwrap());
         match (got, want) {
             (Ok(g), Ok(w)) => prop_assert_eq!(g, w),
@@ -212,6 +213,7 @@ proptest! {
             Chunk::from_relation(&r2),
             &[(0, 0)],
             schema.clone(),
+            &ExecOptions::serial(),
         )
         .unwrap()
         .into_relation()
@@ -225,6 +227,7 @@ proptest! {
             Chunk::from_relation(&r2),
             &[],
             schema,
+            &ExecOptions::serial(),
         )
         .unwrap()
         .into_relation()
@@ -243,7 +246,7 @@ proptest! {
         // end) against the node-at-a-time spec composition.
         let mut chunk = Chunk::from_relation(&r1);
         chunk
-            .filter(&BatchOperand::Col(1), BatchCmp::Eq, &BatchOperand::Lit(Const::int(v)))
+            .filter(&BatchOperand::Col(1), BatchCmp::Eq, &BatchOperand::Lit(Const::int(v)), &ExecOptions::serial())
             .unwrap();
         let projected = chunk.project(&[0], Schema::new(["a"]).unwrap()).unwrap();
         let got = hash_join(
@@ -251,6 +254,7 @@ proptest! {
             Chunk::from_relation(&r2),
             &[(0, 0)],
             Schema::new(["a", "c", "d"]).unwrap(),
+            &ExecOptions::serial(),
         )
         .unwrap()
         .into_relation()
@@ -284,7 +288,7 @@ proptest! {
         prop_assert_eq!(chunk.ground_len(), 0);
         let mut chunk = chunk;
         chunk
-            .filter(&BatchOperand::Col(0), BatchCmp::Eq, &BatchOperand::Lit(Const::int(1)))
+            .filter(&BatchOperand::Col(0), BatchCmp::Eq, &BatchOperand::Lit(Const::int(1)), &ExecOptions::serial())
             .unwrap();
         let got = chunk.into_relation().unwrap();
         let want = ops::select_eq(&rel, "a", &Value::int(1)).unwrap();
@@ -302,6 +306,7 @@ fn empty_relation_through_every_kernel() {
             &BatchOperand::Col(0),
             BatchCmp::Pred(CmpPred::Lt),
             &BatchOperand::Lit(Const::int(3)),
+            &ExecOptions::serial(),
         )
         .unwrap();
     let chunk = chunk
@@ -315,6 +320,7 @@ fn empty_relation_through_every_kernel() {
         Chunk::from_relation(&Relation::<P, Value<P>>::empty(Schema::new(["c"]).unwrap())),
         &[(0, 0)],
         Schema::new(["a", "one", "c"]).unwrap(),
+        &ExecOptions::serial(),
     )
     .unwrap();
     let out = joined

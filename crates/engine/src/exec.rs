@@ -35,33 +35,50 @@ use aggprov_core::{difference, Value};
 use aggprov_krel::error::{RelError, Result};
 use aggprov_krel::relation::{Relation, Tuple};
 use aggprov_krel::schema::Schema;
+use aggprov_krel::typed::{ColHint, ColumnLayout};
 use std::collections::BTreeMap;
 
 fn unsup(msg: impl Into<String>) -> RelError {
     RelError::Unsupported(msg.into())
 }
 
-/// A value mid-pipeline: a materialized relation or a columnar chunk.
-/// Conversions are lazy — a scan stays an `Arc`-shared relation until a
-/// vectorized node actually needs columns.
+/// A value mid-pipeline: a materialized relation (with the typed-column
+/// hints its scan pinned, if any) or a columnar chunk. Conversions are
+/// lazy — a scan stays an `Arc`-shared relation until a vectorized node
+/// actually needs columns.
 enum Flow<A: AggAnnotation> {
-    Rel(MKRel<A>),
+    Rel(MKRel<A>, Option<Vec<Option<ColHint>>>),
     Chunk(Chunk<A>),
+}
+
+/// The column layout a chunk conversion should use: forced boxed when
+/// `AGGPROV_TYPED=0`, catalog-hinted when the scan pinned column types at
+/// prepare time, per-column probing otherwise.
+fn layout_for(opts: &ExecOptions, hints: Option<Vec<Option<ColHint>>>) -> ColumnLayout {
+    if !opts.typed() {
+        ColumnLayout::boxed()
+    } else {
+        match hints {
+            Some(h) => ColumnLayout::with_hints(h),
+            None => ColumnLayout::typed(),
+        }
+    }
 }
 
 impl<A: AggAnnotation> Flow<A> {
     /// Materializes (merging any deferred duplicates additively).
     fn into_rel(self) -> Result<MKRel<A>> {
         match self {
-            Flow::Rel(r) => Ok(r),
+            Flow::Rel(r, _) => Ok(r),
             Flow::Chunk(c) => c.into_relation(),
         }
     }
 
-    /// Moves to columnar form (splitting off the symbolic fringe).
-    fn into_chunk(self) -> Chunk<A> {
+    /// Moves to columnar form (splitting off the symbolic fringe), under
+    /// the layout `opts` and any pinned scan hints dictate.
+    fn into_chunk(self, opts: &ExecOptions) -> Chunk<A> {
         match self {
-            Flow::Rel(r) => Chunk::from_relation(&r),
+            Flow::Rel(r, hints) => Chunk::from_relation_with(&r, &layout_for(opts, hints)),
             Flow::Chunk(c) => c,
         }
     }
@@ -70,7 +87,7 @@ impl<A: AggAnnotation> Flow<A> {
     /// condition that sends cross-row nodes to the token-path fallback.
     fn has_symbolic(&self) -> bool {
         match self {
-            Flow::Rel(r) => ops::has_symbolic(r),
+            Flow::Rel(r, _) => ops::has_symbolic(r),
             Flow::Chunk(c) => c.has_fringe(),
         }
     }
@@ -108,26 +125,31 @@ where
     A: AggAnnotation + ParseAnnotation,
 {
     match phys {
-        PhysNode::Scan { table, schema } => Ok(Flow::Rel(
+        PhysNode::Scan {
+            table,
+            schema,
+            hints,
+        } => Ok(Flow::Rel(
             db.table(table)?.clone().with_schema(schema.clone())?,
+            hints.clone(),
         )),
         PhysNode::Rename { input, schema } => match run(db, input, params, param_count, opts)? {
-            Flow::Rel(r) => Ok(Flow::Rel(r.with_schema(schema.clone())?)),
+            Flow::Rel(r, hints) => Ok(Flow::Rel(r.with_schema(schema.clone())?, hints)),
             Flow::Chunk(c) => Ok(Flow::Chunk(c.with_schema(schema.clone())?)),
         },
         PhysNode::Filter { input, preds } => {
             // Fused conjuncts narrow one selection vector in sequence
             // (innermost conjunct first, exactly as the unfused pipeline
             // applied them).
-            let mut chunk = run(db, input, params, param_count, opts)?.into_chunk();
+            let mut chunk = run(db, input, params, param_count, opts)?.into_chunk(opts);
             for pred in preds {
                 let (left, cmp, right) = bind_predicate(pred, params, param_count)?;
-                chunk.filter(&left, cmp, &right)?;
+                chunk.filter(&left, cmp, &right, opts)?;
             }
             Ok(Flow::Chunk(chunk))
         }
         PhysNode::AddUnitColumn { input, schema } => {
-            let chunk = run(db, input, params, param_count, opts)?.into_chunk();
+            let chunk = run(db, input, params, param_count, opts)?.into_chunk(opts);
             Ok(Flow::Chunk(chunk.add_unit_column(schema.clone())?))
         }
         PhysNode::Project {
@@ -143,20 +165,21 @@ where
                 // Cross-row token sums: the §4.3 projection over the
                 // distinct positions, then positional expansion.
                 let rel = flow.into_rel()?;
-                return Ok(Flow::Rel(project_symbolic(
-                    &rel, distinct, expand, schema, opts,
-                )?));
+                return Ok(Flow::Rel(
+                    project_symbolic(&rel, distinct, expand, schema, opts)?,
+                    None,
+                ));
             }
             if *identity {
                 // A pure schema rename over symbol-free input: the Arc'd
                 // tuple store (or the columns) stay shared untouched.
                 return match flow {
-                    Flow::Rel(r) => Ok(Flow::Rel(r.with_schema(schema.clone())?)),
+                    Flow::Rel(r, hints) => Ok(Flow::Rel(r.with_schema(schema.clone())?, hints)),
                     Flow::Chunk(c) => Ok(Flow::Chunk(c.with_schema(schema.clone())?)),
                 };
             }
             Ok(Flow::Chunk(
-                flow.into_chunk().project(columns, schema.clone())?,
+                flow.into_chunk(opts).project(columns, schema.clone())?,
             ))
         }
         PhysNode::Product {
@@ -168,13 +191,17 @@ where
             let r = run(db, right, params, param_count, opts)?;
             if !l.has_symbolic() && !r.has_symbolic() {
                 return Ok(Flow::Chunk(hash_join(
-                    l.into_chunk(),
-                    r.into_chunk(),
+                    l.into_chunk(opts),
+                    r.into_chunk(opts),
                     &[],
                     schema.clone(),
+                    opts,
                 )?));
             }
-            Ok(Flow::Rel(ops::product(&l.into_rel()?, &r.into_rel()?)?))
+            Ok(Flow::Rel(
+                ops::product(&l.into_rel()?, &r.into_rel()?)?,
+                None,
+            ))
         }
         PhysNode::HashJoin {
             left,
@@ -187,10 +214,11 @@ where
             let r = run(db, right, params, param_count, opts)?;
             if !l.has_symbolic() && !r.has_symbolic() {
                 return Ok(Flow::Chunk(hash_join(
-                    l.into_chunk(),
-                    r.into_chunk(),
+                    l.into_chunk(opts),
+                    r.into_chunk(opts),
                     on_idx,
                     schema.clone(),
+                    opts,
                 )?));
             }
             // Symbolic join keys (or values): the token-weighted operator
@@ -199,12 +227,10 @@ where
                 .iter()
                 .map(|(a, b)| (a.as_str(), b.as_str()))
                 .collect();
-            Ok(Flow::Rel(ops::join_on_opts(
-                &l.into_rel()?,
-                &r.into_rel()?,
-                &pairs,
-                opts,
-            )?))
+            Ok(Flow::Rel(
+                ops::join_on_opts(&l.into_rel()?, &r.into_rel()?, &pairs, opts)?,
+                None,
+            ))
         }
         PhysNode::Aggregate {
             input,
@@ -232,21 +258,22 @@ where
                 ops::group_by_opts(&rel, &group_refs, &specs, opts)?
             };
             if avg.is_empty() {
-                return Ok(Flow::Rel(grouped));
+                return Ok(Flow::Rel(grouped, None));
             }
             if !ops::has_symbolic(&grouped) {
                 // The batched AVG division; the result stays columnar so a
                 // following HAVING filter or projection runs vectorized.
-                let chunk = Chunk::from_relation(&grouped);
+                let chunk = Chunk::from_relation_with(&grouped, &layout_for(opts, None));
                 return Ok(Flow::Chunk(chunk.avg_divide(
                     avg_idx,
                     ungrouped,
                     schema.clone(),
                 )?));
             }
-            Ok(Flow::Rel(compute_avg_columns(
-                &grouped, avg_idx, schema, ungrouped,
-            )?))
+            Ok(Flow::Rel(
+                compute_avg_columns(&grouped, avg_idx, schema, ungrouped)?,
+                None,
+            ))
         }
         PhysNode::SetOp {
             op,
@@ -261,8 +288,8 @@ where
                 .into_rel()?
                 .with_schema(schema.clone())?;
             match op {
-                SetOp::Union => Ok(Flow::Rel(ops::union_opts(&l, &r, opts)?)),
-                SetOp::Except => Ok(Flow::Rel(difference::difference(&l, &r)?)),
+                SetOp::Union => Ok(Flow::Rel(ops::union_opts(&l, &r, opts)?, None)),
+                SetOp::Except => Ok(Flow::Rel(difference::difference(&l, &r)?, None)),
             }
         }
     }

@@ -22,6 +22,7 @@ use crate::ast::SetOp;
 use crate::plan::{AvgSpec, Plan, PlanAgg, Predicate};
 use aggprov_krel::error::{RelError, Result};
 use aggprov_krel::schema::Schema;
+use aggprov_krel::typed::ColHint;
 
 /// A physical operator. See the module docs for the pipeline/breaker
 /// split; every node carries its output [`Schema`].
@@ -33,6 +34,13 @@ pub(crate) enum PhysNode {
         table: String,
         /// The alias-prefixed output schema.
         schema: Schema,
+        /// Per-column typed-storage hints from the catalog's declared
+        /// column types (`NUM` → unboxed `i64` run, `TEXT` → dictionary
+        /// codes), pinned at lower time so the executor's chunk
+        /// conversion skips per-column variant probing. `None` for
+        /// tables registered without declared types — those columns
+        /// probe their variant from the data.
+        hints: Option<Vec<Option<ColHint>>>,
     },
     /// A pure schema replacement (derived-table re-aliasing).
     Rename {
@@ -144,17 +152,33 @@ fn internal(msg: impl Into<String>) -> RelError {
 
 /// Lowers a logical plan to its physical form, resolving every
 /// data-independent decision (join-key positions, projection
-/// distinct/expand, AVG column pairs) exactly once.
+/// distinct/expand, AVG column pairs) exactly once. Scans carry no
+/// typed-column hints on this entry — see [`lower_with`] for the
+/// catalog-aware variant the database planner uses.
 ///
 /// A malformed plan (a join key or AVG part missing from its input
 /// schema) returns [`RelError::Internal`] instead of panicking — plans
 /// from `lower_query` are well-formed by construction, but a hand-built
 /// or future-optimizer plan must fail loudly *as an error*.
 pub(crate) fn lower(plan: &Plan) -> Result<PhysNode> {
+    lower_with(plan, &|_| None)
+}
+
+/// [`lower`] with a catalog lookup for per-table typed-column hints:
+/// `table_hints` maps a scanned table name to its declared column-type
+/// hints (or `None` when the table has no declared types), pinning the
+/// column representation at prepare time instead of probing it from the
+/// data on every execution.
+pub(crate) fn lower_with(
+    plan: &Plan,
+    table_hints: &dyn Fn(&str) -> Option<Vec<Option<ColHint>>>,
+) -> Result<PhysNode> {
+    let lower = |p: &Plan| lower_with(p, table_hints);
     Ok(match plan {
         Plan::Scan { table, schema } => PhysNode::Scan {
             table: table.clone(),
             schema: schema.clone(),
+            hints: table_hints(table),
         },
         Plan::Derived { input, schema } => PhysNode::Rename {
             input: Box::new(lower(input)?),

@@ -87,8 +87,9 @@ fn prefixed(rel: &MKRel<P>, names: &[&str]) -> MKRel<P> {
         .unwrap()
 }
 
-/// Executes a prepared query at `threads = 1` and `threads = 4`, asserts
-/// both agree, and returns the result.
+/// Executes a prepared query at `threads ∈ {1, 4}` with typed columns on
+/// and off (the boxed `AGGPROV_TYPED=0` baseline), asserts all four
+/// agree, and returns the result.
 fn run_both(db: &ProvDb, sql: &str) -> MKRel<P> {
     let stmt = db.prepare(sql).unwrap();
     let t1 = stmt
@@ -100,6 +101,16 @@ fn run_both(db: &ProvDb, sql: &str) -> MKRel<P> {
         .unwrap()
         .into_relation();
     assert_eq!(t1, t4, "thread count changed the result");
+    for threads in [1, 4] {
+        let boxed = stmt
+            .execute_with_opts(&[], &ExecOptions::with_threads(threads).with_typed(false))
+            .unwrap()
+            .into_relation();
+        assert_eq!(
+            t1, boxed,
+            "typed columns changed the result at threads {threads}"
+        );
+    }
     t1
 }
 

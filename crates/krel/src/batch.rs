@@ -5,9 +5,11 @@
 //! whole support — but it is the wrong shape for the ground hot path,
 //! where every equality token is `0`/`1` and execution degenerates to
 //! classical columnar work. A [`ColumnBatch`] holds that ground partition
-//! column-major: one `Vec<Const>` per attribute plus a dense annotation
-//! column, so a filter touches only the compared columns and a projection
-//! is a column remap instead of a per-tuple rebuild.
+//! column-major: one [`TypedColumn`] per attribute (unboxed `Vec<i64>`
+//! for integer runs, dictionary codes for strings, boxed `Vec<Const>` as
+//! the fallback — see [`crate::typed`]) plus a dense annotation column,
+//! so a filter touches only the compared columns and a projection is a
+//! column remap instead of a per-tuple rebuild.
 //!
 //! [`GroundBatch`] pairs a `ColumnBatch` with the **symbolic fringe** — the
 //! rows that hold a non-constant value somewhere — kept row-wise, exactly
@@ -20,6 +22,7 @@
 use crate::error::{RelError, Result};
 use crate::relation::{Relation, Tuple};
 use crate::schema::Schema;
+use crate::typed::{ColumnLayout, IntoConsts, TypedColumn};
 use aggprov_algebra::domain::Const;
 use aggprov_algebra::semiring::CommutativeSemiring;
 use std::collections::BTreeMap;
@@ -27,7 +30,7 @@ use std::fmt;
 use std::hash::Hash;
 
 /// A column-major batch of fully ground rows: `arity` parallel
-/// `Vec<Const>` columns plus one dense annotation column. Row `r` is
+/// [`TypedColumn`]s plus one dense annotation column. Row `r` is
 /// `(cols[0][r], …, cols[arity-1][r])` annotated `anns[r]`.
 ///
 /// A batch is a *bag* of rows — unlike a [`Relation`], equal rows may
@@ -36,27 +39,37 @@ use std::hash::Hash;
 /// additively, which by distributivity agrees with merging eagerly.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ColumnBatch<K> {
-    cols: Vec<Vec<Const>>,
+    cols: Vec<TypedColumn>,
     anns: Vec<K>,
 }
 
 impl<K: CommutativeSemiring> ColumnBatch<K> {
-    /// An empty batch of the given arity.
+    /// An empty batch of the given arity, columns probing their variant
+    /// from the data.
     pub fn new(arity: usize) -> Self {
         Self::with_capacity(arity, 0)
     }
 
-    /// An empty batch of the given arity with row capacity pre-reserved.
+    /// An empty batch of the given arity with row capacity pre-reserved,
+    /// columns probing their variant from the data.
     pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        Self::with_layout(arity, rows, &ColumnLayout::typed())
+    }
+
+    /// An empty batch whose columns are shaped by `layout` (forced boxed,
+    /// or typed with optional catalog hints).
+    pub fn with_layout(arity: usize, rows: usize, layout: &ColumnLayout) -> Self {
         ColumnBatch {
-            cols: (0..arity).map(|_| Vec::with_capacity(rows)).collect(),
+            cols: (0..arity)
+                .map(|i| TypedColumn::for_layout(layout, i, rows))
+                .collect(),
             anns: Vec::with_capacity(rows),
         }
     }
 
     /// Builds a batch from pre-assembled columns. All columns and the
     /// annotation vector must have the same length.
-    pub fn from_columns(cols: Vec<Vec<Const>>, anns: Vec<K>) -> Result<Self> {
+    pub fn from_columns(cols: Vec<TypedColumn>, anns: Vec<K>) -> Result<Self> {
         if let Some(c) = cols.iter().find(|c| c.len() != anns.len()) {
             return Err(RelError::ArityMismatch {
                 expected: anns.len(),
@@ -81,9 +94,9 @@ impl<K: CommutativeSemiring> ColumnBatch<K> {
         self.anns.is_empty()
     }
 
-    /// One column, as a dense slice.
-    pub fn col(&self, i: usize) -> &[Const] {
-        &self.cols[i]
+    /// One column, typed. `None` if `i` is out of range.
+    pub fn col(&self, i: usize) -> Option<&TypedColumn> {
+        self.cols.get(i)
     }
 
     /// The annotation column.
@@ -100,9 +113,15 @@ impl<K: CommutativeSemiring> ColumnBatch<K> {
         self.anns.push(ann);
     }
 
-    /// Appends a whole column (e.g. the constant-1 column for COUNT/AVG).
-    /// The column must have one value per row.
+    /// Appends a whole column (e.g. the constant-1 column for COUNT/AVG),
+    /// probing its variant from the values. The column must have one
+    /// value per row.
     pub fn push_column(&mut self, col: Vec<Const>) -> Result<()> {
+        self.push_typed_column(TypedColumn::from_consts(col))
+    }
+
+    /// Appends a pre-shaped typed column with one value per row.
+    pub fn push_typed_column(&mut self, col: TypedColumn) -> Result<()> {
         if col.len() != self.len() {
             return Err(RelError::ArityMismatch {
                 expected: self.len(),
@@ -115,7 +134,7 @@ impl<K: CommutativeSemiring> ColumnBatch<K> {
 
     /// Decomposes the batch into its columns and annotation vector
     /// (e.g. to reorder columns wholesale through a projection view).
-    pub fn into_columns(self) -> (Vec<Vec<Const>>, Vec<K>) {
+    pub fn into_columns(self) -> (Vec<TypedColumn>, Vec<K>) {
         (self.cols, self.anns)
     }
 }
@@ -134,23 +153,43 @@ where
     K: CommutativeSemiring,
     V: Clone + Ord + Hash + fmt::Debug,
 {
-    /// Splits a relation: rows whose every value reads back as a constant
-    /// through `as_const` fill the columnar ground batch; the rest land on
-    /// the row-wise fringe. Both partitions keep support order, so the
-    /// split (composed with [`GroundBatch::into_relation`]) is lossless.
+    /// Splits a relation with the default probing column layout; see
+    /// [`GroundBatch::from_relation_with`].
     pub fn from_relation(rel: &Relation<K, V>, as_const: impl Fn(&V) -> Option<&Const>) -> Self {
-        let mut ground = ColumnBatch::with_capacity(rel.schema().arity(), rel.len());
+        Self::from_relation_with(rel, as_const, &ColumnLayout::typed())
+    }
+
+    /// Splits a relation: rows whose every value reads back as a constant
+    /// through `as_const` fill the columnar ground batch (columns shaped
+    /// by `layout`); the rest land on the row-wise fringe. Both
+    /// partitions keep support order, so the split (composed with
+    /// [`GroundBatch::into_relation`]) is lossless.
+    pub fn from_relation_with(
+        rel: &Relation<K, V>,
+        as_const: impl Fn(&V) -> Option<&Const>,
+        layout: &ColumnLayout,
+    ) -> Self {
+        let arity = rel.schema().arity();
+        let mut ground = ColumnBatch::with_layout(arity, rel.len(), layout);
         let mut fringe = Vec::new();
+        // One reused borrow buffer: the groundness check and the column
+        // pushes share a single pass over the row's values.
+        let mut row: Vec<&Const> = Vec::with_capacity(arity);
         for (t, k) in rel.iter() {
             let vals = t.values();
-            // Groundness check first, then one clone per value straight
-            // into its column — no intermediate row buffer.
-            if vals.iter().any(|v| as_const(v).is_none()) {
+            row.clear();
+            for v in vals {
+                match as_const(v) {
+                    Some(c) => row.push(c),
+                    None => break,
+                }
+            }
+            if row.len() != vals.len() {
                 fringe.push((t.clone(), k.clone()));
                 continue;
             }
-            for (col, v) in ground.cols.iter_mut().zip(vals) {
-                col.push(as_const(v).expect("checked ground").clone());
+            for (col, c) in ground.cols.iter_mut().zip(&row) {
+                col.push((*c).clone());
             }
             ground.anns.push(k.clone());
         }
@@ -200,8 +239,9 @@ where
 
     /// [`GroundBatch::into_relation`] restricted to the ground rows named
     /// by an ascending selection vector (`None` = all rows). Values and
-    /// annotations are **moved** out of the columns — a pipeline's final
-    /// materialization never re-clones what its kernels already built.
+    /// annotations are **moved** out of the columns (an `Arc` bump for
+    /// dictionary strings) — a pipeline's final materialization never
+    /// re-clones what its kernels already built.
     pub fn into_relation_selected(
         self,
         schema: Schema,
@@ -234,8 +274,12 @@ where
             }
         };
         let nrows = self.ground.len();
-        let mut cols: Vec<std::vec::IntoIter<Const>> =
-            self.ground.cols.into_iter().map(Vec::into_iter).collect();
+        let mut cols: Vec<IntoConsts> = self
+            .ground
+            .cols
+            .into_iter()
+            .map(TypedColumn::into_consts)
+            .collect();
         let mut anns = self.ground.anns.into_iter();
         let mut sel_iter = sel.map(|s| s.iter().copied().peekable());
         for r in 0..nrows {
@@ -253,13 +297,16 @@ where
             if keep {
                 let row: Vec<V> = cols
                     .iter_mut()
-                    .map(|c| lift(c.next().expect("column length")))
-                    .collect();
-                merge(
-                    &mut map,
-                    Tuple::new(row),
-                    anns.next().expect("annotation length"),
-                );
+                    .map(|c| {
+                        c.next().map(&lift).ok_or_else(|| {
+                            RelError::Internal("batch column shorter than its row count".into())
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let ann = anns.next().ok_or_else(|| {
+                    RelError::Internal("batch annotation column shorter than its row count".into())
+                })?;
+                merge(&mut map, Tuple::new(row), ann);
             } else {
                 // Skipped rows are consumed (and dropped) to keep the
                 // column iterators aligned.
@@ -314,9 +361,30 @@ mod tests {
         let batch = GroundBatch::from_relation(&rel, as_non_bool);
         assert_eq!(batch.ground().len(), 2);
         assert_eq!(batch.fringe().len(), 1);
-        assert_eq!(batch.ground().col(0), &[Const::int(1), Const::int(3)]);
+        // Variant detection kicked in: ints unboxed, strings encoded.
+        assert_eq!(batch.ground().col(0), Some(&TypedColumn::Num(vec![1, 3])));
+        assert_eq!(batch.ground().col(1).map(TypedColumn::variant), Some("str"));
         let back = batch.into_relation(rel.schema().clone(), |c| c).unwrap();
         assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn boxed_layout_round_trips_identically() {
+        let rel = sample();
+        let typed = GroundBatch::from_relation(&rel, as_non_bool);
+        let boxed = GroundBatch::from_relation_with(&rel, as_non_bool, &ColumnLayout::boxed());
+        assert_eq!(
+            boxed.ground().col(0).map(TypedColumn::variant),
+            Some("boxed")
+        );
+        assert_eq!(
+            typed.ground().col(0).map(TypedColumn::to_consts),
+            boxed.ground().col(0).map(TypedColumn::to_consts),
+        );
+        let a = typed.into_relation(rel.schema().clone(), |c| c).unwrap();
+        let b = boxed.into_relation(rel.schema().clone(), |c| c).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, rel);
     }
 
     #[test]
@@ -370,10 +438,11 @@ mod tests {
 
     #[test]
     fn arity_and_length_checks() {
-        assert!(
-            ColumnBatch::<Nat>::from_columns(vec![vec![Const::int(1)], vec![]], vec![Nat(1)])
-                .is_err()
-        );
+        assert!(ColumnBatch::<Nat>::from_columns(
+            vec![TypedColumn::Num(vec![1]), TypedColumn::Num(vec![])],
+            vec![Nat(1)]
+        )
+        .is_err());
         let mut b = ColumnBatch::<Nat>::new(1);
         b.push_row(&[Const::int(1)], Nat(1));
         assert!(b.push_column(vec![]).is_err());

@@ -10,6 +10,10 @@
 //! * [`batch`] — column-major batches over the ground partition
 //!   ([`ColumnBatch`], [`GroundBatch`]) with lossless `Relation ⇄ batch`
 //!   conversion, the substrate of the vectorized execution pipeline;
+//! * [`typed`] — the typed column storage those batches are made of
+//!   ([`TypedColumn`]: unboxed `Vec<i64>` integer runs,
+//!   dictionary-encoded strings, boxed fallback), with variant detection
+//!   at construction time and catalog-hinted layouts ([`ColumnLayout`]);
 //! * [`kset`] — `K`-sets and `SetAgg`;
 //! * [`monus`] — baseline difference semantics (set/bag monus,
 //!   ℤ-difference) used by the paper's §5.2 comparisons;
@@ -27,8 +31,10 @@ pub mod monus;
 pub mod reference;
 pub mod relation;
 pub mod schema;
+pub mod typed;
 
 pub use batch::{ColumnBatch, GroundBatch};
 pub use error::{RelError, Result};
 pub use relation::{Relation, ShardView, Tuple};
 pub use schema::{Attr, Schema};
+pub use typed::{ColHint, ColumnLayout, StrColumn, TypedColumn};

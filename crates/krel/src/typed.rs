@@ -1,0 +1,511 @@
+//! Typed unboxed column storage for the ground partition.
+//!
+//! A boxed `Vec<Const>` column pays an enum discriminant and (for
+//! rationals) a numerator/denominator pair per cell, so the batch kernels
+//! in `aggprov_core::ops::batch` spend their time chasing representation
+//! instead of comparing values. This module specializes the storage:
+//!
+//! * [`TypedColumn::Num`] — an all-integer column as an unboxed
+//!   `Vec<i64>` (every value satisfies `Num::as_int`), so a filter
+//!   comparison is a single machine compare and rustc can autovectorize
+//!   the loop;
+//! * [`TypedColumn::Str`] — an all-string column as dictionary codes
+//!   ([`StrColumn`]: `Vec<u32>` codes plus an interned `Arc<str>`
+//!   dictionary), so equality is a `u32` compare and a join probe is an
+//!   integer table lookup;
+//! * [`TypedColumn::Boxed`] — the fallback `Vec<Const>` for mixed-type
+//!   columns, booleans, non-integer rationals, and `±∞`.
+//!
+//! The variant is detected at construction time by [`TypedColumn::push`]:
+//! a column starts in the probing `Num` state (or the variant named by a
+//! catalog [`ColHint`], pinned at `phys::lower` time), adopts the variant
+//! of its first value, and **demotes** itself to `Boxed` — re-boxing the
+//! prefix once — the moment a value arrives that the current variant
+//! cannot hold. Hints are advisory: a mispinned hint costs one demotion,
+//! never an error. Demotion is one-way, so a column changes
+//! representation at most twice and construction stays linear.
+//!
+//! Round trips are exact: `Num` re-materializes through [`Const::int`]
+//! and `Rational` is kept in lowest terms, so the `i64 → Const` lift
+//! reproduces the input bit for bit; `Str` re-materializes by cloning the
+//! interned `Arc<str>` out of the dictionary.
+//!
+//! Equality on [`TypedColumn`] (and [`StrColumn`]) is **representational**:
+//! the same values held as `Num(vec![1])` and `Boxed(vec![Const::int(1)])`
+//! compare unequal, as do equal string columns whose dictionaries differ
+//! (e.g. after a [`StrColumn::gather`], which shares the parent
+//! dictionary). Compare decoded values ([`TypedColumn::to_consts`]) for
+//! semantic equality.
+
+use aggprov_algebra::domain::Const;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A catalog-supplied per-column type hint, mapped from declared
+/// `CREATE TABLE` types at `phys::lower` time. Booleans and untyped
+/// columns carry no hint and probe from the data instead.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ColHint {
+    /// Declared numeric: start the column in the unboxed `Vec<i64>` state.
+    Num,
+    /// Declared text: start the column dictionary-encoded.
+    Str,
+}
+
+/// Construction-time layout for a batch: either force every column boxed
+/// (the `AGGPROV_TYPED=0` debug/baseline mode) or probe per column,
+/// optionally seeded with catalog hints.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ColumnLayout {
+    boxed: bool,
+    hints: Vec<Option<ColHint>>,
+}
+
+impl ColumnLayout {
+    /// Typed columns, variant probed from the data (the default).
+    pub fn typed() -> Self {
+        ColumnLayout::default()
+    }
+
+    /// Every column forced to the boxed `Vec<Const>` fallback.
+    pub fn boxed() -> Self {
+        ColumnLayout {
+            boxed: true,
+            hints: Vec::new(),
+        }
+    }
+
+    /// Typed columns seeded with per-column catalog hints (`None` entries
+    /// probe from the data).
+    pub fn with_hints(hints: Vec<Option<ColHint>>) -> Self {
+        ColumnLayout {
+            boxed: false,
+            hints,
+        }
+    }
+
+    /// True iff every column is forced boxed.
+    pub fn is_boxed(&self) -> bool {
+        self.boxed
+    }
+
+    /// The hint for column `col`, if any.
+    pub fn hint(&self, col: usize) -> Option<ColHint> {
+        if self.boxed {
+            None
+        } else {
+            self.hints.get(col).copied().flatten()
+        }
+    }
+}
+
+/// A dictionary-encoded string column: one `u32` code per row plus the
+/// interned dictionary it indexes. The side `index` map makes interning
+/// and literal lookup O(1); it always mirrors `dict`.
+///
+/// A gathered column ([`StrColumn::gather`]) shares its parent's
+/// dictionary wholesale (`Arc` bumps, no re-interning), so a dictionary
+/// may be a superset of the values actually present in `codes`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct StrColumn {
+    codes: Vec<u32>,
+    dict: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, u32>,
+}
+
+impl StrColumn {
+    /// An empty column.
+    pub fn new() -> Self {
+        StrColumn::default()
+    }
+
+    /// An empty column with row capacity pre-reserved.
+    pub fn with_capacity(rows: usize) -> Self {
+        StrColumn {
+            codes: Vec::with_capacity(rows),
+            dict: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True iff the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Interns `s` (if new) and appends its code. Returns `false`,
+    /// leaving the column unchanged, iff the `u32` code space is
+    /// exhausted — the caller then demotes to boxed storage.
+    pub fn push(&mut self, s: &Arc<str>) -> bool {
+        if let Some(&code) = self.index.get(s.as_ref()) {
+            self.codes.push(code);
+            return true;
+        }
+        let Ok(code) = u32::try_from(self.dict.len()) else {
+            return false;
+        };
+        self.dict.push(Arc::clone(s));
+        self.index.insert(Arc::clone(s), code);
+        self.codes.push(code);
+        true
+    }
+
+    /// The per-row codes, dense.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The dictionary, indexed by code.
+    pub fn dict(&self) -> &[Arc<str>] {
+        &self.dict
+    }
+
+    /// The code interned for `s`, if `s` appears in the dictionary.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// The string a code stands for.
+    pub fn decode(&self, code: u32) -> Option<&Arc<str>> {
+        self.dict.get(code as usize)
+    }
+
+    /// The string at row `r`.
+    pub fn get(&self, r: usize) -> Option<&Arc<str>> {
+        self.decode(*self.codes.get(r)?)
+    }
+
+    /// Gathers the named rows into a new column **sharing this
+    /// dictionary** (no re-interning). `None` if any row is out of range.
+    pub fn gather(&self, rows: &[u32]) -> Option<StrColumn> {
+        let mut codes = Vec::with_capacity(rows.len());
+        for &r in rows {
+            codes.push(*self.codes.get(r as usize)?);
+        }
+        Some(StrColumn {
+            codes,
+            dict: self.dict.clone(),
+            index: self.index.clone(),
+        })
+    }
+}
+
+/// One typed column of a ground batch. See the module docs for the
+/// variant-detection and demotion discipline.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypedColumn {
+    /// Every value is an integer in `i64` range, stored unboxed.
+    Num(Vec<i64>),
+    /// Every value is a string, dictionary-encoded.
+    Str(StrColumn),
+    /// The fallback: values kept boxed, one `Const` per row.
+    Boxed(Vec<Const>),
+}
+
+impl TypedColumn {
+    /// An empty column shaped for `layout`'s column `col`. Unhinted typed
+    /// columns start in the probing `Num` state and adopt the variant of
+    /// their first value.
+    pub fn for_layout(layout: &ColumnLayout, col: usize, rows: usize) -> TypedColumn {
+        if layout.is_boxed() {
+            return TypedColumn::Boxed(Vec::with_capacity(rows));
+        }
+        match layout.hint(col) {
+            Some(ColHint::Str) => TypedColumn::Str(StrColumn::with_capacity(rows)),
+            Some(ColHint::Num) | None => TypedColumn::Num(Vec::with_capacity(rows)),
+        }
+    }
+
+    /// Builds a column from boxed values by probing (variant detection
+    /// with demotion, as in [`TypedColumn::push`]).
+    pub fn from_consts(vals: Vec<Const>) -> TypedColumn {
+        let mut col = TypedColumn::Num(Vec::with_capacity(vals.len()));
+        for c in vals {
+            col.push(c);
+        }
+        col
+    }
+
+    /// The number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            TypedColumn::Num(v) => v.len(),
+            TypedColumn::Str(sc) => sc.len(),
+            TypedColumn::Boxed(v) => v.len(),
+        }
+    }
+
+    /// True iff the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The variant name, for diagnostics and tests.
+    pub fn variant(&self) -> &'static str {
+        match self {
+            TypedColumn::Num(_) => "num",
+            TypedColumn::Str(_) => "str",
+            TypedColumn::Boxed(_) => "boxed",
+        }
+    }
+
+    /// Appends one value, demoting the representation if it cannot hold
+    /// it (see the module docs). Never fails.
+    pub fn push(&mut self, c: Const) {
+        match self {
+            TypedColumn::Num(v) => {
+                if let Const::Num(n) = &c {
+                    if let Some(i) = n.as_int() {
+                        v.push(i);
+                        return;
+                    }
+                }
+                if v.is_empty() {
+                    // Probing state with no prefix: adopt the variant of
+                    // this first value instead of demoting.
+                    if let Const::Str(s) = &c {
+                        let mut sc = StrColumn::with_capacity(v.capacity());
+                        if sc.push(s) {
+                            *self = TypedColumn::Str(sc);
+                            return;
+                        }
+                    }
+                    *self = TypedColumn::Boxed(Vec::with_capacity(v.capacity()));
+                } else {
+                    let boxed: Vec<Const> = v.iter().map(|&i| Const::int(i)).collect();
+                    *self = TypedColumn::Boxed(boxed);
+                }
+                self.push(c);
+            }
+            TypedColumn::Str(sc) => {
+                if let Const::Str(s) = &c {
+                    if sc.push(s) {
+                        return;
+                    }
+                }
+                // Type mismatch (or dictionary overflow): re-box the
+                // prefix. Codes come from `push`, so decoding the prefix
+                // cannot fail; `filter_map` keeps the lint-checked path
+                // panic-free all the same.
+                let boxed: Vec<Const> = sc
+                    .codes()
+                    .iter()
+                    .filter_map(|&code| sc.decode(code).map(|s| Const::Str(Arc::clone(s))))
+                    .collect();
+                debug_assert_eq!(boxed.len(), sc.len());
+                *self = TypedColumn::Boxed(boxed);
+                self.push(c);
+            }
+            TypedColumn::Boxed(v) => v.push(c),
+        }
+    }
+
+    /// The value at row `r`, re-materialized as a `Const` (an `Arc` bump
+    /// for strings, a fresh integer `Num` for unboxed values).
+    pub fn get(&self, r: usize) -> Option<Const> {
+        match self {
+            TypedColumn::Num(v) => v.get(r).map(|&i| Const::int(i)),
+            TypedColumn::Str(sc) => sc.get(r).map(|s| Const::Str(Arc::clone(s))),
+            TypedColumn::Boxed(v) => v.get(r).cloned(),
+        }
+    }
+
+    /// Gathers the named rows into a new column of the same variant.
+    /// `None` if any row is out of range.
+    pub fn gather(&self, rows: &[u32]) -> Option<TypedColumn> {
+        match self {
+            TypedColumn::Num(v) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for &r in rows {
+                    out.push(*v.get(r as usize)?);
+                }
+                Some(TypedColumn::Num(out))
+            }
+            TypedColumn::Str(sc) => sc.gather(rows).map(TypedColumn::Str),
+            TypedColumn::Boxed(v) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for &r in rows {
+                    out.push(v.get(r as usize)?.clone());
+                }
+                Some(TypedColumn::Boxed(out))
+            }
+        }
+    }
+
+    /// Re-materializes every row as a boxed value (for semantic
+    /// comparisons and slow paths).
+    pub fn to_consts(&self) -> Vec<Const> {
+        match self {
+            TypedColumn::Num(v) => v.iter().map(|&i| Const::int(i)).collect(),
+            TypedColumn::Str(sc) => sc
+                .codes()
+                .iter()
+                .filter_map(|&code| sc.decode(code).map(|s| Const::Str(Arc::clone(s))))
+                .collect(),
+            TypedColumn::Boxed(v) => v.clone(),
+        }
+    }
+
+    /// A consuming iterator of re-materialized values, in row order. A
+    /// corrupt dictionary code ends the iteration early; callers that
+    /// track expected lengths surface that as an internal error.
+    pub fn into_consts(self) -> IntoConsts {
+        IntoConsts {
+            inner: match self {
+                TypedColumn::Num(v) => ConstsInner::Num(v.into_iter()),
+                TypedColumn::Str(sc) => ConstsInner::Str {
+                    codes: sc.codes.into_iter(),
+                    dict: sc.dict,
+                },
+                TypedColumn::Boxed(v) => ConstsInner::Boxed(v.into_iter()),
+            },
+        }
+    }
+}
+
+/// Consuming iterator over a [`TypedColumn`], yielding boxed values in
+/// row order. Boxed values are moved, not cloned.
+#[derive(Debug)]
+pub struct IntoConsts {
+    inner: ConstsInner,
+}
+
+#[derive(Debug)]
+enum ConstsInner {
+    Num(std::vec::IntoIter<i64>),
+    Str {
+        codes: std::vec::IntoIter<u32>,
+        dict: Vec<Arc<str>>,
+    },
+    Boxed(std::vec::IntoIter<Const>),
+}
+
+impl Iterator for IntoConsts {
+    type Item = Const;
+
+    fn next(&mut self) -> Option<Const> {
+        match &mut self.inner {
+            ConstsInner::Num(it) => it.next().map(Const::int),
+            ConstsInner::Str { codes, dict } => {
+                let code = codes.next()?;
+                dict.get(code as usize).map(|s| Const::Str(Arc::clone(s)))
+            }
+            ConstsInner::Boxed(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            ConstsInner::Num(it) => it.size_hint(),
+            ConstsInner::Str { codes, .. } => codes.size_hint(),
+            ConstsInner::Boxed(it) => it.size_hint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggprov_algebra::num::Num;
+
+    #[test]
+    fn probes_num_and_round_trips() {
+        let vals = vec![Const::int(3), Const::int(-7), Const::int(0)];
+        let col = TypedColumn::from_consts(vals.clone());
+        assert_eq!(col, TypedColumn::Num(vec![3, -7, 0]));
+        assert_eq!(col.to_consts(), vals);
+        assert_eq!(col.get(1), Some(Const::int(-7)));
+        assert_eq!(col.into_consts().collect::<Vec<_>>(), vals);
+    }
+
+    #[test]
+    fn probes_str_and_dictionary_encodes() {
+        let vals = vec![Const::str("a"), Const::str("b"), Const::str("a")];
+        let col = TypedColumn::from_consts(vals.clone());
+        let TypedColumn::Str(sc) = &col else {
+            panic!("expected Str, got {}", col.variant());
+        };
+        assert_eq!(sc.codes(), &[0, 1, 0]);
+        assert_eq!(sc.dict().len(), 2);
+        assert_eq!(sc.code_of("b"), Some(1));
+        assert_eq!(sc.code_of("c"), None);
+        assert_eq!(col.to_consts(), vals);
+        assert_eq!(col.into_consts().collect::<Vec<_>>(), vals);
+    }
+
+    #[test]
+    fn mixed_types_demote_to_boxed() {
+        // Num prefix, then a string: prefix re-boxed exactly.
+        let vals = vec![Const::int(1), Const::str("x"), Const::Bool(true)];
+        let col = TypedColumn::from_consts(vals.clone());
+        assert_eq!(col.variant(), "boxed");
+        assert_eq!(col.to_consts(), vals);
+
+        // Str prefix, then a number.
+        let vals = vec![Const::str("x"), Const::str("x"), Const::int(1)];
+        let col = TypedColumn::from_consts(vals.clone());
+        assert_eq!(col.variant(), "boxed");
+        assert_eq!(col.to_consts(), vals);
+    }
+
+    #[test]
+    fn non_integer_numerics_stay_boxed() {
+        // Rationals with denominators and ±∞ do not fit `Vec<i64>`.
+        let vals = vec![Const::Num(Num::ratio(1, 2)), Const::Num(Num::PosInf)];
+        let col = TypedColumn::from_consts(vals.clone());
+        assert_eq!(col.variant(), "boxed");
+        assert_eq!(col.to_consts(), vals);
+
+        // A bool as first value adopts Boxed from the probing state.
+        let col = TypedColumn::from_consts(vec![Const::Bool(false)]);
+        assert_eq!(col.variant(), "boxed");
+    }
+
+    #[test]
+    fn layout_controls_initial_variant() {
+        let boxed = ColumnLayout::boxed();
+        let mut col = TypedColumn::for_layout(&boxed, 0, 4);
+        col.push(Const::int(1));
+        assert_eq!(col, TypedColumn::Boxed(vec![Const::int(1)]));
+
+        let hinted = ColumnLayout::with_hints(vec![Some(ColHint::Str), None]);
+        let col = TypedColumn::for_layout(&hinted, 0, 4);
+        assert_eq!(col.variant(), "str");
+        let col = TypedColumn::for_layout(&hinted, 1, 4);
+        assert_eq!(col.variant(), "num");
+
+        // A mispinned hint demotes instead of failing.
+        let mut col = TypedColumn::for_layout(&hinted, 0, 4);
+        col.push(Const::str("s"));
+        col.push(Const::int(9));
+        assert_eq!(col.to_consts(), vec![Const::str("s"), Const::int(9)]);
+    }
+
+    #[test]
+    fn gather_shares_the_dictionary() {
+        let col = TypedColumn::from_consts(vec![
+            Const::str("a"),
+            Const::str("b"),
+            Const::str("c"),
+            Const::str("b"),
+        ]);
+        let g = col.gather(&[3, 1, 0]).unwrap();
+        let TypedColumn::Str(sc) = &g else {
+            panic!("gather changed variant");
+        };
+        assert_eq!(sc.dict().len(), 3, "dictionary shared, not re-interned");
+        assert_eq!(
+            g.to_consts(),
+            vec![Const::str("b"), Const::str("b"), Const::str("a")]
+        );
+        assert_eq!(col.gather(&[4]), None, "out of range");
+
+        let n = TypedColumn::Num(vec![10, 20, 30]);
+        assert_eq!(n.gather(&[2, 0]), Some(TypedColumn::Num(vec![30, 10])));
+    }
+}
