@@ -3,27 +3,34 @@
 //! Usage: `cargo run -p analysis --bin aggprov-lint -- --workspace`
 //! (run from anywhere inside the repository; `--root <dir>` overrides
 //! discovery). Prints `path:line: [rule] message` per finding, sorted,
-//! and exits nonzero if any remain after waivers.
+//! and exits nonzero if any remain after waivers. With `--json`, prints
+//! one JSON object (`findings`, `waived`, `counts`) instead — same exit
+//! code contract, nothing else on stdout.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use analysis::rules::run_all;
+use analysis::json::render;
+use analysis::rules::run_report;
 use analysis::walk::{find_root, load_workspace};
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--workspace" => {}
+            "--json" => json = true,
             "--root" => root = args.next().map(PathBuf::from),
             "--help" | "-h" => {
                 println!(
                     "aggprov-lint: project-invariant static analysis\n\n\
-                     USAGE: aggprov-lint [--workspace] [--root <dir>]\n\n\
-                     Rules: groundness, panic, index, lock, oracle, env, waiver\n\
-                     Waive a finding with: // lint:allow(<rule>, reason = \"...\")"
+                     USAGE: aggprov-lint [--workspace] [--json] [--root <dir>]\n\n\
+                     Rules: groundness, panic, index, lock, lock-order, dispatch,\n\
+                     \x20       oracle, wire, env, waiver\n\
+                     Waive a finding with: // lint:allow(<rule>, reason = \"...\")\n\
+                     --json emits {{\"findings\": [...], \"waived\": [...], \"counts\": ...}}"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -41,18 +48,23 @@ fn main() -> ExitCode {
         }
     };
     let ws = load_workspace(&root);
-    let diags = run_all(&ws);
-    for d in &diags {
-        println!("{d}");
+    let report = run_report(&ws);
+    if json {
+        println!("{}", render(&report));
+    } else {
+        for d in &report.findings {
+            println!("{d}");
+        }
     }
-    if diags.is_empty() {
+    if report.findings.is_empty() {
         eprintln!(
-            "aggprov-lint: clean ({} files, 7 rule kinds, 0 findings)",
-            ws.files.len()
+            "aggprov-lint: clean ({} files, 10 rule kinds, 0 findings, {} waived)",
+            ws.files.len(),
+            report.waived.len()
         );
         ExitCode::SUCCESS
     } else {
-        eprintln!("aggprov-lint: {} finding(s)", diags.len());
+        eprintln!("aggprov-lint: {} finding(s)", report.findings.len());
         ExitCode::FAILURE
     }
 }

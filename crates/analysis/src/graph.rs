@@ -1,0 +1,714 @@
+//! Phase 1: the workspace **symbol graph**.
+//!
+//! One pass over every scanned file builds the whole-program facts the
+//! graph-aware rules (phase 2) consume:
+//!
+//! - every function item with its body span and declaration line;
+//! - an approximate **call graph** from name resolution: a `name(` or
+//!   `.name(` call site resolves to a workspace function iff exactly one
+//!   workspace function bears that name (ambiguous names and std-library
+//!   methods resolve to nothing — the analysis under-approximates rather
+//!   than guesses);
+//! - per-function **guard events**: each `.lock()` / `.read()` /
+//!   `.write()` acquisition (empty argument lists — the `Mutex`/`RwLock`
+//!   methods take none), each stream-I/O call, and each resolvable call,
+//!   all annotated with the set of guards live at that point, using the
+//!   same guard lifetime model as the intra-procedural `lock` rule
+//!   (`let`-bound vs. temporary, `drop(guard)`, scope close);
+//! - every `match` statement's **arm patterns**, pre-split so the
+//!   `dispatch` rule can ask "which `Enum::Variant` patterns appear in
+//!   the arms of matches inside function F of file P?";
+//! - `enum` definitions with their variant names and lines.
+//!
+//! Approximation limits, by design (documented in
+//! `docs/ARCHITECTURE.md`): no trait-object or closure resolution, no
+//! generic instantiation, field-name-based lock identity (`self.db` and
+//! `other.db` are the same lock "db" — in this workspace each lock field
+//! name is used for exactly one lock). A bare `self.read()` with no
+//! named field is treated as a *call* (the `PlanCache::read` wrapper
+//! idiom), not an acquisition, so wrapper methods resolve through the
+//! call graph to the real acquisition inside them.
+
+use crate::lexer::{Tok, Token};
+use crate::{SourceFile, Workspace};
+use std::collections::BTreeMap;
+
+/// Method names that perform (possibly blocking) stream I/O. Kept in
+/// sync with the intra-procedural `lock` rule.
+pub const IO_METHODS: &[&str] = &[
+    "write_all",
+    "read_exact",
+    "read_line",
+    "read_to_end",
+    "read_to_string",
+    "read_until",
+    "flush",
+];
+
+/// True iff a `.name(` call is stream I/O: a known I/O method, or
+/// `read`/`write` with a non-empty argument list.
+pub fn is_io(name: &str, after_open: Option<&Tok>) -> bool {
+    if IO_METHODS.contains(&name) {
+        return true;
+    }
+    (name == "read" || name == "write") && !after_open.is_some_and(|t| t.is(b')'))
+}
+
+/// What happened at one point inside a function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A guard acquisition on the named lock (the receiver's last field
+    /// name).
+    Acquire(String),
+    /// A call that resolved to the named workspace function (unique-name
+    /// resolution).
+    Call(String),
+    /// Direct stream I/O via the named method.
+    Io(String),
+}
+
+/// One event, with the guards live immediately **before** it (so an
+/// acquisition that is also a wrapper call does not order against
+/// itself).
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// 1-based line of the event.
+    pub line: u32,
+    /// Lock names of guards live when the event fires, outermost first.
+    pub live: Vec<String>,
+    /// What the event is.
+    pub kind: EventKind,
+}
+
+/// One `match` statement: the `Enum::Variant` paths appearing in its
+/// arm *patterns* (guards included, bodies excluded).
+#[derive(Clone, Debug, Default)]
+pub struct MatchSite {
+    /// 1-based line of the `match` keyword.
+    pub line: u32,
+    /// `(enum_name, variant_name)` pairs found in arm patterns.
+    pub arm_paths: Vec<(String, String)>,
+    /// String-literal arm patterns (quotes stripped) with their lines —
+    /// the wire-dispatch shape `"ping" => ...`.
+    pub arm_strings: Vec<(String, u32)>,
+    /// True iff some arm pattern is the wildcard `_` or a bare binding.
+    pub has_wildcard: bool,
+}
+
+/// One function item in the workspace.
+#[derive(Clone, Debug)]
+pub struct FnInfo {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the item lies under `#[cfg(test)]` / `#[test]`.
+    pub in_test: bool,
+    /// Guard/call/I-O events in body order.
+    pub events: Vec<Event>,
+    /// `match` statements in the body.
+    pub matches: Vec<MatchSite>,
+}
+
+/// An `enum` definition.
+#[derive(Clone, Debug)]
+pub struct EnumDef {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Variant names with their declaration lines, in order.
+    pub variants: Vec<(String, u32)>,
+}
+
+/// The phase-1 result: every function, enum and resolvable call edge in
+/// the workspace.
+#[derive(Debug, Default)]
+pub struct SymbolGraph {
+    /// All function items, in file/offset order.
+    pub fns: Vec<FnInfo>,
+    /// Enum name → definition. First definition wins on (unlikely) name
+    /// collisions.
+    pub enums: BTreeMap<String, EnumDef>,
+    /// Function name → indices into `fns` bearing it (resolution is only
+    /// trusted when the list has exactly one entry).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolGraph {
+    /// Builds the symbol graph for a loaded workspace.
+    pub fn build(ws: &Workspace) -> SymbolGraph {
+        let mut g = SymbolGraph::default();
+        for f in &ws.files {
+            collect_enums(f, &mut g.enums);
+            collect_fns(f, &mut g.fns);
+        }
+        for (i, f) in g.fns.iter().enumerate() {
+            g.by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        g
+    }
+
+    /// The index of the unique workspace function named `name`, if the
+    /// name resolves unambiguously.
+    pub fn resolve(&self, name: &str) -> Option<usize> {
+        match self.by_name.get(name).map(Vec::as_slice) {
+            Some([only]) => Some(*only),
+            _ => None,
+        }
+    }
+
+    /// The non-test functions named `name` defined in `path`.
+    pub fn fns_in<'g>(&'g self, path: &str, name: &str) -> Vec<&'g FnInfo> {
+        self.fns
+            .iter()
+            .filter(|f| f.path == path && f.name == name && !f.in_test)
+            .collect()
+    }
+}
+
+/// Collects `enum` definitions (any visibility) from one file.
+fn collect_enums(f: &SourceFile, out: &mut BTreeMap<String, EnumDef>) {
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].tok.is_ident("enum") || f.in_test(i) {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(|t| t.tok.ident()) else {
+            continue;
+        };
+        // Body `{` after the name (skipping generics).
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].tok.is(b'{') && !toks[j].tok.is(b';') {
+            j += 1;
+        }
+        let Some(&close) = f.matches.get(j).filter(|&&c| c != usize::MAX) else {
+            continue;
+        };
+        let variants = enum_variants(f, j + 1, close);
+        out.entry(name.to_string()).or_insert(EnumDef {
+            path: f.path.clone(),
+            line: toks[i].line,
+            variants,
+        });
+    }
+}
+
+/// Parses variant names out of an enum body token range: the first
+/// identifier of each top-level comma-separated segment, skipping
+/// `#[...]` attributes and each variant's payload.
+fn enum_variants(f: &SourceFile, start: usize, end: usize) -> Vec<(String, u32)> {
+    let toks = &f.tokens;
+    let mut out = Vec::new();
+    let mut j = start;
+    let mut want_name = true;
+    while j < end {
+        match &toks[j].tok {
+            Tok::Punct(b'#') if toks.get(j + 1).is_some_and(|t| t.tok.is(b'[')) => {
+                let c = f.matches[j + 1];
+                j = if c == usize::MAX { j + 2 } else { c + 1 };
+            }
+            Tok::Punct(b'(' | b'{' | b'[') => {
+                let c = f.matches[j];
+                j = if c == usize::MAX { j + 1 } else { c + 1 };
+            }
+            Tok::Punct(b',') => {
+                want_name = true;
+                j += 1;
+            }
+            Tok::Ident(name) if want_name => {
+                out.push((name.clone(), toks[j].line));
+                want_name = false;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    out
+}
+
+/// Collects function items and walks each body for events and matches.
+fn collect_fns(f: &SourceFile, out: &mut Vec<FnInfo>) {
+    let toks = &f.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].tok.is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(|t| t.tok.ident()) else {
+            i += 1;
+            continue;
+        };
+        // Find the body `{` (trait method declarations end in `;`).
+        let Some(open) = body_open(f, i + 2) else {
+            i += 2;
+            continue;
+        };
+        let close = f.matches[open];
+        if close == usize::MAX {
+            i += 2;
+            continue;
+        }
+        let mut info = FnInfo {
+            path: f.path.clone(),
+            name: name.to_string(),
+            line: toks[i].line,
+            in_test: f.in_test(i),
+            events: Vec::new(),
+            matches: Vec::new(),
+        };
+        walk_body(f, open, close, &mut info);
+        out.push(info);
+        // Nested fns are rare and benign to re-walk; skip the whole body
+        // so inner closures' tokens aren't scanned twice at top level.
+        i = close + 1;
+    }
+}
+
+/// Skips a fn signature from just after the name to its body `{`.
+/// `None` when the item has no body. Brackets inside the signature
+/// (parameter lists, slices, parenthesized types) are jumped via the
+/// match map so a `{` inside a default-expression cannot mislead.
+fn body_open(f: &SourceFile, mut j: usize) -> Option<usize> {
+    let toks = &f.tokens;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct(b'{') if angle == 0 => return Some(j),
+            Tok::Punct(b';') if angle == 0 => return None,
+            Tok::Punct(b'<') => angle += 1,
+            Tok::Punct(b'>') if angle > 0 && !toks[j - 1].tok.is(b'-') => angle -= 1,
+            Tok::Punct(b'(' | b'[') => {
+                let c = f.matches[j];
+                if c != usize::MAX {
+                    j = c;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// A live guard inside `walk_body`: its binding (if `let`-bound), the
+/// lock name it holds, the brace depth of the acquisition, and whether
+/// it is a temporary dropped at statement end.
+struct Guard {
+    binding: Option<String>,
+    lock: String,
+    depth: i32,
+    temporary: bool,
+}
+
+/// Walks one fn body, recording acquisition/call/I-O events with live
+/// guard sets, and collecting `match` sites. The guard lifetime model is
+/// the intra-procedural `lock` rule's: scope close kills deeper guards,
+/// `;` kills temporaries, `drop(name)` kills a named guard.
+fn walk_body(f: &SourceFile, open: usize, close: usize, info: &mut FnInfo) {
+    let toks = &f.tokens;
+    let mut depth: i32 = 0;
+    let mut live: Vec<Guard> = Vec::new();
+    let mut stmt_start = open + 1;
+    let mut i = open + 1;
+    while i < close {
+        let t = &toks[i];
+        match &t.tok {
+            Tok::Punct(b'{') => {
+                depth += 1;
+                stmt_start = i + 1;
+            }
+            Tok::Punct(b'}') => {
+                depth -= 1;
+                live.retain(|g| g.depth <= depth);
+                stmt_start = i + 1;
+            }
+            Tok::Punct(b';') => {
+                live.retain(|g| !(g.temporary && g.depth == depth));
+                stmt_start = i + 1;
+            }
+            Tok::Ident(name)
+                if name == "drop" && toks.get(i + 1).is_some_and(|n| n.tok.is(b'(')) =>
+            {
+                if let Some(arg) = toks.get(i + 2).and_then(|a| a.tok.ident()) {
+                    live.retain(|g| g.binding.as_deref() != Some(arg));
+                }
+            }
+            Tok::Ident(name) if name == "match" => {
+                if let Some((site, after)) = parse_match(f, i, close) {
+                    info.matches.push(site);
+                    // Keep walking *inside* the match for events; only
+                    // the site itself is recorded here, so no skip.
+                    let _ = after;
+                }
+            }
+            Tok::Ident(name) if toks.get(i + 1).is_some_and(|n| n.tok.is(b'(')) => {
+                let method = i > 0 && toks[i - 1].tok.is(b'.');
+                let empty_args = toks.get(i + 2).is_some_and(|n| n.tok.is(b')'));
+                let snapshot = || live.iter().map(|g| g.lock.clone()).collect::<Vec<_>>();
+                if method
+                    && empty_args
+                    && matches!(name.as_str(), "lock" | "read" | "write")
+                    && receiver_field(toks, i).is_some()
+                {
+                    // `.lock()` / `.read()` / `.write()` on a named
+                    // field: an acquisition.
+                    let lock = receiver_field(toks, i).unwrap_or_default();
+                    info.events.push(Event {
+                        line: t.line,
+                        live: snapshot(),
+                        kind: EventKind::Acquire(lock.clone()),
+                    });
+                    live.push(Guard {
+                        binding: let_binding(toks, stmt_start, i),
+                        lock,
+                        depth,
+                        temporary: let_binding(toks, stmt_start, i).is_none(),
+                    });
+                } else if method && is_io(name, toks.get(i + 2).map(|n| &n.tok)) {
+                    info.events.push(Event {
+                        line: t.line,
+                        live: snapshot(),
+                        kind: EventKind::Io(name.clone()),
+                    });
+                } else if !(KEYWORD_CALLS.contains(&name.as_str())
+                    || method && STD_METHODS.contains(&name.as_str()))
+                {
+                    // A plain or method call — the callee is recorded by
+                    // name; rules resolve it through the graph. Method
+                    // calls bearing well-known std names are dropped:
+                    // `conn.shutdown(..)` is `TcpStream::shutdown`, and
+                    // resolving it to a same-named workspace fn would
+                    // fabricate edges.
+                    info.events.push(Event {
+                        line: t.line,
+                        live: snapshot(),
+                        kind: EventKind::Call(name.clone()),
+                    });
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Keywords and macro-like identifiers a `name(` sequence must not treat
+/// as calls.
+const KEYWORD_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "fn", "impl", "loop", "move", "drop",
+];
+
+/// Std method names whose `.name(` call sites never resolve to workspace
+/// functions, even when a workspace fn happens to share the name
+/// (`TcpStream::shutdown` vs. `Client::shutdown`, `JoinHandle::join` vs.
+/// a join operator). Unique-name resolution is the approximation; this
+/// list plugs its known collisions with the standard library.
+const STD_METHODS: &[&str] = &[
+    "shutdown", "join", "push", "pop", "insert", "remove", "get", "len", "clone", "drain", "iter",
+    "send", "recv", "wait", "spawn", "take", "parse", "finish", "next", "collect", "extend",
+];
+
+/// The receiver's last field name for a `.method(` at token `i`: the
+/// identifier before the `.`, unless it is `self` (a bare `self.read()`
+/// is a wrapper *call*, not an acquisition on a named lock).
+fn receiver_field(toks: &[Token], i: usize) -> Option<String> {
+    if i < 2 || !toks[i - 1].tok.is(b'.') {
+        return None;
+    }
+    let name = toks[i - 2].tok.ident()?;
+    if name == "self" {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// If the statement beginning at `stmt_start` is `let [mut] NAME = ...`,
+/// returns NAME.
+fn let_binding(toks: &[Token], stmt_start: usize, before: usize) -> Option<String> {
+    let mut j = stmt_start;
+    while j < before && !toks[j].tok.is_ident("let") {
+        j += 1;
+    }
+    if j >= before {
+        return None;
+    }
+    let mut k = j + 1;
+    if toks.get(k).is_some_and(|t| t.tok.is_ident("mut")) {
+        k += 1;
+    }
+    toks.get(k).and_then(|t| t.tok.ident()).map(str::to_string)
+}
+
+/// Parses the `match` at token `at`: finds the body `{`, splits arms at
+/// top-level `=>`, and collects `Enum::Variant` paths and string
+/// literals from the pattern (and guard) segments only — constructions
+/// in arm *bodies* never count as handled variants. Returns the site and
+/// the token index just past the match body.
+fn parse_match(f: &SourceFile, at: usize, limit: usize) -> Option<(MatchSite, usize)> {
+    let toks = &f.tokens;
+    // Scrutinee runs to the first `{` at relative depth 0 (struct
+    // literals are illegal in match scrutinees, same as `if`).
+    let mut j = at + 1;
+    while j < limit && !toks[j].tok.is(b'{') {
+        if (toks[j].tok.is(b'(') || toks[j].tok.is(b'[')) && f.matches[j] != usize::MAX {
+            j = f.matches[j];
+        }
+        j += 1;
+    }
+    if j >= limit {
+        return None;
+    }
+    let body_open = j;
+    let body_close = f.matches[body_open];
+    if body_close == usize::MAX || body_close > limit {
+        return None;
+    }
+    let mut site = MatchSite {
+        line: toks[at].line,
+        ..MatchSite::default()
+    };
+    let mut k = body_open + 1;
+    while k < body_close {
+        // Pattern (+ optional guard): tokens up to the arm's `=>`.
+        let pat_start = k;
+        let mut arrow = None;
+        let mut p = k;
+        while p < body_close {
+            match &toks[p].tok {
+                Tok::Punct(b'=') if toks.get(p + 1).is_some_and(|n| n.tok.is(b'>')) => {
+                    arrow = Some(p);
+                    break;
+                }
+                Tok::Punct(b'(' | b'[' | b'{') => {
+                    let c = f.matches[p];
+                    if c != usize::MAX && c < body_close {
+                        p = c;
+                    }
+                }
+                _ => {}
+            }
+            p += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        collect_arm_pattern(f, pat_start, arrow, &mut site);
+        // Body: a brace block, or an expression up to the top-level `,`.
+        let mut b = arrow + 2;
+        if toks.get(b).is_some_and(|t| t.tok.is(b'{')) && f.matches[b] != usize::MAX {
+            b = f.matches[b] + 1;
+            if toks.get(b).is_some_and(|t| t.tok.is(b',')) {
+                b += 1;
+            }
+        } else {
+            while b < body_close && !toks[b].tok.is(b',') {
+                if let Tok::Punct(b'(' | b'[' | b'{') = toks[b].tok {
+                    let c = f.matches[b];
+                    if c != usize::MAX && c < body_close {
+                        b = c;
+                    }
+                }
+                b += 1;
+            }
+            b += 1; // past the `,` (or the body close)
+        }
+        k = b;
+    }
+    Some((site, body_close + 1))
+}
+
+/// Collects `Enum::Variant` paths, string-literal patterns, and the
+/// wildcard flag from one arm's pattern segment.
+fn collect_arm_pattern(f: &SourceFile, start: usize, end: usize, site: &mut MatchSite) {
+    let toks = &f.tokens;
+    let mut saw_anything = false;
+    for k in start..end {
+        match &toks[k].tok {
+            Tok::Ident(head)
+                if head.starts_with(|c: char| c.is_ascii_uppercase())
+                    && toks.get(k + 1).is_some_and(|t| t.tok.is(b':'))
+                    && toks.get(k + 2).is_some_and(|t| t.tok.is(b':')) =>
+            {
+                if let Some(variant) = toks.get(k + 3).and_then(|t| t.tok.ident()) {
+                    let pair = (head.clone(), variant.to_string());
+                    if !site.arm_paths.contains(&pair) {
+                        site.arm_paths.push(pair);
+                    }
+                }
+                saw_anything = true;
+            }
+            Tok::Str(text) => {
+                let stripped = text
+                    .trim_start_matches(['b', 'r', '#'])
+                    .trim_matches(['"', '#'])
+                    .to_string();
+                site.arm_strings.push((stripped, toks[k].line));
+                saw_anything = true;
+            }
+            Tok::Ident(name) if name == "_" => {
+                site.has_wildcard = true;
+                saw_anything = true;
+            }
+            _ => {
+                saw_anything = true;
+            }
+        }
+    }
+    // A pattern that is a single lowercase identifier is a catch-all
+    // binding (`other => ...`).
+    if end == start + 1 {
+        if let Some(name) = toks[start].tok.ident() {
+            if name.starts_with(|c: char| c.is_ascii_lowercase() || c == '_') {
+                site.has_wildcard = true;
+            }
+        }
+    }
+    let _ = saw_anything;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn graph(files: Vec<(&str, &str)>) -> SymbolGraph {
+        let ws = Workspace {
+            files: files
+                .into_iter()
+                .map(|(p, s)| SourceFile::new(p, s))
+                .collect(),
+            ..Workspace::default()
+        };
+        SymbolGraph::build(&ws)
+    }
+
+    #[test]
+    fn fns_and_unique_resolution() {
+        let g = graph(vec![
+            ("a.rs", "fn alpha() { beta(); }\nfn beta() {}\n"),
+            ("b.rs", "fn beta() {}\n"),
+        ]);
+        assert_eq!(g.fns.len(), 3);
+        assert!(g.resolve("alpha").is_some());
+        assert!(
+            g.resolve("beta").is_none(),
+            "ambiguous names must not resolve"
+        );
+        let alpha = &g.fns[g.resolve("alpha").unwrap()];
+        assert_eq!(alpha.events.len(), 1);
+        assert_eq!(alpha.events[0].kind, EventKind::Call("beta".into()));
+    }
+
+    #[test]
+    fn acquisitions_record_live_sets_and_wrappers_are_calls() {
+        let src = "\
+impl S {
+    fn read(&self) -> G { self.inner.read() }
+    fn f(&self) {
+        let db = self.db.write();
+        let c = self.cache.lock();
+        drop(c);
+        drop(db);
+        self.other.read();
+    }
+}
+";
+        let g = graph(vec![("x.rs", src)]);
+        let read = &g.fns[g.resolve("read").unwrap()];
+        // Inside the wrapper, the acquisition is on `inner` with nothing
+        // live — and `self.read()` elsewhere is a call, not an acquire.
+        assert_eq!(read.events[0].kind, EventKind::Acquire("inner".into()));
+        assert!(read.events[0].live.is_empty());
+        let f = &g.fns[g.resolve("f").unwrap()];
+        let kinds: Vec<&EventKind> = f.events.iter().map(|e| &e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &EventKind::Acquire("db".into()),
+                &EventKind::Acquire("cache".into()),
+                &EventKind::Acquire("other".into()),
+            ]
+        );
+        assert_eq!(f.events[1].live, vec!["db".to_string()]);
+        assert!(f.events[2].live.is_empty(), "drops must clear the live set");
+    }
+
+    #[test]
+    fn enums_and_match_arm_patterns() {
+        let src = "\
+pub enum Color { Red, Green(u8), Blue { x: u8 } }
+fn paint(c: &Color) -> u8 {
+    match c {
+        Color::Red => 0,
+        Color::Green(g) => make(Color::Blue { x: 1 }),
+        other => 9,
+    }
+}
+";
+        let g = graph(vec![("x.rs", src)]);
+        let def = &g.enums["Color"];
+        let names: Vec<&str> = def.variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Red", "Green", "Blue"]);
+        let paint = &g.fns[g.resolve("paint").unwrap()];
+        assert_eq!(paint.matches.len(), 1);
+        let site = &paint.matches[0];
+        // `Color::Blue` appears only in an arm *body* — not collected.
+        assert_eq!(
+            site.arm_paths,
+            vec![
+                ("Color".to_string(), "Red".to_string()),
+                ("Color".to_string(), "Green".to_string()),
+            ]
+        );
+        assert!(site.has_wildcard, "the catch-all binding must register");
+    }
+
+    #[test]
+    fn string_arm_patterns_for_wire_dispatch() {
+        let src = "\
+fn dispatch(op: &str) -> u8 {
+    match op {
+        \"ping\" => 1,
+        \"sql\" | \"query\" => 2,
+        other => 0,
+    }
+}
+";
+        let g = graph(vec![("x.rs", src)]);
+        let d = &g.fns[g.resolve("dispatch").unwrap()];
+        let ops: Vec<&str> = d.matches[0]
+            .arm_strings
+            .iter()
+            .map(|(s, _)| s.as_str())
+            .collect();
+        assert_eq!(ops, vec!["ping", "sql", "query"]);
+    }
+
+    #[test]
+    fn io_events_and_guarded_calls() {
+        let src = "\
+fn f(&self, s: &mut TcpStream) {
+    let g = self.conns.lock();
+    helper();
+    s.write_all(b\"x\");
+}
+fn helper() {}
+";
+        let g = graph(vec![("x.rs", src)]);
+        let f = &g.fns[g.resolve("f").unwrap()];
+        let call = f
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Call("helper".into()))
+            .unwrap();
+        assert_eq!(call.live, vec!["conns".to_string()]);
+        let io = f
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Io(_)))
+            .unwrap();
+        assert_eq!(io.live, vec!["conns".to_string()]);
+    }
+}

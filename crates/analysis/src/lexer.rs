@@ -22,8 +22,10 @@ pub enum Tok {
     Str(String),
     /// A char or byte literal (`'x'`, `b'\n'`).
     Char,
-    /// A numeric literal.
-    Num,
+    /// A numeric literal, kept verbatim (suffixes included) so rules can
+    /// read concrete values — e.g. the thread counts passed to
+    /// `with_threads(4)`.
+    Num(String),
     /// A single punctuation byte (`.`, `(`, `[`, `!`, …). Multi-byte
     /// operators arrive as their constituent bytes, which is all the
     /// rules need.
@@ -74,6 +76,22 @@ impl Tok {
     /// True iff this token is the given identifier.
     pub fn is_ident(&self, name: &str) -> bool {
         matches!(self, Tok::Ident(s) if s == name)
+    }
+
+    /// The integer value of a numeric literal, ignoring any type suffix
+    /// and underscores (`1_000i64` → 1000). `None` for non-numbers and
+    /// for floats.
+    pub fn num_value(&self) -> Option<u64> {
+        let Tok::Num(text) = self else { return None };
+        let digits: String = text
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '_')
+            .filter(|c| *c != '_')
+            .collect();
+        if text.contains('.') || digits.is_empty() {
+            return None;
+        }
+        digits.parse().ok()
     }
 }
 
@@ -184,6 +202,7 @@ pub fn scan(input: &str) -> Scan {
                 // followed by a digit (so `x.0` field access still works
                 // out — `0` after `.` lexes as a number, which rules
                 // treat the same as a field name).
+                let start = i;
                 while i < bytes.len()
                     && (bytes[i].is_ascii_alphanumeric()
                         || bytes[i] == b'_'
@@ -192,7 +211,7 @@ pub fn scan(input: &str) -> Scan {
                     i += 1;
                 }
                 out.tokens.push(Token {
-                    tok: Tok::Num,
+                    tok: Tok::Num(input[start..i].to_string()),
                     line: start_line,
                 });
             }
@@ -394,5 +413,17 @@ mod tests {
             idents("let x = 0usize; let y = 1_000i64; z"),
             vec!["let", "x", "let", "y", "z"]
         );
+    }
+
+    #[test]
+    fn numbers_carry_their_value() {
+        let s = scan("with_threads(4); serial(); n(1_000i64); f(2.5)");
+        let nums: Vec<Option<u64>> = s
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Num(_)))
+            .map(|t| t.tok.num_value())
+            .collect();
+        assert_eq!(nums, vec![Some(4), Some(1000), None]);
     }
 }

@@ -10,11 +10,16 @@
 //! be declared in one registry and documented in the README. This crate
 //! re-checks those invariants mechanically on every commit.
 //!
-//! It is a lightweight token scanner ([`lexer`]) in the same hand-rolled,
-//! zero-dependency style as the SQL lexer (`engine/src/lexer.rs`) and the
-//! server's JSON parser — no `syn`, no network. Rules work over the token
-//! stream plus a bracket match map; they are deliberately conservative
-//! pattern matchers for *this repository's* idioms, not a general Rust
+//! It is a **two-phase analyzer** built on a lightweight token scanner
+//! ([`lexer`]) in the same hand-rolled, zero-dependency style as the SQL
+//! lexer (`engine/src/lexer.rs`) and the server's JSON parser — no
+//! `syn`, no network. Phase 1 ([`graph`]) walks the workspace once and
+//! builds a symbol graph: functions with spans, an approximate call
+//! graph from unique-name resolution, per-function lock-guard events,
+//! `match` dispatch sites, and enum definitions. Phase 2 ([`rules`])
+//! runs line-local rules over each file's token stream plus graph-aware
+//! rules over the whole program. Everything is deliberately conservative
+//! pattern matching for *this repository's* idioms, not a general Rust
 //! analyzer, and every rule is pinned by fixture tests in
 //! `tests/fixtures/`.
 //!
@@ -25,8 +30,11 @@
 //! | `groundness` | two-sided ground/symbolic gates in `core::ops` |
 //! | `panic` | no `unwrap`/`expect`/`panic!`-family on the execute path |
 //! | `index` | no bare slice indexing on the execute path |
-//! | `lock` | no nested guards; no lock held across socket I/O |
-//! | `oracle` | every `core::ops` operator has a proptested `specops::` oracle |
+//! | `lock` | no nested guards; no lock held across socket I/O (one file) |
+//! | `lock-order` | no cycle in the global guard-acquisition order; no lock held across I/O *transitively through callees* |
+//! | `dispatch` | every variant of a registered enum has an arm at its designated dispatch sites |
+//! | `oracle` | every `core::ops` operator's `specops::` twin is *called* from a proptest that also runs the physical path (threads 1 and 4 for `_opts` operators) |
+//! | `wire` | server dispatch arms, `Client` methods and the `WIRE_PROTOCOL.md` op table agree |
 //! | `env` | every `AGGPROV_*` literal is registered and README-documented |
 //!
 //! # Waivers
@@ -44,6 +52,8 @@
 #![warn(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod graph;
+pub mod json;
 pub mod lexer;
 pub mod registry;
 pub mod rules;
@@ -58,8 +68,8 @@ pub struct Diagnostic {
     pub path: String,
     /// 1-based line number.
     pub line: u32,
-    /// Rule id (`groundness`, `panic`, `index`, `lock`, `oracle`, `env`,
-    /// `waiver`).
+    /// Rule id (`groundness`, `panic`, `index`, `lock`, `lock-order`,
+    /// `dispatch`, `oracle`, `wire`, `env`, `waiver`).
     pub rule: &'static str,
     /// Human-readable message.
     pub message: String,
@@ -282,13 +292,16 @@ fn attr_is_test(inner: &[Token]) -> bool {
 }
 
 /// A loaded workspace: all scanned sources plus the README text (for the
-/// env-registry documentation check).
+/// env-registry documentation check) and the wire-protocol spec (for the
+/// `wire` drift check).
 #[derive(Debug, Default)]
 pub struct Workspace {
     /// All scanned `.rs` files.
     pub files: Vec<SourceFile>,
     /// `README.md` contents (empty when absent).
     pub readme: String,
+    /// `docs/WIRE_PROTOCOL.md` contents (empty when absent).
+    pub wire_doc: String,
 }
 
 impl Workspace {

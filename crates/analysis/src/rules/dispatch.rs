@@ -1,0 +1,180 @@
+//! Rule `dispatch`: exhaustive dispatch over registered enums.
+//!
+//! The registry ([`crate::registry::ENUM_REGISTRY`]) names the
+//! load-bearing enums (`Plan`, `PhysNode`, `TypedColumn`, `Const`,
+//! `RelError`, `MaintenanceStrategy`) and, for each, the functions whose
+//! `match` is the project's designated "every variant decided here"
+//! point. A variant of a registered enum with no arm naming it at a
+//! designated site is a finding — and a wildcard arm earns no credit,
+//! because the whole point is that adding a plan node without a
+//! groundness/lowering/delta-maintenance decision must fail CI, not fall
+//! into a `_ => unreachable` arm.
+//!
+//! Variant names are discovered from the enum *definition* (phase 1), so
+//! the registry can't drift from the source of truth. The registry is
+//! kept honest both ways: when the defining file is loaded but the
+//! designated site's file or function is missing, that is a finding too.
+//! Sites whose file is absent from the workspace are skipped — fixture
+//! tests lint partial workspaces, and a partial view proves nothing.
+
+use crate::graph::SymbolGraph;
+use crate::registry::ENUM_REGISTRY;
+use crate::{Diagnostic, Workspace};
+
+/// Checks every registered enum's designated dispatch sites.
+pub fn check(ws: &Workspace, graph: &SymbolGraph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for entry in ENUM_REGISTRY {
+        // The definition must come from the registered file; an
+        // identically-named enum elsewhere must not stand in for it.
+        if ws.file(entry.def_path).is_none() {
+            continue;
+        }
+        let Some(def) = graph
+            .enums
+            .get(entry.enum_name)
+            .filter(|d| d.path == entry.def_path)
+        else {
+            out.push(Diagnostic {
+                path: entry.def_path.to_string(),
+                line: 1,
+                rule: "dispatch",
+                message: format!(
+                    "registered enum `{}` not found in {} — fix ENUM_REGISTRY \
+                     (crates/analysis/src/registry.rs) or restore the definition",
+                    entry.enum_name, entry.def_path
+                ),
+            });
+            continue;
+        };
+        for (site_path, site_fn) in entry.sites {
+            if ws.file(site_path).is_none() {
+                continue;
+            }
+            let fns = graph.fns_in(site_path, site_fn);
+            if fns.is_empty() {
+                out.push(Diagnostic {
+                    path: site_path.to_string(),
+                    line: 1,
+                    rule: "dispatch",
+                    message: format!(
+                        "designated dispatch fn `{site_fn}` for `{}` not found in \
+                         {site_path} — fix ENUM_REGISTRY or restore the function",
+                        entry.enum_name
+                    ),
+                });
+                continue;
+            }
+            // Arms may be split across same-named fns (trait impls);
+            // union their matched variants.
+            let mut handled: Vec<&str> = Vec::new();
+            let mut site_line = fns[0].line;
+            for f in &fns {
+                for m in &f.matches {
+                    for (e, v) in &m.arm_paths {
+                        if e == entry.enum_name && !handled.contains(&v.as_str()) {
+                            handled.push(v);
+                            site_line = m.line;
+                        }
+                    }
+                }
+            }
+            if handled.is_empty() {
+                out.push(Diagnostic {
+                    path: site_path.to_string(),
+                    line: fns[0].line,
+                    rule: "dispatch",
+                    message: format!(
+                        "`{site_fn}` is the designated dispatch site for `{}` but \
+                         contains no match arm over it",
+                        entry.enum_name
+                    ),
+                });
+                continue;
+            }
+            for (variant, vline) in &def.variants {
+                if !handled.contains(&variant.as_str()) {
+                    out.push(Diagnostic {
+                        path: site_path.to_string(),
+                        line: site_line,
+                        rule: "dispatch",
+                        message: format!(
+                            "`{}::{variant}` ({}:{vline}) has no arm in dispatch \
+                             site `{site_fn}` — every registered variant needs an \
+                             explicit decision here (wildcards earn no credit)",
+                            entry.enum_name, entry.def_path
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn run(files: Vec<(&str, &str)>) -> Vec<Diagnostic> {
+        let ws = Workspace {
+            files: files
+                .into_iter()
+                .map(|(p, s)| SourceFile::new(p, s))
+                .collect(),
+            ..Workspace::default()
+        };
+        let graph = SymbolGraph::build(&ws);
+        check(&ws, &graph)
+    }
+
+    const DEF: &str = "pub enum MaintenanceStrategy { Incremental, Recompute }\n";
+
+    #[test]
+    fn complete_dispatch_is_clean() {
+        let site = "fn strategy_name(s: MaintenanceStrategy) -> &'static str {\n\
+                    match s {\n\
+                    MaintenanceStrategy::Incremental => \"incremental\",\n\
+                    MaintenanceStrategy::Recompute => \"recompute\",\n\
+                    }\n\
+                    }\n";
+        let d = run(vec![
+            ("crates/engine/src/view.rs", DEF),
+            ("crates/server/src/session.rs", site),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn missing_variant_fires_and_wildcard_earns_no_credit() {
+        let site = "fn strategy_name(s: MaintenanceStrategy) -> &'static str {\n\
+                    match s {\n\
+                    MaintenanceStrategy::Incremental => \"incremental\",\n\
+                    _ => \"other\",\n\
+                    }\n\
+                    }\n";
+        let d = run(vec![
+            ("crates/engine/src/view.rs", DEF),
+            ("crates/server/src/session.rs", site),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "dispatch");
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("Recompute"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn missing_site_fn_is_a_finding_but_absent_files_are_skipped() {
+        // Definition present, site file present, fn gone: finding.
+        let d = run(vec![
+            ("crates/engine/src/view.rs", DEF),
+            ("crates/server/src/session.rs", "fn other() {}\n"),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("strategy_name"));
+        // Site file absent entirely (partial fixture workspace): silent.
+        let d = run(vec![("crates/engine/src/view.rs", DEF)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -120,6 +120,7 @@ mod tests {
         Workspace {
             files: vec![SourceFile::new(code_path, code)],
             readme: readme.to_string(),
+            ..Workspace::default()
         }
     }
 

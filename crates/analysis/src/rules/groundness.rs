@@ -279,7 +279,7 @@ fn chain_root(f: &SourceFile, cond_start: usize, k: usize) -> Option<usize> {
                 q -= 1;
             }
             match toks[q].tok {
-                Tok::Ident(_) | Tok::Num => p = q,
+                Tok::Ident(_) | Tok::Num(_) => p = q,
                 _ => break,
             }
         } else if toks[p - 1].tok.is(b':') {

@@ -1,0 +1,281 @@
+//! Rule `lock-order`: global guard-acquisition order, interprocedurally.
+//!
+//! The intra-procedural `lock` rule enforces "one guard at a time"
+//! within a single function. This rule closes the cross-function gap:
+//!
+//! 1. **Acquisition-order cycles.** Every acquisition event contributes
+//!    edges `H → L` for each guard `H` live when lock `L` is taken —
+//!    directly, or transitively when a call is made under `H` to a
+//!    function that (transitively) acquires `L`. A cycle in the union of
+//!    these edges across `engine`/`server` is a deadlock waiting for a
+//!    scheduler: two sessions taking the same pair of locks in opposite
+//!    orders. The canonical order (documented in
+//!    `docs/ARCHITECTURE.md`) is *database lock before plan-cache
+//!    lock*; this rule is what keeps that sentence true.
+//! 2. **Transitive I/O under a guard.** The `lock` rule flags stream
+//!    I/O while a guard is live in the same function; here the check
+//!    follows the call graph, so holding a guard while calling a helper
+//!    that blocks on a socket is flagged at the call site.
+//!
+//! Both checks run on the phase-1 symbol graph: per-function guard
+//! events with live sets, and unique-name call resolution (see
+//! `graph.rs` for the approximation limits). `does_io` and
+//! `locks_acquired` are computed as fixpoints over the call graph, so
+//! arbitrarily deep helper chains are seen through; recursion converges
+//! because the sets only grow.
+
+use crate::graph::{EventKind, SymbolGraph};
+use crate::{Diagnostic, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Files whose functions participate in the global lock graph: crate
+/// sources only (tests construct deadlocks on purpose).
+pub fn lock_order_scope(path: &str) -> bool {
+    path.starts_with("crates/") && path.contains("/src/")
+}
+
+/// Checks acquisition-order cycles and transitive I/O under guards.
+pub fn check(ws: &Workspace, graph: &SymbolGraph) -> Vec<Diagnostic> {
+    let _ = ws;
+    let in_scope: Vec<usize> = (0..graph.fns.len())
+        .filter(|&i| lock_order_scope(&graph.fns[i].path) && !graph.fns[i].in_test)
+        .collect();
+
+    // Fixpoint: the set of locks each function (transitively) acquires,
+    // and whether it (transitively) performs stream I/O.
+    let mut acquired: Vec<BTreeSet<String>> = vec![BTreeSet::new(); graph.fns.len()];
+    let mut does_io: Vec<bool> = vec![false; graph.fns.len()];
+    for &i in &in_scope {
+        for e in &graph.fns[i].events {
+            match &e.kind {
+                EventKind::Acquire(lock) => {
+                    acquired[i].insert(lock.clone());
+                }
+                EventKind::Io(_) => does_io[i] = true,
+                EventKind::Call(_) => {}
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for &i in &in_scope {
+            for e in &graph.fns[i].events {
+                let EventKind::Call(callee) = &e.kind else {
+                    continue;
+                };
+                let Some(j) = graph.resolve(callee).filter(|j| in_scope.contains(j)) else {
+                    continue;
+                };
+                if does_io[j] && !does_io[i] {
+                    does_io[i] = true;
+                    changed = true;
+                }
+                let extra: Vec<String> = acquired[j].difference(&acquired[i]).cloned().collect();
+                if !extra.is_empty() {
+                    acquired[i].extend(extra);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edge collection: held-lock → acquired-lock, with one witness site
+    // per edge (first in path/line order wins; fns are in file order).
+    let mut edges: BTreeMap<(String, String), (String, u32, String)> = BTreeMap::new();
+    let mut out = Vec::new();
+    for &i in &in_scope {
+        let f = &graph.fns[i];
+        for e in &f.events {
+            let targets: BTreeSet<String> = match &e.kind {
+                EventKind::Acquire(lock) => std::iter::once(lock.clone()).collect(),
+                EventKind::Call(callee) => {
+                    let Some(j) = graph.resolve(callee).filter(|j| in_scope.contains(j)) else {
+                        continue;
+                    };
+                    if !e.live.is_empty() && does_io[j] {
+                        out.push(Diagnostic {
+                            path: f.path.clone(),
+                            line: e.line,
+                            rule: "lock-order",
+                            message: format!(
+                                "call to `{callee}` performs stream I/O (transitively) \
+                                 while the `{}` guard is live — a slow peer stalls \
+                                 every session on that lock",
+                                e.live.join("`/`")
+                            ),
+                        });
+                    }
+                    acquired[j].clone()
+                }
+                EventKind::Io(_) => continue,
+            };
+            for held in &e.live {
+                for target in &targets {
+                    if held == target {
+                        continue;
+                    }
+                    edges
+                        .entry((held.clone(), target.clone()))
+                        .or_insert_with(|| (f.path.clone(), e.line, f.name.clone()));
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the edge graph (tiny: one node per lock
+    // name). Report each 2+-lock cycle once, at the lexicographically
+    // first witness edge on it.
+    let nodes: BTreeSet<&String> = edges.keys().flat_map(|(a, b)| [a, b]).collect();
+    let succ = |n: &String| -> Vec<&String> {
+        edges
+            .keys()
+            .filter(|(a, _)| a == n)
+            .map(|(_, b)| b)
+            .collect()
+    };
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in &nodes {
+        // DFS from `start` looking for a path back to it.
+        let mut stack: Vec<(&String, Vec<String>)> = vec![(start, vec![(*start).clone()])];
+        while let Some((n, path)) = stack.pop() {
+            for next in succ(n) {
+                if next == *start && path.len() >= 2 {
+                    let mut cycle = path.clone();
+                    let mut canonical = cycle.clone();
+                    canonical.sort();
+                    if reported.insert(canonical) {
+                        cycle.push((*start).clone());
+                        let (wpath, wline, wfn) = &edges[&(path[0].clone(), path[1].clone())];
+                        out.push(Diagnostic {
+                            path: wpath.clone(),
+                            line: *wline,
+                            rule: "lock-order",
+                            message: format!(
+                                "lock acquisition cycle {} (witness: `{wfn}` takes \
+                                 `{}` while holding `{}`) — pin one global order \
+                                 (see docs/ARCHITECTURE.md)",
+                                cycle.join(" → "),
+                                path[1],
+                                path[0],
+                            ),
+                        });
+                    }
+                } else if !path.contains(next) {
+                    let mut p = path.clone();
+                    p.push(next.clone());
+                    stack.push((next, p));
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn run(files: Vec<(&str, &str)>) -> Vec<Diagnostic> {
+        let ws = Workspace {
+            files: files
+                .into_iter()
+                .map(|(p, s)| SourceFile::new(p, s))
+                .collect(),
+            ..Workspace::default()
+        };
+        let graph = SymbolGraph::build(&ws);
+        check(&ws, &graph)
+    }
+
+    #[test]
+    fn opposite_order_in_two_fns_is_a_cycle() {
+        let src = "\
+impl S {
+    fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+    }
+    fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+    }
+}
+";
+        let d = run(vec![("crates/server/src/x.rs", src)]);
+        let cycles: Vec<&Diagnostic> = d.iter().filter(|x| x.message.contains("cycle")).collect();
+        assert_eq!(cycles.len(), 1, "{d:?}");
+        assert!(cycles[0].message.contains("alpha"), "{}", cycles[0].message);
+        assert!(cycles[0].message.contains("beta"), "{}", cycles[0].message);
+    }
+
+    #[test]
+    fn consistent_order_is_clean_and_interprocedural_cycle_fires() {
+        let consistent = "\
+impl S {
+    fn one(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }
+    fn two(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }
+}
+";
+        assert!(run(vec![("crates/server/src/x.rs", consistent)]).is_empty());
+
+        // The cycle only closes through the call graph: `backward` takes
+        // beta then *calls* a helper that takes alpha.
+        let a = "\
+impl S {
+    fn forward(&self) { let a = self.alpha.lock(); self.take_beta(); }
+    fn take_beta(&self) { let b = self.beta.lock(); }
+}
+";
+        let b = "\
+impl T {
+    fn backward(&self) { let b = self.beta.lock(); self.take_alpha(); }
+    fn take_alpha(&self) { let a = self.alpha.lock(); }
+}
+";
+        let d = run(vec![
+            ("crates/engine/src/a.rs", a),
+            ("crates/server/src/b.rs", b),
+        ]);
+        assert!(
+            d.iter().any(|x| x.message.contains("cycle")),
+            "interprocedural cycle not found: {d:?}"
+        );
+    }
+
+    #[test]
+    fn transitive_io_under_guard_fires_at_the_call_site() {
+        let src = "\
+impl S {
+    fn handler(&self, s: &mut TcpStream) {
+        let g = self.conns.lock();
+        self.respond(s);
+    }
+    fn respond(&self, s: &mut TcpStream) {
+        s.write_all(b\"ok\");
+    }
+}
+";
+        let d = run(vec![("crates/server/src/x.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 4);
+        assert!(d[0].message.contains("respond"), "{}", d[0].message);
+        assert!(d[0].message.contains("conns"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn test_functions_do_not_participate() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn forward(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }
+    fn backward(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }
+}
+";
+        assert!(run(vec![("crates/server/src/x.rs", src)]).is_empty());
+    }
+}

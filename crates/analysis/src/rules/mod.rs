@@ -1,18 +1,25 @@
-//! The five project-invariant rules and the waiver-aware driver logic.
+//! The project-invariant rules and the waiver-aware driver logic.
 //!
-//! Each rule module exposes a `check` function producing raw
-//! [`Diagnostic`]s; [`run_all`] applies the per-rule path scopes, then
-//! settles waivers: a `// lint:allow(<rule>, reason = "...")` comment on
-//! the finding's line (or the line above) suppresses it, a waiver with
-//! no reason is itself reported, and a waiver that suppresses nothing is
-//! reported as unused.
+//! Each line-local rule module exposes a `check(&SourceFile)` and each
+//! graph-aware rule a `check(&Workspace, &SymbolGraph)`, all producing
+//! raw [`Diagnostic`]s; [`run_report`] builds the phase-1 symbol graph
+//! once, applies the per-rule path scopes, then settles waivers: a
+//! `// lint:allow(<rule>, reason = "...")` comment on the finding's line
+//! (or the line above) suppresses it, a waiver with no reason is itself
+//! reported, and a waiver that suppresses nothing is reported as unused.
+//! Suppressed findings are kept (the `--json` output lists them under
+//! `"waived"`), so an audit can see what the waivers are holding back.
 
+pub mod dispatch;
+pub mod drift;
 pub mod envreg;
 pub mod groundness;
+pub mod lock_order;
 pub mod locks;
 pub mod oracle;
 pub mod panic_free;
 
+use crate::graph::SymbolGraph;
 use crate::{Diagnostic, Workspace};
 
 /// Files subject to the `groundness` rule: the operator modules where
@@ -30,10 +37,13 @@ pub fn groundness_scope(path: &str) -> bool {
 }
 
 /// Files subject to the `panic` and `index` rules: the designated
-/// execute-path modules. A client request must never be able to take
-/// down the process through these.
+/// execute-path modules — the operator kernels, the engine's
+/// plan/execute pipeline, and **all** of the server crate (a client
+/// request must never be able to take down the process, and the serving
+/// binaries sit directly on the request path).
 pub fn execute_scope(path: &str) -> bool {
     groundness_scope(path)
+        || path.starts_with("crates/server/src/")
         || matches!(
             path,
             "crates/core/src/par.rs"
@@ -41,20 +51,28 @@ pub fn execute_scope(path: &str) -> bool {
                 | "crates/engine/src/phys.rs"
                 | "crates/engine/src/opt.rs"
                 | "crates/engine/src/view.rs"
-                | "crates/server/src/server.rs"
-                | "crates/server/src/session.rs"
-                | "crates/server/src/json.rs"
         )
 }
 
 /// Files subject to the `lock` rule: everywhere locks or sockets appear
 /// on the serving path.
 pub fn lock_scope(path: &str) -> bool {
-    execute_scope(path) || path.starts_with("crates/server/src/")
+    execute_scope(path)
+}
+
+/// A settled lint run: surviving findings plus the diagnostics that
+/// waivers suppressed (reported by `--json`, hidden by default).
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings that survive waivers, sorted by path, line, rule.
+    pub findings: Vec<Diagnostic>,
+    /// Findings suppressed by a waiver, same order.
+    pub waived: Vec<Diagnostic>,
 }
 
 /// Runs the path-scoped and cross-file rules, before waivers.
 fn collect_raw(ws: &Workspace) -> Vec<Diagnostic> {
+    let graph = SymbolGraph::build(ws);
     let mut raw: Vec<Diagnostic> = Vec::new();
     for f in &ws.files {
         if groundness_scope(&f.path) {
@@ -69,22 +87,26 @@ fn collect_raw(ws: &Workspace) -> Vec<Diagnostic> {
     }
     raw.extend(oracle::check(ws));
     raw.extend(envreg::check(ws));
+    raw.extend(dispatch::check(ws, &graph));
+    raw.extend(lock_order::check(ws, &graph));
+    raw.extend(drift::check(ws, &graph));
     raw
 }
 
-/// Runs every rule over the workspace and settles waivers. The result is
-/// sorted by path, line, rule.
-pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+/// Runs every rule over the workspace and settles waivers.
+pub fn run_report(ws: &Workspace) -> LintReport {
     let raw = collect_raw(ws);
-    let mut out: Vec<Diagnostic> = Vec::new();
+    let mut report = LintReport::default();
 
-    // Suppress findings covered by a waiver (reason-less waivers still
+    // Split findings by waiver coverage (reason-less waivers still
     // suppress — the missing reason is its own diagnostic below, so one
     // sloppy comment yields one finding, not two).
     for d in raw.iter() {
         let waived = ws.file(&d.path).is_some_and(|f| f.waived(d.rule, d.line));
-        if !waived {
-            out.push(d.clone());
+        if waived {
+            report.waived.push(d.clone());
+        } else {
+            report.findings.push(d.clone());
         }
     }
 
@@ -94,7 +116,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     for f in &ws.files {
         for w in &f.waivers {
             if w.reason.is_none() {
-                out.push(Diagnostic {
+                report.findings.push(Diagnostic {
                     path: f.path.clone(),
                     line: w.line,
                     rule: "waiver",
@@ -109,7 +131,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
                 d.path == f.path && d.rule == w.rule && (w.line == d.line || w.line + 1 == d.line)
             });
             if !used {
-                out.push(Diagnostic {
+                report.findings.push(Diagnostic {
                     path: f.path.clone(),
                     line: w.line,
                     rule: "waiver",
@@ -123,7 +145,15 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
             }
         }
     }
-    out.sort();
-    out.dedup();
-    out
+    report.findings.sort();
+    report.findings.dedup();
+    report.waived.sort();
+    report.waived.dedup();
+    report
+}
+
+/// Runs every rule over the workspace and settles waivers. The result is
+/// sorted by path, line, rule.
+pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    run_report(ws).findings
 }

@@ -4,15 +4,26 @@
 //! literal §4.3 / §3.2 specification": every hash-partitioned fast path
 //! in `core::ops` is only trusted because a naive `specops::` twin
 //! exists and a property test compares the two. This rule closes the
-//! gap a new operator could slip through: every public operator
-//! function in `core/src/ops.rs` (an `MKRel`-taking, `Result`-returning
-//! `pub fn`) must have a `specops` function of the same base name
-//! (`_opts` variants share their base's oracle), and that
-//! `specops::<name>` must be referenced from at least one proptest
-//! file.
+//! gaps a new operator could slip through, in escalating order:
+//!
+//! 1. every public operator function in `core/src/ops.rs` (an
+//!    `MKRel`-taking, `Result`-returning `pub fn`) must have a `specops`
+//!    function of the same base name (`_opts` variants share their
+//!    base's oracle);
+//! 2. some proptest file must **call** `specops::<base>(...)` — an
+//!    actual call expression, not a name in a comment or string;
+//! 3. that same file must also call the physical path
+//!    (`ops::<base>(...)` or `ops::<base>_opts(...)`), so the oracle and
+//!    the fast path actually meet in one test;
+//! 4. for operators with an `_opts` variant (the threaded fast paths),
+//!    an oracle-calling file must pin **both** `threads = 1` and
+//!    `threads = 4`: via `with_threads(1)` / `with_threads(4)` literals,
+//!    `ExecOptions::serial()` (= 1), or a `for t in [1, 4]` loop whose
+//!    variable feeds `with_threads(t)`.
 
 use crate::lexer::Tok;
 use crate::{Diagnostic, SourceFile, Workspace};
+use std::collections::BTreeSet;
 
 /// Path of the physical operator module.
 pub const OPS_PATH: &str = "crates/core/src/ops.rs";
@@ -34,13 +45,19 @@ pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
         })
         .collect();
 
+    let exports = operator_exports(ops);
+    let opts_bases: BTreeSet<&str> = exports
+        .iter()
+        .filter_map(|(n, _)| n.strip_suffix("_opts"))
+        .collect();
+
     let mut out = Vec::new();
-    for (name, line) in operator_exports(ops) {
-        let base = name.strip_suffix("_opts").unwrap_or(&name).to_string();
+    for (name, line) in &exports {
+        let base = name.strip_suffix("_opts").unwrap_or(name).to_string();
         if !spec_fns.contains(&base) {
             out.push(Diagnostic {
                 path: ops.path.clone(),
-                line,
+                line: *line,
                 rule: "oracle",
                 message: format!(
                     "operator `{name}` has no `specops::{base}` oracle — add the \
@@ -49,17 +66,58 @@ pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
             });
             continue;
         }
-        let referenced = proptests.iter().any(|f| references_specops(f, &base));
-        if !referenced {
+        // The oracle must be *called*; a name inside a string or comment
+        // earns nothing.
+        let callers: Vec<&&SourceFile> = proptests
+            .iter()
+            .filter(|f| calls(f, "specops", &base))
+            .collect();
+        if callers.is_empty() {
             out.push(Diagnostic {
                 path: ops.path.clone(),
-                line,
+                line: *line,
                 rule: "oracle",
                 message: format!(
-                    "`specops::{base}` exists but no proptest references it — \
-                     operator `{name}` is effectively unoracled"
+                    "no proptest calls `specops::{base}(...)` — operator `{name}` \
+                     is effectively unoracled (a textual mention is not a test)"
                 ),
             });
+            continue;
+        }
+        let paired: Vec<&&&SourceFile> = callers
+            .iter()
+            .filter(|f| calls(f, "ops", &base) || calls(f, "ops", &format!("{base}_opts")))
+            .collect();
+        if paired.is_empty() {
+            out.push(Diagnostic {
+                path: ops.path.clone(),
+                line: *line,
+                rule: "oracle",
+                message: format!(
+                    "`specops::{base}` is called, but no calling proptest file \
+                     also runs the physical path (`ops::{base}`) — the oracle \
+                     never meets the fast path"
+                ),
+            });
+            continue;
+        }
+        if opts_bases.contains(base.as_str()) {
+            let threads_ok = paired.iter().any(|f| {
+                let ev = thread_evidence(f);
+                ev.contains(&1) && ev.contains(&4)
+            });
+            if !threads_ok {
+                out.push(Diagnostic {
+                    path: ops.path.clone(),
+                    line: *line,
+                    rule: "oracle",
+                    message: format!(
+                        "operator `{name}` has a threaded fast path but no \
+                         oracle proptest pins both threads=1 and threads=4 \
+                         (use serial()/with_threads(1) and with_threads(4))"
+                    ),
+                });
+            }
         }
     }
     out
@@ -120,15 +178,93 @@ fn fn_names(f: &SourceFile) -> Vec<String> {
         .collect()
 }
 
-/// True iff the file contains a `specops::<name>` token sequence.
-fn references_specops(f: &SourceFile, name: &str) -> bool {
+/// True iff the file contains a call expression
+/// `<module>::<name>(...)` — optionally with a turbofish between the
+/// name and the argument list.
+fn calls(f: &SourceFile, module: &str, name: &str) -> bool {
     let toks = &f.tokens;
-    (0..toks.len().saturating_sub(3)).any(|i| {
-        toks[i].tok.is_ident("specops")
+    (0..toks.len().saturating_sub(4)).any(|i| {
+        if !(toks[i].tok.is_ident(module)
             && toks[i + 1].tok.is(b':')
             && toks[i + 2].tok.is(b':')
-            && toks[i + 3].tok.is_ident(name)
+            && toks[i + 3].tok.is_ident(name))
+        {
+            return false;
+        }
+        let mut j = i + 4;
+        if toks.get(j).is_some_and(|t| t.tok.is(b':'))
+            && toks.get(j + 1).is_some_and(|t| t.tok.is(b':'))
+            && toks.get(j + 2).is_some_and(|t| t.tok.is(b'<'))
+        {
+            let mut depth = 1u32;
+            j += 3;
+            while j < toks.len() && depth > 0 {
+                if toks[j].tok.is(b'<') {
+                    depth += 1;
+                } else if toks[j].tok.is(b'>') {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+        }
+        toks.get(j).is_some_and(|t| t.tok.is(b'('))
     })
+}
+
+/// Thread counts a test file demonstrably runs the physical path at:
+/// `with_threads(<n>)` literals, `serial()` (= 1), and `with_threads(v)`
+/// where `v` is a `for v in [<n>, ...]` loop variable over a literal
+/// array.
+fn thread_evidence(f: &SourceFile) -> BTreeSet<u64> {
+    let toks = &f.tokens;
+    let mut out = BTreeSet::new();
+
+    // Loop variables drawn from literal arrays: `for t in [1, 4] { .. }`.
+    let mut loop_vars: Vec<(&str, Vec<u64>)> = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].tok.is_ident("for") {
+            continue;
+        }
+        let Some(var) = toks.get(i + 1).and_then(|t| t.tok.ident()) else {
+            continue;
+        };
+        if !toks.get(i + 2).is_some_and(|t| t.tok.is_ident("in"))
+            || !toks.get(i + 3).is_some_and(|t| t.tok.is(b'['))
+        {
+            continue;
+        }
+        let close = f.matches[i + 3];
+        if close == usize::MAX {
+            continue;
+        }
+        let nums: Vec<u64> = toks[i + 4..close]
+            .iter()
+            .filter_map(|t| t.tok.num_value())
+            .collect();
+        if !nums.is_empty() {
+            loop_vars.push((var, nums));
+        }
+    }
+
+    for i in 0..toks.len() {
+        if toks[i].tok.is_ident("serial") && toks.get(i + 1).is_some_and(|t| t.tok.is(b'(')) {
+            out.insert(1);
+        }
+        if toks[i].tok.is_ident("with_threads") && toks.get(i + 1).is_some_and(|t| t.tok.is(b'(')) {
+            if let Some(t) = toks.get(i + 2) {
+                if let Some(n) = t.tok.num_value() {
+                    out.insert(n);
+                } else if let Some(id) = t.tok.ident() {
+                    for (v, nums) in &loop_vars {
+                        if *v == id {
+                            out.extend(nums.iter().copied());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -142,7 +278,7 @@ mod tests {
                 SourceFile::new(SPECOPS_PATH, spec),
                 SourceFile::new("crates/core/tests/hash_vs_spec_proptests.rs", prop),
             ],
-            readme: String::new(),
+            ..Workspace::default()
         }
     }
 
@@ -151,15 +287,34 @@ pub fn union<A>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> { todo() }
 pub fn union_opts<A>(r1: &MKRel<A>, r2: &MKRel<A>, o: Opts) -> Result<MKRel<A>> { todo() }
 pub fn has_symbolic<A>(rel: &MKRel<A>) -> bool { false }
 ";
+    const SPEC: &str =
+        "pub fn union<A>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> { todo() }";
 
     #[test]
-    fn covered_operator_passes() {
-        let w = ws(
-            OPS,
-            "pub fn union<A>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> { todo() }",
-            "fn t() { let _ = specops::union(&a, &b); }",
-        );
-        assert!(check(&w).is_empty());
+    fn covered_operator_at_both_thread_counts_passes() {
+        let prop = "\
+fn t() {
+    let spec = specops::union(&a, &b).unwrap();
+    let one = ops::union_opts(&a, &b, ExecOptions::serial()).unwrap();
+    let four = ops::union_opts(&a, &b, ExecOptions::default().with_threads(4)).unwrap();
+}
+";
+        let w = ws(OPS, SPEC, prop);
+        let d = check(&w);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn thread_loop_variable_counts_as_evidence() {
+        let prop = "\
+fn t() {
+    let spec = specops::union(&a, &b).unwrap();
+    for threads in [1, 4] {
+        let got = ops::union_opts(&a, &b, ExecOptions::default().with_threads(threads)).unwrap();
+    }
+}
+";
+        assert!(check(&ws(OPS, SPEC, prop)).is_empty());
     }
 
     #[test]
@@ -175,14 +330,64 @@ pub fn has_symbolic<A>(rel: &MKRel<A>) -> bool { false }
     }
 
     #[test]
-    fn unreferenced_oracle_is_flagged() {
-        let w = ws(
-            OPS,
-            "pub fn union<A>(r1: &MKRel<A>, r2: &MKRel<A>) -> Result<MKRel<A>> { todo() }",
-            "fn t() {}",
+    fn textual_mention_without_a_call_is_flagged() {
+        // `specops::union` appears as a fn-pointer reference (no call
+        // parens) and inside a string — neither is an oracle run.
+        let prop = "\
+fn t() {
+    let f = specops::union;
+    log(\"compared against specops::union\");
+    let got = ops::union(&a, &b).unwrap();
+}
+";
+        let d = check(&ws(OPS, SPEC, prop));
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(
+            d[0].message.contains("no proptest calls"),
+            "{}",
+            d[0].message
         );
-        let d = check(&w);
-        assert_eq!(d.len(), 2);
-        assert!(d[0].message.contains("no proptest references"));
+    }
+
+    #[test]
+    fn oracle_call_without_physical_path_is_flagged() {
+        let prop = "fn t() { let spec = specops::union(&a, &b).unwrap(); }";
+        let d = check(&ws(OPS, SPEC, prop));
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(
+            d[0].message.contains("never meets the fast path"),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn missing_thread_evidence_is_flagged_for_opts_operators() {
+        let prop = "\
+fn t() {
+    let spec = specops::union(&a, &b).unwrap();
+    let got = ops::union_opts(&a, &b, ExecOptions::default().with_threads(4)).unwrap();
+}
+";
+        let d = check(&ws(OPS, SPEC, prop));
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("threads=1"), "{}", d[0].message);
+
+        // An operator with no `_opts` variant needs no thread evidence.
+        let ops_single = "pub fn union<A>(r: &MKRel<A>) -> Result<MKRel<A>> { todo() }\n";
+        let prop_single = "fn t() { specops::union(&a); ops::union(&a); }";
+        assert!(check(&ws(ops_single, SPEC, prop_single)).is_empty());
+    }
+
+    #[test]
+    fn turbofish_calls_count() {
+        let prop = "\
+fn t() {
+    let spec = specops::union::<Tropical>(&a, &b).unwrap();
+    let one = ops::union_opts::<Tropical>(&a, &b, ExecOptions::serial()).unwrap();
+    let four = ops::union_opts::<Tropical>(&a, &b, opts.with_threads(4)).unwrap();
+}
+";
+        assert!(check(&ws(OPS, SPEC, prop)).is_empty());
     }
 }

@@ -68,7 +68,7 @@ pub fn check(f: &SourceFile) -> Vec<Diagnostic> {
                 let indexes = match &toks[i - 1].tok {
                     Tok::Ident(prev) => !NON_INDEX_PREFIX.contains(&prev.as_str()),
                     Tok::Punct(b')' | b']') => true,
-                    Tok::Num => true,
+                    Tok::Num(_) => true,
                     _ => false,
                 };
                 if indexes {

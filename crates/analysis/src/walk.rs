@@ -41,6 +41,7 @@ pub fn load_workspace(root: &Path) -> Workspace {
     }
     ws.files.sort_by(|a, b| a.path.cmp(&b.path));
     ws.readme = fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    ws.wire_doc = fs::read_to_string(root.join("docs/WIRE_PROTOCOL.md")).unwrap_or_default();
     ws
 }
 

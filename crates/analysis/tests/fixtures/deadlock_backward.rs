@@ -1,0 +1,13 @@
+//! Fixture: the other half — acquires `cache`, then calls a helper that
+//! acquires `db`. Together with `deadlock_forward.rs` this closes an
+//! interprocedural acquisition cycle that no single file exhibits.
+
+impl Netloop {
+    pub fn backward(&self) {
+        let c = self.cache.lock();
+        self.touch_db();
+    }
+    fn touch_db(&self) {
+        let d = self.db.read();
+    }
+}

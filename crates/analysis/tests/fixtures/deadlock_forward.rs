@@ -1,0 +1,12 @@
+//! Fixture: half of a lock-order cycle — acquires `db`, then calls a
+//! helper that acquires `cache`.
+
+impl Engine {
+    pub fn forward(&self) {
+        let db = self.db.write();
+        self.touch_cache();
+    }
+    fn touch_cache(&self) {
+        let c = self.cache.lock();
+    }
+}

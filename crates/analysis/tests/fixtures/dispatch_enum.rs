@@ -1,0 +1,7 @@
+//! Fixture: a registered enum definition (the `MaintenanceStrategy`
+//! shape) for the dispatch rule.
+
+pub enum MaintenanceStrategy {
+    Incremental,
+    Recompute,
+}

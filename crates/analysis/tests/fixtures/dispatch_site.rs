@@ -1,0 +1,9 @@
+//! Fixture: the designated dispatch site missing an arm — `Recompute`
+//! falls into the wildcard, which earns no credit.
+
+pub fn strategy_name(s: MaintenanceStrategy) -> &'static str {
+    match s {
+        MaintenanceStrategy::Incremental => "incremental",
+        _ => "recompute-or-future",
+    }
+}

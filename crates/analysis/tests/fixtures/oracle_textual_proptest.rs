@@ -1,0 +1,9 @@
+//! Fixture: a proptest that *mentions* the oracle but never calls it —
+//! the string and the fn-pointer reference both earn nothing.
+
+#[test]
+fn orphaned_textual_only() {
+    let f = specops::orphaned;
+    log("we compared against specops::orphaned by hand");
+    let got = ops::orphaned(&r);
+}

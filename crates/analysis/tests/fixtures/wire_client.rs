@@ -1,0 +1,13 @@
+//! Fixture: a client speaking all three fixture ops.
+
+impl Client {
+    pub fn ping(&mut self) -> Result<Json, ClientError> {
+        self.request(Json::obj([("op", Json::str("ping"))]))
+    }
+    pub fn sql(&mut self) -> Result<Json, ClientError> {
+        self.request(Json::obj([("op", Json::str("sql"))]))
+    }
+    pub fn bye(&mut self) -> Result<Json, ClientError> {
+        self.request(Json::obj([("op", Json::str("bye"))]))
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: a serving-session dispatch with three ops, for the wire
+//! rule's source-of-truth side.
+
+impl Session {
+    fn dispatch(&mut self, op: &str) -> Result<Json, String> {
+        match op {
+            "ping" => self.op_ping(),
+            "sql" => self.op_sql(),
+            "bye" => self.op_bye(),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Acceptance tests against the actual repository tree: the shipped
+//! workspace lints clean under every rule, and the dispatch rule's
+//! reason for existing holds — deleting a registered match arm makes
+//! the lint fail.
+
+use analysis::rules::run_all;
+use analysis::walk::{find_root, load_workspace};
+use analysis::{SourceFile, Workspace};
+use std::path::Path;
+
+fn load() -> Workspace {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    load_workspace(&root)
+}
+
+#[test]
+fn the_real_tree_lints_clean() {
+    let ws = load();
+    assert!(
+        ws.files.len() > 30,
+        "workspace walk looks broken: only {} files",
+        ws.files.len()
+    );
+    assert!(
+        !ws.wire_doc.is_empty(),
+        "docs/WIRE_PROTOCOL.md not loaded — the wire rule would run blind"
+    );
+    let d = run_all(&ws);
+    assert!(
+        d.is_empty(),
+        "the real tree has lint findings:\n{}",
+        d.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn deleting_a_registered_dispatch_arm_is_caught() {
+    let mut ws = load();
+    let path = "crates/core/src/ops/typed.rs";
+    let f = ws
+        .files
+        .iter_mut()
+        .find(|f| f.path == path)
+        .expect("typed kernel module loaded");
+    let gutted = f.text.replace("TypedColumn::Boxed(_) => None,", "");
+    assert_ne!(gutted, f.text, "expected the Boxed arm in compile_lit_test");
+    *f = SourceFile::new(path, gutted);
+    let d = run_all(&ws);
+    assert!(
+        d.iter().any(|x| x.rule == "dispatch"
+            && x.path == path
+            && x.message.contains("TypedColumn::Boxed")),
+        "no dispatch finding after deleting the Boxed arm: {d:?}"
+    );
+}

@@ -45,10 +45,13 @@ fn run(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut renders = Vec::new();
     for h in handles {
-        renders.push(h.join().expect("client thread")?);
+        renders.push(h.join().map_err(|_| "client thread panicked")??);
     }
     assert!(
-        renders.windows(2).all(|w| w[0] == w[1]),
+        renders
+            .iter()
+            .zip(renders.iter().skip(1))
+            .all(|(a, b)| a == b),
         "clients disagreed: {renders:?}"
     );
 
@@ -65,21 +68,14 @@ fn run(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
         .get("result")
         .and_then(Json::as_int)
         .ok_or("no result handle")?;
-    let valuated = admin.request(Json::obj([
-        ("op", Json::str("valuate")),
-        ("result", Json::Int(result)),
-        ("bindings", Json::obj([("p2", Json::Int(0))])),
-    ]))?;
+    let valuated = admin.valuate(result, &[("p2", 0)], None)?;
     assert_eq!(
         valuated.get("collapsed"),
         Some(&Json::Bool(true)),
         "ground valuation must collapse"
     );
-    admin.request(Json::obj([
-        ("op", Json::str("delete_tokens")),
-        ("result", Json::Int(result)),
-        ("tokens", Json::Arr(vec![Json::str("p2")])),
-    ]))?;
+    admin.delete_tokens(result, &["p2"], false)?;
+    admin.close_result(result)?;
 
     admin.shutdown()?;
     Ok(())

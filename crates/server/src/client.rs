@@ -199,6 +199,90 @@ impl Client {
         ]))
     }
 
+    /// Valuates a stored result: `bindings` maps provenance tokens to
+    /// naturals (unbound tokens take `default`, or 1 when `None`).
+    pub fn valuate(
+        &mut self,
+        result: i64,
+        bindings: &[(&str, i64)],
+        default: Option<i64>,
+    ) -> Result<Json> {
+        let mut req = vec![
+            ("op", Json::str("valuate")),
+            ("result", Json::Int(result)),
+            (
+                "bindings",
+                Json::Obj(
+                    bindings
+                        .iter()
+                        .map(|(t, v)| (t.to_string(), Json::Int(*v)))
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(d) = default {
+            req.push(("default", Json::Int(d)));
+        }
+        self.request(Json::obj(req))
+    }
+
+    /// Deletion propagation on a stored result: zeroes the given tokens,
+    /// keeps the rest symbolic. `store` parks the shrunken result under
+    /// a fresh handle.
+    pub fn delete_tokens(&mut self, result: i64, tokens: &[&str], store: bool) -> Result<Json> {
+        self.request(Json::obj([
+            ("op", Json::str("delete_tokens")),
+            ("result", Json::Int(result)),
+            (
+                "tokens",
+                Json::Arr(tokens.iter().map(|t| Json::str(*t)).collect()),
+            ),
+            ("store", Json::Bool(store)),
+        ]))
+    }
+
+    /// Security reading of a stored result (paper Example 3.5): `levels`
+    /// maps tokens to clearance levels, `cred` is the principal's
+    /// credential.
+    pub fn clearance(&mut self, result: i64, cred: &str, levels: &[(&str, &str)]) -> Result<Json> {
+        self.request(Json::obj([
+            ("op", Json::str("clearance")),
+            ("result", Json::Int(result)),
+            ("cred", Json::str(cred)),
+            (
+                "levels",
+                Json::Obj(
+                    levels
+                        .iter()
+                        .map(|(t, l)| (t.to_string(), Json::str(*l)))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    /// Releases a stored result handle.
+    pub fn close_result(&mut self, result: i64) -> Result<Json> {
+        self.request(Json::obj([
+            ("op", Json::str("close")),
+            ("result", Json::Int(result)),
+        ]))
+    }
+
+    /// Releases a prepared-statement handle.
+    pub fn close_stmt(&mut self, stmt: i64) -> Result<Json> {
+        self.request(Json::obj([
+            ("op", Json::str("close")),
+            ("stmt", Json::Int(stmt)),
+        ]))
+    }
+
+    /// Says goodbye: the server acknowledges and closes this connection.
+    pub fn bye(&mut self) -> Result<()> {
+        self.request(Json::obj([("op", Json::str("bye"))]))?;
+        Ok(())
+    }
+
     /// Asks the server to stop (drains and exits).
     pub fn shutdown(&mut self) -> Result<()> {
         self.request(Json::obj([("op", Json::str("shutdown"))]))?;
